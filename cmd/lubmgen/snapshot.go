@@ -1,0 +1,5 @@
+package main
+
+// lubmgen also supports the binary snapshot output format (see
+// internal/store): `lubmgen -scale 5 -format snapshot -o lubm5.snap`
+// produces a file that cmd/rdfq loads without re-parsing or re-encoding.

@@ -1,0 +1,103 @@
+// Command rdfq runs a SPARQL basic-graph-pattern query against an
+// N-Triples file (or a generated LUBM dataset) using any of the five
+// engines:
+//
+//	rdfq -data graph.nt -engine emptyheaded -query 'SELECT ?x WHERE { ... }'
+//	rdfq -lubm 1 -engine rdf3x -lubm-query 2
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	data := flag.String("data", "", "N-Triples input file")
+	lubmScale := flag.Int("lubm", 0, "generate a LUBM dataset at this scale instead of loading a file")
+	engineName := flag.String("engine", "emptyheaded", "engine: emptyheaded | logicblox | monetdb | rdf3x | triplebit | naive")
+	queryText := flag.String("query", "", "SPARQL query text")
+	lubmQuery := flag.Int("lubm-query", 0, "run this LUBM benchmark query instead of -query")
+	limit := flag.Int("limit", 20, "max rows to print (0 = all)")
+	flag.Parse()
+
+	var ds *repro.Dataset
+	switch {
+	case *lubmScale > 0:
+		ds = repro.GenerateLUBM(*lubmScale, 0)
+	case *data != "":
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatalf("rdfq: %v", err)
+		}
+		defer f.Close()
+		// Sniff the format: binary snapshots start with "RDFSNAP1".
+		br := bufio.NewReaderSize(f, 1<<16)
+		head, _ := br.Peek(8)
+		if string(head) == "RDFSNAP1" {
+			ds, err = repro.LoadSnapshot(br)
+		} else {
+			ds, err = repro.LoadNTriples(br)
+		}
+		if err != nil {
+			log.Fatalf("rdfq: %v", err)
+		}
+	default:
+		log.Fatal("rdfq: provide -data FILE or -lubm SCALE")
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d triples\n", ds.NumTriples())
+
+	var eng repro.Engine
+	switch *engineName {
+	case "emptyheaded":
+		eng = repro.NewEmptyHeaded(ds, repro.AllOptimizations)
+	case "logicblox":
+		eng = repro.NewLogicBlox(ds)
+	case "monetdb":
+		eng = repro.NewMonetDB(ds)
+	case "rdf3x":
+		eng = repro.NewRDF3X(ds)
+	case "triplebit":
+		eng = repro.NewTripleBit(ds)
+	case "naive":
+		eng = repro.NewNaive(ds)
+	default:
+		log.Fatalf("rdfq: unknown engine %q", *engineName)
+	}
+
+	text := *queryText
+	if *lubmQuery > 0 {
+		scale := *lubmScale
+		if scale == 0 {
+			scale = 1
+		}
+		text = repro.LUBMQuery(*lubmQuery, scale)
+	}
+	if text == "" {
+		log.Fatal("rdfq: provide -query or -lubm-query")
+	}
+
+	rows, err := repro.Query(eng, ds, text)
+	if err != nil {
+		log.Fatalf("rdfq: %v", err)
+	}
+	fmt.Printf("%d rows", len(rows.Records))
+	fmt.Println()
+	for i, rec := range rows.Records {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... (%d more)\n", len(rows.Records)-i)
+			break
+		}
+		for j, term := range rec {
+			if j > 0 {
+				fmt.Print("\t")
+			}
+			fmt.Print(term)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,62 @@
+// LUBM end-to-end: generate the benchmark dataset at a small scale, run
+// every benchmark query on all five engines, and print a miniature version
+// of the paper's Table II (runtime relative to the per-query winner).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const scale = 1
+	start := time.Now()
+	ds := repro.GenerateLUBM(scale, 0)
+	fmt.Printf("LUBM(%d): %d triples generated and loaded in %v\n\n",
+		scale, ds.NumTriples(), time.Since(start).Round(time.Millisecond))
+
+	engines := repro.Engines(ds)
+
+	fmt.Printf("%-6s", "query")
+	for _, e := range engines {
+		fmt.Printf(" %12s", e.Name())
+	}
+	fmt.Printf(" %8s\n", "rows")
+
+	for _, qn := range repro.LUBMQueryNumbers {
+		q, err := repro.Parse(repro.LUBMQuery(qn, scale))
+		if err != nil {
+			log.Fatal(err)
+		}
+		times := make([]time.Duration, len(engines))
+		rows := 0
+		for i, e := range engines {
+			// Warm once (index/trie construction), then time.
+			if _, err := e.Execute(q); err != nil {
+				log.Fatal(err)
+			}
+			t0 := time.Now()
+			res, err := e.Execute(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[i] = time.Since(t0)
+			rows = res.Len()
+		}
+		best := times[0]
+		for _, t := range times[1:] {
+			if t < best {
+				best = t
+			}
+		}
+		fmt.Printf("Q%-5d", qn)
+		for _, t := range times {
+			fmt.Printf(" %11.2fx", float64(t)/float64(best))
+		}
+		fmt.Printf(" %8d\n", rows)
+	}
+	fmt.Println("\n1.00x marks the fastest engine per query (compare with Table II).")
+}

@@ -1,0 +1,60 @@
+// Quickstart: load a small RDF graph, run a SPARQL basic graph pattern on
+// the worst-case optimal EmptyHeaded-style engine, and print decoded rows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+const data = `
+<http://ex/alice>  <http://ex/knows>  <http://ex/bob> .
+<http://ex/bob>    <http://ex/knows>  <http://ex/carol> .
+<http://ex/carol>  <http://ex/knows>  <http://ex/alice> .
+<http://ex/alice>  <http://ex/name>   "Alice" .
+<http://ex/bob>    <http://ex/name>   "Bob" .
+<http://ex/carol>  <http://ex/name>   "Carol" .
+<http://ex/dave>   <http://ex/knows>  <http://ex/alice> .
+`
+
+func main() {
+	ds, err := repro.LoadNTriples(strings.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d triples, %d distinct terms\n\n", ds.NumTriples(), ds.NumTerms())
+
+	eh := repro.NewEmptyHeaded(ds, repro.AllOptimizations)
+
+	// A cyclic query: who forms a friendship triangle?
+	rows, err := repro.Query(eh, ds, `
+SELECT ?a ?b ?c WHERE {
+  ?a <http://ex/knows> ?b .
+  ?b <http://ex/knows> ?c .
+  ?c <http://ex/knows> ?a .
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("friendship triangles:")
+	for _, r := range rows.Records {
+		fmt.Printf("  %s -> %s -> %s\n", r[0].Value, r[1].Value, r[2].Value)
+	}
+
+	// An acyclic query with a selection.
+	rows, err = repro.Query(eh, ds, `
+SELECT ?n WHERE {
+  ?p <http://ex/knows> <http://ex/alice> .
+  ?p <http://ex/name> ?n .
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npeople who know alice:")
+	for _, r := range rows.Records {
+		fmt.Printf("  %s\n", r[0].Value)
+	}
+}

@@ -1,0 +1,224 @@
+// Package bench is the harness that regenerates the paper's evaluation
+// artifacts: Table I (relative speedup of each classic optimization on
+// selected LUBM queries) and Table II (runtime of the five engines on the
+// full benchmark). It is shared by cmd/benchtables and the root
+// bench_test.go.
+//
+// Timing follows §IV-A4 of the paper: each query runs Reps times (the
+// paper used seven), the best and worst runs are discarded, and the rest
+// are averaged. Data loading and index construction are excluded.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/logicblox"
+	"repro/internal/engine/monetdb"
+	"repro/internal/engine/rdf3x"
+	"repro/internal/engine/triplebit"
+	"repro/internal/lubm"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Config parameterizes a benchmark run.
+type Config struct {
+	// Scale is the LUBM scale factor (universities).
+	Scale int
+	// Seed selects the generator stream.
+	Seed int64
+	// Reps is the number of timed runs per query (≥1). With Reps ≥ 3 the
+	// best and worst runs are discarded, following the paper.
+	Reps int
+}
+
+// NewDataset generates and loads the LUBM dataset for cfg.
+func NewDataset(cfg Config) *store.Store {
+	b := store.NewBuilder()
+	lubm.GenerateTo(lubm.Config{Universities: cfg.Scale, Seed: cfg.Seed}, b.Add)
+	return b.Build()
+}
+
+// Measure times one query execution protocol: Reps runs, best and worst
+// dropped when Reps >= 3, mean of the rest. It returns the mean duration
+// and the row count of the last run.
+func Measure(reps int, e engine.Engine, q *query.BGP) (time.Duration, int, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	times := make([]time.Duration, 0, reps)
+	rows := 0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		res, err := e.Execute(q)
+		if err != nil {
+			return 0, 0, err
+		}
+		times = append(times, time.Since(start))
+		rows = res.Len()
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	if len(times) >= 3 {
+		times = times[1 : len(times)-1]
+	}
+	var total time.Duration
+	for _, t := range times {
+		total += t
+	}
+	return total / time.Duration(len(times)), rows, nil
+}
+
+// --- Table I -----------------------------------------------------------------
+
+// TableIQueries are the LUBM queries the paper reports in Table I.
+var TableIQueries = []int{1, 2, 4, 7, 8, 14}
+
+// TableIRow holds one query's optimization speedups: the factor by which
+// query time grows when the named optimization is disabled (all others
+// enabled) — i.e. the benefit of adding that optimization last.
+type TableIRow struct {
+	Query      int
+	Layout     float64
+	Attribute  float64
+	GHD        float64
+	Pipelining float64
+	BaseMillis float64 // fully optimized runtime
+	Rows       int
+}
+
+// TableI regenerates the Table I ablation on the given dataset.
+func TableI(st *store.Store, cfg Config) ([]TableIRow, error) {
+	var out []TableIRow
+	for _, qn := range TableIQueries {
+		q, err := query.ParseSPARQL(lubm.Query(qn, cfg.Scale))
+		if err != nil {
+			return nil, err
+		}
+		full := core.New(st, core.AllOptimizations)
+		baseTime, rows, err := Measure(cfg.Reps, full, q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", qn, err)
+		}
+		row := TableIRow{Query: qn, BaseMillis: ms(baseTime), Rows: rows}
+
+		ablations := []struct {
+			out  *float64
+			opts core.Options
+		}{
+			{&row.Layout, core.Options{Layout: false, AttributeReorder: true, GHDPushdown: true, Pipelining: true}},
+			{&row.Attribute, core.Options{Layout: true, AttributeReorder: false, GHDPushdown: true, Pipelining: true}},
+			{&row.GHD, core.Options{Layout: true, AttributeReorder: true, GHDPushdown: false, Pipelining: true}},
+			{&row.Pipelining, core.Options{Layout: true, AttributeReorder: true, GHDPushdown: true, Pipelining: false}},
+		}
+		for _, ab := range ablations {
+			t, _, err := Measure(cfg.Reps, core.New(st, ab.opts), q)
+			if err != nil {
+				return nil, fmt.Errorf("query %d ablation: %w", qn, err)
+			}
+			*ab.out = float64(t) / float64(baseTime)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatTableI renders rows in the paper's Table I layout.
+func FormatTableI(rows []TableIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %10s %11s %8s %12s %12s %8s\n",
+		"Query", "+Layout", "+Attribute", "+GHD", "+Pipelining", "base(ms)", "rows")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %9.2fx %10.2fx %7.2fx %11.2fx %12.3f %8d\n",
+			r.Query, r.Layout, r.Attribute, r.GHD, r.Pipelining, r.BaseMillis, r.Rows)
+	}
+	return b.String()
+}
+
+// --- Table II ----------------------------------------------------------------
+
+// TableIIEngines lists the engines in the paper's column order.
+func TableIIEngines(st *store.Store) []engine.Engine {
+	return []engine.Engine{
+		core.New(st, core.AllOptimizations),
+		triplebit.New(st),
+		rdf3x.New(st),
+		monetdb.New(st),
+		logicblox.New(st),
+	}
+}
+
+// TableIIRow holds one query's results across engines.
+type TableIIRow struct {
+	Query      int
+	BestMillis float64
+	Best       string             // engine with the best time
+	Relative   map[string]float64 // engine -> time / best time
+	Rows       int
+}
+
+// TableII regenerates the Table II end-to-end comparison. Engines are
+// constructed once (index build excluded from timings, as in the paper).
+func TableII(st *store.Store, cfg Config) ([]TableIIRow, []string, error) {
+	engines := TableIIEngines(st)
+	names := make([]string, len(engines))
+	for i, e := range engines {
+		names[i] = e.Name()
+	}
+	var out []TableIIRow
+	for _, qn := range lubm.QueryNumbers {
+		q, err := query.ParseSPARQL(lubm.Query(qn, cfg.Scale))
+		if err != nil {
+			return nil, nil, err
+		}
+		times := map[string]time.Duration{}
+		rows := 0
+		for _, e := range engines {
+			t, r, err := Measure(cfg.Reps, e, q)
+			if err != nil {
+				return nil, nil, fmt.Errorf("query %d on %s: %w", qn, e.Name(), err)
+			}
+			times[e.Name()] = t
+			rows = r
+		}
+		row := TableIIRow{Query: qn, Relative: map[string]float64{}, Rows: rows}
+		best := time.Duration(0)
+		for name, t := range times {
+			if best == 0 || t < best {
+				best = t
+				row.Best = name
+			}
+		}
+		row.BestMillis = ms(best)
+		for name, t := range times {
+			row.Relative[name] = float64(t) / float64(best)
+		}
+		out = append(out, row)
+	}
+	return out, names, nil
+}
+
+// FormatTableII renders rows in the paper's Table II layout: best absolute
+// time plus relative factors per engine.
+func FormatTableII(rows []TableIIRow, names []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %12s", "Query", "Best(ms)")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %12s", n)
+	}
+	fmt.Fprintf(&b, " %10s\n", "rows")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "Q%-5d %12.3f", r.Query, r.BestMillis)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %11.2fx", r.Relative[n])
+		}
+		fmt.Fprintf(&b, " %10d\n", r.Rows)
+	}
+	return b.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lubm"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+func smallConfig() Config { return Config{Scale: 1, Seed: 0, Reps: 1} }
+
+func TestNewDataset(t *testing.T) {
+	st := NewDataset(smallConfig())
+	if st.NumTriples() < 10000 {
+		t.Fatalf("dataset too small: %d", st.NumTriples())
+	}
+}
+
+func TestMeasureProtocol(t *testing.T) {
+	st := NewDataset(smallConfig())
+	engines := TableIIEngines(st)
+	q, err := query.ParseSPARQL(lubm.Query(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, rows, err := Measure(3, engines[0], q)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if d <= 0 {
+		t.Errorf("non-positive duration %v", d)
+	}
+	if rows == 0 {
+		t.Errorf("query 1 returned no rows")
+	}
+	// Reps < 1 clamps to a single run.
+	if _, _, err := Measure(0, engines[0], q); err != nil {
+		t.Errorf("Measure with reps 0: %v", err)
+	}
+}
+
+func TestTableISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallConfig()
+	st := NewDataset(cfg)
+	rows, err := TableI(st, cfg)
+	if err != nil {
+		t.Fatalf("TableI: %v", err)
+	}
+	if len(rows) != len(TableIQueries) {
+		t.Fatalf("TableI rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaseMillis <= 0 {
+			t.Errorf("query %d base time %v", r.Query, r.BaseMillis)
+		}
+		if r.Layout <= 0 || r.Attribute <= 0 || r.GHD <= 0 || r.Pipelining <= 0 {
+			t.Errorf("query %d has non-positive speedup: %+v", r.Query, r)
+		}
+	}
+	out := FormatTableI(rows)
+	if !strings.Contains(out, "+Layout") || !strings.Contains(out, "+Pipelining") {
+		t.Errorf("FormatTableI output missing headers:\n%s", out)
+	}
+}
+
+func TestTableIISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := smallConfig()
+	st := NewDataset(cfg)
+	rows, names, err := TableII(st, cfg)
+	if err != nil {
+		t.Fatalf("TableII: %v", err)
+	}
+	if len(rows) != len(lubm.QueryNumbers) {
+		t.Fatalf("TableII rows = %d", len(rows))
+	}
+	if len(names) != 5 {
+		t.Fatalf("engines = %v", names)
+	}
+	for _, r := range rows {
+		best, ok := r.Relative[r.Best]
+		if !ok || best != 1.0 {
+			t.Errorf("query %d best engine %q relative = %v", r.Query, r.Best, best)
+		}
+		for name, rel := range r.Relative {
+			if rel < 1.0 {
+				t.Errorf("query %d engine %s relative %v < 1", r.Query, name, rel)
+			}
+		}
+	}
+	out := FormatTableII(rows, names)
+	if !strings.Contains(out, "Best(ms)") || !strings.Contains(out, "emptyheaded") {
+		t.Errorf("FormatTableII output missing headers:\n%s", out)
+	}
+}
+
+func TestEngineListOrderMatchesPaper(t *testing.T) {
+	st := store.FromTriples(nil)
+	names := []string{}
+	for _, e := range TableIIEngines(st) {
+		names = append(names, e.Name())
+	}
+	want := []string{"emptyheaded", "triplebit", "rdf3x", "monetdb", "logicblox"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("engine %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package engine defines the interface every query engine in this
+// repository implements, plus the shared result representation used for
+// cross-engine comparisons (the paper's Table II benchmarks five engines on
+// identical queries; our integration tests additionally assert that all
+// engines return identical result multisets).
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/dict"
+	"repro/internal/query"
+	"repro/internal/rdf"
+)
+
+// Result is a dictionary-encoded query result: one row per solution, in the
+// query's SELECT order. Rows are multisets (SPARQL semantics without
+// DISTINCT).
+type Result struct {
+	Vars []string
+	Rows [][]uint32
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// Decode maps every row back to RDF terms.
+func (r *Result) Decode(d *dict.Dictionary) [][]rdf.Term {
+	out := make([][]rdf.Term, len(r.Rows))
+	for i, row := range r.Rows {
+		terms := make([]rdf.Term, len(row))
+		for j, id := range row {
+			terms[j] = d.Decode(id)
+		}
+		out[i] = terms
+	}
+	return out
+}
+
+// Canonical returns a canonical string for the result multiset: rows
+// rendered and sorted. Two results are equivalent iff their canonical forms
+// are equal. Intended for tests; cost is O(n log n) in the row count.
+func (r *Result) Canonical() string {
+	lines := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		var b strings.Builder
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(uitoa(v))
+		}
+		lines[i] = b.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func uitoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Engine is a query engine bound to one dataset.
+type Engine interface {
+	// Name identifies the engine in benchmark output.
+	Name() string
+	// Execute runs a basic graph pattern query and returns its result.
+	Execute(q *query.BGP) (*Result, error)
+}

@@ -1,0 +1,114 @@
+package logicblox
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func t3(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewIRI(o)}
+}
+
+func build() (*Engine, *store.Store) {
+	st := store.FromTriples([]rdf.Triple{
+		t3("a", "e", "b"), t3("b", "e", "c"), t3("c", "e", "a"),
+		t3("a", "type", "T"),
+	})
+	return New(st), st
+}
+
+func TestFlatPlanSingleNode(t *testing.T) {
+	e, _ := build()
+	q := query.MustParseSPARQL(`SELECT ?x ?y ?z WHERE { ?x <e> ?y . ?y <e> ?z . ?z <e> ?x . }`)
+	p, err := e.plan(q)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if p.Root == nil || len(p.Root.Children) != 0 {
+		t.Fatalf("LogicBlox plan must be a single flat node: %s", p)
+	}
+	if len(p.Root.Rels) != 3 {
+		t.Errorf("rels = %d", len(p.Root.Rels))
+	}
+	// Natural attribute order: first appearance.
+	if p.GlobalOrder[0] != "x" || p.GlobalOrder[1] != "y" || p.GlobalOrder[2] != "z" {
+		t.Errorf("global order = %v", p.GlobalOrder)
+	}
+}
+
+func TestExecuteTriangle(t *testing.T) {
+	e, _ := build()
+	q := query.MustParseSPARQL(`SELECT ?x ?y ?z WHERE { ?x <e> ?y . ?y <e> ?z . ?z <e> ?x . }`)
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("triangle rows = %d, want 3 (rotations)", res.Len())
+	}
+	// Plan cache path.
+	res2, err := e.Execute(q)
+	if err != nil || res2.Canonical() != res.Canonical() {
+		t.Errorf("cached execution differs: %v", err)
+	}
+}
+
+func TestMissingConstantsShortCircuit(t *testing.T) {
+	e, _ := build()
+	for _, text := range []string{
+		`SELECT ?x WHERE { ?x <nope> ?y . }`,
+		`SELECT ?x WHERE { ?x <e> <nope> . }`,
+		`SELECT ?x WHERE { ?x ?p <nope> . }`,
+	} {
+		res, err := e.Execute(query.MustParseSPARQL(text))
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if res.Len() != 0 {
+			t.Errorf("%s: rows = %d", text, res.Len())
+		}
+	}
+}
+
+func TestSelectionsStayAtNaturalPositions(t *testing.T) {
+	e, _ := build()
+	q := query.MustParseSPARQL(`SELECT ?x WHERE { ?x <type> <T> . }`)
+	p, err := e.plan(q)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	// Natural order: subject variable first, then the selection vertex —
+	// the un-hoisted order that makes LogicBlox slow on selective scans.
+	if len(p.GlobalOrder) != 2 || p.GlobalOrder[0] != "x" {
+		t.Errorf("global order = %v, want [x $...]", p.GlobalOrder)
+	}
+	res, err := e.Execute(q)
+	if err != nil || res.Len() != 1 {
+		t.Errorf("rows = %d err %v", res.Len(), err)
+	}
+}
+
+func TestVariablePredicate(t *testing.T) {
+	e, _ := build()
+	res, err := e.Execute(query.MustParseSPARQL(`SELECT ?s ?p ?o WHERE { ?s ?p ?o . }`))
+	if err != nil || res.Len() != 4 {
+		t.Errorf("all-triples rows = %d err %v", res.Len(), err)
+	}
+}
+
+func TestName(t *testing.T) {
+	e, _ := build()
+	if e.Name() != "logicblox" {
+		t.Errorf("name wrong")
+	}
+}
+
+func TestInvalidQueryRejected(t *testing.T) {
+	e, _ := build()
+	if _, err := e.Execute(&query.BGP{Select: []string{"x"}}); err == nil {
+		t.Errorf("invalid query accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package monetdb
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func t3(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewIRI(o)}
+}
+
+func testStore() *store.Store {
+	return store.FromTriples([]rdf.Triple{
+		t3("a", "p", "x"), t3("a", "p", "y"), t3("b", "p", "x"),
+		t3("a", "q", "z"),
+	})
+}
+
+func TestScanFullPredicate(t *testing.T) {
+	p := &provider{st: testStore()}
+	pat := query.Pattern{S: query.Variable("s"), P: query.Constant(rdf.NewIRI("p")), O: query.Variable("o")}
+	tab, err := p.Scan(pat)
+	if err != nil || len(tab.Rows) != 3 {
+		t.Fatalf("scan = %v rows, err %v", len(tab.Rows), err)
+	}
+	if !reflect.DeepEqual(tab.Vars, []string{"s", "o"}) {
+		t.Errorf("vars = %v", tab.Vars)
+	}
+}
+
+func TestScanWithSelections(t *testing.T) {
+	p := &provider{st: testStore()}
+	pat := query.Pattern{S: query.Constant(rdf.NewIRI("a")), P: query.Constant(rdf.NewIRI("p")), O: query.Variable("o")}
+	tab, _ := p.Scan(pat)
+	if len(tab.Rows) != 2 {
+		t.Errorf("filtered scan rows = %d", len(tab.Rows))
+	}
+	// Missing constant: empty.
+	pat.S = query.Constant(rdf.NewIRI("zzz"))
+	tab, _ = p.Scan(pat)
+	if len(tab.Rows) != 0 {
+		t.Errorf("missing constant scan rows = %d", len(tab.Rows))
+	}
+}
+
+func TestScanVariablePredicate(t *testing.T) {
+	p := &provider{st: testStore()}
+	pat := query.Pattern{S: query.Variable("s"), P: query.Variable("pp"), O: query.Variable("o")}
+	tab, _ := p.Scan(pat)
+	if len(tab.Rows) != 4 {
+		t.Errorf("triple scan rows = %d", len(tab.Rows))
+	}
+}
+
+func TestScanRepeatedVariable(t *testing.T) {
+	st := store.FromTriples([]rdf.Triple{t3("a", "p", "a"), t3("a", "p", "b")})
+	p := &provider{st: st}
+	pat := query.Pattern{S: query.Variable("x"), P: query.Constant(rdf.NewIRI("p")), O: query.Variable("x")}
+	tab, _ := p.Scan(pat)
+	if len(tab.Rows) != 1 {
+		t.Errorf("self-loop rows = %v", tab.Rows)
+	}
+}
+
+func TestNoIndexNestedLoops(t *testing.T) {
+	p := &provider{st: testStore()}
+	if p.CanBind(query.Pattern{}, nil) {
+		t.Errorf("column store should not support bound lookups")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("ScanBoundEach should panic")
+		}
+	}()
+	_ = p.ScanBoundEach(query.Pattern{}, nil, nil, nil)
+}
+
+func TestEstimates(t *testing.T) {
+	p := &provider{st: testStore()}
+	pv := query.Constant(rdf.NewIRI("p"))
+	pat := query.Pattern{S: query.Variable("s"), P: pv, O: query.Variable("o")}
+	if got := p.EstimateCard(pat); got != 3 {
+		t.Errorf("EstimateCard = %v", got)
+	}
+	// Selection on S: 3 rows / 2 distinct subjects.
+	pat.S = query.Constant(rdf.NewIRI("a"))
+	if got := p.EstimateCard(pat); got != 1.5 {
+		t.Errorf("EstimateCard with s = %v", got)
+	}
+	pat.S = query.Variable("s")
+	if got := p.EstimateDistinct(pat, "s"); got != 2 {
+		t.Errorf("EstimateDistinct(s) = %v", got)
+	}
+	if got := p.EstimateDistinct(pat, "o"); got != 2 {
+		t.Errorf("EstimateDistinct(o) = %v", got)
+	}
+	// Missing predicate: zero.
+	bad := query.Pattern{S: query.Variable("s"), P: query.Constant(rdf.NewIRI("nope")), O: query.Variable("o")}
+	if got := p.EstimateCard(bad); got != 0 {
+		t.Errorf("EstimateCard missing pred = %v", got)
+	}
+	if p.EstimateBound(pat, []string{"s"}) != p.EstimateCard(pat) {
+		t.Errorf("EstimateBound should fall back to EstimateCard")
+	}
+}
+
+func TestEngineName(t *testing.T) {
+	if New(testStore()).Name() != "monetdb" {
+		t.Errorf("name wrong")
+	}
+}

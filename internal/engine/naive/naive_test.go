@@ -1,0 +1,86 @@
+package naive
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func t3(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewIRI(o)}
+}
+
+func build() *Engine {
+	return New(store.FromTriples([]rdf.Triple{
+		t3("a", "p", "x"), t3("a", "p", "y"), t3("b", "p", "x"),
+		t3("x", "q", "k"), t3("y", "q", "k"),
+	}))
+}
+
+func TestBasicJoin(t *testing.T) {
+	e := build()
+	q := query.MustParseSPARQL(`SELECT ?s ?o WHERE { ?s <p> ?o . ?o <q> <k> . }`)
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("rows = %d, want 3", res.Len())
+	}
+}
+
+func TestMissingConstantYieldsEmpty(t *testing.T) {
+	e := build()
+	for _, text := range []string{
+		`SELECT ?s WHERE { ?s <nope> ?o . }`,
+		`SELECT ?s WHERE { ?s <p> <absent> . }`,
+		`SELECT ?s WHERE { <absent> <p> ?s . }`,
+	} {
+		res, err := e.Execute(query.MustParseSPARQL(text))
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if res.Len() != 0 {
+			t.Errorf("%s: rows = %d, want 0", text, res.Len())
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := build()
+	q := query.MustParseSPARQL(`SELECT DISTINCT ?s WHERE { ?s <p> ?o . }`)
+	res, err := e.Execute(q)
+	if err != nil || res.Len() != 2 {
+		t.Errorf("distinct rows = %d err %v", res.Len(), err)
+	}
+	q2 := query.MustParseSPARQL(`SELECT ?s WHERE { ?s <p> ?o . }`)
+	res2, _ := e.Execute(q2)
+	if res2.Len() != 3 {
+		t.Errorf("multiset rows = %d", res2.Len())
+	}
+}
+
+func TestRepeatedVariableInPattern(t *testing.T) {
+	e := New(store.FromTriples([]rdf.Triple{
+		t3("a", "p", "a"), t3("a", "p", "b"),
+	}))
+	res, err := e.Execute(query.MustParseSPARQL(`SELECT ?x WHERE { ?x <p> ?x . }`))
+	if err != nil || res.Len() != 1 {
+		t.Errorf("self-loop rows = %d err %v", res.Len(), err)
+	}
+}
+
+func TestInvalidQuery(t *testing.T) {
+	e := build()
+	if _, err := e.Execute(&query.BGP{Select: []string{"x"}}); err == nil {
+		t.Errorf("invalid query accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	if build().Name() != "naive" {
+		t.Errorf("name wrong")
+	}
+}

@@ -1,0 +1,240 @@
+package pairwise
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/rdf"
+)
+
+func TestHashJoinShared(t *testing.T) {
+	left := &Table{Vars: []string{"x", "y"}, Rows: [][]uint32{{1, 10}, {2, 20}, {3, 30}}}
+	right := &Table{Vars: []string{"x", "z"}, Rows: [][]uint32{{1, 100}, {1, 101}, {3, 300}}}
+	out := HashJoin(left, right)
+	if !reflect.DeepEqual(out.Vars, []string{"x", "y", "z"}) {
+		t.Fatalf("vars = %v", out.Vars)
+	}
+	want := [][]uint32{{1, 10, 100}, {1, 10, 101}, {3, 30, 300}}
+	sortRows(out.Rows)
+	sortRows(want)
+	if !reflect.DeepEqual(out.Rows, want) {
+		t.Errorf("rows = %v, want %v", out.Rows, want)
+	}
+}
+
+func TestHashJoinMultipleSharedVars(t *testing.T) {
+	left := &Table{Vars: []string{"a", "b"}, Rows: [][]uint32{{1, 2}, {1, 3}}}
+	right := &Table{Vars: []string{"b", "a"}, Rows: [][]uint32{{2, 1}, {3, 9}}}
+	out := HashJoin(left, right)
+	if !reflect.DeepEqual(out.Vars, []string{"a", "b"}) {
+		t.Fatalf("vars = %v", out.Vars)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0] != 1 || out.Rows[0][1] != 2 {
+		t.Errorf("rows = %v", out.Rows)
+	}
+}
+
+func TestHashJoinCartesian(t *testing.T) {
+	left := &Table{Vars: []string{"a"}, Rows: [][]uint32{{1}, {2}}}
+	right := &Table{Vars: []string{"b"}, Rows: [][]uint32{{7}, {8}}}
+	out := HashJoin(left, right)
+	if len(out.Rows) != 4 {
+		t.Errorf("cartesian rows = %v", out.Rows)
+	}
+}
+
+func TestHashJoinEmptySide(t *testing.T) {
+	left := &Table{Vars: []string{"a"}, Rows: nil}
+	right := &Table{Vars: []string{"a"}, Rows: [][]uint32{{1}}}
+	if out := HashJoin(left, right); len(out.Rows) != 0 {
+		t.Errorf("join with empty side = %v", out.Rows)
+	}
+}
+
+func TestPatternVars(t *testing.T) {
+	pat := query.Pattern{
+		S: query.Variable("x"),
+		P: query.Constant(rdf.NewIRI("p")),
+		O: query.Variable("x"),
+	}
+	if got := PatternVars(pat); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("repeated var = %v", got)
+	}
+	pat2 := query.Pattern{S: query.Variable("s"), P: query.Variable("p"), O: query.Variable("o")}
+	if got := PatternVars(pat2); !reflect.DeepEqual(got, []string{"s", "p", "o"}) {
+		t.Errorf("all vars = %v", got)
+	}
+}
+
+func TestTableVarIndex(t *testing.T) {
+	tb := &Table{Vars: []string{"a", "b"}}
+	if tb.VarIndex("b") != 1 || tb.VarIndex("zz") != -1 {
+		t.Errorf("VarIndex wrong")
+	}
+}
+
+// fakeProvider serves a tiny two-relation dataset from memory, counting
+// scan and lookup calls so the optimizer's choices can be asserted.
+type fakeProvider struct {
+	scans   map[string][][]uint32 // predicate IRI -> (s,o) pairs
+	scanned []string
+	bound   []string
+	canBind bool
+}
+
+func (f *fakeProvider) rows(pat query.Pattern) [][]uint32 {
+	if pat.P.IsVar {
+		var all [][]uint32
+		for _, rs := range f.scans {
+			all = append(all, rs...)
+		}
+		return all
+	}
+	return f.scans[pat.P.Term.Value]
+}
+
+func (f *fakeProvider) Scan(pat query.Pattern) (*Table, error) {
+	f.scanned = append(f.scanned, pat.P.Term.Value)
+	out := &Table{Vars: PatternVars(pat)}
+	for _, r := range f.rows(pat) {
+		row, ok := matchRow(pat, r[0], r[1], nil, nil)
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (f *fakeProvider) CanBind(query.Pattern, []string) bool { return f.canBind }
+
+func (f *fakeProvider) ScanBoundEach(pat query.Pattern, bound []string, values []uint32, emit func([]uint32)) error {
+	f.bound = append(f.bound, pat.P.Term.Value)
+	for _, r := range f.rows(pat) {
+		row, ok := matchRow(pat, r[0], r[1], bound, values)
+		if ok {
+			emit(row)
+		}
+	}
+	return nil
+}
+
+func matchRow(pat query.Pattern, s, o uint32, bound []string, values []uint32) ([]uint32, bool) {
+	b := map[string]uint32{}
+	for i, v := range bound {
+		b[v] = values[i]
+	}
+	check := func(n query.Node, val uint32) bool {
+		if !n.IsVar {
+			return true // constants not modelled in the fake
+		}
+		if prev, ok := b[n.Var]; ok && prev != val {
+			return false
+		}
+		b[n.Var] = val
+		return true
+	}
+	if !check(pat.S, s) || !check(pat.O, o) {
+		return nil, false
+	}
+	vars := PatternVars(pat)
+	row := make([]uint32, len(vars))
+	for i, v := range vars {
+		row[i] = b[v]
+	}
+	return row, true
+}
+
+func (f *fakeProvider) EstimateCard(pat query.Pattern) float64 {
+	return float64(len(f.rows(pat)))
+}
+func (f *fakeProvider) EstimateBound(pat query.Pattern, bound []string) float64 { return 1 }
+func (f *fakeProvider) EstimateDistinct(pat query.Pattern, v string) float64 {
+	return float64(len(f.rows(pat)))
+}
+
+func TestOptimizerStartsWithSmallestRelation(t *testing.T) {
+	f := &fakeProvider{scans: map[string][][]uint32{
+		"big":   {{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}, {6, 6}},
+		"small": {{1, 9}},
+	}}
+	e := New("fake", f)
+	q := query.MustParseSPARQL(`SELECT ?x ?y ?z WHERE { ?x <big> ?y . ?x <small> ?z . }`)
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if len(f.scanned) == 0 || f.scanned[0] != "small" {
+		t.Errorf("scan order = %v, want small first", f.scanned)
+	}
+}
+
+func TestOptimizerUsesINLJWhenCheap(t *testing.T) {
+	f := &fakeProvider{
+		canBind: true,
+		scans: map[string][][]uint32{
+			"tiny": {{1, 1}},
+			"huge": make([][]uint32, 0),
+		},
+	}
+	for i := uint32(0); i < 1000; i++ {
+		f.scans["huge"] = append(f.scans["huge"], [][]uint32{{i, i}}[0])
+	}
+	e := New("fake", f)
+	q := query.MustParseSPARQL(`SELECT ?x ?y ?z WHERE { ?x <tiny> ?y . ?x <huge> ?z . }`)
+	if _, err := e.Execute(q); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	// The huge relation must be accessed via bound lookups, not a scan.
+	for _, s := range f.scanned {
+		if s == "huge" {
+			t.Errorf("huge relation was scanned: %v", f.scanned)
+		}
+	}
+	if len(f.bound) == 0 {
+		t.Errorf("no bound lookups used")
+	}
+}
+
+func TestExecuteRejectsEmptyQuery(t *testing.T) {
+	e := New("fake", &fakeProvider{scans: map[string][][]uint32{}})
+	if _, err := e.Execute(&query.BGP{Select: []string{"x"}}); err == nil {
+		t.Errorf("invalid query accepted")
+	}
+}
+
+func TestDistinctProjection(t *testing.T) {
+	f := &fakeProvider{scans: map[string][][]uint32{
+		"p": {{1, 10}, {1, 11}, {2, 20}},
+	}}
+	e := New("fake", f)
+	q := query.MustParseSPARQL(`SELECT DISTINCT ?x WHERE { ?x <p> ?y . }`)
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("distinct rows = %v", res.Rows)
+	}
+	// Without DISTINCT the duplicate projection stays.
+	q2 := query.MustParseSPARQL(`SELECT ?x WHERE { ?x <p> ?y . }`)
+	res2, _ := e.Execute(q2)
+	if len(res2.Rows) != 3 {
+		t.Errorf("multiset rows = %v", res2.Rows)
+	}
+}
+
+func sortRows(rows [][]uint32) {
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+}

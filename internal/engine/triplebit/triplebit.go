@@ -1,0 +1,287 @@
+// Package triplebit models the TripleBit specialized RDF engine (Yuan et
+// al.) used as a baseline in the paper: RDF triples grouped by predicate
+// into compact two-column matrices, each kept in both subject- and
+// object-sorted order, with aggregate statistics used to pick the most
+// selective access path. We model the matrix chunks as sorted pair arrays
+// with binary-search range lookups. Like RDF-3X it is a pairwise engine:
+// fast on selective acyclic patterns, asymptotically suboptimal on cyclic
+// ones.
+package triplebit
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/engine"
+	"repro/internal/engine/pairwise"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// matrix is one predicate's pair store in both orders.
+type matrix struct {
+	pred dict.ID
+	// bySO and byOS hold the same pairs sorted by (first, second) where
+	// first is S for bySO and O for byOS.
+	bySO, byOS []pair
+}
+
+type pair struct{ a, b uint32 } // a = sort-major column, b = the other
+
+// New builds the TripleBit-like engine over st.
+func New(st *store.Store) engine.Engine {
+	p := &provider{st: st, matrices: map[dict.ID]*matrix{}}
+	for _, pid := range st.Predicates() {
+		rel := st.Relation(pid)
+		m := &matrix{pred: pid}
+		m.bySO = make([]pair, rel.Len())
+		m.byOS = make([]pair, rel.Len())
+		for i := range rel.S {
+			m.bySO[i] = pair{rel.S[i], rel.O[i]}
+			m.byOS[i] = pair{rel.O[i], rel.S[i]}
+		}
+		sortPairs(m.bySO)
+		sortPairs(m.byOS)
+		p.matrices[pid] = m
+	}
+	return pairwise.New("triplebit", p)
+}
+
+func sortPairs(ps []pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		return ps[i].a < ps[j].a || ps[i].a == ps[j].a && ps[i].b < ps[j].b
+	})
+}
+
+// rangeOf returns the subslice with major column == v.
+func rangeOf(ps []pair, v uint32) []pair {
+	lo := sort.Search(len(ps), func(i int) bool { return ps[i].a >= v })
+	hi := sort.Search(len(ps), func(i int) bool { return ps[i].a > v })
+	return ps[lo:hi]
+}
+
+type provider struct {
+	st       *store.Store
+	matrices map[dict.ID]*matrix
+}
+
+func (p *provider) resolve(n query.Node) (uint32, bool, bool) {
+	if n.IsVar {
+		return 0, false, true
+	}
+	id, ok := p.st.Dict().Lookup(n.Term)
+	return id, true, ok
+}
+
+// predicates lists the matrices a pattern touches: one for a constant
+// predicate, all of them for a variable predicate.
+func (p *provider) predicates(pat query.Pattern) ([]*matrix, bool) {
+	pv, pBound, pOK := p.resolve(pat.P)
+	if !pOK {
+		return nil, false
+	}
+	if pBound {
+		m := p.matrices[pv]
+		if m == nil {
+			return nil, true
+		}
+		return []*matrix{m}, true
+	}
+	out := make([]*matrix, 0, len(p.matrices))
+	for _, pid := range p.st.Predicates() {
+		out = append(out, p.matrices[pid])
+	}
+	return out, true
+}
+
+// emitPattern streams (s, o) pairs for one matrix given optional fixed
+// subject/object values, using the best sort order.
+func emitPattern(m *matrix, sVal uint32, sBound bool, oVal uint32, oBound bool, emit func(s, o uint32)) {
+	switch {
+	case sBound && oBound:
+		for _, pr := range rangeOf(m.bySO, sVal) {
+			if pr.b == oVal {
+				emit(pr.a, pr.b)
+			}
+		}
+	case sBound:
+		for _, pr := range rangeOf(m.bySO, sVal) {
+			emit(pr.a, pr.b)
+		}
+	case oBound:
+		for _, pr := range rangeOf(m.byOS, oVal) {
+			emit(pr.b, pr.a)
+		}
+	default:
+		for _, pr := range m.bySO {
+			emit(pr.a, pr.b)
+		}
+	}
+}
+
+// rowFor builds the variable row for a matched triple, checking repeated
+// variables.
+func rowFor(pat query.Pattern, patVars []string, s, pv, o uint32, row []uint32) bool {
+	assigned := make(map[string]uint32, 3)
+	for i, n := range []query.Node{pat.S, pat.P, pat.O} {
+		if !n.IsVar {
+			continue
+		}
+		v := [3]uint32{s, pv, o}[i]
+		if prev, ok := assigned[n.Var]; ok {
+			if prev != v {
+				return false
+			}
+			continue
+		}
+		assigned[n.Var] = v
+	}
+	for i, v := range patVars {
+		row[i] = assigned[v]
+	}
+	return true
+}
+
+// Scan implements pairwise.ScanProvider.
+func (p *provider) Scan(pat query.Pattern) (*pairwise.Table, error) {
+	out := &pairwise.Table{Vars: pairwise.PatternVars(pat)}
+	ms, ok := p.predicates(pat)
+	if !ok {
+		return out, nil
+	}
+	sVal, sBound, sOK := p.resolve(pat.S)
+	oVal, oBound, oOK := p.resolve(pat.O)
+	if !sOK || !oOK {
+		return out, nil
+	}
+	row := make([]uint32, len(out.Vars))
+	for _, m := range ms {
+		emitPattern(m, sVal, sBound, oVal, oBound, func(s, o uint32) {
+			if rowFor(pat, out.Vars, s, m.pred, o, row) {
+				out.Rows = append(out.Rows, append([]uint32(nil), row...))
+			}
+		})
+	}
+	return out, nil
+}
+
+// CanBind: subject/object bindings are range lookups; binding the predicate
+// variable is also supported (it selects the matrix).
+func (p *provider) CanBind(pat query.Pattern, bound []string) bool { return true }
+
+// ScanBoundEach implements indexed lookups.
+func (p *provider) ScanBoundEach(pat query.Pattern, bound []string, values []uint32, emit func([]uint32)) error {
+	val := func(n query.Node) (uint32, bool, bool) {
+		if !n.IsVar {
+			return p.resolve(n)
+		}
+		for i, b := range bound {
+			if b == n.Var {
+				return values[i], true, true
+			}
+		}
+		return 0, false, true
+	}
+	sVal, sBound, sOK := val(pat.S)
+	pVal, pBound, pOK := val(pat.P)
+	oVal, oBound, oOK := val(pat.O)
+	if !sOK || !pOK || !oOK {
+		return nil
+	}
+	var ms []*matrix
+	if pBound {
+		if m := p.matrices[pVal]; m != nil {
+			ms = []*matrix{m}
+		}
+	} else {
+		var ok bool
+		ms, ok = p.predicates(pat)
+		if !ok {
+			return nil
+		}
+	}
+	patVars := pairwise.PatternVars(pat)
+	row := make([]uint32, len(patVars))
+	for _, m := range ms {
+		emitPattern(m, sVal, sBound, oVal, oBound, func(s, o uint32) {
+			if rowFor(pat, patVars, s, m.pred, o, row) {
+				emit(row)
+			}
+		})
+	}
+	return nil
+}
+
+// EstimateCard returns exact counts via range sizes (TripleBit's aggregate
+// indexes).
+func (p *provider) EstimateCard(pat query.Pattern) float64 {
+	ms, ok := p.predicates(pat)
+	if !ok {
+		return 0
+	}
+	sVal, sBound, sOK := p.resolve(pat.S)
+	oVal, oBound, oOK := p.resolve(pat.O)
+	if !sOK || !oOK {
+		return 0
+	}
+	total := 0.0
+	for _, m := range ms {
+		switch {
+		case sBound && oBound:
+			for _, pr := range rangeOf(m.bySO, sVal) {
+				if pr.b == oVal {
+					total++
+				}
+			}
+		case sBound:
+			total += float64(len(rangeOf(m.bySO, sVal)))
+		case oBound:
+			total += float64(len(rangeOf(m.byOS, oVal)))
+		default:
+			total += float64(len(m.bySO))
+		}
+	}
+	return total
+}
+
+// EstimateBound divides the pattern total by the bound columns' distinct
+// counts.
+func (p *provider) EstimateBound(pat query.Pattern, bound []string) float64 {
+	total := p.EstimateCard(pat)
+	if total == 0 {
+		return 0
+	}
+	est := total
+	for _, v := range bound {
+		d := p.EstimateDistinct(pat, v)
+		if d > 1 {
+			est = total / d
+		}
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// EstimateDistinct uses the store's per-predicate statistics.
+func (p *provider) EstimateDistinct(pat query.Pattern, v string) float64 {
+	pVal, pBound, pOK := p.resolve(pat.P)
+	if !pOK {
+		return 0
+	}
+	if pat.P.IsVar && pat.P.Var == v {
+		return float64(len(p.matrices))
+	}
+	if !pBound {
+		return float64(p.st.NumTriples())
+	}
+	stats := p.st.Stats(pVal)
+	if pat.S.IsVar && pat.S.Var == v {
+		return float64(stats.DistinctS)
+	}
+	if pat.O.IsVar && pat.O.Var == v {
+		return float64(stats.DistinctO)
+	}
+	return float64(stats.Rows)
+}

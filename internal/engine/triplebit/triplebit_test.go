@@ -1,0 +1,143 @@
+package triplebit
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func t3(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewIRI(o)}
+}
+
+func build(t *testing.T) (*provider, *store.Store) {
+	t.Helper()
+	st := store.FromTriples([]rdf.Triple{
+		t3("a", "p", "x"), t3("a", "p", "y"), t3("b", "p", "x"),
+		t3("a", "q", "z"),
+	})
+	p := &provider{st: st, matrices: map[uint32]*matrix{}}
+	for _, pid := range st.Predicates() {
+		rel := st.Relation(pid)
+		m := &matrix{pred: pid}
+		for i := range rel.S {
+			m.bySO = append(m.bySO, pair{rel.S[i], rel.O[i]})
+			m.byOS = append(m.byOS, pair{rel.O[i], rel.S[i]})
+		}
+		sortPairs(m.bySO)
+		sortPairs(m.byOS)
+		p.matrices[pid] = m
+	}
+	return p, st
+}
+
+func TestRangeOf(t *testing.T) {
+	ps := []pair{{1, 1}, {1, 2}, {2, 5}, {4, 0}}
+	if got := rangeOf(ps, 1); len(got) != 2 {
+		t.Errorf("rangeOf(1) = %v", got)
+	}
+	if got := rangeOf(ps, 3); len(got) != 0 {
+		t.Errorf("rangeOf(3) = %v", got)
+	}
+	if got := rangeOf(ps, 4); len(got) != 1 {
+		t.Errorf("rangeOf(4) = %v", got)
+	}
+}
+
+func TestScanOrders(t *testing.T) {
+	p, st := build(t)
+	d := st.Dict()
+	aID, _ := d.LookupIRI("a")
+	xID, _ := d.LookupIRI("x")
+
+	// Subject bound: uses SO order.
+	pat := query.Pattern{S: query.Constant(rdf.NewIRI("a")), P: query.Constant(rdf.NewIRI("p")), O: query.Variable("o")}
+	tab, _ := p.Scan(pat)
+	if len(tab.Rows) != 2 {
+		t.Errorf("s-bound rows = %v", tab.Rows)
+	}
+	// Object bound: uses OS order.
+	pat = query.Pattern{S: query.Variable("s"), P: query.Constant(rdf.NewIRI("p")), O: query.Constant(rdf.NewIRI("x"))}
+	tab, _ = p.Scan(pat)
+	if len(tab.Rows) != 2 {
+		t.Errorf("o-bound rows = %v", tab.Rows)
+	}
+	// Both bound.
+	pat = query.Pattern{S: query.Constant(rdf.NewIRI("a")), P: query.Constant(rdf.NewIRI("p")), O: query.Constant(rdf.NewIRI("x"))}
+	if got := p.EstimateCard(pat); got != 1 {
+		t.Errorf("both bound estimate = %v", got)
+	}
+	_ = aID
+	_ = xID
+}
+
+func TestVariablePredicateUnionScan(t *testing.T) {
+	p, _ := build(t)
+	pat := query.Pattern{S: query.Variable("s"), P: query.Variable("pp"), O: query.Variable("o")}
+	tab, _ := p.Scan(pat)
+	if len(tab.Rows) != 4 {
+		t.Errorf("union scan rows = %d", len(tab.Rows))
+	}
+	if !reflect.DeepEqual(tab.Vars, []string{"s", "pp", "o"}) {
+		t.Errorf("vars = %v", tab.Vars)
+	}
+}
+
+func TestScanBoundEachWithPredVar(t *testing.T) {
+	p, st := build(t)
+	aID, _ := st.Dict().LookupIRI("a")
+	pat := query.Pattern{S: query.Variable("s"), P: query.Variable("pp"), O: query.Variable("o")}
+	count := 0
+	err := p.ScanBoundEach(pat, []string{"s"}, []uint32{aID}, func([]uint32) { count++ })
+	if err != nil || count != 3 {
+		t.Errorf("bound-by-s count = %d err %v", count, err)
+	}
+}
+
+func TestMissingConstantEmpty(t *testing.T) {
+	p, _ := build(t)
+	pat := query.Pattern{S: query.Variable("s"), P: query.Constant(rdf.NewIRI("nope")), O: query.Variable("o")}
+	tab, _ := p.Scan(pat)
+	if len(tab.Rows) != 0 {
+		t.Errorf("missing predicate rows = %d", len(tab.Rows))
+	}
+	if got := p.EstimateCard(pat); got != 0 {
+		t.Errorf("missing predicate estimate = %v", got)
+	}
+}
+
+func TestEstimates(t *testing.T) {
+	p, _ := build(t)
+	pat := query.Pattern{S: query.Variable("s"), P: query.Constant(rdf.NewIRI("p")), O: query.Variable("o")}
+	if got := p.EstimateCard(pat); got != 3 {
+		t.Errorf("card = %v", got)
+	}
+	if got := p.EstimateDistinct(pat, "s"); got != 2 {
+		t.Errorf("distinct s = %v", got)
+	}
+	if got := p.EstimateBound(pat, []string{"s"}); got != 1.5 {
+		t.Errorf("bound = %v", got)
+	}
+	vp := query.Pattern{S: query.Variable("s"), P: query.Variable("pp"), O: query.Variable("o")}
+	if got := p.EstimateDistinct(vp, "pp"); got != 2 {
+		t.Errorf("distinct preds = %v", got)
+	}
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	st := store.FromTriples([]rdf.Triple{
+		t3("a", "p", "x"), t3("b", "p", "y"), t3("a", "q", "x"),
+	})
+	e := New(st)
+	if e.Name() != "triplebit" {
+		t.Errorf("name = %s", e.Name())
+	}
+	q := query.MustParseSPARQL(`SELECT ?s ?o WHERE { ?s <p> ?o . ?s <q> ?o . }`)
+	res, err := e.Execute(q)
+	if err != nil || res.Len() != 1 {
+		t.Errorf("rows = %d err %v", res.Len(), err)
+	}
+}

@@ -1,0 +1,463 @@
+// Package exec executes physical plans produced by internal/plan using the
+// generic worst-case optimal join algorithm (Algorithm 1 of the paper) over
+// tries.
+//
+// Execution follows §II-C: the GHD is traversed bottom-up, running the
+// generic join inside every node and materializing each non-root node's
+// result as a trie that its parent joins like any other relation; then a
+// final enumeration pass joins the root's relations with all materialized
+// node results (and with the raw relations of a pipelined child, §III-C) to
+// produce output tuples.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/set"
+	"repro/internal/store"
+	"repro/internal/trie"
+)
+
+// Result holds encoded result rows in the plan's SELECT order.
+type Result struct {
+	// Vars is the projection, copied from the plan.
+	Vars []string
+	// Rows are dictionary-encoded output tuples.
+	Rows [][]uint32
+}
+
+// Options configures execution.
+type Options struct {
+	// Policy selects set layouts.
+	Policy set.Policy
+	// Workers parallelizes the final enumeration across goroutines by
+	// partitioning the first variable's domain (the paper's engine ran on
+	// 48 cores; values ≤ 1 mean sequential). The bottom-up pass stays
+	// sequential — node results are shared.
+	Workers int
+}
+
+// Run executes p against st with the given set layout policy,
+// sequentially.
+func Run(p *plan.Plan, st *store.Store, policy set.Policy) (*Result, error) {
+	return RunOpts(p, st, Options{Policy: policy})
+}
+
+// RunOpts executes p with full execution options.
+func RunOpts(p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
+	policy := opts.Policy
+	res := &Result{Vars: p.Select}
+	if p.Empty {
+		return res, nil
+	}
+	e := &executor{st: st, policy: policy}
+
+	// The root is streamed (its generic join feeds the output enumeration
+	// directly) when no top-down pass is necessary — single-node plans,
+	// plans whose root bag covers every query variable (children act as
+	// pure semijoin filters; §II-C: "if necessary, we traverse the GHD
+	// top-down") — and when a pipelined child exists (§III-C). Otherwise
+	// the root's result is materialized like any other node, which is the
+	// paper's default two-phase execution.
+	hasPipelined := false
+	for _, child := range p.Root.Children {
+		if child.Pipelined {
+			hasPipelined = true
+		}
+	}
+	streamRoot := len(p.Root.Children) == 0 || hasPipelined || rootCoversAllVars(p)
+
+	// Bottom-up pass: materialize every non-pipelined node.
+	for _, child := range p.Root.Children {
+		if child.Pipelined {
+			continue
+		}
+		if _, err := e.materialize(child); err != nil {
+			return nil, err
+		}
+		if e.dead {
+			return res, nil
+		}
+	}
+	if !streamRoot {
+		if _, err := e.materialize(p.Root); err != nil {
+			return nil, err
+		}
+		if e.dead {
+			return res, nil
+		}
+	}
+
+	// Final pass: join the root (its raw relations when streaming, its
+	// materialized result otherwise) with every materialized node result
+	// and the pipelined child's raw relations.
+	inputs, attrs, err := e.finalInputs(p, streamRoot)
+	if err != nil {
+		return nil, err
+	}
+	attrIdx := map[string]int{}
+	for i, a := range attrs {
+		attrIdx[a.Name] = i
+	}
+	proj := make([]int, len(p.Select))
+	for i, v := range p.Select {
+		pos, ok := attrIdx[v]
+		if !ok {
+			return nil, fmt.Errorf("exec: projected variable %q not produced by plan", v)
+		}
+		proj[i] = pos
+	}
+
+	collect := func(rows *[][]uint32, j *joiner) error {
+		return j.run(func(binding []uint32) {
+			row := make([]uint32, len(proj))
+			for i, pos := range proj {
+				row[i] = binding[pos]
+			}
+			*rows = append(*rows, row)
+		})
+	}
+
+	workers := opts.Workers
+	if firstVarIdx(attrs) < 0 {
+		workers = 1 // no variable to partition on (fully constant query)
+	}
+	if workers <= 1 {
+		if err := collect(&res.Rows, newJoiner(attrs, inputs)); err != nil {
+			return nil, err
+		}
+	} else {
+		parts := make([][][]uint32, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		fv := firstVarIdx(attrs)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Each worker gets private descent state over the shared
+				// immutable tries (resolved once, before the goroutines
+				// start, so the lazy trie caches are not raced).
+				j := newJoiner(attrs, cloneInputs(inputs))
+				j.filterAt = fv
+				j.filter = func(v uint32) bool { return int(v)%workers == w }
+				errs[w] = collect(&parts[w], j)
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		total := 0
+		for _, part := range parts {
+			total += len(part)
+		}
+		res.Rows = make([][]uint32, 0, total)
+		for _, part := range parts {
+			res.Rows = append(res.Rows, part...)
+		}
+	}
+
+	if p.Distinct {
+		dedup := make(map[string]bool, len(res.Rows))
+		kept := res.Rows[:0]
+		for _, row := range res.Rows {
+			key := rowKey(row)
+			if dedup[key] {
+				continue
+			}
+			dedup[key] = true
+			kept = append(kept, row)
+		}
+		res.Rows = kept
+	}
+	return res, nil
+}
+
+// firstVarIdx returns the index of the first non-selection attribute, or -1.
+func firstVarIdx(attrs []plan.Attr) int {
+	for i, a := range attrs {
+		if !a.IsSel {
+			return i
+		}
+	}
+	return -1
+}
+
+func rowKey(row []uint32) string {
+	b := make([]byte, 0, len(row)*4)
+	for _, v := range row {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+type executor struct {
+	st     *store.Store
+	policy set.Policy
+	// results maps plan nodes to their materialized result tries. A nil
+	// entry means the node is "neutral": it has no variables and its
+	// (fully constant) patterns matched, so it constrains nothing.
+	results map[*plan.Node]*trie.Trie
+	// dead is set when a zero-variable node failed to match; the whole
+	// query result is empty.
+	dead bool
+}
+
+// materialize computes the node's result (recursively materializing its
+// children first) and caches it. A selection-only leaf node whose trie
+// order puts the selected attributes first is answered as a zero-copy view
+// into the base trie — the covering-index effect of §IV-B ("EmptyHeaded is
+// able to provide covering indexes ... using only our trie data structure
+// and the attribute order").
+func (e *executor) materialize(n *plan.Node) (*trie.Trie, error) {
+	if e.results == nil {
+		e.results = map[*plan.Node]*trie.Trie{}
+	}
+	if t, ok := e.results[n]; ok {
+		return t, nil
+	}
+	if t, ok, err := e.selectionView(n); err != nil {
+		return nil, err
+	} else if ok {
+		e.results[n] = t
+		return t, nil
+	}
+	inputs, err := e.nodeInputs(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, child := range n.Children {
+		ct, err := e.materialize(child)
+		if err != nil {
+			return nil, err
+		}
+		if e.dead {
+			return nil, nil
+		}
+		if ct != nil {
+			inputs = append(inputs, newInput(ct, varAttrs(child.Vars)))
+		}
+	}
+
+	// Positions of the node's output vars within its attr order.
+	varPos := make([]int, 0, len(n.Vars))
+	for i, a := range n.Attrs {
+		if !a.IsSel {
+			varPos = append(varPos, i)
+		}
+	}
+	var rows [][]uint32
+	matched := false
+	j := newJoiner(n.Attrs, inputs)
+	err = j.run(func(binding []uint32) {
+		matched = true
+		if len(varPos) == 0 {
+			return
+		}
+		row := make([]uint32, len(varPos))
+		for i, pos := range varPos {
+			row[i] = binding[pos]
+		}
+		rows = append(rows, row)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(n.Vars) == 0 {
+		// Fully-constant node: either neutral (matched) or the whole
+		// query is empty.
+		if !matched {
+			e.dead = true
+		}
+		e.results[n] = nil
+		return nil, nil
+	}
+	t := trie.BuildFromRows(rows, len(n.Vars), e.policy)
+	e.results[n] = t
+	return t, nil
+}
+
+// selectionView answers a leaf node holding one relation whose trie order
+// is [selections..., vars...] by descending the base trie with the
+// selection constants and viewing the reached subtree. Returns ok=false
+// when the node does not have that shape (multiple relations, children, or
+// selections not forming a trie prefix — e.g. with AttributeReorder off).
+func (e *executor) selectionView(n *plan.Node) (*trie.Trie, bool, error) {
+	if len(n.Children) != 0 || len(n.Rels) != 1 || len(n.Vars) == 0 {
+		return nil, false, nil
+	}
+	ref := n.Rels[0]
+	k := 0
+	for k < len(ref.Levels) && ref.Levels[k].IsSel {
+		k++
+	}
+	if k == 0 {
+		return nil, false, nil
+	}
+	// The remaining levels must be exactly the node's variables, in order
+	// (repeated variables within the pattern disqualify the shortcut).
+	if len(ref.Levels)-k != len(n.Vars) {
+		return nil, false, nil
+	}
+	for i, a := range ref.Levels[k:] {
+		if a.IsSel || a.Name != n.Vars[i] {
+			return nil, false, nil
+		}
+	}
+	t, err := e.relTrie(ref)
+	if err != nil {
+		return nil, false, err
+	}
+	node := t.Root()
+	for i := 0; i < k; i++ {
+		child, ok := node.ChildByValue(ref.Levels[i].Value)
+		if !ok {
+			return trie.BuildFromRows(nil, len(n.Vars), e.policy), true, nil
+		}
+		node = child
+	}
+	return trie.Sub(node, len(n.Vars)), true, nil
+}
+
+// nodeInputs resolves the node's own relations to trie inputs.
+func (e *executor) nodeInputs(n *plan.Node) ([]*input, error) {
+	var out []*input
+	for _, ref := range n.Rels {
+		t, err := e.relTrie(ref)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, newInput(t, ref.Levels))
+	}
+	return out, nil
+}
+
+// relTrie picks the trie (and column order) backing a relation reference.
+func (e *executor) relTrie(ref plan.RelRef) (*trie.Trie, error) {
+	if ref.UseTriples {
+		var perm [3]int
+		for i, a := range ref.Levels {
+			perm[i] = a.Pos
+		}
+		return e.st.TripleTrie(perm, e.policy), nil
+	}
+	rel := e.st.Relation(ref.Pred)
+	if rel == nil {
+		// The planner short-circuits missing predicates; defensive.
+		return trie.BuildFromRows(nil, len(ref.Levels), e.policy), nil
+	}
+	if len(ref.Levels) != 2 {
+		return nil, fmt.Errorf("exec: vertically partitioned relation with %d levels", len(ref.Levels))
+	}
+	if ref.Levels[0].Pos == 0 {
+		return rel.TrieSO(e.policy), nil
+	}
+	return rel.TrieOS(e.policy), nil
+}
+
+// finalInputs assembles the final enumeration join: the root (raw
+// relations when streaming, materialized result otherwise), all
+// materialized node results, and pipelined children's raw relations. The
+// returned attribute order is the plan's global order restricted to the
+// participating attributes.
+func (e *executor) finalInputs(p *plan.Plan, streamRoot bool) ([]*input, []plan.Attr, error) {
+	var inputs []*input
+	attrByName := map[string]plan.Attr{}
+	if streamRoot {
+		var err error
+		inputs, err = e.nodeInputs(p.Root)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, a := range p.Root.Attrs {
+			attrByName[a.Name] = a
+		}
+	} else {
+		t, ok := e.results[p.Root]
+		if !ok {
+			return nil, nil, fmt.Errorf("exec: root result missing")
+		}
+		if t != nil { // nil = neutral zero-variable root
+			inputs = append(inputs, newInput(t, varAttrs(p.Root.Vars)))
+			for _, v := range p.Root.Vars {
+				attrByName[v] = plan.Attr{Name: v}
+			}
+		}
+	}
+
+	var walk func(n *plan.Node) error
+	walk = func(n *plan.Node) error {
+		for _, child := range n.Children {
+			if child.Pipelined {
+				childInputs, err := e.nodeInputs(child)
+				if err != nil {
+					return err
+				}
+				inputs = append(inputs, childInputs...)
+				for _, a := range child.Attrs {
+					attrByName[a.Name] = a
+				}
+			} else {
+				t, ok := e.results[child]
+				if !ok {
+					return fmt.Errorf("exec: child result missing (bottom-up pass skipped?)")
+				}
+				if t != nil { // nil = neutral zero-variable node
+					inputs = append(inputs, newInput(t, varAttrs(child.Vars)))
+					for _, v := range child.Vars {
+						if _, ok := attrByName[v]; !ok {
+							attrByName[v] = plan.Attr{Name: v}
+						}
+					}
+				}
+			}
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(p.Root); err != nil {
+		return nil, nil, err
+	}
+
+	var attrs []plan.Attr
+	for _, name := range p.GlobalOrder {
+		if a, ok := attrByName[name]; ok {
+			attrs = append(attrs, a)
+		}
+	}
+	return inputs, attrs, nil
+}
+
+// rootCoversAllVars reports whether every variable of every plan node
+// already occurs in the root's bag, in which case the root's generic join
+// binds the complete solution and no re-enumeration over materialized node
+// results is needed.
+func rootCoversAllVars(p *plan.Plan) bool {
+	rootVars := map[string]bool{}
+	for _, v := range p.Root.Vars {
+		rootVars[v] = true
+	}
+	for _, n := range p.Nodes() {
+		for _, v := range n.Vars {
+			if !rootVars[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func varAttrs(vars []string) []plan.Attr {
+	out := make([]plan.Attr, len(vars))
+	for i, v := range vars {
+		out[i] = plan.Attr{Name: v}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/set"
+	"repro/internal/trie"
+)
+
+// input is one relation participating in a generic join: a trie plus its
+// current descent state. The trie's level order must be a subsequence of
+// the join's attribute order (the planner guarantees this).
+type input struct {
+	levels []plan.Attr
+	stack  []*trie.Node // stack[d] = node after descending d levels
+	depth  int
+}
+
+func newInput(t *trie.Trie, levels []plan.Attr) *input {
+	in := &input{levels: levels, stack: make([]*trie.Node, len(levels)+1)}
+	in.stack[0] = t.Root()
+	return in
+}
+
+// cloneInputs duplicates the descent state of every input (the underlying
+// tries are shared — they are immutable). Parallel workers each own a
+// clone.
+func cloneInputs(ins []*input) []*input {
+	out := make([]*input, len(ins))
+	for i, in := range ins {
+		c := &input{levels: in.levels, stack: make([]*trie.Node, len(in.stack))}
+		c.stack[0] = in.stack[0]
+		out[i] = c
+	}
+	return out
+}
+
+// activeAt reports whether the input's next un-descended level is attr.
+func (in *input) activeAt(name string) bool {
+	return in.depth < len(in.levels) && in.levels[in.depth].Name == name
+}
+
+// currentSet returns the value set at the input's current level.
+func (in *input) currentSet() *set.Set {
+	return in.stack[in.depth].Set()
+}
+
+// descendAll descends every consecutive level named name with value v
+// (repeated names handle self-join patterns like ?x p ?x). It returns the
+// number of levels descended and whether all descents succeeded; on failure
+// it rolls its own descents back.
+func (in *input) descendAll(name string, v uint32) (int, bool) {
+	k := 0
+	for in.depth < len(in.levels) && in.levels[in.depth].Name == name {
+		child, ok := in.stack[in.depth].ChildByValue(v)
+		if !ok {
+			in.depth -= k
+			return 0, false
+		}
+		in.depth++
+		in.stack[in.depth] = child // nil after the leaf level; never read
+		k++
+	}
+	return k, true
+}
+
+// ascend undoes k levels of descent.
+func (in *input) ascend(k int) { in.depth -= k }
+
+// joiner runs Algorithm 1: for each attribute in order, intersect the
+// current sets of all participating inputs (or probe the constant for
+// selection attributes), bind, descend, and recurse.
+type joiner struct {
+	attrs   []plan.Attr
+	inputs  []*input
+	binding []uint32
+
+	// Per-depth scratch, reused across the recursion.
+	active    [][]*input
+	descended [][]int
+	emit      func([]uint32)
+
+	// Parallel partitioning: when filter is non-nil, values bound at
+	// attribute index filterAt are skipped unless filter returns true.
+	// Each worker of a parallel join owns one partition of the first
+	// variable's domain.
+	filterAt int
+	filter   func(uint32) bool
+}
+
+func newJoiner(attrs []plan.Attr, inputs []*input) *joiner {
+	j := &joiner{
+		attrs:     attrs,
+		inputs:    inputs,
+		binding:   make([]uint32, len(attrs)),
+		active:    make([][]*input, len(attrs)),
+		descended: make([][]int, len(attrs)),
+	}
+	for i := range attrs {
+		j.active[i] = make([]*input, 0, len(inputs))
+		j.descended[i] = make([]int, len(inputs))
+	}
+	return j
+}
+
+// run enumerates all join results, invoking emit with the binding slice
+// (valid only during the call).
+func (j *joiner) run(emit func([]uint32)) error {
+	j.emit = emit
+	return j.recurse(0)
+}
+
+func (j *joiner) recurse(idx int) error {
+	if idx == len(j.attrs) {
+		j.emit(j.binding)
+		return nil
+	}
+	attr := j.attrs[idx]
+
+	active := j.active[idx][:0]
+	for _, in := range j.inputs {
+		if in.activeAt(attr.Name) {
+			active = append(active, in)
+		}
+	}
+	if len(active) == 0 {
+		return fmt.Errorf("exec: attribute %q constrained by no relation (planner bug)", attr.Name)
+	}
+
+	if attr.IsSel {
+		// Equality selection: probe the constant in every active trie.
+		// With the bitset layout this is the constant-time lookup of
+		// §III-A; with the uint layout it is a binary search.
+		counts := j.descended[idx]
+		for i, in := range active {
+			k, ok := in.descendAll(attr.Name, attr.Value)
+			if !ok {
+				for r := 0; r < i; r++ {
+					active[r].ascend(counts[r])
+				}
+				return nil
+			}
+			counts[i] = k
+		}
+		j.binding[idx] = attr.Value
+		err := j.recurse(idx + 1)
+		for i, in := range active {
+			in.ascend(counts[i])
+		}
+		return err
+	}
+
+	// Iterate the smallest current set, probing the others (the
+	// intersection-and-loop core of the generic join).
+	smallest := active[0]
+	for _, in := range active[1:] {
+		if in.currentSet().Len() < smallest.currentSet().Len() {
+			smallest = in
+		}
+	}
+	var iterErr error
+	counts := j.descended[idx]
+	smallest.currentSet().Iterate(func(_ int, v uint32) bool {
+		if j.filter != nil && idx == j.filterAt && !j.filter(v) {
+			return true
+		}
+		ok := true
+		descendedTo := 0
+		for i, in := range active {
+			k, o := in.descendAll(attr.Name, v)
+			if !o {
+				ok = false
+				descendedTo = i
+				break
+			}
+			counts[i] = k
+		}
+		if !ok {
+			for r := 0; r < descendedTo; r++ {
+				active[r].ascend(counts[r])
+			}
+			return true
+		}
+		j.binding[idx] = v
+		if err := j.recurse(idx + 1); err != nil {
+			iterErr = err
+		}
+		for i, in := range active {
+			in.ascend(counts[i])
+		}
+		return iterErr == nil
+	})
+	return iterErr
+}

@@ -1,0 +1,181 @@
+// Package hypergraph models queries as hypergraphs (one vertex per
+// attribute, one hyperedge per relation — §II-B of the paper) and computes
+// the AGM bound and fractional edge cover numbers that drive GHD selection.
+// The underlying linear programs are tiny (a handful of variables and
+// constraints), so a dense two-phase simplex suffices.
+package hypergraph
+
+import (
+	"fmt"
+	"math"
+)
+
+const lpEpsilon = 1e-9
+
+// SolveCoverLP minimizes Σ_e cost[e]·x[e] subject to, for every row r,
+// Σ_{e : member[r][e]} x[e] ≥ 1, and x ≥ 0. member[r][e] says whether
+// variable e participates in covering row r. It returns the optimal x and
+// objective value. An error is returned when some row has no participating
+// variable (the cover is infeasible).
+func SolveCoverLP(cost []float64, member [][]bool) ([]float64, float64, error) {
+	n := len(cost)
+	m := len(member)
+	if m == 0 {
+		return make([]float64, n), 0, nil
+	}
+	for r, row := range member {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("hypergraph: ragged membership row %d", r)
+		}
+		any := false
+		for _, in := range row {
+			any = any || in
+		}
+		if !any {
+			return nil, 0, fmt.Errorf("hypergraph: vertex row %d is not covered by any edge", r)
+		}
+	}
+
+	// Standard form: A x - s + a = 1 with surplus s and artificials a.
+	// Columns: [x (n)] [s (m)] [a (m)] [rhs].
+	cols := n + 2*m
+	t := make([][]float64, m)
+	for r := 0; r < m; r++ {
+		t[r] = make([]float64, cols+1)
+		for e := 0; e < n; e++ {
+			if member[r][e] {
+				t[r][e] = 1
+			}
+		}
+		t[r][n+r] = -1  // surplus
+		t[r][n+m+r] = 1 // artificial
+		t[r][cols] = 1  // rhs (every cover constraint has rhs 1)
+	}
+	basis := make([]int, m)
+	for r := range basis {
+		basis[r] = n + m + r
+	}
+
+	// Phase 1: minimize the sum of artificials. In canonical form the
+	// reduced-cost row is the negated sum of the constraint rows over
+	// non-artificial columns.
+	obj := make([]float64, cols+1)
+	for r := 0; r < m; r++ {
+		for j := 0; j <= cols; j++ {
+			if j < n+m { // x and s columns
+				obj[j] -= t[r][j]
+			}
+		}
+		obj[cols] -= t[r][cols]
+	}
+	if err := simplex(t, obj, basis, n+m+0); err != nil {
+		return nil, 0, err
+	}
+	if -obj[cols] > 1e-7 {
+		return nil, 0, fmt.Errorf("hypergraph: cover LP infeasible (phase-1 objective %g)", -obj[cols])
+	}
+	// Drive any artificial still in the basis out (degenerate case); if it
+	// cannot be pivoted out its row is redundant and stays at zero.
+	for r := 0; r < m; r++ {
+		if basis[r] >= n+m {
+			for j := 0; j < n+m; j++ {
+				if math.Abs(t[r][j]) > lpEpsilon {
+					pivot(t, obj, basis, r, j)
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: real objective over x columns only, artificials forbidden.
+	obj2 := make([]float64, cols+1)
+	for e := 0; e < n; e++ {
+		obj2[e] = cost[e]
+	}
+	// Canonicalize: zero out reduced costs of basic columns.
+	for r, b := range basis {
+		if c := obj2[b]; c != 0 {
+			for j := 0; j <= cols; j++ {
+				obj2[j] -= c * t[r][j]
+			}
+		}
+	}
+	if err := simplex(t, obj2, basis, n+m); err != nil {
+		return nil, 0, err
+	}
+
+	x := make([]float64, n)
+	for r, b := range basis {
+		if b < n {
+			x[b] = t[r][cols]
+		}
+	}
+	return x, -obj2[cols], nil
+}
+
+// simplex runs the primal simplex on the tableau until optimal. Columns with
+// index >= maxCol are excluded from entering the basis (used to forbid
+// artificials in phase 2). Bland's rule prevents cycling.
+func simplex(t [][]float64, obj []float64, basis []int, maxCol int) error {
+	m := len(t)
+	cols := len(obj) - 1
+	if maxCol <= 0 || maxCol > cols {
+		maxCol = cols
+	}
+	for iter := 0; ; iter++ {
+		if iter > 10000 {
+			return fmt.Errorf("hypergraph: simplex failed to converge")
+		}
+		// Entering column: smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < maxCol; j++ {
+			if obj[j] < -lpEpsilon {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Leaving row: minimum ratio, ties by smallest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for r := 0; r < m; r++ {
+			if t[r][enter] > lpEpsilon {
+				ratio := t[r][cols] / t[r][enter]
+				if ratio < best-lpEpsilon || (ratio < best+lpEpsilon && (leave < 0 || basis[r] < basis[leave])) {
+					best = ratio
+					leave = r
+				}
+			}
+		}
+		if leave < 0 {
+			return fmt.Errorf("hypergraph: cover LP unbounded")
+		}
+		pivot(t, obj, basis, leave, enter)
+	}
+}
+
+// pivot performs a full Gauss-Jordan pivot on (row, col).
+func pivot(t [][]float64, obj []float64, basis []int, row, col int) {
+	cols := len(obj) - 1
+	p := t[row][col]
+	for j := 0; j <= cols; j++ {
+		t[row][j] /= p
+	}
+	for r := range t {
+		if r != row {
+			if f := t[r][col]; math.Abs(f) > 0 {
+				for j := 0; j <= cols; j++ {
+					t[r][j] -= f * t[row][j]
+				}
+			}
+		}
+	}
+	if f := obj[col]; math.Abs(f) > 0 {
+		for j := 0; j <= cols; j++ {
+			obj[j] -= f * t[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,234 @@
+package lubm
+
+import (
+	"repro/internal/rdf"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Universities is the LUBM scale factor (the paper used 1000, i.e.
+	// roughly 133 million triples; one university is roughly 100–130
+	// thousand triples).
+	Universities int
+	// Seed selects the deterministic random stream. The default seed 0 is
+	// valid and used throughout the test suite.
+	Seed int64
+}
+
+// Profile holds the UBA 1.7 cardinality ranges. Exported so tests can assert
+// the generated data stays inside the specified ranges.
+type Profile struct {
+	DepartmentsPerUniversity [2]int
+	FullProfessors           [2]int
+	AssociateProfessors      [2]int
+	AssistantProfessors      [2]int
+	Lecturers                [2]int
+	UndergradPerFacultyRatio [2]int
+	GradPerFacultyRatio      [2]int
+	CoursesPerFaculty        [2]int
+	GradCoursesPerFaculty    [2]int
+	UndergradCoursesTaken    [2]int
+	GradCoursesTaken         [2]int
+	ResearchGroups           [2]int
+	PublicationsFull         [2]int
+	PublicationsAssociate    [2]int
+	PublicationsAssistant    [2]int
+	PublicationsLecturer     [2]int
+	// UndergradAdvisorFraction: one in this many undergraduates has an
+	// advisor (the spec says 1/5).
+	UndergradAdvisorFraction int
+}
+
+// DefaultProfile is the UBA 1.7 specification profile.
+var DefaultProfile = Profile{
+	DepartmentsPerUniversity: [2]int{15, 25},
+	FullProfessors:           [2]int{7, 10},
+	AssociateProfessors:      [2]int{10, 14},
+	AssistantProfessors:      [2]int{8, 11},
+	Lecturers:                [2]int{5, 7},
+	UndergradPerFacultyRatio: [2]int{8, 14},
+	GradPerFacultyRatio:      [2]int{3, 4},
+	CoursesPerFaculty:        [2]int{1, 2},
+	GradCoursesPerFaculty:    [2]int{1, 2},
+	UndergradCoursesTaken:    [2]int{2, 4},
+	GradCoursesTaken:         [2]int{1, 3},
+	ResearchGroups:           [2]int{10, 20},
+	PublicationsFull:         [2]int{15, 20},
+	PublicationsAssociate:    [2]int{10, 18},
+	PublicationsAssistant:    [2]int{5, 10},
+	PublicationsLecturer:     [2]int{0, 5},
+	UndergradAdvisorFraction: 5,
+}
+
+// Generate materializes the whole dataset. For large scales prefer
+// GenerateTo, which streams.
+func Generate(cfg Config) []rdf.Triple {
+	var out []rdf.Triple
+	GenerateTo(cfg, func(t rdf.Triple) {
+		out = append(out, t)
+	})
+	return out
+}
+
+// GenerateTo produces the dataset for cfg, invoking emit for every triple in
+// a deterministic order.
+func GenerateTo(cfg Config, emit func(rdf.Triple)) {
+	if cfg.Universities <= 0 {
+		return
+	}
+	g := &generator{
+		cfg:     cfg,
+		profile: DefaultProfile,
+		rng:     newRNG(cfg.Seed),
+		emit:    emit,
+	}
+	g.run()
+}
+
+type generator struct {
+	cfg     Config
+	profile Profile
+	rng     *rng
+	emit    func(rdf.Triple)
+}
+
+func (g *generator) triple(s, p string, o rdf.Term) {
+	g.emit(rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: o})
+}
+
+func (g *generator) link(s, p, o string)   { g.triple(s, p, rdf.NewIRI(o)) }
+func (g *generator) typed(s, class string) { g.link(s, RDFTypeIRI, class) }
+
+func (g *generator) run() {
+	for u := 0; u < g.cfg.Universities; u++ {
+		g.university(u)
+	}
+}
+
+func (g *generator) university(u int) {
+	univ := UniversityIRI(u)
+	g.typed(univ, ClassUniversity)
+	nDepts := g.rng.between(g.profile.DepartmentsPerUniversity[0], g.profile.DepartmentsPerUniversity[1])
+	for d := 0; d < nDepts; d++ {
+		g.department(u, d, univ)
+	}
+}
+
+// facultyMember captures what later department phases need about a faculty
+// member: the IRI plus the courses they teach.
+type facultyMember struct {
+	iri         string
+	courses     []int // undergrad course indexes taught
+	gradCourses []int // graduate course indexes taught
+}
+
+func (g *generator) department(u, d int, univ string) {
+	p := g.profile
+	dept := DepartmentIRI(u, d)
+	g.typed(dept, ClassDepartment)
+	g.link(dept, PropSubOrganizationOf, univ)
+
+	// Faculty, allocating the department's course index spaces as we go.
+	var faculty []facultyMember
+	nextCourse, nextGradCourse := 0, 0
+	ranks := []struct {
+		class string
+		kind  string
+		count int
+		pubs  [2]int
+	}{
+		{ClassFullProfessor, "FullProfessor", g.rng.between(p.FullProfessors[0], p.FullProfessors[1]), p.PublicationsFull},
+		{ClassAssociateProfessor, "AssociateProfessor", g.rng.between(p.AssociateProfessors[0], p.AssociateProfessors[1]), p.PublicationsAssociate},
+		{ClassAssistantProfessor, "AssistantProfessor", g.rng.between(p.AssistantProfessors[0], p.AssistantProfessors[1]), p.PublicationsAssistant},
+		{ClassLecturer, "Lecturer", g.rng.between(p.Lecturers[0], p.Lecturers[1]), p.PublicationsLecturer},
+	}
+	for _, rank := range ranks {
+		for i := 0; i < rank.count; i++ {
+			fm := facultyMember{iri: EntityIRI(u, d, rank.kind, i)}
+			g.typed(fm.iri, rank.class)
+			g.link(fm.iri, PropWorksFor, dept)
+			g.person(fm.iri, rank.kind, i, u, d)
+			g.link(fm.iri, PropUndergraduateDegreeFrom, UniversityIRI(g.rng.intn(g.cfg.Universities)))
+			g.link(fm.iri, PropMastersDegreeFrom, UniversityIRI(g.rng.intn(g.cfg.Universities)))
+			g.link(fm.iri, PropDoctoralDegreeFrom, UniversityIRI(g.rng.intn(g.cfg.Universities)))
+			// Courses taught.
+			nc := g.rng.between(p.CoursesPerFaculty[0], p.CoursesPerFaculty[1])
+			for c := 0; c < nc; c++ {
+				course := EntityIRI(u, d, "Course", nextCourse)
+				fm.courses = append(fm.courses, nextCourse)
+				nextCourse++
+				g.typed(course, ClassCourse)
+				g.link(fm.iri, PropTeacherOf, course)
+			}
+			ngc := g.rng.between(p.GradCoursesPerFaculty[0], p.GradCoursesPerFaculty[1])
+			for c := 0; c < ngc; c++ {
+				course := EntityIRI(u, d, "GraduateCourse", nextGradCourse)
+				fm.gradCourses = append(fm.gradCourses, nextGradCourse)
+				nextGradCourse++
+				g.typed(course, ClassGraduateCourse)
+				g.link(fm.iri, PropTeacherOf, course)
+			}
+			// Publications.
+			np := g.rng.between(rank.pubs[0], rank.pubs[1])
+			for j := 0; j < np; j++ {
+				pub := PublicationIRI(fm.iri, j)
+				g.typed(pub, ClassPublication)
+				g.link(pub, PropPublicationAuthor, fm.iri)
+			}
+			faculty = append(faculty, fm)
+		}
+	}
+	// The department head is the first full professor.
+	g.link(faculty[0].iri, PropHeadOf, dept)
+
+	// Students.
+	nUndergrad := len(faculty) * g.rng.between(p.UndergradPerFacultyRatio[0], p.UndergradPerFacultyRatio[1])
+	nGrad := len(faculty) * g.rng.between(p.GradPerFacultyRatio[0], p.GradPerFacultyRatio[1])
+
+	for i := 0; i < nUndergrad; i++ {
+		st := EntityIRI(u, d, "UndergraduateStudent", i)
+		g.typed(st, ClassUndergraduateStudent)
+		g.link(st, PropMemberOf, dept)
+		g.person(st, "UndergraduateStudent", i, u, d)
+		taken := g.rng.between(p.UndergradCoursesTaken[0], p.UndergradCoursesTaken[1])
+		for _, c := range g.rng.sample(nextCourse, taken) {
+			g.link(st, PropTakesCourse, EntityIRI(u, d, "Course", c))
+		}
+		if g.rng.intn(p.UndergradAdvisorFraction) == 0 {
+			g.link(st, PropAdvisor, faculty[g.rng.intn(len(faculty))].iri)
+		}
+	}
+	for i := 0; i < nGrad; i++ {
+		st := EntityIRI(u, d, "GraduateStudent", i)
+		g.typed(st, ClassGraduateStudent)
+		g.link(st, PropMemberOf, dept)
+		g.person(st, "GraduateStudent", i, u, d)
+		g.link(st, PropUndergraduateDegreeFrom, UniversityIRI(g.rng.intn(g.cfg.Universities)))
+		taken := g.rng.between(p.GradCoursesTaken[0], p.GradCoursesTaken[1])
+		for _, c := range g.rng.sample(nextGradCourse, taken) {
+			g.link(st, PropTakesCourse, EntityIRI(u, d, "GraduateCourse", c))
+		}
+		g.link(st, PropAdvisor, faculty[g.rng.intn(len(faculty))].iri)
+	}
+
+	// Research groups.
+	nGroups := g.rng.between(p.ResearchGroups[0], p.ResearchGroups[1])
+	for i := 0; i < nGroups; i++ {
+		grp := EntityIRI(u, d, "ResearchGroup", i)
+		g.typed(grp, ClassResearchGroup)
+		// Note: research groups are subOrganizationOf their *department*,
+		// never directly of a university — this is why LUBM query 11
+		// returns zero rows when the inference step is removed (§IV-A1).
+		g.link(grp, PropSubOrganizationOf, dept)
+	}
+}
+
+// person emits the name / emailAddress / telephone triples every person
+// carries. Names repeat across departments exactly as in UBA (the name of
+// FullProfessor3 is the literal "FullProfessor3" everywhere).
+func (g *generator) person(iri, kind string, i, u, d int) {
+	name := kind + itoa(i)
+	g.triple(iri, PropName, rdf.NewLiteral(name))
+	g.triple(iri, PropEmailAddress, rdf.NewLiteral(name+"@Department"+itoa(d)+".University"+itoa(u)+".edu"))
+	g.triple(iri, PropTelephone, rdf.NewLiteral("xxx-xxx-xxxx"))
+}

@@ -1,0 +1,303 @@
+package lubm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func genIndex(t *testing.T, cfg Config) (triples []rdf.Triple, byPred map[string][]rdf.Triple, types map[string]map[string]bool) {
+	t.Helper()
+	triples = Generate(cfg)
+	byPred = map[string][]rdf.Triple{}
+	types = map[string]map[string]bool{} // class -> set of subjects
+	for _, tr := range triples {
+		byPred[tr.P.Value] = append(byPred[tr.P.Value], tr)
+		if tr.P.Value == RDFTypeIRI {
+			cls := tr.O.Value
+			if types[cls] == nil {
+				types[cls] = map[string]bool{}
+			}
+			types[cls][tr.S.Value] = true
+		}
+	}
+	return triples, byPred, types
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Universities: 1, Seed: 42})
+	b := Generate(Config{Universities: 1, Seed: 42})
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic triple counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Generate(Config{Universities: 1, Seed: 43})
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("different seeds produced identical data")
+		}
+	}
+}
+
+func TestGenerateZeroScale(t *testing.T) {
+	if got := Generate(Config{Universities: 0}); got != nil {
+		t.Errorf("zero scale should produce no triples, got %d", len(got))
+	}
+}
+
+func TestScaleIsRoughlyLinear(t *testing.T) {
+	n1 := len(Generate(Config{Universities: 1}))
+	n3 := len(Generate(Config{Universities: 3}))
+	if n3 < 2*n1 || n3 > 4*n1 {
+		t.Errorf("scale 3 produced %d triples vs %d at scale 1; expected ~3x", n3, n1)
+	}
+	// One university should be on the order of 100k triples (the paper's
+	// 133M / 1000 universities). Allow a generous band.
+	if n1 < 40000 || n1 > 300000 {
+		t.Errorf("scale 1 = %d triples; expected order of 100k", n1)
+	}
+}
+
+func TestProfileRangesRespected(t *testing.T) {
+	_, byPred, types := genIndex(t, Config{Universities: 2})
+	p := DefaultProfile
+
+	// Departments per university.
+	deptsByUniv := map[string]int{}
+	for _, tr := range byPred[PropSubOrganizationOf] {
+		if types[ClassDepartment][tr.S.Value] {
+			deptsByUniv[tr.O.Value]++
+		}
+	}
+	if len(deptsByUniv) != 2 {
+		t.Fatalf("expected 2 universities with departments, got %d", len(deptsByUniv))
+	}
+	for univ, n := range deptsByUniv {
+		if n < p.DepartmentsPerUniversity[0] || n > p.DepartmentsPerUniversity[1] {
+			t.Errorf("%s has %d departments, outside %v", univ, n, p.DepartmentsPerUniversity)
+		}
+	}
+
+	// Faculty counts per department, via worksFor.
+	facultyByDept := map[string]map[string]int{} // dept -> class -> count
+	classOf := func(s string) string {
+		for _, cls := range []string{ClassFullProfessor, ClassAssociateProfessor, ClassAssistantProfessor, ClassLecturer} {
+			if types[cls][s] {
+				return cls
+			}
+		}
+		return ""
+	}
+	for _, tr := range byPred[PropWorksFor] {
+		cls := classOf(tr.S.Value)
+		if cls == "" {
+			t.Fatalf("worksFor subject %s has no faculty class", tr.S.Value)
+		}
+		if facultyByDept[tr.O.Value] == nil {
+			facultyByDept[tr.O.Value] = map[string]int{}
+		}
+		facultyByDept[tr.O.Value][cls]++
+	}
+	ranges := map[string][2]int{
+		ClassFullProfessor:      p.FullProfessors,
+		ClassAssociateProfessor: p.AssociateProfessors,
+		ClassAssistantProfessor: p.AssistantProfessors,
+		ClassLecturer:           p.Lecturers,
+	}
+	for dept, counts := range facultyByDept {
+		for cls, rng := range ranges {
+			if c := counts[cls]; c < rng[0] || c > rng[1] {
+				t.Errorf("%s: %d of %s, outside %v", dept, c, cls, rng)
+			}
+		}
+	}
+}
+
+func TestEveryStudentHasProfileTriples(t *testing.T) {
+	_, byPred, types := genIndex(t, Config{Universities: 1})
+	names := map[string]bool{}
+	for _, tr := range byPred[PropName] {
+		names[tr.S.Value] = true
+	}
+	emails := map[string]bool{}
+	for _, tr := range byPred[PropEmailAddress] {
+		emails[tr.S.Value] = true
+	}
+	members := map[string]bool{}
+	for _, tr := range byPred[PropMemberOf] {
+		members[tr.S.Value] = true
+	}
+	for student := range types[ClassUndergraduateStudent] {
+		if !names[student] || !emails[student] || !members[student] {
+			t.Fatalf("undergraduate %s missing profile triples", student)
+		}
+	}
+	for student := range types[ClassGraduateStudent] {
+		if !names[student] || !emails[student] || !members[student] {
+			t.Fatalf("graduate %s missing profile triples", student)
+		}
+	}
+}
+
+func TestGradStudentsHaveAdvisorAndDegree(t *testing.T) {
+	_, byPred, types := genIndex(t, Config{Universities: 1})
+	advised := map[string]bool{}
+	for _, tr := range byPred[PropAdvisor] {
+		advised[tr.S.Value] = true
+	}
+	degree := map[string]bool{}
+	for _, tr := range byPred[PropUndergraduateDegreeFrom] {
+		degree[tr.S.Value] = true
+	}
+	for s := range types[ClassGraduateStudent] {
+		if !advised[s] {
+			t.Fatalf("graduate student %s has no advisor", s)
+		}
+		if !degree[s] {
+			t.Fatalf("graduate student %s has no undergraduateDegreeFrom", s)
+		}
+	}
+	// Roughly 1/5 of undergrads have advisors.
+	undergradAdvised := 0
+	for s := range types[ClassUndergraduateStudent] {
+		if advised[s] {
+			undergradAdvised++
+		}
+	}
+	total := len(types[ClassUndergraduateStudent])
+	if undergradAdvised == 0 || undergradAdvised > total/2 {
+		t.Errorf("%d/%d undergrads advised; expected ~1/5", undergradAdvised, total)
+	}
+}
+
+func TestResearchGroupsNeverSubOrgOfUniversity(t *testing.T) {
+	// This is the structural fact that makes LUBM query 11 return zero
+	// rows without inference.
+	_, byPred, types := genIndex(t, Config{Universities: 1})
+	if len(types[ClassResearchGroup]) == 0 {
+		t.Fatal("no research groups generated")
+	}
+	for _, tr := range byPred[PropSubOrganizationOf] {
+		if types[ClassResearchGroup][tr.S.Value] && types[ClassUniversity][tr.O.Value] {
+			t.Fatalf("research group %s is subOrganizationOf a university", tr.S.Value)
+		}
+	}
+}
+
+func TestTakesCourseTargetsExistingCourses(t *testing.T) {
+	_, byPred, types := genIndex(t, Config{Universities: 1})
+	for _, tr := range byPred[PropTakesCourse] {
+		o := tr.O.Value
+		if !types[ClassCourse][o] && !types[ClassGraduateCourse][o] {
+			t.Fatalf("takesCourse target %s is not a course", o)
+		}
+		// Undergrads take undergrad courses; grads take graduate courses.
+		if types[ClassUndergraduateStudent][tr.S.Value] && !types[ClassCourse][o] {
+			t.Fatalf("undergraduate %s takes a graduate course", tr.S.Value)
+		}
+		if types[ClassGraduateStudent][tr.S.Value] && !types[ClassGraduateCourse][o] {
+			t.Fatalf("graduate %s takes an undergraduate course", tr.S.Value)
+		}
+	}
+}
+
+func TestQueryConstantsExistInData(t *testing.T) {
+	triples, _, _ := genIndex(t, Config{Universities: 1})
+	iris := map[string]bool{}
+	for _, tr := range triples {
+		iris[tr.S.Value] = true
+		if tr.O.IsIRI() {
+			iris[tr.O.Value] = true
+		}
+	}
+	for _, must := range []string{
+		"http://www.University0.edu",
+		"http://www.Department0.University0.edu",
+		"http://www.Department0.University0.edu/GraduateCourse0",
+		"http://www.Department0.University0.edu/AssistantProfessor0",
+		"http://www.Department0.University0.edu/AssociateProfessor0",
+	} {
+		if !iris[must] {
+			t.Errorf("query constant %s not present in generated data", must)
+		}
+	}
+}
+
+func TestQueryTextAdaptation(t *testing.T) {
+	q13Small := Query(13, 3)
+	if !strings.Contains(q13Small, "University2.edu") {
+		t.Errorf("query 13 at scale 3 should reference University2: %s", q13Small)
+	}
+	q13Big := Query(13, 1000)
+	if !strings.Contains(q13Big, "University567.edu") {
+		t.Errorf("query 13 at scale 1000 should keep University567")
+	}
+	if !strings.Contains(Query(1, 1), "PREFIX ub:") {
+		t.Errorf("queries should carry prefixes")
+	}
+	qs := Queries(2)
+	if len(qs) != len(QueryNumbers) {
+		t.Errorf("Queries returned %d entries", len(qs))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("unknown query number should panic")
+		}
+	}()
+	Query(6, 1)
+}
+
+func TestRNGSample(t *testing.T) {
+	r := newRNG(1)
+	got := r.sample(5, 10)
+	if len(got) != 5 {
+		t.Errorf("sample(5,10) = %v", got)
+	}
+	got = r.sample(100, 3)
+	if len(got) != 3 {
+		t.Fatalf("sample(100,3) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("sample not ascending: %v", got)
+		}
+	}
+}
+
+func TestRNGBetweenBounds(t *testing.T) {
+	r := newRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.between(3, 9)
+		if v < 3 || v > 9 {
+			t.Fatalf("between(3,9) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("intn(0) should panic")
+		}
+	}()
+	r.intn(0)
+}
+
+func BenchmarkGenerateOneUniversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := 0
+		GenerateTo(Config{Universities: 1}, func(rdf.Triple) { n++ })
+		if n == 0 {
+			b.Fatal("no triples")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package lubm
+
+import "strings"
+
+// QueryNumbers lists the LUBM queries the paper benchmarks (queries 6 and 10
+// are omitted because, with the inference step removed, they coincide with
+// other queries — §IV-A1).
+var QueryNumbers = []int{1, 2, 3, 4, 5, 7, 8, 9, 11, 12, 13, 14}
+
+// CyclicQueryNumbers lists the two queries containing a triangle pattern,
+// where worst-case optimal joins have an asymptotic advantage (§IV-B).
+var CyclicQueryNumbers = []int{2, 9}
+
+const queryPrefixes = `PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX ub: <http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#>
+`
+
+// rawQueries holds the SPARQL text from Appendix B of the paper. Query 13's
+// constant <http://www.University567.edu> assumes the paper's scale of 1000
+// universities; Query rewrites it for smaller scales (see Query).
+var rawQueries = map[int]string{
+	1: `SELECT ?X WHERE {
+  ?X rdf:type ub:GraduateStudent .
+  ?X ub:takesCourse <http://www.Department0.University0.edu/GraduateCourse0> .
+}`,
+	2: `SELECT ?X ?Y ?Z WHERE {
+  ?X rdf:type ub:GraduateStudent .
+  ?Y rdf:type ub:University .
+  ?Z rdf:type ub:Department .
+  ?X ub:memberOf ?Z .
+  ?Z ub:subOrganizationOf ?Y .
+  ?X ub:undergraduateDegreeFrom ?Y .
+}`,
+	3: `SELECT ?X WHERE {
+  ?X rdf:type ub:Publication .
+  ?X ub:publicationAuthor <http://www.Department0.University0.edu/AssistantProfessor0> .
+}`,
+	4: `SELECT ?X ?Y1 ?Y2 ?Y3 WHERE {
+  ?X rdf:type ub:AssociateProfessor .
+  ?X ub:worksFor <http://www.Department0.University0.edu> .
+  ?X ub:name ?Y1 .
+  ?X ub:emailAddress ?Y2 .
+  ?X ub:telephone ?Y3 .
+}`,
+	5: `SELECT ?X WHERE {
+  ?X rdf:type ub:UndergraduateStudent .
+  ?X ub:memberOf <http://www.Department0.University0.edu> .
+}`,
+	7: `SELECT ?X ?Y WHERE {
+  ?X rdf:type ub:UndergraduateStudent .
+  ?Y rdf:type ub:Course .
+  ?X ub:takesCourse ?Y .
+  <http://www.Department0.University0.edu/AssociateProfessor0> ub:teacherOf ?Y .
+}`,
+	8: `SELECT ?X ?Y ?Z WHERE {
+  ?X rdf:type ub:UndergraduateStudent .
+  ?Y rdf:type ub:Department .
+  ?X ub:memberOf ?Y .
+  ?Y ub:subOrganizationOf <http://www.University0.edu> .
+  ?X ub:emailAddress ?Z .
+}`,
+	9: `SELECT ?X ?Y ?Z WHERE {
+  ?X rdf:type ub:UndergraduateStudent .
+  ?Y rdf:type ub:Course .
+  ?Z rdf:type ub:AssistantProfessor .
+  ?X ub:advisor ?Z .
+  ?Z ub:teacherOf ?Y .
+  ?X ub:takesCourse ?Y .
+}`,
+	11: `SELECT ?X WHERE {
+  ?X rdf:type ub:ResearchGroup .
+  ?X ub:subOrganizationOf <http://www.University0.edu> .
+}`,
+	12: `SELECT ?X ?Y WHERE {
+  ?X rdf:type ub:FullProfessor .
+  ?Y rdf:type ub:Department .
+  ?X ub:worksFor ?Y .
+  ?Y ub:subOrganizationOf <http://www.University0.edu> .
+}`,
+	13: `SELECT ?X WHERE {
+  ?X rdf:type ub:GraduateStudent .
+  ?X ub:undergraduateDegreeFrom <http://www.University567.edu> .
+}`,
+	14: `SELECT ?X WHERE {
+  ?X rdf:type ub:UndergraduateStudent .
+}`,
+}
+
+// Query returns the SPARQL text for LUBM query n, adapted to a dataset with
+// the given number of universities: query 13's University567 constant is
+// clamped to the largest existing university index so the query stays
+// non-degenerate at small scales. It panics for unknown query numbers.
+func Query(n, universities int) string {
+	q, ok := rawQueries[n]
+	if !ok {
+		panic("lubm: unknown query number")
+	}
+	if n == 13 && universities <= 567 {
+		idx := universities - 1
+		if idx < 0 {
+			idx = 0
+		}
+		q = strings.ReplaceAll(q, "University567", "University"+itoa(idx))
+	}
+	return queryPrefixes + q
+}
+
+// Queries returns all benchmark queries keyed by query number, adapted to
+// the given scale.
+func Queries(universities int) map[int]string {
+	out := make(map[int]string, len(QueryNumbers))
+	for _, n := range QueryNumbers {
+		out[n] = Query(n, universities)
+	}
+	return out
+}

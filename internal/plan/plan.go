@@ -1,0 +1,491 @@
+// Package plan compiles a basic graph pattern into a physical plan for the
+// worst-case optimal executor (internal/exec): it builds the query
+// hypergraph (selection positions become synthetic selection vertices),
+// selects a GHD via internal/ghd, derives the global attribute order (BFS
+// over the GHD with the §III-B1 selection-first heuristic when enabled),
+// chooses trie level orders for every relation, and marks pipelineable
+// root-child pairs (§III-C).
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/ghd"
+	"repro/internal/hypergraph"
+	"repro/internal/query"
+	"repro/internal/set"
+	"repro/internal/store"
+)
+
+// Options toggles the paper's three classic optimizations plus the set
+// layout policy. The zero value is the fully un-optimized configuration.
+type Options struct {
+	// Layout selects set layouts (PolicyAuto = the paper's optimizer,
+	// PolicyUintOnly = the "-Layout" ablation).
+	Layout set.Policy
+	// AttributeReorder enables pushing selections down within GHD nodes
+	// (§III-B1): selection vertices go first in the global attribute order
+	// so equality selections become O(1)/O(log n) probes on the first trie
+	// level instead of per-tuple probes on deep levels.
+	AttributeReorder bool
+	// GHDPushdown enables pushing selections down across GHD nodes
+	// (§III-B2).
+	GHDPushdown bool
+	// Pipelining enables streaming a pipelineable root-child pair instead
+	// of materializing the child (§III-C, Definition 2).
+	Pipelining bool
+}
+
+// AllOptimizations is the fully optimized EmptyHeaded configuration.
+var AllOptimizations = Options{
+	Layout:           set.PolicyAuto,
+	AttributeReorder: true,
+	GHDPushdown:      true,
+	Pipelining:       true,
+}
+
+// Attr is one attribute processed by the executor: either a query variable
+// or a selection vertex bound to an encoded constant.
+type Attr struct {
+	// Name is the variable name, or a synthetic "$<pattern><pos>" name for
+	// selections.
+	Name string
+	// IsSel marks selection vertices.
+	IsSel bool
+	// Value is the encoded constant (valid when IsSel).
+	Value uint32
+	// Pos is the triple position this attribute occupies in its pattern:
+	// 0=subject, 1=predicate, 2=object. Only meaningful inside RelRef
+	// levels.
+	Pos int
+}
+
+// RelRef is one relation instance inside a GHD node, with its trie level
+// order resolved.
+type RelRef struct {
+	// PatternIdx indexes the originating pattern in the BGP.
+	PatternIdx int
+	// UseTriples selects the full triple table (variable predicate);
+	// otherwise Pred names the vertically partitioned relation.
+	UseTriples bool
+	Pred       dict.ID
+	// Levels lists the relation's attributes in trie level order (sorted
+	// by the node's processing order).
+	Levels []Attr
+}
+
+// Node is one physical GHD node.
+type Node struct {
+	// Attrs is the node's processing order: its bag sorted by the global
+	// attribute order (selection vertices included).
+	Attrs []Attr
+	// Vars are the non-selection attribute names of Attrs, in order.
+	Vars []string
+	// Rels are the relations joined at this node (λ plus absorbed edges).
+	Rels []RelRef
+	// Children are the node's GHD children.
+	Children []*Node
+	// Interface lists the variables shared with the parent, in global
+	// order (a prefix of Vars by construction).
+	Interface []string
+	// Pipelined marks a root child that is streamed rather than
+	// materialized (§III-C).
+	Pipelined bool
+}
+
+// Plan is a compiled query.
+type Plan struct {
+	// Empty is set when a constant in the query does not occur in the
+	// dictionary, so the result is necessarily empty and execution is
+	// skipped.
+	Empty bool
+	// Root is the physical GHD root.
+	Root *Node
+	// GlobalOrder is the global attribute order (selection vertices and
+	// variables).
+	GlobalOrder []string
+	// Select is the output projection (variable names).
+	Select []string
+	// Distinct requests duplicate elimination.
+	Distinct bool
+	// Decomposition is the chosen GHD, kept for inspection and the ghdviz
+	// tool.
+	Decomposition *ghd.GHD
+}
+
+// Compile builds a physical plan for q over st.
+func Compile(q *query.BGP, st *store.Store, opts Options) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	c := &compiler{q: q, st: st, opts: opts}
+	return c.compile()
+}
+
+type patternInfo struct {
+	idx        int
+	attrs      []Attr // relation attributes in triple-position order
+	useTriples bool
+	pred       dict.ID
+	size       int
+}
+
+type compiler struct {
+	q    *query.BGP
+	st   *store.Store
+	opts Options
+
+	patterns []patternInfo
+	edges    []hypergraph.Edge
+	selVerts map[string]bool
+}
+
+func (c *compiler) compile() (*Plan, error) {
+	c.selVerts = map[string]bool{}
+	for i, pat := range c.q.Patterns {
+		info, empty, err := c.compilePattern(i, pat)
+		if err != nil {
+			return nil, err
+		}
+		if empty {
+			return &Plan{Empty: true, Select: c.q.Select, Distinct: c.q.Distinct}, nil
+		}
+		c.patterns = append(c.patterns, info)
+		var verts []string
+		seen := map[string]bool{}
+		for _, a := range info.attrs {
+			if !seen[a.Name] {
+				seen[a.Name] = true
+				verts = append(verts, a.Name)
+			}
+		}
+		c.edges = append(c.edges, hypergraph.Edge{
+			Name:     fmt.Sprintf("p%d", i),
+			Vertices: verts,
+			Size:     info.size,
+		})
+	}
+
+	decomp, err := ghd.Choose(c.edges, c.selVerts, ghd.Options{PushdownAcrossNodes: c.opts.GHDPushdown})
+	if err != nil {
+		return nil, err
+	}
+	order := c.globalOrder(decomp)
+	orderPos := map[string]int{}
+	for i, a := range order {
+		orderPos[a] = i
+	}
+	root, err := c.buildNode(decomp.Root, orderPos, nil)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Root:          root,
+		GlobalOrder:   order,
+		Select:        c.q.Select,
+		Distinct:      c.q.Distinct,
+		Decomposition: decomp,
+	}
+	if c.opts.Pipelining {
+		markPipelined(p.Root)
+	}
+	return p, nil
+}
+
+// compilePattern resolves one triple pattern to a relation and attributes.
+// empty=true means a constant is absent from the dictionary.
+func (c *compiler) compilePattern(i int, pat query.Pattern) (patternInfo, bool, error) {
+	info := patternInfo{idx: i}
+	mkAttr := func(n query.Node, pos int) (Attr, bool) {
+		if n.IsVar {
+			return Attr{Name: n.Var, Pos: pos}, true
+		}
+		id, ok := c.st.Dict().Lookup(n.Term)
+		if !ok {
+			return Attr{}, false
+		}
+		name := fmt.Sprintf("$%d.%d", i, pos)
+		c.selVerts[name] = true
+		return Attr{Name: name, IsSel: true, Value: id, Pos: pos}, true
+	}
+
+	if pat.P.IsVar {
+		info.useTriples = true
+		for pos, n := range []query.Node{pat.S, pat.P, pat.O} {
+			a, ok := mkAttr(n, pos)
+			if !ok {
+				return info, true, nil
+			}
+			info.attrs = append(info.attrs, a)
+		}
+		info.size = c.st.NumTriples()
+		return info, false, nil
+	}
+
+	// Constant predicate: vertically partitioned relation over (S, O).
+	pid, ok := c.st.Dict().Lookup(pat.P.Term)
+	if !ok {
+		return info, true, nil
+	}
+	rel := c.st.Relation(pid)
+	if rel == nil {
+		return info, true, nil
+	}
+	info.pred = pid
+	sAttr, ok := mkAttr(pat.S, 0)
+	if !ok {
+		return info, true, nil
+	}
+	oAttr, ok := mkAttr(pat.O, 2)
+	if !ok {
+		return info, true, nil
+	}
+	info.attrs = []Attr{sAttr, oAttr}
+	info.size = estimateSize(rel, sAttr, oAttr)
+	return info, false, nil
+}
+
+// estimateSize returns the relation cardinality after equality selections,
+// using the classic uniform-distribution estimate.
+func estimateSize(rel *store.Relation, s, o Attr) int {
+	size := rel.Len()
+	if s.IsSel && rel.DistinctS() > 0 {
+		size /= rel.DistinctS()
+	}
+	if o.IsSel && rel.DistinctO() > 0 {
+		size /= rel.DistinctO()
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// globalOrder derives the global attribute order by BFS over the GHD
+// (§II-C). With AttributeReorder, the §III-B1 heuristic applies: selection
+// vertices are hoisted to the front (e.g. [a b c x y z] for LUBM query 2)
+// and, within each node, variables with small post-selection cardinalities
+// come before large ones ("forcing the attributes with selections or small
+// initial cardinalities to come first").
+func (c *compiler) globalOrder(d *ghd.GHD) []string {
+	var sels, vars []string
+	seen := map[string]bool{}
+	queue := []*ghd.Node{d.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		var nodeVars []string
+		for _, ei := range n.Edges {
+			for _, a := range c.patterns[ei].attrs {
+				if seen[a.Name] {
+					continue
+				}
+				seen[a.Name] = true
+				if a.IsSel {
+					sels = append(sels, a.Name)
+				} else {
+					nodeVars = append(nodeVars, a.Name)
+				}
+			}
+		}
+		if c.opts.AttributeReorder {
+			sort.SliceStable(nodeVars, func(i, j int) bool {
+				return c.varCardinality(nodeVars[i]) < c.varCardinality(nodeVars[j])
+			})
+		}
+		vars = append(vars, nodeVars...)
+		queue = append(queue, n.Children...)
+	}
+	if c.opts.AttributeReorder {
+		return append(sels, vars...)
+	}
+	// Natural order: attributes as first encountered in the BFS, keeping
+	// each pattern's subject-predicate-object positions.
+	var nat []string
+	seen = map[string]bool{}
+	queue = []*ghd.Node{d.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, ei := range n.Edges {
+			for _, a := range c.patterns[ei].attrs {
+				if !seen[a.Name] {
+					seen[a.Name] = true
+					nat = append(nat, a.Name)
+				}
+			}
+		}
+		queue = append(queue, n.Children...)
+	}
+	return nat
+}
+
+// varCardinality estimates a variable's initial cardinality: the smallest
+// post-selection size among the relations that contain it.
+func (c *compiler) varCardinality(v string) int {
+	best := 1 << 30
+	for _, info := range c.patterns {
+		for _, a := range info.attrs {
+			if !a.IsSel && a.Name == v && info.size < best {
+				best = info.size
+			}
+		}
+	}
+	return best
+}
+
+func (c *compiler) buildNode(g *ghd.Node, orderPos map[string]int, parentVars map[string]bool) (*Node, error) {
+	n := &Node{}
+
+	// Node attribute order: bag sorted by global order. The bag contains
+	// attribute names (vars and selection vertices); recover the Attr
+	// metadata from the node's patterns.
+	attrByName := map[string]Attr{}
+	for _, ei := range g.Edges {
+		for _, a := range c.patterns[ei].attrs {
+			attrByName[a.Name] = a
+		}
+	}
+	names := append([]string(nil), g.Bag...)
+	sort.Slice(names, func(i, j int) bool { return orderPos[names[i]] < orderPos[names[j]] })
+	for _, name := range names {
+		a, ok := attrByName[name]
+		if !ok {
+			return nil, fmt.Errorf("plan: bag attribute %q not found in node patterns", name)
+		}
+		n.Attrs = append(n.Attrs, a)
+		if !a.IsSel {
+			n.Vars = append(n.Vars, a.Name)
+		}
+	}
+
+	// Relations with trie level orders: pattern attributes sorted by node
+	// position (stable, so repeated variables keep their relative order).
+	nodePos := map[string]int{}
+	for i, a := range n.Attrs {
+		nodePos[a.Name] = i
+	}
+	for _, ei := range g.Edges {
+		info := c.patterns[ei]
+		levels := append([]Attr(nil), info.attrs...)
+		sort.SliceStable(levels, func(i, j int) bool {
+			return nodePos[levels[i].Name] < nodePos[levels[j].Name]
+		})
+		n.Rels = append(n.Rels, RelRef{
+			PatternIdx: info.idx,
+			UseTriples: info.useTriples,
+			Pred:       info.pred,
+			Levels:     levels,
+		})
+	}
+
+	// Interface with the parent: shared vars, which must form a prefix of
+	// this node's variable order for the bottom-up pass to descend child
+	// result tries.
+	if parentVars != nil {
+		for _, v := range n.Vars {
+			if parentVars[v] {
+				n.Interface = append(n.Interface, v)
+			}
+		}
+		for i, v := range n.Interface {
+			if n.Vars[i] != v {
+				return nil, fmt.Errorf("plan: interface %v is not a prefix of node vars %v", n.Interface, n.Vars)
+			}
+		}
+	}
+
+	ownVars := map[string]bool{}
+	for _, v := range n.Vars {
+		ownVars[v] = true
+	}
+	for _, gc := range g.Children {
+		child, err := c.buildNode(gc, orderPos, ownVars)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, child)
+	}
+	return n, nil
+}
+
+// markPipelined applies Definition 2 restricted to the profitable case: a
+// leaf child of the root whose shared variables are a prefix of both
+// attribute orders and which carries at least one variable the root does
+// not (otherwise the child is a pure semijoin filter and materializing it
+// is what we want). At most one child is pipelined, as in the paper.
+func markPipelined(root *Node) {
+	rootVars := map[string]bool{}
+	for _, v := range root.Vars {
+		rootVars[v] = true
+	}
+	for _, child := range root.Children {
+		if len(child.Children) != 0 {
+			continue
+		}
+		extra := false
+		for _, v := range child.Vars {
+			if !rootVars[v] {
+				extra = true
+				break
+			}
+		}
+		if !extra {
+			continue
+		}
+		if ghd.Pipelineable(root.Vars, child.Vars) {
+			child.Pipelined = true
+			return
+		}
+	}
+}
+
+// Nodes returns all plan nodes in pre-order, for tests and tools.
+func (p *Plan) Nodes() []*Node {
+	if p.Root == nil {
+		return nil
+	}
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return out
+}
+
+// String renders the plan for debugging and the ghdviz tool.
+func (p *Plan) String() string {
+	if p.Empty {
+		return "Plan{empty}"
+	}
+	s := fmt.Sprintf("Plan{order=%v select=%v}\n", p.GlobalOrder, p.Select)
+	var walk func(n *Node, indent string)
+	walk = func(n *Node, indent string) {
+		s += indent + "node vars=" + fmt.Sprint(n.Vars)
+		if len(n.Interface) > 0 {
+			s += " iface=" + fmt.Sprint(n.Interface)
+		}
+		if n.Pipelined {
+			s += " pipelined"
+		}
+		s += " rels="
+		for i, r := range n.Rels {
+			if i > 0 {
+				s += ","
+			}
+			s += fmt.Sprintf("p%d", r.PatternIdx)
+		}
+		s += "\n"
+		for _, c := range n.Children {
+			walk(c, indent+"  ")
+		}
+	}
+	walk(p.Root, "  ")
+	return s
+}

@@ -1,0 +1,208 @@
+package plan_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/lubm"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/set"
+	"repro/internal/store"
+)
+
+func t3(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewIRI(o)}
+}
+
+func lubmStore(t *testing.T) *store.Store {
+	t.Helper()
+	return store.FromTriples(lubm.Generate(lubm.Config{Universities: 1}))
+}
+
+func compile(t *testing.T, st *store.Store, text string, opts plan.Options) *plan.Plan {
+	t.Helper()
+	q, err := query.ParseSPARQL(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := plan.Compile(q, st, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func TestMissingConstantShortCircuits(t *testing.T) {
+	st := store.FromTriples([]rdf.Triple{t3("a", "p", "b")})
+	p := compile(t, st, `SELECT ?x WHERE { ?x <p> <zzz> . }`, plan.AllOptimizations)
+	if !p.Empty {
+		t.Errorf("plan with unknown constant should be Empty")
+	}
+	p = compile(t, st, `SELECT ?x WHERE { ?x <qqq> ?y . }`, plan.AllOptimizations)
+	if !p.Empty {
+		t.Errorf("plan with unknown predicate should be Empty")
+	}
+	if !strings.Contains(p.String(), "empty") {
+		t.Errorf("String of empty plan = %q", p.String())
+	}
+}
+
+func TestSelectionFirstGlobalOrderQuery2(t *testing.T) {
+	st := lubmStore(t)
+	p := compile(t, st, lubm.Query(2, 1), plan.AllOptimizations)
+	// The paper's §III-B1 example: the global order for query 2 is
+	// [a b c x y z] — all three selection vertices first.
+	if len(p.GlobalOrder) != 6 {
+		t.Fatalf("global order = %v", p.GlobalOrder)
+	}
+	for i := 0; i < 3; i++ {
+		if !strings.HasPrefix(p.GlobalOrder[i], "$") {
+			t.Errorf("position %d of global order = %q, want a selection vertex (%v)",
+				i, p.GlobalOrder[i], p.GlobalOrder)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if strings.HasPrefix(p.GlobalOrder[i], "$") {
+			t.Errorf("position %d of global order = %q, want a variable", i, p.GlobalOrder[i])
+		}
+	}
+	// Root node is the triangle.
+	if !reflect.DeepEqual(len(p.Root.Rels), 3) || len(p.Root.Children) != 3 {
+		t.Errorf("Q2 root shape: %d rels, %d children\n%s", len(p.Root.Rels), len(p.Root.Children), p)
+	}
+}
+
+func TestNaturalOrderWithoutAttributeReorder(t *testing.T) {
+	st := lubmStore(t)
+	p := compile(t, st, lubm.Query(14, 1), plan.Options{Layout: set.PolicyAuto})
+	// Q14 is type(X, 'UndergraduateStudent'): natural order puts the
+	// subject variable X before the selection vertex (the slow plan the
+	// +Attribute column of Table I measures against).
+	if len(p.GlobalOrder) != 2 {
+		t.Fatalf("global order = %v", p.GlobalOrder)
+	}
+	if p.GlobalOrder[0] != "X" || !strings.HasPrefix(p.GlobalOrder[1], "$") {
+		t.Errorf("natural order = %v, want [X $...]", p.GlobalOrder)
+	}
+	// With reordering the selection comes first.
+	p = compile(t, st, lubm.Query(14, 1), plan.AllOptimizations)
+	if !strings.HasPrefix(p.GlobalOrder[0], "$") || p.GlobalOrder[1] != "X" {
+		t.Errorf("reordered = %v, want [$... X]", p.GlobalOrder)
+	}
+}
+
+func TestInterfaceIsPrefixOfChildVars(t *testing.T) {
+	st := lubmStore(t)
+	for _, qn := range lubm.QueryNumbers {
+		for _, opts := range []plan.Options{plan.AllOptimizations, {Layout: set.PolicyAuto}} {
+			p := compile(t, st, lubm.Query(qn, 1), opts)
+			if p.Empty {
+				continue
+			}
+			for _, n := range p.Nodes() {
+				for i, v := range n.Interface {
+					if n.Vars[i] != v {
+						t.Errorf("Q%d: interface %v not a prefix of vars %v", qn, n.Interface, n.Vars)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRelationLevelsFollowNodeOrder(t *testing.T) {
+	st := lubmStore(t)
+	for _, qn := range lubm.QueryNumbers {
+		p := compile(t, st, lubm.Query(qn, 1), plan.AllOptimizations)
+		if p.Empty {
+			continue
+		}
+		for _, n := range p.Nodes() {
+			pos := map[string]int{}
+			for i, a := range n.Attrs {
+				pos[a.Name] = i
+			}
+			for _, rel := range n.Rels {
+				last := -1
+				for _, lv := range rel.Levels {
+					at, ok := pos[lv.Name]
+					if !ok {
+						t.Fatalf("Q%d: level attr %q not in node attrs", qn, lv.Name)
+					}
+					if at < last {
+						t.Errorf("Q%d: relation levels out of node order: %v", qn, rel.Levels)
+					}
+					last = at
+				}
+			}
+		}
+	}
+}
+
+func TestPipeliningMarksOnlyProfitableLeafChild(t *testing.T) {
+	// Q8-shaped query: root [x,y] with a big leaf child [x,z].
+	st := store.FromTriples([]rdf.Triple{
+		t3("s1", "member", "d1"), t3("s2", "member", "d1"),
+		t3("d1", "sub", "u1"),
+		t3("s1", "email", "e1"), t3("s2", "email", "e2"),
+	})
+	p := compile(t, st, `SELECT ?x ?y ?z WHERE {
+	  ?x <member> ?y . ?y <sub> <u1> . ?x <email> ?z .
+	}`, plan.Options{Layout: set.PolicyAuto, AttributeReorder: true, Pipelining: true})
+	pipelined := 0
+	for _, n := range p.Nodes() {
+		if n.Pipelined {
+			pipelined++
+			// A pipelined child must be a leaf with a variable the root
+			// does not have.
+			if len(n.Children) != 0 {
+				t.Errorf("pipelined node has children")
+			}
+		}
+	}
+	if pipelined > 1 {
+		t.Errorf("more than one pipelined child: %d", pipelined)
+	}
+	// Without the toggle, nothing is pipelined.
+	p = compile(t, st, `SELECT ?x ?y ?z WHERE {
+	  ?x <member> ?y . ?y <sub> <u1> . ?x <email> ?z .
+	}`, plan.Options{Layout: set.PolicyAuto, AttributeReorder: true})
+	for _, n := range p.Nodes() {
+		if n.Pipelined {
+			t.Errorf("pipelining marked with toggle off")
+		}
+	}
+}
+
+func TestPlanStringRendering(t *testing.T) {
+	st := lubmStore(t)
+	p := compile(t, st, lubm.Query(2, 1), plan.AllOptimizations)
+	s := p.String()
+	for _, want := range []string{"order=", "select=[X Y Z]", "node vars="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVariablePredicatePlansUseTripleTable(t *testing.T) {
+	st := store.FromTriples([]rdf.Triple{t3("a", "p", "b")})
+	p := compile(t, st, `SELECT ?s ?p ?o WHERE { ?s ?p ?o . }`, plan.AllOptimizations)
+	if p.Empty || len(p.Root.Rels) != 1 || !p.Root.Rels[0].UseTriples {
+		t.Errorf("variable-predicate plan = %s", p)
+	}
+	if len(p.Root.Rels[0].Levels) != 3 {
+		t.Errorf("triple relation levels = %v", p.Root.Rels[0].Levels)
+	}
+}
+
+func TestInvalidQueryRejected(t *testing.T) {
+	st := lubmStore(t)
+	q := &query.BGP{Select: []string{"x"}}
+	if _, err := plan.Compile(q, st, plan.AllOptimizations); err == nil {
+		t.Errorf("empty BGP accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package query
+
+import "testing"
+
+// FuzzParseSPARQL checks that the parser never panics and that accepted
+// queries re-validate and render.
+func FuzzParseSPARQL(f *testing.F) {
+	seeds := []string{
+		`SELECT ?x WHERE { ?x <p> <o> . }`,
+		`PREFIX a: <http://a#> SELECT * WHERE { ?x a:t ?y }`,
+		`SELECT DISTINCT ?x ?y WHERE { ?x <p> "lit"@en . ?y <q> "5"^^<http://int> . }`,
+		`SELECT WHERE`,
+		`select ?x where { ?x ?p ?o . }`,
+		`{}`,
+		`SELECT ?x WHERE { ?x <p`,
+		`# comment only`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := ParseSPARQL(text)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid query %q: %v", text, err)
+		}
+		if q.String() == "" {
+			t.Fatalf("accepted query renders empty")
+		}
+	})
+}

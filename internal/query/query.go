@@ -1,0 +1,129 @@
+// Package query defines the query intermediate representation shared by all
+// engines — a basic graph pattern (BGP) with a projection list — and a
+// parser for the SPARQL subset the LUBM benchmark uses (PREFIX declarations
+// and SELECT ... WHERE { triple patterns }).
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Node is one position of a triple pattern: either a variable or a constant
+// RDF term.
+type Node struct {
+	// IsVar distinguishes variables from constants.
+	IsVar bool
+	// Var is the variable name, without the leading '?' (valid when IsVar).
+	Var string
+	// Term is the constant term (valid when !IsVar).
+	Term rdf.Term
+}
+
+// Variable returns a variable node.
+func Variable(name string) Node { return Node{IsVar: true, Var: name} }
+
+// Constant returns a constant node.
+func Constant(t rdf.Term) Node { return Node{Term: t} }
+
+// String renders the node in SPARQL-ish syntax.
+func (n Node) String() string {
+	if n.IsVar {
+		return "?" + n.Var
+	}
+	return n.Term.String()
+}
+
+// Pattern is one triple pattern.
+type Pattern struct {
+	S, P, O Node
+}
+
+// String renders the pattern.
+func (p Pattern) String() string {
+	return p.S.String() + " " + p.P.String() + " " + p.O.String() + " ."
+}
+
+// Vars returns the pattern's variables in S, P, O order.
+func (p Pattern) Vars() []string {
+	var out []string
+	for _, n := range []Node{p.S, p.P, p.O} {
+		if n.IsVar {
+			out = append(out, n.Var)
+		}
+	}
+	return out
+}
+
+// BGP is a basic graph pattern query: a conjunction of triple patterns with
+// a projection.
+type BGP struct {
+	// Select lists the projection variables in output order.
+	Select []string
+	// Distinct requests duplicate elimination over the projected rows.
+	// (Under set semantics for BGP matching, projection can introduce
+	// duplicates; engines honour this flag.)
+	Distinct bool
+	// Patterns is the conjunctive body.
+	Patterns []Pattern
+}
+
+// Vars returns every variable in the body, in order of first appearance.
+func (q *BGP) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range q.Patterns {
+		for _, v := range p.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural sanity: at least one pattern, and every
+// projected variable bound in the body.
+func (q *BGP) Validate() error {
+	if len(q.Patterns) == 0 {
+		return fmt.Errorf("query: empty basic graph pattern")
+	}
+	if len(q.Select) == 0 {
+		return fmt.Errorf("query: empty projection")
+	}
+	bound := map[string]bool{}
+	for _, v := range q.Vars() {
+		bound[v] = true
+	}
+	for _, v := range q.Select {
+		if !bound[v] {
+			return fmt.Errorf("query: projected variable ?%s is not bound in the pattern", v)
+		}
+	}
+	seen := map[string]bool{}
+	for _, v := range q.Select {
+		if seen[v] {
+			return fmt.Errorf("query: duplicate projection variable ?%s", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// String renders the query in SPARQL syntax (without prefixes).
+func (q *BGP) String() string {
+	s := "SELECT"
+	if q.Distinct {
+		s += " DISTINCT"
+	}
+	for _, v := range q.Select {
+		s += " ?" + v
+	}
+	s += " WHERE {"
+	for _, p := range q.Patterns {
+		s += "\n  " + p.String()
+	}
+	return s + "\n}"
+}

@@ -1,0 +1,462 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/rdf"
+)
+
+// ParseSPARQL parses the SPARQL subset used by the LUBM workload:
+//
+//	PREFIX name: <iri>          (zero or more)
+//	SELECT [DISTINCT] ?v... | *
+//	WHERE { t1 . t2 . ... }     (trailing '.' optional)
+//
+// where each triple pattern position is a variable (?x), an IRI (<...> or
+// prefixed name), or a literal ("..." with optional @lang or ^^type).
+// FILTER, OPTIONAL, and property paths are not supported — the benchmark
+// does not use them.
+func ParseSPARQL(text string) (*BGP, error) {
+	p := &sparqlParser{lex: newLexer(text), prefixes: map[string]string{}}
+	return p.parse()
+}
+
+// MustParseSPARQL is ParseSPARQL that panics on error; for tests and
+// examples with known-good query text.
+func MustParseSPARQL(text string) *BGP {
+	q, err := ParseSPARQL(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type sparqlParser struct {
+	lex      *lexer
+	prefixes map[string]string
+}
+
+func (p *sparqlParser) parse() (*BGP, error) {
+	for {
+		tok, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokWord && strings.EqualFold(tok.text, "PREFIX") {
+			if err := p.parsePrefix(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectWord("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &BGP{}
+	tok, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	if tok.kind == tokWord && strings.EqualFold(tok.text, "DISTINCT") {
+		p.lex.next()
+		q.Distinct = true
+	}
+	star := false
+	for {
+		tok, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokVar {
+			p.lex.next()
+			q.Select = append(q.Select, tok.text)
+			continue
+		}
+		if tok.kind == tokStar {
+			p.lex.next()
+			star = true
+		}
+		break
+	}
+	if star && len(q.Select) > 0 {
+		return nil, p.lex.errf("cannot mix '*' with explicit projection variables")
+	}
+	if !star && len(q.Select) == 0 {
+		return nil, p.lex.errf("SELECT requires at least one variable or '*'")
+	}
+	if err := p.expectWord("WHERE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKind(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	for {
+		tok, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokRBrace {
+			p.lex.next()
+			break
+		}
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, pat)
+		// Optional '.' separator / terminator.
+		tok, err = p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokDot {
+			p.lex.next()
+		}
+	}
+	tok, err = p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	if tok.kind != tokEOF {
+		return nil, p.lex.errf("unexpected trailing content %q", tok.text)
+	}
+	if star {
+		q.Select = q.Vars()
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *sparqlParser) parsePrefix() error {
+	p.lex.next() // consume PREFIX
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if tok.kind != tokPName || !strings.HasSuffix(tok.text, ":") || strings.Count(tok.text, ":") != 1 {
+		return p.lex.errf("PREFIX expects 'name:', got %q", tok.text)
+	}
+	name := strings.TrimSuffix(tok.text, ":")
+	iriTok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if iriTok.kind != tokIRI {
+		return p.lex.errf("PREFIX expects an <iri>, got %q", iriTok.text)
+	}
+	p.prefixes[name] = iriTok.text
+	return nil
+}
+
+func (p *sparqlParser) parsePattern() (Pattern, error) {
+	s, err := p.parseNode()
+	if err != nil {
+		return Pattern{}, err
+	}
+	pr, err := p.parseNode()
+	if err != nil {
+		return Pattern{}, err
+	}
+	o, err := p.parseNode()
+	if err != nil {
+		return Pattern{}, err
+	}
+	if !pr.IsVar && !pr.Term.IsIRI() {
+		return Pattern{}, p.lex.errf("pattern predicate must be an IRI or variable")
+	}
+	if !s.IsVar && s.Term.IsLiteral() {
+		return Pattern{}, p.lex.errf("pattern subject must not be a literal")
+	}
+	return Pattern{S: s, P: pr, O: o}, nil
+}
+
+func (p *sparqlParser) parseNode() (Node, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return Node{}, err
+	}
+	switch tok.kind {
+	case tokVar:
+		return Variable(tok.text), nil
+	case tokIRI:
+		return Constant(rdf.NewIRI(tok.text)), nil
+	case tokPName:
+		iri, err := p.expandPName(tok.text)
+		if err != nil {
+			return Node{}, err
+		}
+		return Constant(rdf.NewIRI(iri)), nil
+	case tokLiteral:
+		t := rdf.NewLiteral(tok.text)
+		t.Lang = tok.lang
+		if tok.datatype != "" {
+			dt := tok.datatype
+			if !tok.datatypeIsIRI {
+				expanded, err := p.expandPName(dt)
+				if err != nil {
+					return Node{}, err
+				}
+				dt = expanded
+			}
+			t.Datatype = dt
+		}
+		return Constant(t), nil
+	default:
+		return Node{}, p.lex.errf("expected a term, got %q", tok.text)
+	}
+}
+
+func (p *sparqlParser) expandPName(pname string) (string, error) {
+	i := strings.IndexByte(pname, ':')
+	if i < 0 {
+		return "", p.lex.errf("malformed prefixed name %q", pname)
+	}
+	prefix, local := pname[:i], pname[i+1:]
+	base, ok := p.prefixes[prefix]
+	if !ok {
+		return "", p.lex.errf("undeclared prefix %q", prefix)
+	}
+	return base + local, nil
+}
+
+func (p *sparqlParser) expectWord(word string) error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if tok.kind != tokWord || !strings.EqualFold(tok.text, word) {
+		return p.lex.errf("expected %s, got %q", word, tok.text)
+	}
+	return nil
+}
+
+func (p *sparqlParser) expectKind(kind tokenKind, desc string) error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if tok.kind != kind {
+		return p.lex.errf("expected %s, got %q", desc, tok.text)
+	}
+	return nil
+}
+
+// --- lexer -----------------------------------------------------------------
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokWord
+	tokVar
+	tokIRI
+	tokPName
+	tokLiteral
+	tokLBrace
+	tokRBrace
+	tokDot
+	tokStar
+)
+
+type token struct {
+	kind          tokenKind
+	text          string
+	lang          string // literals
+	datatype      string // literals
+	datatypeIsIRI bool   // datatype given as <iri> rather than prefixed name
+}
+
+type lexer struct {
+	s      string
+	pos    int
+	peeked *token
+}
+
+func newLexer(s string) *lexer { return &lexer{s: s} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: offset %d: %s", l.pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() (token, error) {
+	if l.peeked == nil {
+		t, err := l.scan()
+		if err != nil {
+			return token{}, err
+		}
+		l.peeked = &t
+	}
+	return *l.peeked, nil
+}
+
+func (l *lexer) next() (token, error) {
+	if l.peeked != nil {
+		t := *l.peeked
+		l.peeked = nil
+		return t, nil
+	}
+	return l.scan()
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.s) {
+		c := l.s[l.pos]
+		if c == '#' {
+			for l.pos < len(l.s) && l.s[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (l *lexer) scan() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.s) {
+		return token{kind: tokEOF, text: "<eof>"}, nil
+	}
+	c := l.s[l.pos]
+	switch c {
+	case '{':
+		l.pos++
+		return token{kind: tokLBrace, text: "{"}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, text: "}"}, nil
+	case '.':
+		l.pos++
+		return token{kind: tokDot, text: "."}, nil
+	case '*':
+		l.pos++
+		return token{kind: tokStar, text: "*"}, nil
+	case '?', '$':
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.s) && isNameChar(l.s[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start {
+			return token{}, l.errf("empty variable name")
+		}
+		return token{kind: tokVar, text: l.s[start:l.pos]}, nil
+	case '<':
+		end := strings.IndexByte(l.s[l.pos:], '>')
+		if end < 0 {
+			return token{}, l.errf("unterminated IRI")
+		}
+		iri := l.s[l.pos+1 : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokIRI, text: iri}, nil
+	case '"':
+		return l.scanLiteral()
+	}
+	// Bare word: keyword or prefixed name.
+	start := l.pos
+	for l.pos < len(l.s) && isWordChar(l.s[l.pos]) {
+		l.pos++
+	}
+	if l.pos == start {
+		return token{}, l.errf("unexpected character %q", c)
+	}
+	text := l.s[start:l.pos]
+	if strings.ContainsRune(text, ':') {
+		return token{kind: tokPName, text: text}, nil
+	}
+	return token{kind: tokWord, text: text}, nil
+}
+
+func (l *lexer) scanLiteral() (token, error) {
+	// l.s[l.pos] == '"'
+	var b strings.Builder
+	i := l.pos + 1
+	closed := false
+	for i < len(l.s) {
+		c := l.s[i]
+		if c == '\\' && i+1 < len(l.s) {
+			switch l.s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return token{}, l.errf("unsupported escape \\%c in literal", l.s[i+1])
+			}
+			i += 2
+			continue
+		}
+		if c == '"' {
+			closed = true
+			i++
+			break
+		}
+		b.WriteByte(c)
+		i++
+	}
+	if !closed {
+		return token{}, l.errf("unterminated literal")
+	}
+	tok := token{kind: tokLiteral, text: b.String()}
+	if i < len(l.s) && l.s[i] == '@' {
+		start := i + 1
+		j := start
+		for j < len(l.s) && (isNameChar(l.s[j]) || l.s[j] == '-') {
+			j++
+		}
+		if j == start {
+			return token{}, l.errf("empty language tag")
+		}
+		tok.lang = l.s[start:j]
+		i = j
+	} else if i+1 < len(l.s) && l.s[i] == '^' && l.s[i+1] == '^' {
+		i += 2
+		if i < len(l.s) && l.s[i] == '<' {
+			end := strings.IndexByte(l.s[i:], '>')
+			if end < 0 {
+				return token{}, l.errf("unterminated datatype IRI")
+			}
+			tok.datatype = l.s[i+1 : i+end]
+			tok.datatypeIsIRI = true
+			i += end + 1
+		} else {
+			start := i
+			for i < len(l.s) && isWordChar(l.s[i]) {
+				i++
+			}
+			if i == start {
+				return token{}, l.errf("missing datatype after ^^")
+			}
+			tok.datatype = l.s[start:i]
+		}
+	}
+	l.pos = i
+	return tok, nil
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// isWordChar covers keywords and prefixed names (which may contain ':', '.',
+// '-', '~', '/' inside local parts used by LUBM IRIs).
+func isWordChar(c byte) bool {
+	if isNameChar(c) || c == ':' || c == '-' || c == '~' || c == '/' {
+		return true
+	}
+	return c > 127 && unicode.IsLetter(rune(c))
+}

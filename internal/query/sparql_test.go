@@ -1,0 +1,256 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/lubm"
+	"repro/internal/rdf"
+)
+
+func TestParseSimpleSelect(t *testing.T) {
+	q, err := ParseSPARQL(`SELECT ?x WHERE { ?x <http://p> <http://o> . }`)
+	if err != nil {
+		t.Fatalf("ParseSPARQL: %v", err)
+	}
+	if !reflect.DeepEqual(q.Select, []string{"x"}) {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if len(q.Patterns) != 1 {
+		t.Fatalf("Patterns = %v", q.Patterns)
+	}
+	p := q.Patterns[0]
+	if !p.S.IsVar || p.S.Var != "x" {
+		t.Errorf("S = %v", p.S)
+	}
+	if p.P.IsVar || p.P.Term.Value != "http://p" {
+		t.Errorf("P = %v", p.P)
+	}
+	if p.O.IsVar || p.O.Term.Value != "http://o" {
+		t.Errorf("O = %v", p.O)
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	q, err := ParseSPARQL(`
+PREFIX ub: <http://univ#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?x WHERE {
+  ?x rdf:type ub:GraduateStudent .
+}`)
+	if err != nil {
+		t.Fatalf("ParseSPARQL: %v", err)
+	}
+	p := q.Patterns[0]
+	if p.P.Term.Value != rdf.RDFType {
+		t.Errorf("predicate = %v", p.P.Term.Value)
+	}
+	if p.O.Term.Value != "http://univ#GraduateStudent" {
+		t.Errorf("object = %v", p.O.Term.Value)
+	}
+}
+
+func TestParseMultiplePatternsAndTrailingDot(t *testing.T) {
+	q, err := ParseSPARQL(`SELECT ?x ?y WHERE {
+  ?x <http://p1> ?y .
+  ?y <http://p2> "lit"
+}`)
+	if err != nil {
+		t.Fatalf("ParseSPARQL: %v", err)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("patterns = %d", len(q.Patterns))
+	}
+	if q.Patterns[1].O.Term != rdf.NewLiteral("lit") {
+		t.Errorf("literal object = %v", q.Patterns[1].O)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q, err := ParseSPARQL(`SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c . }`)
+	if err != nil {
+		t.Fatalf("ParseSPARQL: %v", err)
+	}
+	if !reflect.DeepEqual(q.Select, []string{"a", "b", "c"}) {
+		t.Errorf("star projection = %v", q.Select)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q, err := ParseSPARQL(`SELECT DISTINCT ?x WHERE { ?x <http://p> ?y . }`)
+	if err != nil {
+		t.Fatalf("ParseSPARQL: %v", err)
+	}
+	if !q.Distinct {
+		t.Errorf("Distinct not set")
+	}
+}
+
+func TestParseLiteralForms(t *testing.T) {
+	q, err := ParseSPARQL(`PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?x WHERE {
+  ?x <http://a> "plain" .
+  ?x <http://b> "tagged"@en .
+  ?x <http://c> "5"^^xsd:integer .
+  ?x <http://d> "6"^^<http://www.w3.org/2001/XMLSchema#long> .
+  ?x <http://e> "esc\"ape\n" .
+}`)
+	if err != nil {
+		t.Fatalf("ParseSPARQL: %v", err)
+	}
+	want := []rdf.Term{
+		rdf.NewLiteral("plain"),
+		rdf.NewLangLiteral("tagged", "en"),
+		rdf.NewTypedLiteral("5", "http://www.w3.org/2001/XMLSchema#integer"),
+		rdf.NewTypedLiteral("6", "http://www.w3.org/2001/XMLSchema#long"),
+		rdf.NewLiteral("esc\"ape\n"),
+	}
+	for i, w := range want {
+		if got := q.Patterns[i].O.Term; got != w {
+			t.Errorf("pattern %d object = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestParseVariablePredicate(t *testing.T) {
+	q, err := ParseSPARQL(`SELECT ?p WHERE { <http://s> ?p <http://o> . }`)
+	if err != nil {
+		t.Fatalf("ParseSPARQL: %v", err)
+	}
+	if !q.Patterns[0].P.IsVar {
+		t.Errorf("predicate should be a variable")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q, err := ParseSPARQL(`# leading comment
+SELECT ?x # projection
+WHERE { # body
+  ?x <http://p> <http://o> . # pattern
+}`)
+	if err != nil {
+		t.Fatalf("ParseSPARQL with comments: %v", err)
+	}
+	if len(q.Patterns) != 1 {
+		t.Errorf("patterns = %d", len(q.Patterns))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"empty":                 ``,
+		"no where":              `SELECT ?x`,
+		"no brace":              `SELECT ?x WHERE ?x <http://p> <http://o> .`,
+		"unclosed brace":        `SELECT ?x WHERE { ?x <http://p> <http://o> .`,
+		"unbound projection":    `SELECT ?z WHERE { ?x <http://p> <http://o> . }`,
+		"empty pattern body":    `SELECT ?x WHERE { }`,
+		"no projection":         `SELECT WHERE { ?x <http://p> <http://o> . }`,
+		"star plus var":         `SELECT ?x * WHERE { ?x <http://p> <http://o> . }`,
+		"undeclared prefix":     `SELECT ?x WHERE { ?x ub:type <http://o> . }`,
+		"literal subject":       `SELECT ?x WHERE { "lit" <http://p> ?x . }`,
+		"literal predicate":     `SELECT ?x WHERE { ?x "lit" <http://o> . }`,
+		"trailing content":      `SELECT ?x WHERE { ?x <http://p> <http://o> . } LIMIT`,
+		"unterminated iri":      `SELECT ?x WHERE { ?x <http://p <http://o> . }`,
+		"unterminated literal":  `SELECT ?x WHERE { ?x <http://p> "abc . }`,
+		"bad escape":            `SELECT ?x WHERE { ?x <http://p> "a\qb" . }`,
+		"empty variable":        `SELECT ? WHERE { ?x <http://p> <http://o> . }`,
+		"prefix without iri":    `PREFIX ub: SELECT ?x WHERE { ?x <http://p> <http://o> . }`,
+		"malformed prefix name": `PREFIX ub <http://u#> SELECT ?x WHERE { ?x <http://p> <http://o> . }`,
+		"duplicate projection":  `SELECT ?x ?x WHERE { ?x <http://p> <http://o> . }`,
+		"incomplete pattern":    `SELECT ?x WHERE { ?x <http://p> }`,
+		"empty lang tag":        `SELECT ?x WHERE { ?x <http://p> "l"@ . }`,
+		"dangling datatype":     `SELECT ?x WHERE { ?x <http://p> "l"^^ . }`,
+	}
+	for name, in := range bad {
+		if _, err := ParseSPARQL(in); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, in)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustParseSPARQL should panic on bad input")
+		}
+	}()
+	MustParseSPARQL("nonsense")
+}
+
+func TestAllLUBMQueriesParse(t *testing.T) {
+	for _, n := range lubm.QueryNumbers {
+		text := lubm.Query(n, 1000)
+		q, err := ParseSPARQL(text)
+		if err != nil {
+			t.Errorf("LUBM query %d failed to parse: %v", n, err)
+			continue
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("LUBM query %d invalid: %v", n, err)
+		}
+	}
+}
+
+func TestLUBMQueryShapes(t *testing.T) {
+	// Query 2 has six patterns over vars x, y, z, forming a triangle plus
+	// three type selections.
+	q := MustParseSPARQL(lubm.Query(2, 1))
+	if len(q.Patterns) != 6 {
+		t.Errorf("Q2 patterns = %d", len(q.Patterns))
+	}
+	if !reflect.DeepEqual(q.Select, []string{"X", "Y", "Z"}) {
+		t.Errorf("Q2 select = %v", q.Select)
+	}
+	if got := q.Vars(); !reflect.DeepEqual(got, []string{"X", "Y", "Z"}) {
+		t.Errorf("Q2 vars = %v", got)
+	}
+	// Query 14 is a single type-scan pattern.
+	q14 := MustParseSPARQL(lubm.Query(14, 1))
+	if len(q14.Patterns) != 1 {
+		t.Errorf("Q14 patterns = %d", len(q14.Patterns))
+	}
+}
+
+func TestValidateDirectConstruction(t *testing.T) {
+	q := &BGP{
+		Select: []string{"x"},
+		Patterns: []Pattern{
+			{S: Variable("x"), P: Constant(rdf.NewIRI("http://p")), O: Constant(rdf.NewIRI("http://o"))},
+		},
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if s := q.String(); !strings.Contains(s, "SELECT ?x") || !strings.Contains(s, "?x <http://p> <http://o> .") {
+		t.Errorf("String() = %q", s)
+	}
+	q.Distinct = true
+	if s := q.String(); !strings.Contains(s, "DISTINCT") {
+		t.Errorf("String() without DISTINCT: %q", s)
+	}
+	bad := &BGP{Select: []string{"x"}}
+	if bad.Validate() == nil {
+		t.Errorf("empty body accepted")
+	}
+	bad2 := &BGP{Patterns: q.Patterns}
+	if bad2.Validate() == nil {
+		t.Errorf("empty projection accepted")
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	if Variable("x").String() != "?x" {
+		t.Errorf("variable string")
+	}
+	if Constant(rdf.NewIRI("http://a")).String() != "<http://a>" {
+		t.Errorf("constant string")
+	}
+	p := Pattern{Variable("s"), Constant(rdf.NewIRI("http://p")), Variable("o")}
+	if p.String() != "?s <http://p> ?o ." {
+		t.Errorf("pattern string = %q", p.String())
+	}
+	if !reflect.DeepEqual(p.Vars(), []string{"s", "o"}) {
+		t.Errorf("pattern vars = %v", p.Vars())
+	}
+}

@@ -1,0 +1,48 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTriple checks that the N-Triples parser never panics and that
+// anything it accepts round-trips through the writer.
+func FuzzParseTriple(f *testing.F) {
+	seeds := []string{
+		`<http://s> <http://p> <http://o> .`,
+		`_:b <http://p> "lit"@en .`,
+		`<http://s> <http://p> "x\ty\n"^^<http://dt> .`,
+		`<http://s> <http://p> "A\U0001F600" .`,
+		`# comment`,
+		``,
+		`<a> <b> <c>`,
+		`"lit" <p> <o> .`,
+		`<s> <p> "unterminated`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseTriple(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseTriple(tr.String())
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", line, tr.String(), err)
+		}
+		if again != tr {
+			t.Fatalf("round trip changed triple: %v vs %v", tr, again)
+		}
+	})
+}
+
+// FuzzReader checks the streaming reader on whole documents.
+func FuzzReader(f *testing.F) {
+	f.Add("<a> <b> <c> .\n# c\n\n<d> <e> <f> .")
+	f.Add("\n\n\n")
+	f.Add("<a> <b> \"x\\n\" .")
+	f.Fuzz(func(t *testing.T, doc string) {
+		_, _ = ReadAll(strings.NewReader(doc)) // must not panic
+	})
+}

@@ -1,0 +1,290 @@
+package rdf
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://example.org/a"), "<http://example.org/a>"},
+		{NewBlank("b0"), "_:b0"},
+		{NewLiteral("hello"), `"hello"`},
+		{NewLangLiteral("bonjour", "fr"), `"bonjour"@fr`},
+		{NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"), `"42"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{NewLiteral("tab\there"), `"tab\there"`},
+		{NewLiteral(`quote"and\slash`), `"quote\"and\\slash"`},
+		{NewLiteral("line\nbreak"), `"line\nbreak"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if IRI.String() != "IRI" || Literal.String() != "Literal" || Blank.String() != "Blank" {
+		t.Errorf("unexpected kind strings: %s %s %s", IRI, Literal, Blank)
+	}
+	if got := TermKind(42).String(); got != "TermKind(42)" {
+		t.Errorf("TermKind(42).String() = %q", got)
+	}
+}
+
+func TestTermCompare(t *testing.T) {
+	ordered := []Term{
+		NewIRI("http://a"),
+		NewIRI("http://b"),
+		NewLiteral("a"),
+		NewLiteral("a@en"), // value sorts before same value with lang below
+		NewLangLiteral("b", "en"),
+		NewBlank("x"),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			switch {
+			case i < j && got >= 0:
+				t.Errorf("Compare(%v, %v) = %d, want < 0", ordered[i], ordered[j], got)
+			case i > j && got <= 0:
+				t.Errorf("Compare(%v, %v) = %d, want > 0", ordered[i], ordered[j], got)
+			case i == j && got != 0:
+				t.Errorf("Compare(%v, %v) = %d, want 0", ordered[i], ordered[j], got)
+			}
+		}
+	}
+}
+
+func TestTermCompareLangDatatype(t *testing.T) {
+	a := NewLangLiteral("v", "de")
+	b := NewLangLiteral("v", "en")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 {
+		t.Errorf("language tags should order literals")
+	}
+	c := NewTypedLiteral("v", "http://dt/a")
+	d := NewTypedLiteral("v", "http://dt/b")
+	if c.Compare(d) >= 0 {
+		t.Errorf("datatypes should order literals")
+	}
+}
+
+func TestParseTripleBasic(t *testing.T) {
+	tr, err := ParseTriple(`<http://ex/s> <http://ex/p> <http://ex/o> .`)
+	if err != nil {
+		t.Fatalf("ParseTriple: %v", err)
+	}
+	want := Triple{NewIRI("http://ex/s"), NewIRI("http://ex/p"), NewIRI("http://ex/o")}
+	if tr != want {
+		t.Errorf("got %v, want %v", tr, want)
+	}
+}
+
+func TestParseTripleLiteralForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Term
+	}{
+		{`<http://s> <http://p> "plain" .`, NewLiteral("plain")},
+		{`<http://s> <http://p> "esc\"aped" .`, NewLiteral(`esc"aped`)},
+		{`<http://s> <http://p> "tab\tend" .`, NewLiteral("tab\tend")},
+		{`<http://s> <http://p> "nl\nend" .`, NewLiteral("nl\nend")},
+		{`<http://s> <http://p> "fr"@fr .`, NewLangLiteral("fr", "fr")},
+		{`<http://s> <http://p> "5"^^<http://www.w3.org/2001/XMLSchema#int> .`, NewTypedLiteral("5", "http://www.w3.org/2001/XMLSchema#int")},
+		{`<http://s> <http://p> "uniA" .`, NewLiteral("uniA")},
+		{`<http://s> <http://p> "uni\U0001F600" .`, NewLiteral("uni\U0001F600")},
+	}
+	for _, c := range cases {
+		tr, err := ParseTriple(c.in)
+		if err != nil {
+			t.Errorf("ParseTriple(%q): %v", c.in, err)
+			continue
+		}
+		if tr.O != c.want {
+			t.Errorf("ParseTriple(%q).O = %+v, want %+v", c.in, tr.O, c.want)
+		}
+	}
+}
+
+func TestParseTripleBlankNodes(t *testing.T) {
+	tr, err := ParseTriple(`_:a <http://p> _:b .`)
+	if err != nil {
+		t.Fatalf("ParseTriple: %v", err)
+	}
+	if tr.S != NewBlank("a") || tr.O != NewBlank("b") {
+		t.Errorf("got %v", tr)
+	}
+}
+
+func TestParseTripleErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<http://s>`,
+		`<http://s> <http://p>`,
+		`<http://s> <http://p> <http://o>`,      // missing dot
+		`<http://s> <http://p> <http://o> . x`,  // trailing garbage
+		`<http://s> "lit" <http://o> .`,         // literal predicate
+		`"lit" <http://p> <http://o> .`,         // literal subject
+		`_:b "x" <http://o> .`,                  // literal predicate again
+		`<http://s> _:b <http://o> .`,           // blank predicate
+		`<http://s> <http://p> "unterminated .`, // unterminated literal
+		`<http://s> <http://p> "bad\q" .`,       // unknown escape
+		`<http://s> <http://p> "bad\u00G0" .`,   // bad hex
+		`<http://s> <http://p> "x"@ .`,          // empty lang
+		`<http://s> <http://p> <> .`,            // empty IRI
+		`<http://s <http://p> <http://o> .`,     // unterminated IRI: consumes >, then fails
+		`_: <http://p> <http://o> .`,            // empty blank label
+	}
+	for _, in := range bad {
+		if _, err := ParseTriple(in); err == nil {
+			t.Errorf("ParseTriple(%q): expected error, got none", in)
+		}
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := ParseTriple(`<http://s> <http://p> bad .`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("expected *ParseError, got %T", err)
+	}
+	if pe.Line != 1 || pe.Col == 0 || !strings.Contains(pe.Error(), "line 1") {
+		t.Errorf("unexpected error detail: %+v / %s", pe, pe.Error())
+	}
+}
+
+func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
+	doc := `
+# a comment
+<http://s> <http://p> <http://o1> .
+
+<http://s> <http://p> "two" .
+# trailing comment`
+	got, err := ReadAll(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d triples, want 2", len(got))
+	}
+	if got[1].O != NewLiteral("two") {
+		t.Errorf("second triple object = %v", got[1].O)
+	}
+}
+
+func TestReaderErrorsCarryLineNumbers(t *testing.T) {
+	doc := "<http://s> <http://p> <http://o> .\nbogus line\n"
+	r := NewReader(strings.NewReader(doc))
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first Read: %v", err)
+	}
+	_, err := r.Read()
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("expected *ParseError, got %v", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+}
+
+func TestReaderNoTrailingNewline(t *testing.T) {
+	got, err := ReadAll(strings.NewReader(`<http://s> <http://p> <http://o> .`))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("ReadAll = %v, %v", got, err)
+	}
+}
+
+func TestReaderEmptyInput(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("Read on empty input: %v, want EOF", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	triples := []Triple{
+		{NewIRI("http://s/1"), NewIRI("http://p"), NewIRI("http://o")},
+		{NewBlank("b1"), NewIRI("http://p"), NewLiteral("weird \"chars\"\n\t\\ here")},
+		{NewIRI("http://s/2"), NewIRI(RDFType), NewLangLiteral("chat", "fr")},
+		{NewIRI("http://s/3"), NewIRI("http://p"), NewTypedLiteral("3.14", "http://www.w3.org/2001/XMLSchema#decimal")},
+	}
+	var sb strings.Builder
+	if err := WriteAll(&sb, triples); err != nil {
+		t.Fatalf("WriteAll: %v", err)
+	}
+	got, err := ReadAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !reflect.DeepEqual(got, triples) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, triples)
+	}
+}
+
+// TestLiteralRoundTripProperty checks, for arbitrary literal contents, that
+// serialize→parse is the identity. This exercises the escaping machinery.
+func TestLiteralRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		// N-Triples cannot represent invalid UTF-8; normalize first the way
+		// Go does when writing runes.
+		s = strings.ToValidUTF8(s, "�")
+		in := Triple{NewIRI("http://s"), NewIRI("http://p"), NewLiteral(s)}
+		out, err := ParseTriple(in.String())
+		if err != nil {
+			t.Logf("parse error for %q: %v", s, err)
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripleStringAndCompare(t *testing.T) {
+	a := Triple{NewIRI("http://a"), NewIRI("http://p"), NewIRI("http://o")}
+	b := Triple{NewIRI("http://b"), NewIRI("http://p"), NewIRI("http://o")}
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Errorf("triple compare broken")
+	}
+	want := "<http://a> <http://p> <http://o> ."
+	if a.String() != want {
+		t.Errorf("String() = %q, want %q", a.String(), want)
+	}
+	c := Triple{NewIRI("http://a"), NewIRI("http://p"), NewIRI("http://n")}
+	if a.Compare(c) <= 0 {
+		t.Errorf("object should break ties")
+	}
+	d := Triple{NewIRI("http://a"), NewIRI("http://o"), NewIRI("http://o")}
+	if a.Compare(d) <= 0 {
+		t.Errorf("predicate should break ties")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	terms := []Term{
+		NewIRI("x"),
+		NewBlank("x"),
+		NewLiteral("x"),
+		NewLangLiteral("x", "en"),
+		NewTypedLiteral("x", "http://dt"),
+	}
+	seen := map[string]bool{}
+	for _, tm := range terms {
+		k := tm.Key()
+		if seen[k] {
+			t.Errorf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,112 @@
+package set
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// genSorted produces n sorted distinct values spread over a domain chosen
+// so that density = n/domain.
+func genSorted(rng *rand.Rand, n int, density float64) []uint32 {
+	domain := int(float64(n) / density)
+	seen := map[uint32]bool{}
+	vals := make([]uint32, 0, n)
+	for len(vals) < n {
+		v := uint32(rng.Intn(domain))
+		if !seen[v] {
+			seen[v] = true
+			vals = append(vals, v)
+		}
+	}
+	return dedupSorted(sortedCopy(vals))
+}
+
+func sortedCopy(v []uint32) []uint32 {
+	cp := append([]uint32(nil), v...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp
+}
+
+// BenchmarkIntersectDensitySweep demonstrates the rationale for the 1/256
+// layout rule (§II-A2): bitset-vs-array intersection cost as density
+// changes. At high densities the bitset word-AND wins by an order of
+// magnitude; at low densities the array merge wins.
+func BenchmarkIntersectDensitySweep(b *testing.B) {
+	for _, density := range []float64{0.5, 0.02, 1.0 / 256, 0.001} {
+		rng := rand.New(rand.NewSource(1))
+		a := genSorted(rng, 4096, density)
+		c := genSorted(rng, 4096, density)
+		for _, policy := range []struct {
+			name string
+			p    Policy
+		}{{"auto", PolicyAuto}, {"uint", PolicyUintOnly}} {
+			sa := FromSorted(a, policy.p)
+			sb := FromSorted(c, policy.p)
+			b.Run(fmt.Sprintf("density=%g/layout=%s", density, policy.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					Intersect(sa, sb)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkIntersectSizeRatio shows the merge-to-galloping crossover for
+// skewed operand sizes.
+func BenchmarkIntersectSizeRatio(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	large := genSorted(rng, 1<<16, 0.001)
+	sLarge := FromSorted(large, PolicyUintOnly)
+	for _, small := range []int{16, 256, 4096, 1 << 16} {
+		sm := genSorted(rand.New(rand.NewSource(3)), small, 0.001)
+		sSmall := FromSorted(sm, PolicyUintOnly)
+		b.Run(fmt.Sprintf("ratio=%d", (1<<16)/small), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Intersect(sSmall, sLarge)
+			}
+		})
+	}
+}
+
+// BenchmarkContains compares the §III-A selection probe across layouts:
+// constant time on bitsets versus binary search on arrays.
+func BenchmarkContains(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	vals := genSorted(rng, 1<<16, 0.5) // dense: auto picks bitset
+	dense := FromSorted(vals, PolicyAuto)
+	forced := FromSorted(vals, PolicyUintOnly)
+	if dense.Layout() != Bitset {
+		b.Fatalf("expected bitset layout")
+	}
+	b.Run("bitset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dense.Contains(uint32(i) % (1 << 17))
+		}
+	})
+	b.Run("uint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			forced.Contains(uint32(i) % (1 << 17))
+		}
+	})
+}
+
+// BenchmarkBuild measures set construction per layout.
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	vals := genSorted(rng, 1<<14, 0.1)
+	for _, policy := range []struct {
+		name string
+		p    Policy
+	}{{"auto", PolicyAuto}, {"uint", PolicyUintOnly}} {
+		b.Run(policy.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				FromSorted(vals, policy.p)
+			}
+		})
+	}
+}

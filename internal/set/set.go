@@ -1,0 +1,329 @@
+// Package set implements the two set layouts EmptyHeaded chooses between
+// (§II-A2 of the paper): a sorted unsigned-integer array and a bitset. The
+// layout optimizer picks the bitset layout when more than one out of every
+// 256 values in the set's range is present (256 being the size of an AVX
+// register in the paper); otherwise it defaults to the unsigned integer
+// array.
+//
+// Sets are immutable after construction. All values are 32-bit ids produced
+// by dictionary encoding (internal/dict).
+package set
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Layout identifies the physical representation of a Set.
+type Layout uint8
+
+const (
+	// UintArray stores the members as a sorted []uint32.
+	UintArray Layout = iota
+	// Bitset stores the members as a bit vector over [base, base+64*len(words)).
+	Bitset
+)
+
+func (l Layout) String() string {
+	switch l {
+	case UintArray:
+		return "uint"
+	case Bitset:
+		return "bitset"
+	default:
+		return fmt.Sprintf("Layout(%d)", uint8(l))
+	}
+}
+
+// Policy controls how the layout optimizer chooses representations. The
+// ablations in Table I of the paper toggle between these.
+type Policy uint8
+
+const (
+	// PolicyAuto applies the paper's rule: bitset when density exceeds
+	// 1/256, uint array otherwise.
+	PolicyAuto Policy = iota
+	// PolicyUintOnly always chooses the unsigned integer array layout. This
+	// is the "-Layout" configuration in Table I and the layout used by the
+	// LogicBlox-like baseline.
+	PolicyUintOnly
+)
+
+// densityDenominator is the paper's 1-in-256 rule.
+const densityDenominator = 256
+
+// Set is an immutable sorted set of uint32 values in one of two layouts.
+// The zero value is the empty set in the UintArray layout.
+type Set struct {
+	layout Layout
+	vals   []uint32 // UintArray: sorted distinct members
+	words  []uint64 // Bitset: bit i of words[w] set => member base+64w+i
+	ranks  []int32  // Bitset: ranks[w] = number of members in words[:w]
+	base   uint32   // Bitset: value of bit 0 of words[0]; multiple of 64
+	card   int
+}
+
+// Empty is the canonical empty set.
+var Empty = &Set{}
+
+// FromSorted builds a Set from a sorted, duplicate-free slice of values,
+// choosing the layout according to policy. The slice is retained when the
+// uint layout is chosen; callers must not mutate it afterwards.
+func FromSorted(vals []uint32, policy Policy) *Set {
+	if len(vals) == 0 {
+		return Empty
+	}
+	if policy == PolicyAuto && denseEnough(len(vals), vals[0], vals[len(vals)-1]) {
+		return bitsetFromSorted(vals)
+	}
+	return &Set{layout: UintArray, vals: vals, card: len(vals)}
+}
+
+// FromValues builds a Set from an arbitrary slice of values: it sorts,
+// deduplicates (copying, so the argument is not retained or mutated), and
+// applies the layout policy.
+func FromValues(vals []uint32, policy Policy) *Set {
+	if len(vals) == 0 {
+		return Empty
+	}
+	cp := make([]uint32, len(vals))
+	copy(cp, vals)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	cp = dedupSorted(cp)
+	return FromSorted(cp, policy)
+}
+
+func dedupSorted(v []uint32) []uint32 {
+	out := v[:1]
+	for _, x := range v[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// denseEnough applies the paper's rule: use a bitset when more than one out
+// of every densityDenominator values in [min, max] appears.
+func denseEnough(card int, min, max uint32) bool {
+	span := uint64(max) - uint64(min) + 1
+	return uint64(card)*densityDenominator > span
+}
+
+func bitsetFromSorted(vals []uint32) *Set {
+	base := vals[0] &^ 63
+	span := vals[len(vals)-1] - base
+	nwords := int(span/64) + 1
+	words := make([]uint64, nwords)
+	for _, v := range vals {
+		off := v - base
+		words[off/64] |= 1 << (off % 64)
+	}
+	return finishBitset(words, base, len(vals))
+}
+
+// finishBitset attaches the rank directory. words must have a non-zero first
+// and last word (callers trim), card must equal the total popcount.
+func finishBitset(words []uint64, base uint32, card int) *Set {
+	ranks := make([]int32, len(words))
+	total := int32(0)
+	for i, w := range words {
+		ranks[i] = total
+		total += int32(bits.OnesCount64(w))
+	}
+	return &Set{layout: Bitset, words: words, ranks: ranks, base: base, card: card}
+}
+
+// Layout returns the physical layout of s.
+func (s *Set) Layout() Layout { return s.layout }
+
+// Len returns the cardinality of s.
+func (s *Set) Len() int { return s.card }
+
+// IsEmpty reports whether s has no members.
+func (s *Set) IsEmpty() bool { return s.card == 0 }
+
+// Min returns the smallest member. It panics on the empty set.
+func (s *Set) Min() uint32 {
+	if s.card == 0 {
+		panic("set: Min of empty set")
+	}
+	if s.layout == UintArray {
+		return s.vals[0]
+	}
+	for i, w := range s.words {
+		if w != 0 {
+			return s.base + uint32(i*64+bits.TrailingZeros64(w))
+		}
+	}
+	panic("set: corrupt bitset")
+}
+
+// Max returns the largest member. It panics on the empty set.
+func (s *Set) Max() uint32 {
+	if s.card == 0 {
+		panic("set: Max of empty set")
+	}
+	if s.layout == UintArray {
+		return s.vals[len(s.vals)-1]
+	}
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return s.base + uint32(i*64+63-bits.LeadingZeros64(w))
+		}
+	}
+	panic("set: corrupt bitset")
+}
+
+// Contains reports whether v is a member of s. For the bitset layout this is
+// the constant-time probe the paper relies on for equality selections
+// (§III-A); for the uint layout it is a binary search.
+func (s *Set) Contains(v uint32) bool {
+	switch s.layout {
+	case UintArray:
+		i := sort.Search(len(s.vals), func(i int) bool { return s.vals[i] >= v })
+		return i < len(s.vals) && s.vals[i] == v
+	case Bitset:
+		if v < s.base {
+			return false
+		}
+		off := v - s.base
+		w := int(off / 64)
+		if w >= len(s.words) {
+			return false
+		}
+		return s.words[w]&(1<<(off%64)) != 0
+	}
+	return false
+}
+
+// Rank returns the number of members strictly smaller than v, along with
+// whether v itself is a member. When v is a member, Rank is its 0-based
+// index in sorted order — this is how tries address child nodes.
+func (s *Set) Rank(v uint32) (int, bool) {
+	switch s.layout {
+	case UintArray:
+		i := sort.Search(len(s.vals), func(i int) bool { return s.vals[i] >= v })
+		return i, i < len(s.vals) && s.vals[i] == v
+	case Bitset:
+		if v < s.base {
+			return 0, false
+		}
+		off := v - s.base
+		w := int(off / 64)
+		if w >= len(s.words) {
+			return s.card, false
+		}
+		bit := off % 64
+		below := int(s.ranks[w]) + bits.OnesCount64(s.words[w]&((1<<bit)-1))
+		return below, s.words[w]&(1<<bit) != 0
+	}
+	return 0, false
+}
+
+// Select returns the i-th member in sorted order (0-based). It panics if i
+// is out of range.
+func (s *Set) Select(i int) uint32 {
+	if i < 0 || i >= s.card {
+		panic(fmt.Sprintf("set: Select(%d) out of range (card %d)", i, s.card))
+	}
+	switch s.layout {
+	case UintArray:
+		return s.vals[i]
+	case Bitset:
+		// Find the word containing the i-th member via the rank directory.
+		w := sort.Search(len(s.ranks), func(w int) bool { return int(s.ranks[w]) > i }) - 1
+		rem := i - int(s.ranks[w])
+		word := s.words[w]
+		for ; rem > 0; rem-- {
+			word &= word - 1 // clear lowest set bit
+		}
+		return s.base + uint32(w*64+bits.TrailingZeros64(word))
+	}
+	panic("set: corrupt layout")
+}
+
+// Iterate calls fn for each member in ascending order with its 0-based
+// index. Iteration stops early if fn returns false.
+func (s *Set) Iterate(fn func(i int, v uint32) bool) {
+	switch s.layout {
+	case UintArray:
+		for i, v := range s.vals {
+			if !fn(i, v) {
+				return
+			}
+		}
+	case Bitset:
+		idx := 0
+		for w, word := range s.words {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				if !fn(idx, s.base+uint32(w*64+b)) {
+					return
+				}
+				idx++
+				word &= word - 1
+			}
+		}
+	}
+}
+
+// Values returns the members as a fresh sorted slice.
+func (s *Set) Values() []uint32 {
+	out := make([]uint32, 0, s.card)
+	s.Iterate(func(_ int, v uint32) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// AppendValues appends the members to dst in ascending order and returns the
+// extended slice. It avoids the allocation of Values when a buffer is
+// available.
+func (s *Set) AppendValues(dst []uint32) []uint32 {
+	s.Iterate(func(_ int, v uint32) bool {
+		dst = append(dst, v)
+		return true
+	})
+	return dst
+}
+
+// Equal reports whether two sets have identical membership, regardless of
+// layout.
+func (s *Set) Equal(o *Set) bool {
+	if s.card != o.card {
+		return false
+	}
+	eq := true
+	i := 0
+	ov := make([]uint32, 0, o.card)
+	ov = o.AppendValues(ov)
+	s.Iterate(func(_ int, v uint32) bool {
+		if ov[i] != v {
+			eq = false
+			return false
+		}
+		i++
+		return true
+	})
+	return eq
+}
+
+// String renders a short human-readable description, useful in tests.
+func (s *Set) String() string {
+	return fmt.Sprintf("Set{%s, card=%d}", s.layout, s.card)
+}
+
+// MemoryBytes estimates the heap bytes used by the set's payload. The layout
+// optimizer benchmarks report this.
+func (s *Set) MemoryBytes() int {
+	switch s.layout {
+	case UintArray:
+		return 4 * len(s.vals)
+	case Bitset:
+		return 8*len(s.words) + 4*len(s.ranks)
+	}
+	return 0
+}

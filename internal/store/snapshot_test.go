@@ -1,0 +1,104 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/lubm"
+	"repro/internal/rdf"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	orig := FromTriples([]rdf.Triple{
+		tr("s1", "p1", "o1"),
+		tr("s2", "p1", "o2"),
+		{S: rdf.NewIRI("s1"), P: rdf.NewIRI("name"), O: rdf.NewLiteral("Alice")},
+		{S: rdf.NewIRI("s1"), P: rdf.NewIRI("label"), O: rdf.NewLangLiteral("chat", "fr")},
+		{S: rdf.NewIRI("s1"), P: rdf.NewIRI("age"), O: rdf.NewTypedLiteral("5", "http://int")},
+		{S: rdf.NewBlank("b0"), P: rdf.NewIRI("p1"), O: rdf.NewIRI("o1")},
+	})
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if got.NumTriples() != orig.NumTriples() {
+		t.Fatalf("triples = %d, want %d", got.NumTriples(), orig.NumTriples())
+	}
+	if got.Dict().Size() != orig.Dict().Size() {
+		t.Fatalf("dict = %d, want %d", got.Dict().Size(), orig.Dict().Size())
+	}
+	// Ids must be preserved exactly (so snapshots of results stay valid).
+	for id := 0; id < orig.Dict().Size(); id++ {
+		if orig.Dict().Decode(uint32(id)) != got.Dict().Decode(uint32(id)) {
+			t.Errorf("term %d differs: %v vs %v", id,
+				orig.Dict().Decode(uint32(id)), got.Dict().Decode(uint32(id)))
+		}
+	}
+	for i, tr := range orig.Triples() {
+		if got.Triples()[i] != tr {
+			t.Errorf("triple %d differs", i)
+		}
+	}
+}
+
+func TestSnapshotRoundTripLUBM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	b := NewBuilder()
+	lubm.GenerateTo(lubm.Config{Universities: 1}, b.Add)
+	orig := b.Build()
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	t.Logf("LUBM(1): %d triples -> %d snapshot bytes", orig.NumTriples(), buf.Len())
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if got.NumTriples() != orig.NumTriples() || got.Dict().Size() != orig.Dict().Size() {
+		t.Errorf("round trip size mismatch")
+	}
+	// Statistics are rebuilt identically.
+	for _, p := range orig.Predicates() {
+		if orig.Stats(p) != got.Stats(p) {
+			t.Errorf("stats differ for predicate %d", p)
+		}
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"NOTMAGIC",
+		"RDFSNAP1",                     // truncated after magic
+		"RDFSNAP1\x01",                 // term count but no terms
+		"RDFSNAP1\x01\x09\x01a",        // invalid term kind 9
+		"RDFSNAP1\x00\x01\x05\x00\x00", // triple references unknown id 5
+	}
+	for _, c := range cases {
+		if _, err := ReadSnapshot(strings.NewReader(c)); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FromTriples(nil).WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if got.NumTriples() != 0 {
+		t.Errorf("empty store round trip = %d triples", got.NumTriples())
+	}
+}

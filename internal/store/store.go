@@ -1,0 +1,237 @@
+// Package store implements the vertically partitioned RDF storage layer
+// shared by every engine in this repository (§IV-A2 of the paper: "we store
+// and process the RDF data in a vertically partitioned manner as this has
+// been shown to be superior to storing the data as triples").
+//
+// A Store groups dictionary-encoded triples by predicate: each predicate
+// owns a two-column (subject, object) relation. The store also retains the
+// full encoded triple table for engines that want it (the RDF-3X baseline
+// builds its six permutation indexes from it) and per-predicate statistics
+// for cardinality estimation.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/set"
+	"repro/internal/trie"
+)
+
+// Relation is one vertically partitioned predicate table: parallel subject
+// and object columns, one row per (distinct) triple.
+type Relation struct {
+	Predicate dict.ID
+	S, O      []uint32
+
+	distinctS, distinctO int
+
+	// Lazily built trie indexes over (S,O) and (O,S), per layout policy.
+	trieSO, trieOS         *trie.Trie
+	trieSOUint, trieOSUint *trie.Trie
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.S) }
+
+// DistinctS returns the number of distinct subjects.
+func (r *Relation) DistinctS() int { return r.distinctS }
+
+// DistinctO returns the number of distinct objects.
+func (r *Relation) DistinctO() int { return r.distinctO }
+
+// TrieSO returns the (subject, object) trie for this relation, building and
+// caching it on first use. The policy chooses set layouts; the two policies
+// are cached independently so ablations do not interfere.
+func (r *Relation) TrieSO(policy set.Policy) *trie.Trie {
+	cached := &r.trieSO
+	if policy == set.PolicyUintOnly {
+		cached = &r.trieSOUint
+	}
+	if *cached == nil {
+		*cached = trie.BuildFromColumns([][]uint32{r.S, r.O}, policy)
+	}
+	return *cached
+}
+
+// TrieOS returns the (object, subject) trie, building and caching it on
+// first use.
+func (r *Relation) TrieOS(policy set.Policy) *trie.Trie {
+	cached := &r.trieOS
+	if policy == set.PolicyUintOnly {
+		cached = &r.trieOSUint
+	}
+	if *cached == nil {
+		*cached = trie.BuildFromColumns([][]uint32{r.O, r.S}, policy)
+	}
+	return *cached
+}
+
+// Triple is one dictionary-encoded triple.
+type Triple struct {
+	S, P, O uint32
+}
+
+// Store is an immutable, dictionary-encoded, vertically partitioned RDF
+// dataset.
+type Store struct {
+	dict        *dict.Dictionary
+	relations   map[dict.ID]*Relation
+	triples     []Triple
+	predicates  []dict.ID // sorted, for deterministic iteration
+	tripleTries map[tripleTrieKey]*trie.Trie
+}
+
+type tripleTrieKey struct {
+	perm   [3]int
+	policy set.Policy
+}
+
+// TripleTrie returns a trie over the full triple table with columns ordered
+// by perm (a permutation of {0,1,2} = {S,P,O}), building and caching it on
+// first use. Engines use these for patterns with variable predicates; the
+// RDF-3X baseline keeps all six permutations, mirroring its clustered
+// indexes.
+func (s *Store) TripleTrie(perm [3]int, policy set.Policy) *trie.Trie {
+	key := tripleTrieKey{perm: perm, policy: policy}
+	if t, ok := s.tripleTries[key]; ok {
+		return t
+	}
+	cols := make([][]uint32, 3)
+	for c := 0; c < 3; c++ {
+		cols[c] = make([]uint32, len(s.triples))
+	}
+	for i, t := range s.triples {
+		pos := [3]uint32{t.S, t.P, t.O}
+		for c := 0; c < 3; c++ {
+			cols[c][i] = pos[perm[c]]
+		}
+	}
+	t := trie.BuildFromColumns(cols, policy)
+	if s.tripleTries == nil {
+		s.tripleTries = make(map[tripleTrieKey]*trie.Trie)
+	}
+	s.tripleTries[key] = t
+	return t
+}
+
+// Builder accumulates triples and produces an immutable Store.
+type Builder struct {
+	dict    *dict.Dictionary
+	triples []Triple
+	seen    map[Triple]bool
+}
+
+// NewBuilder returns an empty builder with a fresh dictionary.
+func NewBuilder() *Builder {
+	return &Builder{dict: dict.New(), seen: make(map[Triple]bool)}
+}
+
+// Add encodes and appends one triple. Exact duplicate triples are dropped
+// (RDF graphs are sets of triples).
+func (b *Builder) Add(t rdf.Triple) {
+	s, p, o := b.dict.EncodeTriple(t)
+	enc := Triple{S: s, P: p, O: o}
+	if b.seen[enc] {
+		return
+	}
+	b.seen[enc] = true
+	b.triples = append(b.triples, enc)
+}
+
+// AddAll appends every triple in ts.
+func (b *Builder) AddAll(ts []rdf.Triple) {
+	for _, t := range ts {
+		b.Add(t)
+	}
+}
+
+// Build finalizes the store. The builder must not be used afterwards.
+func (b *Builder) Build() *Store {
+	st := &Store{
+		dict:      b.dict,
+		relations: make(map[dict.ID]*Relation),
+		triples:   b.triples,
+	}
+	for _, t := range b.triples {
+		rel := st.relations[t.P]
+		if rel == nil {
+			rel = &Relation{Predicate: t.P}
+			st.relations[t.P] = rel
+			st.predicates = append(st.predicates, t.P)
+		}
+		rel.S = append(rel.S, t.S)
+		rel.O = append(rel.O, t.O)
+	}
+	sort.Slice(st.predicates, func(i, j int) bool { return st.predicates[i] < st.predicates[j] })
+	for _, rel := range st.relations {
+		rel.distinctS = countDistinct(rel.S)
+		rel.distinctO = countDistinct(rel.O)
+	}
+	return st
+}
+
+func countDistinct(vals []uint32) int {
+	m := make(map[uint32]struct{}, len(vals)/2+1)
+	for _, v := range vals {
+		m[v] = struct{}{}
+	}
+	return len(m)
+}
+
+// FromTriples builds a store from a triple slice in one step.
+func FromTriples(ts []rdf.Triple) *Store {
+	b := NewBuilder()
+	b.AddAll(ts)
+	return b.Build()
+}
+
+// Dict returns the dataset's shared dictionary.
+func (s *Store) Dict() *dict.Dictionary { return s.dict }
+
+// NumTriples returns the number of distinct triples loaded.
+func (s *Store) NumTriples() int { return len(s.triples) }
+
+// Triples returns the encoded triple table. Callers must not mutate it.
+func (s *Store) Triples() []Triple { return s.triples }
+
+// Predicates returns the encoded predicate ids present, in ascending order.
+func (s *Store) Predicates() []dict.ID { return s.predicates }
+
+// Relation returns the vertically partitioned table for the predicate, or
+// nil if the predicate does not occur in the data.
+func (s *Store) Relation(p dict.ID) *Relation { return s.relations[p] }
+
+// RelationByIRI looks the predicate up by IRI.
+func (s *Store) RelationByIRI(iri string) *Relation {
+	id, ok := s.dict.LookupIRI(iri)
+	if !ok {
+		return nil
+	}
+	return s.relations[id]
+}
+
+// Stats describes one predicate table for cardinality estimation.
+type Stats struct {
+	Rows      int
+	DistinctS int
+	DistinctO int
+}
+
+// Stats returns statistics for predicate p. Unknown predicates report zero
+// rows.
+func (s *Store) Stats(p dict.ID) Stats {
+	rel := s.relations[p]
+	if rel == nil {
+		return Stats{}
+	}
+	return Stats{Rows: rel.Len(), DistinctS: rel.distinctS, DistinctO: rel.distinctO}
+}
+
+// String summarizes the store.
+func (s *Store) String() string {
+	return fmt.Sprintf("Store{triples=%d, predicates=%d, terms=%d}",
+		len(s.triples), len(s.relations), s.dict.Size())
+}

@@ -1,0 +1,245 @@
+// Package trie implements the multi-level trie that EmptyHeaded uses to
+// store every relation, input and output (§II-A of the paper). Each level of
+// a trie corresponds to one attribute of the relation; the values at each
+// level are stored as internal/set sets whose layout is chosen by the set
+// layout optimizer.
+//
+// A trie over attributes [a1, ..., ak] is equivalent to a clustered index on
+// (a1, ..., ak): descending the trie by one level narrows the relation by an
+// equality on the next attribute.
+package trie
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/set"
+)
+
+// Node is one trie node: a set of values at this level and, for non-leaf
+// levels, one child per value (addressed by the value's rank in the set).
+type Node struct {
+	set      *set.Set
+	children []*Node // nil at the leaf level; otherwise len == set.Len()
+}
+
+// Set returns the values present at this node's level.
+func (n *Node) Set() *set.Set { return n.set }
+
+// Child returns the child node for the i-th value (0-based rank) of the
+// node's set. It panics if the node is a leaf.
+func (n *Node) Child(i int) *Node {
+	if n.children == nil {
+		panic("trie: Child on leaf node")
+	}
+	return n.children[i]
+}
+
+// ChildByValue returns the child reached by descending with value v, or
+// (nil, false) if v is not present at this level.
+func (n *Node) ChildByValue(v uint32) (*Node, bool) {
+	r, ok := n.set.Rank(v)
+	if !ok {
+		return nil, false
+	}
+	if n.children == nil {
+		return nil, true // leaf: membership confirmed but no child to return
+	}
+	return n.children[r], true
+}
+
+// IsLeaf reports whether this node is at the last level of its trie.
+func (n *Node) IsLeaf() bool { return n.children == nil }
+
+// Trie is an immutable trie over a fixed number of attributes.
+type Trie struct {
+	arity  int
+	tuples int
+	root   *Node
+}
+
+// Arity returns the number of attributes (levels).
+func (t *Trie) Arity() int { return t.arity }
+
+// Len returns the number of distinct tuples stored.
+func (t *Trie) Len() int { return t.tuples }
+
+// Root returns the root node. For an empty trie the root carries an empty
+// set.
+func (t *Trie) Root() *Node { return t.root }
+
+// String describes the trie briefly.
+func (t *Trie) String() string {
+	return fmt.Sprintf("Trie{arity=%d, tuples=%d}", t.arity, t.tuples)
+}
+
+// Sub returns a read-only view of the subtree rooted at n, exposed as a
+// Trie of the given arity. Views share structure with the original trie —
+// this is how equality selections produce node results without copying
+// (descending a covering index by the selected constant yields the result
+// relation directly). The tuple count of a view is unknown; Len reports -1.
+func Sub(n *Node, arity int) *Trie {
+	return &Trie{arity: arity, tuples: -1, root: n}
+}
+
+// BuildFromColumns builds a trie whose level c holds column cols[c]. All
+// columns must have equal length (one entry per tuple). Duplicate tuples
+// collapse. The input slices are not retained or mutated.
+func BuildFromColumns(cols [][]uint32, policy set.Policy) *Trie {
+	arity := len(cols)
+	if arity == 0 {
+		panic("trie: BuildFromColumns with zero columns")
+	}
+	n := len(cols[0])
+	for _, c := range cols[1:] {
+		if len(c) != n {
+			panic("trie: ragged columns")
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for _, col := range cols {
+			if col[ia] != col[ib] {
+				return col[ia] < col[ib]
+			}
+		}
+		return false
+	})
+	b := &builder{cols: cols, policy: policy}
+	root := b.build(idx, 0)
+	if root == nil {
+		root = &Node{set: set.Empty}
+	}
+	return &Trie{arity: arity, tuples: b.tuples, root: root}
+}
+
+// BuildFromRows builds a trie from row-major tuples, each of length arity.
+func BuildFromRows(rows [][]uint32, arity int, policy set.Policy) *Trie {
+	cols := make([][]uint32, arity)
+	for c := range cols {
+		cols[c] = make([]uint32, len(rows))
+	}
+	for r, row := range rows {
+		if len(row) != arity {
+			panic(fmt.Sprintf("trie: row %d has %d values, want %d", r, len(row), arity))
+		}
+		for c := range row {
+			cols[c][r] = row[c]
+		}
+	}
+	return BuildFromColumns(cols, policy)
+}
+
+type builder struct {
+	cols   [][]uint32
+	policy set.Policy
+	tuples int
+}
+
+// build constructs the node for the tuples selected by idx at the given
+// level. idx is sorted lexicographically over the remaining columns.
+func (b *builder) build(idx []int, level int) *Node {
+	if len(idx) == 0 {
+		return nil
+	}
+	col := b.cols[level]
+	leaf := level == len(b.cols)-1
+
+	// Collect distinct values (already in ascending order thanks to the
+	// lexicographic sort) and the idx range for each.
+	var vals []uint32
+	var starts []int
+	prev := uint32(0)
+	for i, r := range idx {
+		v := col[r]
+		if i == 0 || v != prev {
+			vals = append(vals, v)
+			starts = append(starts, i)
+			prev = v
+		}
+	}
+	s := set.FromSorted(vals, b.policy)
+	if leaf {
+		b.tuples += len(vals)
+		return &Node{set: s}
+	}
+	children := make([]*Node, len(vals))
+	for gi := range vals {
+		lo := starts[gi]
+		hi := len(idx)
+		if gi+1 < len(starts) {
+			hi = starts[gi+1]
+		}
+		children[gi] = b.build(idx[lo:hi], level+1)
+	}
+	return &Node{set: s, children: children}
+}
+
+// Each enumerates every tuple in lexicographic order. The tuple slice is
+// reused between calls; callers must copy it to retain it. Enumeration stops
+// early if fn returns false.
+func (t *Trie) Each(fn func(tuple []uint32) bool) {
+	buf := make([]uint32, t.arity)
+	t.each(t.root, 0, buf, fn)
+}
+
+func (t *Trie) each(n *Node, level int, buf []uint32, fn func([]uint32) bool) bool {
+	cont := true
+	n.set.Iterate(func(i int, v uint32) bool {
+		buf[level] = v
+		if n.IsLeaf() {
+			cont = fn(buf)
+		} else {
+			cont = t.each(n.children[i], level+1, buf, fn)
+		}
+		return cont
+	})
+	return cont
+}
+
+// Rows materializes every tuple as a fresh [][]uint32, mainly for tests.
+func (t *Trie) Rows() [][]uint32 {
+	out := make([][]uint32, 0, max(t.tuples, 0))
+	t.Each(func(tuple []uint32) bool {
+		out = append(out, append([]uint32(nil), tuple...))
+		return true
+	})
+	return out
+}
+
+// Lookup descends the trie with the given prefix of values and returns the
+// node reached (whose set holds the possible next-attribute values), or
+// (nil, false) if the prefix is absent. A full-arity prefix returns
+// (nil, true) when the tuple exists.
+func (t *Trie) Lookup(prefix ...uint32) (*Node, bool) {
+	if len(prefix) > t.arity {
+		panic("trie: Lookup prefix longer than arity")
+	}
+	n := t.root
+	for _, v := range prefix {
+		child, ok := n.ChildByValue(v)
+		if !ok {
+			return nil, false
+		}
+		n = child
+	}
+	return n, true
+}
+
+// MemoryBytes estimates the heap footprint of all sets in the trie.
+func (t *Trie) MemoryBytes() int {
+	total := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		total += n.set.MemoryBytes()
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return total
+}

@@ -1,0 +1,312 @@
+package trie
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/set"
+)
+
+func TestBuildSimple(t *testing.T) {
+	// Figure 1's suborganizationOf example after dictionary encoding:
+	// subject object pairs (0,3), (0,1), (2,1), keys University0=0,
+	// Department0=1, Department1=2(sic: figure numbers them 0..3).
+	rows := [][]uint32{{0, 3}, {0, 1}, {2, 1}}
+	tr := BuildFromRows(rows, 2, set.PolicyAuto)
+	if tr.Arity() != 2 || tr.Len() != 3 {
+		t.Fatalf("arity/len = %d/%d", tr.Arity(), tr.Len())
+	}
+	want := [][]uint32{{0, 1}, {0, 3}, {2, 1}}
+	if got := tr.Rows(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Rows = %v, want %v", got, want)
+	}
+	if got := tr.Root().Set().Values(); !reflect.DeepEqual(got, []uint32{0, 2}) {
+		t.Errorf("root set = %v", got)
+	}
+}
+
+func TestBuildCollapsesDuplicates(t *testing.T) {
+	rows := [][]uint32{{1, 2}, {1, 2}, {1, 2}, {3, 4}}
+	tr := BuildFromRows(rows, 2, set.PolicyAuto)
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestEmptyTrie(t *testing.T) {
+	tr := BuildFromRows(nil, 2, set.PolicyAuto)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if !tr.Root().Set().IsEmpty() {
+		t.Errorf("empty trie root set non-empty")
+	}
+	tr.Each(func([]uint32) bool { t.Error("Each on empty trie"); return true })
+	if _, ok := tr.Lookup(5); ok {
+		t.Errorf("Lookup on empty trie reported present")
+	}
+}
+
+func TestUnaryTrie(t *testing.T) {
+	tr := BuildFromColumns([][]uint32{{5, 3, 5, 1}}, set.PolicyAuto)
+	if tr.Arity() != 1 || tr.Len() != 3 {
+		t.Fatalf("arity/len = %d/%d", tr.Arity(), tr.Len())
+	}
+	if got := tr.Rows(); !reflect.DeepEqual(got, [][]uint32{{1}, {3}, {5}}) {
+		t.Errorf("Rows = %v", got)
+	}
+	if !tr.Root().IsLeaf() {
+		t.Errorf("unary trie root should be leaf")
+	}
+}
+
+func TestTernaryTrieLookup(t *testing.T) {
+	rows := [][]uint32{
+		{1, 10, 100},
+		{1, 10, 101},
+		{1, 11, 100},
+		{2, 10, 100},
+	}
+	tr := BuildFromRows(rows, 3, set.PolicyAuto)
+	n, ok := tr.Lookup(1, 10)
+	if !ok {
+		t.Fatalf("Lookup(1,10) absent")
+	}
+	if got := n.Set().Values(); !reflect.DeepEqual(got, []uint32{100, 101}) {
+		t.Errorf("third level = %v", got)
+	}
+	if _, ok := tr.Lookup(1, 12); ok {
+		t.Errorf("Lookup(1,12) present")
+	}
+	if _, ok := tr.Lookup(1, 10, 101); !ok {
+		t.Errorf("full-tuple lookup failed")
+	}
+	if _, ok := tr.Lookup(1, 10, 99); ok {
+		t.Errorf("absent tuple reported present")
+	}
+	if n, ok := tr.Lookup(); !ok || n != tr.Root() {
+		t.Errorf("empty prefix lookup should return root")
+	}
+}
+
+func TestLookupPanicsOnLongPrefix(t *testing.T) {
+	tr := BuildFromRows([][]uint32{{1, 2}}, 2, set.PolicyAuto)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	tr.Lookup(1, 2, 3)
+}
+
+func TestChildPanicsOnLeaf(t *testing.T) {
+	tr := BuildFromColumns([][]uint32{{1}}, set.PolicyAuto)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	tr.Root().Child(0)
+}
+
+func TestRaggedColumnsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	BuildFromColumns([][]uint32{{1, 2}, {3}}, set.PolicyAuto)
+}
+
+func TestZeroColumnsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	BuildFromColumns(nil, set.PolicyAuto)
+}
+
+func TestBadRowArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	BuildFromRows([][]uint32{{1, 2, 3}}, 2, set.PolicyAuto)
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	rows := [][]uint32{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
+	tr := BuildFromRows(rows, 2, set.PolicyAuto)
+	count := 0
+	tr.Each(func([]uint32) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestChildByValueOnLeaf(t *testing.T) {
+	tr := BuildFromColumns([][]uint32{{7}}, set.PolicyAuto)
+	n, ok := tr.Root().ChildByValue(7)
+	if !ok || n != nil {
+		t.Errorf("leaf ChildByValue = %v,%v", n, ok)
+	}
+	if _, ok := tr.Root().ChildByValue(8); ok {
+		t.Errorf("absent value reported present")
+	}
+}
+
+func TestDenseLevelsUseBitsets(t *testing.T) {
+	// 1000 consecutive subjects: first level should be a bitset under auto.
+	rows := make([][]uint32, 1000)
+	for i := range rows {
+		rows[i] = []uint32{uint32(i), uint32(i * 1000)}
+	}
+	auto := BuildFromRows(rows, 2, set.PolicyAuto)
+	if auto.Root().Set().Layout() != set.Bitset {
+		t.Errorf("dense first level layout = %v, want bitset", auto.Root().Set().Layout())
+	}
+	forced := BuildFromRows(rows, 2, set.PolicyUintOnly)
+	if forced.Root().Set().Layout() != set.UintArray {
+		t.Errorf("PolicyUintOnly produced %v", forced.Root().Set().Layout())
+	}
+	if forced.MemoryBytes() <= 0 || auto.MemoryBytes() <= 0 {
+		t.Errorf("MemoryBytes should be positive")
+	}
+}
+
+func TestSubView(t *testing.T) {
+	rows := [][]uint32{
+		{1, 10, 100},
+		{1, 10, 101},
+		{1, 11, 100},
+		{2, 10, 100},
+	}
+	tr := BuildFromRows(rows, 3, set.PolicyAuto)
+	n, ok := tr.Lookup(1)
+	if !ok {
+		t.Fatal("Lookup(1) failed")
+	}
+	view := Sub(n, 2)
+	if view.Arity() != 2 || view.Len() != -1 {
+		t.Errorf("view arity/len = %d/%d", view.Arity(), view.Len())
+	}
+	want := [][]uint32{{10, 100}, {10, 101}, {11, 100}}
+	if got := view.Rows(); !reflect.DeepEqual(got, want) {
+		t.Errorf("view rows = %v, want %v", got, want)
+	}
+	if _, ok := view.Lookup(10, 101); !ok {
+		t.Errorf("view lookup failed")
+	}
+	if _, ok := view.Lookup(12); ok {
+		t.Errorf("view lookup found absent value")
+	}
+}
+
+// reference: sort+dedup rows lexicographically.
+func refRows(rows [][]uint32) [][]uint32 {
+	cp := make([][]uint32, len(rows))
+	for i, r := range rows {
+		cp[i] = append([]uint32(nil), r...)
+	}
+	sort.Slice(cp, func(a, b int) bool {
+		for k := range cp[a] {
+			if cp[a][k] != cp[b][k] {
+				return cp[a][k] < cp[b][k]
+			}
+		}
+		return false
+	})
+	out := cp[:0]
+	for i, r := range cp {
+		if i == 0 || !reflect.DeepEqual(r, out[len(out)-1]) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestPropertyBuildEnumerateRoundTrip(t *testing.T) {
+	f := func(raw []uint32, aritySeed uint8) bool {
+		arity := int(aritySeed%3) + 1
+		n := len(raw) / arity
+		rows := make([][]uint32, n)
+		for i := 0; i < n; i++ {
+			row := make([]uint32, arity)
+			for c := 0; c < arity; c++ {
+				row[c] = raw[i*arity+c] % 64 // small domain forces duplicates
+			}
+			rows[i] = row
+		}
+		want := refRows(rows)
+		tr := BuildFromRows(rows, arity, set.PolicyAuto)
+		got := tr.Rows()
+		if len(want) == 0 {
+			return len(got) == 0 && tr.Len() == 0
+		}
+		return tr.Len() == len(want) && reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLookupMatchesMembership(t *testing.T) {
+	f := func(raw []uint32) bool {
+		n := len(raw) / 2
+		rows := make([][]uint32, n)
+		present := map[[2]uint32]bool{}
+		for i := 0; i < n; i++ {
+			a, b := raw[i*2]%16, raw[i*2+1]%16
+			rows[i] = []uint32{a, b}
+			present[[2]uint32{a, b}] = true
+		}
+		tr := BuildFromRows(rows, 2, set.PolicyAuto)
+		for a := uint32(0); a < 16; a++ {
+			for b := uint32(0); b < 16; b++ {
+				_, ok := tr.Lookup(a, b)
+				if ok != present[[2]uint32{a, b}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuildBinary(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 100000
+	rows := make([][]uint32, n)
+	for i := range rows {
+		rows[i] = []uint32{rng.Uint32() % 10000, rng.Uint32() % 10000}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildFromRows(rows, 2, set.PolicyAuto)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 100000
+	rows := make([][]uint32, n)
+	for i := range rows {
+		rows[i] = []uint32{rng.Uint32() % 10000, rng.Uint32() % 10000}
+	}
+	tr := BuildFromRows(rows, 2, set.PolicyAuto)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(uint32(i)%10000, uint32(i*7)%10000)
+	}
+}

@@ -1,0 +1,197 @@
+// Package repro is a from-scratch Go reproduction of "Old Techniques for
+// New Join Algorithms: A Case Study in RDF Processing" (Aberger, Tu,
+// Olukotun, Ré — ICDE 2016).
+//
+// It provides:
+//
+//   - an EmptyHeaded-style worst-case optimal join engine over RDF data
+//     (tries + generic join + GHD plans) with the paper's three classic
+//     optimizations individually toggleable (NewEmptyHeaded);
+//   - the paper's four comparison engines, modelled per §IV-A2:
+//     LogicBlox-like (un-optimized WCOJ), MonetDB-like (pairwise column
+//     store), RDF-3X-like and TripleBit-like (specialized RDF engines);
+//   - a deterministic LUBM data generator and the benchmark's queries;
+//   - N-Triples loading and a SPARQL basic-graph-pattern front end.
+//
+// Quick start:
+//
+//	ds := repro.GenerateLUBM(1, 0)
+//	eh := repro.NewEmptyHeaded(ds, repro.AllOptimizations)
+//	rows, err := repro.Query(eh, ds, repro.LUBMQuery(2, 1))
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/logicblox"
+	"repro/internal/engine/monetdb"
+	"repro/internal/engine/naive"
+	"repro/internal/engine/rdf3x"
+	"repro/internal/engine/triplebit"
+	"repro/internal/lubm"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Engine is the common query engine interface: Name plus Execute over a
+// parsed basic graph pattern.
+type Engine = engine.Engine
+
+// Result is a dictionary-encoded result set.
+type Result = engine.Result
+
+// BGP is a parsed basic graph pattern query.
+type BGP = query.BGP
+
+// Triple is one RDF statement.
+type Triple = rdf.Triple
+
+// Options toggles the EmptyHeaded engine's classic optimizations
+// (Table I of the paper).
+type Options = core.Options
+
+// AllOptimizations enables every optimization — the configuration
+// benchmarked as "EmptyHeaded" in Table II.
+var AllOptimizations = core.AllOptimizations
+
+// NoOptimizations disables all of them — the bare worst-case optimal
+// engine.
+var NoOptimizations = core.NoOptimizations
+
+// Dataset is an immutable, dictionary-encoded RDF dataset shared by any
+// number of engines.
+type Dataset struct {
+	st *store.Store
+}
+
+// LoadTriples builds a dataset from parsed triples.
+func LoadTriples(ts []Triple) *Dataset {
+	return &Dataset{st: store.FromTriples(ts)}
+}
+
+// LoadNTriples parses N-Triples from r and builds a dataset.
+func LoadNTriples(r io.Reader) (*Dataset, error) {
+	b := store.NewBuilder()
+	rd := rdf.NewReader(r)
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.Add(t)
+	}
+	return &Dataset{st: b.Build()}, nil
+}
+
+// GenerateLUBM generates the LUBM benchmark dataset at the given scale
+// (number of universities; the paper used 1000 ≈ 133M triples) and loads
+// it.
+func GenerateLUBM(universities int, seed int64) *Dataset {
+	b := store.NewBuilder()
+	lubm.GenerateTo(lubm.Config{Universities: universities, Seed: seed}, b.Add)
+	return &Dataset{st: b.Build()}
+}
+
+// WriteSnapshot serializes the dataset in the binary snapshot format, which
+// loads much faster than re-parsing N-Triples (dictionary encoding is
+// preserved; derived indexes are rebuilt lazily).
+func (d *Dataset) WriteSnapshot(w io.Writer) error { return d.st.WriteSnapshot(w) }
+
+// LoadSnapshot reads a dataset previously written with WriteSnapshot.
+func LoadSnapshot(r io.Reader) (*Dataset, error) {
+	st, err := store.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{st: st}, nil
+}
+
+// NumTriples returns the number of distinct triples loaded.
+func (d *Dataset) NumTriples() int { return d.st.NumTriples() }
+
+// NumTerms returns the dictionary size (distinct RDF terms).
+func (d *Dataset) NumTerms() int { return d.st.Dict().Size() }
+
+// Store exposes the underlying store for advanced integrations and the
+// benchmark harness.
+func (d *Dataset) Store() *store.Store { return d.st }
+
+// NewEmptyHeaded returns the paper's primary engine with the given
+// optimization configuration.
+func NewEmptyHeaded(d *Dataset, opts Options) Engine { return core.New(d.st, opts) }
+
+// NewLogicBlox returns the LogicBlox-like baseline: worst-case optimal
+// joins without EmptyHeaded's layout/plan optimizations.
+func NewLogicBlox(d *Dataset) Engine { return logicblox.New(d.st) }
+
+// NewMonetDB returns the MonetDB-like baseline: a pairwise column-store
+// engine over vertically partitioned tables.
+func NewMonetDB(d *Dataset) Engine { return monetdb.New(d.st) }
+
+// NewRDF3X returns the RDF-3X-like baseline: six clustered permutation
+// indexes with selectivity-driven pairwise joins.
+func NewRDF3X(d *Dataset) Engine { return rdf3x.New(d.st) }
+
+// NewTripleBit returns the TripleBit-like baseline: per-predicate matrix
+// storage with selectivity-driven pairwise joins.
+func NewTripleBit(d *Dataset) Engine { return triplebit.New(d.st) }
+
+// NewNaive returns the reference engine used as the correctness oracle in
+// the test suite. It is slow; use it for validation only.
+func NewNaive(d *Dataset) Engine { return naive.New(d.st) }
+
+// Engines returns one instance of every benchmarked engine (the five rows
+// of Table II), in the paper's column order.
+func Engines(d *Dataset) []Engine {
+	return []Engine{
+		NewEmptyHeaded(d, AllOptimizations),
+		NewTripleBit(d),
+		NewRDF3X(d),
+		NewMonetDB(d),
+		NewLogicBlox(d),
+	}
+}
+
+// Parse parses a SPARQL basic-graph-pattern query (PREFIX + SELECT +
+// WHERE).
+func Parse(sparql string) (*BGP, error) { return query.ParseSPARQL(sparql) }
+
+// MustParse is Parse that panics on error.
+func MustParse(sparql string) *BGP { return query.MustParseSPARQL(sparql) }
+
+// LUBMQuery returns the SPARQL text of LUBM query n (one of
+// LUBMQueryNumbers), adapted to a dataset with the given number of
+// universities.
+func LUBMQuery(n, universities int) string { return lubm.Query(n, universities) }
+
+// LUBMQueryNumbers lists the benchmark queries the paper evaluates.
+var LUBMQueryNumbers = lubm.QueryNumbers
+
+// Rows is a decoded result: terms instead of dictionary ids.
+type Rows struct {
+	// Vars is the projection, in SELECT order.
+	Vars []string
+	// Records holds one term slice per solution.
+	Records [][]rdf.Term
+}
+
+// Query parses, executes, and decodes a SPARQL query on the given engine.
+// The dataset must be the one the engine was built over (it supplies the
+// dictionary for decoding).
+func Query(e Engine, d *Dataset, sparql string) (*Rows, error) {
+	q, err := Parse(sparql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Vars: res.Vars, Records: res.Decode(d.st.Dict())}, nil
+}

@@ -1,0 +1,110 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+const apiTestData = `
+<http://ex/a> <http://ex/p> <http://ex/b> .
+<http://ex/b> <http://ex/p> <http://ex/c> .
+<http://ex/a> <http://ex/name> "A" .
+`
+
+func TestLoadNTriplesAndQuery(t *testing.T) {
+	ds, err := repro.LoadNTriples(strings.NewReader(apiTestData))
+	if err != nil {
+		t.Fatalf("LoadNTriples: %v", err)
+	}
+	if ds.NumTriples() != 3 {
+		t.Fatalf("NumTriples = %d", ds.NumTriples())
+	}
+	if ds.NumTerms() == 0 {
+		t.Fatalf("NumTerms = 0")
+	}
+	eh := repro.NewEmptyHeaded(ds, repro.AllOptimizations)
+	rows, err := repro.Query(eh, ds, `SELECT ?x ?y WHERE { ?x <http://ex/p> ?y . }`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(rows.Records) != 2 || len(rows.Vars) != 2 {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestLoadNTriplesError(t *testing.T) {
+	if _, err := repro.LoadNTriples(strings.NewReader("garbage line\n")); err == nil {
+		t.Errorf("bad N-Triples accepted")
+	}
+}
+
+func TestQueryParseError(t *testing.T) {
+	ds := repro.LoadTriples(nil)
+	eh := repro.NewEmptyHeaded(ds, repro.AllOptimizations)
+	if _, err := repro.Query(eh, ds, "not sparql"); err == nil {
+		t.Errorf("bad SPARQL accepted")
+	}
+}
+
+func TestAllEngineConstructors(t *testing.T) {
+	ds, err := repro.LoadNTriples(strings.NewReader(apiTestData))
+	if err != nil {
+		t.Fatalf("LoadNTriples: %v", err)
+	}
+	engines := []repro.Engine{
+		repro.NewEmptyHeaded(ds, repro.NoOptimizations),
+		repro.NewLogicBlox(ds),
+		repro.NewMonetDB(ds),
+		repro.NewRDF3X(ds),
+		repro.NewTripleBit(ds),
+		repro.NewNaive(ds),
+	}
+	seen := map[string]bool{}
+	for _, e := range engines {
+		if e.Name() == "" || seen[e.Name()] {
+			t.Errorf("engine name %q empty or duplicated", e.Name())
+		}
+		seen[e.Name()] = true
+		rows, err := repro.Query(e, ds, `SELECT ?x WHERE { ?x <http://ex/p> <http://ex/b> . }`)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if len(rows.Records) != 1 || rows.Records[0][0].Value != "http://ex/a" {
+			t.Errorf("%s: rows = %v", e.Name(), rows.Records)
+		}
+	}
+}
+
+func TestEnginesListMatchesTableII(t *testing.T) {
+	ds := repro.GenerateLUBM(1, 0)
+	engines := repro.Engines(ds)
+	if len(engines) != 5 {
+		t.Fatalf("Engines() = %d entries", len(engines))
+	}
+	want := []string{"emptyheaded", "triplebit", "rdf3x", "monetdb", "logicblox"}
+	for i, e := range engines {
+		if e.Name() != want[i] {
+			t.Errorf("engine %d = %s, want %s", i, e.Name(), want[i])
+		}
+	}
+}
+
+func TestGenerateLUBMAndLUBMQueries(t *testing.T) {
+	ds := repro.GenerateLUBM(1, 7)
+	if ds.NumTriples() < 10000 {
+		t.Fatalf("LUBM(1) only %d triples", ds.NumTriples())
+	}
+	if len(repro.LUBMQueryNumbers) != 12 {
+		t.Errorf("LUBMQueryNumbers = %v", repro.LUBMQueryNumbers)
+	}
+	for _, n := range repro.LUBMQueryNumbers {
+		if _, err := repro.Parse(repro.LUBMQuery(n, 1)); err != nil {
+			t.Errorf("LUBM query %d does not parse: %v", n, err)
+		}
+	}
+	if repro.MustParse(repro.LUBMQuery(2, 1)) == nil {
+		t.Errorf("MustParse returned nil")
+	}
+}
