@@ -1,48 +1,38 @@
 // Command rdfq runs a SPARQL basic-graph-pattern query against an
-// N-Triples file (or a generated LUBM dataset) using any of the five
-// engines:
+// N-Triples file, a binary snapshot, or a generated LUBM dataset using any
+// of the engines:
 //
 //	rdfq -data graph.nt -engine emptyheaded -query 'SELECT ?x WHERE { ... }'
 //	rdfq -lubm 1 -engine rdf3x -lubm-query 2
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"slices"
+	"strings"
 
 	"repro"
 )
 
 func main() {
-	data := flag.String("data", "", "N-Triples input file")
+	data := flag.String("data", "", "N-Triples or snapshot input file (format is sniffed)")
 	lubmScale := flag.Int("lubm", 0, "generate a LUBM dataset at this scale instead of loading a file")
-	engineName := flag.String("engine", "emptyheaded", "engine: emptyheaded | logicblox | monetdb | rdf3x | triplebit | naive")
+	engineName := flag.String("engine", "emptyheaded", "engine: "+strings.Join(repro.EngineNames(), " | "))
 	queryText := flag.String("query", "", "SPARQL query text")
 	lubmQuery := flag.Int("lubm-query", 0, "run this LUBM benchmark query instead of -query")
 	limit := flag.Int("limit", 20, "max rows to print (0 = all)")
 	flag.Parse()
 
 	var ds *repro.Dataset
+	var err error
 	switch {
 	case *lubmScale > 0:
 		ds = repro.GenerateLUBM(*lubmScale, 0)
 	case *data != "":
-		f, err := os.Open(*data)
-		if err != nil {
-			log.Fatalf("rdfq: %v", err)
-		}
-		defer f.Close()
-		// Sniff the format: binary snapshots start with "RDFSNAP1".
-		br := bufio.NewReaderSize(f, 1<<16)
-		head, _ := br.Peek(8)
-		if string(head) == "RDFSNAP1" {
-			ds, err = repro.LoadSnapshot(br)
-		} else {
-			ds, err = repro.LoadNTriples(br)
-		}
+		ds, err = repro.OpenDataset(*data)
 		if err != nil {
 			log.Fatalf("rdfq: %v", err)
 		}
@@ -51,26 +41,16 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d triples\n", ds.NumTriples())
 
-	var eng repro.Engine
-	switch *engineName {
-	case "emptyheaded":
-		eng = repro.NewEmptyHeaded(ds, repro.AllOptimizations)
-	case "logicblox":
-		eng = repro.NewLogicBlox(ds)
-	case "monetdb":
-		eng = repro.NewMonetDB(ds)
-	case "rdf3x":
-		eng = repro.NewRDF3X(ds)
-	case "triplebit":
-		eng = repro.NewTripleBit(ds)
-	case "naive":
-		eng = repro.NewNaive(ds)
-	default:
-		log.Fatalf("rdfq: unknown engine %q", *engineName)
+	eng, err := repro.NewEngineByName(ds, *engineName)
+	if err != nil {
+		log.Fatalf("rdfq: %v", err)
 	}
 
 	text := *queryText
 	if *lubmQuery > 0 {
+		if !slices.Contains(repro.LUBMQueryNumbers, *lubmQuery) {
+			log.Fatalf("rdfq: no LUBM query %d (valid numbers: %v)", *lubmQuery, repro.LUBMQueryNumbers)
+		}
 		scale := *lubmScale
 		if scale == 0 {
 			scale = 1

@@ -1,0 +1,151 @@
+// Command rdfserved serves SPARQL queries over HTTP against a dataset
+// loaded once at startup (N-Triples file, binary snapshot, or generated
+// LUBM scale), using the engines from this repository:
+//
+//	rdfserved -lubm 1 -addr :8080
+//	rdfserved -data graph.nt -max-concurrent 16 -timeout 10s
+//
+//	curl 'localhost:8080/query?engine=emptyheaded&query=SELECT+?x+WHERE+{...}'
+//	curl localhost:8080/stats
+//
+// With -loadgen it instead acts as a load generator against a running
+// server, reporting throughput and latency percentiles:
+//
+//	rdfserved -loadgen -url http://localhost:8080 -clients 8 -requests 400 -lubm-queries 1,2,8
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"slices"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/bench"
+	"repro/internal/server"
+)
+
+func main() {
+	// Serving flags.
+	data := flag.String("data", "", "N-Triples or snapshot input file (format is sniffed)")
+	lubmScale := flag.Int("lubm", 0, "generate a LUBM dataset at this scale instead of loading a file")
+	addr := flag.String("addr", ":8080", "listen address")
+	defEngine := flag.String("engine", "emptyheaded", "default engine for requests without ?engine=: "+strings.Join(repro.EngineNames(), " | "))
+	cacheSize := flag.Int("plan-cache", 256, "compiled-plan LRU capacity")
+	maxConc := flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+	maxRows := flag.Int("max-rows", 0, "cap rows per query result, marked truncated (0 = default 4M, -1 = uncapped)")
+
+	// Loadgen flags.
+	loadgen := flag.Bool("loadgen", false, "run as a load generator against -url instead of serving")
+	urlFlag := flag.String("url", "http://localhost:8080", "loadgen: server base URL")
+	clients := flag.Int("clients", 8, "loadgen: concurrent clients")
+	requests := flag.Int("requests", 0, "loadgen: total requests (0 = 100 per client)")
+	lgEngine := flag.String("lg-engine", "", "loadgen: ?engine= to request (empty = server default)")
+	lgQuery := flag.String("query", "", "loadgen: one SPARQL query text")
+	lubmQueries := flag.String("lubm-queries", "", "loadgen: comma-separated LUBM query numbers, e.g. 1,2,8")
+	lgScale := flag.Int("scale", 1, "loadgen: LUBM scale the server's dataset was generated at")
+	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadGen(*urlFlag, *clients, *requests, *lgEngine, *lgQuery, *lubmQueries, *lgScale, *timeout); err != nil {
+			log.Fatalf("rdfserved: %v", err)
+		}
+		return
+	}
+
+	var ds *repro.Dataset
+	var err error
+	switch {
+	case *lubmScale > 0:
+		start := time.Now()
+		ds = repro.GenerateLUBM(*lubmScale, 0)
+		log.Printf("generated LUBM scale %d: %d triples in %v", *lubmScale, ds.NumTriples(), time.Since(start).Round(time.Millisecond))
+	case *data != "":
+		start := time.Now()
+		ds, err = repro.OpenDataset(*data)
+		if err != nil {
+			log.Fatalf("rdfserved: %v", err)
+		}
+		log.Printf("loaded %s: %d triples in %v", *data, ds.NumTriples(), time.Since(start).Round(time.Millisecond))
+	default:
+		log.Fatal("rdfserved: provide -data FILE or -lubm SCALE")
+	}
+
+	srv, err := server.New(server.Config{
+		Store:          ds.Store(),
+		DefaultEngine:  *defEngine,
+		PlanCacheSize:  *cacheSize,
+		MaxConcurrent:  *maxConc,
+		DefaultTimeout: *timeout,
+		MaxRows:        *maxRows,
+	})
+	if err != nil {
+		log.Fatalf("rdfserved: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		log.Printf("serving on %s (default engine %s)", *addr, *defEngine)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("rdfserved: %v", err)
+		}
+	}()
+
+	// Graceful shutdown: finish in-flight queries (up to 15s) on SIGINT or
+	// SIGTERM.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Print("shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("rdfserved: shutdown: %v", err)
+	}
+	log.Print("bye")
+}
+
+func runLoadGen(url string, clients, requests int, engine, queryText, lubmQueries string, scale int, timeout time.Duration) error {
+	var queries []string
+	if queryText != "" {
+		queries = append(queries, queryText)
+	}
+	if lubmQueries != "" {
+		for _, part := range strings.Split(lubmQueries, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || !slices.Contains(repro.LUBMQueryNumbers, n) {
+				return fmt.Errorf("bad -lubm-queries entry %q (valid numbers: %v)", part, repro.LUBMQueryNumbers)
+			}
+			queries = append(queries, repro.LUBMQuery(n, scale))
+		}
+	}
+	if len(queries) == 0 {
+		return errors.New("loadgen: provide -query or -lubm-queries")
+	}
+	report, err := bench.RunLoadGen(context.Background(), bench.LoadGenConfig{
+		URL:      url,
+		Queries:  queries,
+		Engine:   engine,
+		Clients:  clients,
+		Requests: requests,
+		Timeout:  timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	if report.Errors > 0 {
+		return fmt.Errorf("%d requests failed", report.Errors)
+	}
+	return nil
+}

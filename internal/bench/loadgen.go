@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// LoadGenConfig parameterizes a load-generation run against a running query
+// server (cmd/rdfserved): Clients goroutines issue Requests total queries,
+// cycling through Queries, and the run records throughput and latency
+// percentiles — the serving-layer analogue of the paper's Tables I/II.
+type LoadGenConfig struct {
+	// URL is the server base URL, e.g. "http://localhost:8080".
+	URL string
+	// Queries are the SPARQL texts to cycle through; at least one.
+	Queries []string
+	// Engine selects the server-side engine ("" = server default).
+	Engine string
+	// Clients is the number of concurrent clients (default 8).
+	Clients int
+	// Requests is the total number of requests across all clients
+	// (default 100 per client).
+	Requests int
+	// Timeout bounds each request (default 60s). It is passed to the
+	// server as ?timeout= and enforced client-side with a margin.
+	Timeout time.Duration
+}
+
+// LoadGenReport is the outcome of a load-generation run.
+type LoadGenReport struct {
+	Clients   int
+	Requests  int
+	Errors    int           // non-200 responses and transport failures
+	Duration  time.Duration // wall clock for the whole run
+	QPS       float64       // successful requests per second
+	MeanLat   time.Duration
+	P50Lat    time.Duration
+	P90Lat    time.Duration
+	P99Lat    time.Duration
+	MaxLat    time.Duration
+	FirstErr  string // first error observed, for diagnosis
+	BytesRead int64  // total response body bytes read across successful requests
+}
+
+// RunLoadGen fires cfg.Clients concurrent clients at the server and
+// collects the report. It returns an error only for invalid configuration;
+// request failures are counted in the report.
+func RunLoadGen(ctx context.Context, cfg LoadGenConfig) (*LoadGenReport, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("loadgen: URL is required")
+	}
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("loadgen: at least one query is required")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 100 * cfg.Clients
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+
+	client := &http.Client{Timeout: cfg.Timeout + 5*time.Second}
+	base := strings.TrimSuffix(cfg.URL, "/")
+
+	type clientResult struct {
+		lats     []time.Duration
+		errs     int
+		firstErr string
+		bytes    int64
+	}
+	results := make([]clientResult, cfg.Clients)
+	// next hands out request indices; clients pull until exhausted, so a
+	// slow client does not leave queued work unissued.
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < cfg.Requests; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := &results[c]
+			for i := range next {
+				q := cfg.Queries[i%len(cfg.Queries)]
+				params := url.Values{"query": {q}, "timeout": {cfg.Timeout.String()}}
+				if cfg.Engine != "" {
+					params.Set("engine", cfg.Engine)
+				}
+				reqStart := time.Now()
+				resp, err := client.Get(base + "/query?" + params.Encode())
+				if err != nil {
+					r.errs++
+					if r.firstErr == "" {
+						r.firstErr = err.Error()
+					}
+					continue
+				}
+				n, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					r.errs++
+					if r.firstErr == "" {
+						r.firstErr = fmt.Sprintf("query %d: HTTP %d", i%len(cfg.Queries), resp.StatusCode)
+					}
+					continue
+				}
+				r.bytes += n
+				r.lats = append(r.lats, time.Since(reqStart))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := &LoadGenReport{Clients: cfg.Clients, Duration: elapsed}
+	var all []time.Duration
+	for _, r := range results {
+		report.Errors += r.errs
+		report.BytesRead += r.bytes
+		if report.FirstErr == "" {
+			report.FirstErr = r.firstErr
+		}
+		all = append(all, r.lats...)
+	}
+	report.Requests = len(all) + report.Errors
+	if len(all) == 0 {
+		return report, nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	report.MeanLat = sum / time.Duration(len(all))
+	// server.Quantile, not a local copy: loadgen percentiles must be
+	// computed exactly like the /stats ones they are compared against.
+	report.P50Lat = server.Quantile(all, 0.50)
+	report.P90Lat = server.Quantile(all, 0.90)
+	report.P99Lat = server.Quantile(all, 0.99)
+	report.MaxLat = all[len(all)-1]
+	if elapsed > 0 {
+		report.QPS = float64(len(all)) / elapsed.Seconds()
+	}
+	return report, nil
+}
+
+// String renders the report for terminal output.
+func (r *LoadGenReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d clients, %d requests (%d errors) in %v\n",
+		r.Clients, r.Requests, r.Errors, r.Duration.Round(time.Millisecond))
+	if r.FirstErr != "" {
+		fmt.Fprintf(&b, "  first error: %s\n", r.FirstErr)
+	}
+	fmt.Fprintf(&b, "  throughput: %.1f q/s\n", r.QPS)
+	fmt.Fprintf(&b, "  latency: mean=%v p50=%v p90=%v p99=%v max=%v\n",
+		r.MeanLat.Round(time.Microsecond), r.P50Lat.Round(time.Microsecond),
+		r.P90Lat.Round(time.Microsecond), r.P99Lat.Round(time.Microsecond),
+		r.MaxLat.Round(time.Microsecond))
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/lubm"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// TestLoadGenLUBM drives the acceptance criterion "a loadgen run against
+// LUBM scale 1 reports ≥ 8 concurrent clients' throughput/latency without
+// errors": it spins up the real handler over a generated scale-1 dataset
+// and fires 8 concurrent clients at it.
+func TestLoadGenLUBM(t *testing.T) {
+	b := store.NewBuilder()
+	lubm.GenerateTo(lubm.Config{Universities: 1, Seed: 0}, b.Add)
+	srv, err := server.New(server.Config{Store: b.Build()})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	report, err := RunLoadGen(context.Background(), LoadGenConfig{
+		URL:      ts.URL,
+		Queries:  []string{lubm.Query(1, 1), lubm.Query(2, 1), lubm.Query(8, 1), lubm.Query(14, 1)},
+		Clients:  8,
+		Requests: 64,
+		Timeout:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("RunLoadGen: %v", err)
+	}
+	t.Logf("\n%s", report)
+	if report.Errors != 0 {
+		t.Fatalf("loadgen saw %d errors (first: %s)", report.Errors, report.FirstErr)
+	}
+	if report.Requests != 64 {
+		t.Fatalf("requests = %d, want 64", report.Requests)
+	}
+	if report.QPS <= 0 || report.MeanLat <= 0 || report.P99Lat < report.P50Lat {
+		t.Fatalf("implausible report: %+v", report)
+	}
+	if st := srv.Stats(); st.Queries != 64 || st.PlanCache.Hits == 0 {
+		t.Fatalf("server stats after loadgen: %+v", st)
+	}
+}
+
+func TestLoadGenConfigValidation(t *testing.T) {
+	if _, err := RunLoadGen(context.Background(), LoadGenConfig{}); err == nil {
+		t.Fatal("want error for missing URL")
+	}
+	if _, err := RunLoadGen(context.Background(), LoadGenConfig{URL: "http://x"}); err == nil {
+		t.Fatal("want error for missing queries")
+	}
+}

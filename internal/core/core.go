@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/engine"
@@ -99,6 +100,12 @@ func (e *Engine) Plan(q *query.BGP) (*plan.Plan, error) {
 // compilation time from measurements), run the bottom-up worst-case
 // optimal pass, and enumerate results.
 func (e *Engine) Execute(q *query.BGP) (*engine.Result, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext implements engine.ContextEngine: Execute with cooperative
+// cancellation threaded into the join recursion.
+func (e *Engine) ExecuteContext(ctx context.Context, q *query.BGP) (*engine.Result, error) {
 	e.mu.Lock()
 	p, ok := e.plans[q]
 	e.mu.Unlock()
@@ -112,11 +119,26 @@ func (e *Engine) Execute(q *query.BGP) (*engine.Result, error) {
 		e.plans[q] = p
 		e.mu.Unlock()
 	}
-	r, err := exec.RunOpts(p, e.st, exec.Options{Policy: e.Policy(), Workers: e.opts.Workers})
+	return e.ExecutePlan(ctx, p)
+}
+
+// ExecutePlan runs a plan previously compiled with Plan (or pulled from an
+// external plan cache, as the query server does), honouring ctx. The plan
+// must have been compiled over this engine's store with its options.
+func (e *Engine) ExecutePlan(ctx context.Context, p *plan.Plan) (*engine.Result, error) {
+	return e.ExecutePlanLimit(ctx, p, 0)
+}
+
+// ExecutePlanLimit is ExecutePlan with a row cap: a positive maxRows stops
+// enumeration early and marks the result Truncated, bounding the memory
+// one query can consume (the serving layer's protection against
+// result-set blowup).
+func (e *Engine) ExecutePlanLimit(ctx context.Context, p *plan.Plan, maxRows int) (*engine.Result, error) {
+	r, err := exec.RunOpts(p, e.st, exec.Options{Policy: e.Policy(), Workers: e.opts.Workers, Ctx: ctx, MaxRows: maxRows})
 	if err != nil {
 		return nil, err
 	}
-	return &engine.Result{Vars: r.Vars, Rows: r.Rows}, nil
+	return &engine.Result{Vars: r.Vars, Rows: r.Rows, Truncated: r.Truncated}, nil
 }
 
-var _ engine.Engine = (*Engine)(nil)
+var _ engine.ContextEngine = (*Engine)(nil)

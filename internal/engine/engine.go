@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -20,6 +21,9 @@ import (
 type Result struct {
 	Vars []string
 	Rows [][]uint32
+	// Truncated marks a result cut off by a row limit (serving-layer
+	// protection); Rows holds the first rows found, not all of them.
+	Truncated bool
 }
 
 // Len returns the number of rows.
@@ -77,4 +81,15 @@ type Engine interface {
 	Name() string
 	// Execute runs a basic graph pattern query and returns its result.
 	Execute(q *query.BGP) (*Result, error)
+}
+
+// ContextEngine is implemented by engines whose execution honours context
+// cancellation and deadlines. The query server uses it to bound per-request
+// work; engines that cannot be interrupted mid-join fall back to
+// best-effort handling at the serving layer.
+type ContextEngine interface {
+	Engine
+	// ExecuteContext is Execute with cooperative cancellation: it returns
+	// ctx.Err() (possibly wrapped) once the context is done.
+	ExecuteContext(ctx context.Context, q *query.BGP) (*Result, error)
 }

@@ -10,6 +10,7 @@
 package logicblox
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -42,12 +43,18 @@ func (e *Engine) Name() string { return "logicblox" }
 // every relation, attributes in order of first appearance) and runs it with
 // uint-array layouts. Plans are cached per parsed query.
 func (e *Engine) Execute(q *query.BGP) (*engine.Result, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext implements engine.ContextEngine: Execute with cooperative
+// cancellation threaded into the generic join.
+func (e *Engine) ExecuteContext(ctx context.Context, q *query.BGP) (*engine.Result, error) {
 	e.mu.Lock()
 	p, ok := e.plans[q]
 	e.mu.Unlock()
 	if !ok {
 		var err error
-		p, err = e.plan(q)
+		p, err = e.Plan(q)
 		if err != nil {
 			return nil, err
 		}
@@ -55,16 +62,29 @@ func (e *Engine) Execute(q *query.BGP) (*engine.Result, error) {
 		e.plans[q] = p
 		e.mu.Unlock()
 	}
-	r, err := exec.Run(p, e.st, set.PolicyUintOnly)
+	return e.ExecutePlan(ctx, p)
+}
+
+// ExecutePlan runs a plan previously compiled with Plan, honouring ctx. The
+// plan must have been compiled over this engine's store.
+func (e *Engine) ExecutePlan(ctx context.Context, p *plan.Plan) (*engine.Result, error) {
+	return e.ExecutePlanLimit(ctx, p, 0)
+}
+
+// ExecutePlanLimit is ExecutePlan with a row cap (see core.ExecutePlanLimit).
+func (e *Engine) ExecutePlanLimit(ctx context.Context, p *plan.Plan, maxRows int) (*engine.Result, error) {
+	r, err := exec.RunOpts(p, e.st, exec.Options{Policy: set.PolicyUintOnly, Ctx: ctx, MaxRows: maxRows})
 	if err != nil {
 		return nil, err
 	}
-	return &engine.Result{Vars: r.Vars, Rows: r.Rows}, nil
+	return &engine.Result{Vars: r.Vars, Rows: r.Rows, Truncated: r.Truncated}, nil
 }
 
-// plan builds the flat single-node plan directly (bypassing the GHD
+var _ engine.ContextEngine = (*Engine)(nil)
+
+// Plan builds the flat single-node plan directly (bypassing the GHD
 // optimizer on purpose).
-func (e *Engine) plan(q *query.BGP) (*plan.Plan, error) {
+func (e *Engine) Plan(q *query.BGP) (*plan.Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}

@@ -23,7 +23,7 @@ func build() (*Engine, *store.Store) {
 func TestFlatPlanSingleNode(t *testing.T) {
 	e, _ := build()
 	q := query.MustParseSPARQL(`SELECT ?x ?y ?z WHERE { ?x <e> ?y . ?y <e> ?z . ?z <e> ?x . }`)
-	p, err := e.plan(q)
+	p, err := e.Plan(q)
 	if err != nil {
 		t.Fatalf("plan: %v", err)
 	}
@@ -76,7 +76,7 @@ func TestMissingConstantsShortCircuit(t *testing.T) {
 func TestSelectionsStayAtNaturalPositions(t *testing.T) {
 	e, _ := build()
 	q := query.MustParseSPARQL(`SELECT ?x WHERE { ?x <type> <T> . }`)
-	p, err := e.plan(q)
+	p, err := e.Plan(q)
 	if err != nil {
 		t.Fatalf("plan: %v", err)
 	}

@@ -1,0 +1,48 @@
+// Package engines is the registry mapping engine names to constructors. It
+// is the single place that knows how to build every benchmarked engine over
+// a store, shared by the root repro package, cmd/rdfq, and the query
+// server's per-request ?engine= selection.
+package engines
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/logicblox"
+	"repro/internal/engine/monetdb"
+	"repro/internal/engine/naive"
+	"repro/internal/engine/rdf3x"
+	"repro/internal/engine/triplebit"
+	"repro/internal/store"
+)
+
+// Names lists the selectable engine names: the paper's Table II engines in
+// column order, plus the naive reference engine.
+func Names() []string {
+	return []string{"emptyheaded", "triplebit", "rdf3x", "monetdb", "logicblox", "naive"}
+}
+
+// New builds the named engine over st. Engine construction may build
+// indexes eagerly (rdf3x sorts six triple permutations, triplebit builds
+// its matrices), so callers that serve many queries should construct each
+// engine once and reuse it.
+func New(name string, st *store.Store) (engine.Engine, error) {
+	switch name {
+	case "emptyheaded":
+		return core.New(st, core.AllOptimizations), nil
+	case "logicblox":
+		return logicblox.New(st), nil
+	case "monetdb":
+		return monetdb.New(st), nil
+	case "rdf3x":
+		return rdf3x.New(st), nil
+	case "triplebit":
+		return triplebit.New(st), nil
+	case "naive":
+		return naive.New(st), nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (available: %s)", name, strings.Join(Names(), ", "))
+	}
+}

@@ -1,0 +1,148 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/set"
+	"repro/internal/store"
+)
+
+// denseTriangleSetup builds a complete digraph over n vertices and compiles
+// the triangle query, whose ~n^3 results make execution long enough to
+// cancel mid-join.
+func denseTriangleSetup(t *testing.T, n int) (*plan.Plan, *store.Store) {
+	t.Helper()
+	b := store.NewBuilder()
+	p := rdf.NewIRI("http://ex/p")
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Add(rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://ex/n%d", i)),
+				P: p,
+				O: rdf.NewIRI(fmt.Sprintf("http://ex/n%d", j)),
+			})
+		}
+	}
+	st := b.Build()
+	q := query.MustParseSPARQL(`SELECT ?x ?y ?z WHERE { ?x <http://ex/p> ?y . ?y <http://ex/p> ?z . ?x <http://ex/p> ?z }`)
+	pl, err := plan.Compile(q, st, plan.AllOptimizations)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return pl, st
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	pl, st := denseTriangleSetup(t, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunOpts(pl, st, Options{Policy: set.PolicyAuto, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCancelMidJoin cancels while the join is running and checks it
+// aborts promptly instead of enumerating all ~42M triangles.
+func TestRunCancelMidJoin(t *testing.T) {
+	pl, st := denseTriangleSetup(t, 350)
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		err     error
+		elapsed time.Duration
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		_, err := RunOpts(pl, st, Options{Policy: set.PolicyAuto, Ctx: ctx})
+		done <- outcome{err, time.Since(start)}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case o := <-done:
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", o.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("join did not react to cancellation within 10s")
+	}
+}
+
+// TestRunDeadlineParallel exercises the cancellation path of the parallel
+// enumeration workers.
+func TestRunDeadlineParallel(t *testing.T) {
+	pl, st := denseTriangleSetup(t, 350)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunOpts(pl, st, Options{Policy: set.PolicyAuto, Workers: 4, Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline reaction took %v", elapsed)
+	}
+}
+
+// TestRunNilContextUnchanged pins that Ctx == nil (every pre-existing
+// caller) still runs to completion.
+func TestRunNilContextUnchanged(t *testing.T) {
+	pl, st := denseTriangleSetup(t, 8)
+	res, err := RunOpts(pl, st, Options{Policy: set.PolicyAuto})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Rows) != 8*8*8 {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), 8*8*8)
+	}
+	if res.Truncated {
+		t.Fatal("uncapped run reported Truncated")
+	}
+}
+
+func TestRunMaxRows(t *testing.T) {
+	pl, st := denseTriangleSetup(t, 12) // 1728 triangles
+	res, err := RunOpts(pl, st, Options{Policy: set.PolicyAuto, MaxRows: 100})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Rows) != 100 || !res.Truncated {
+		t.Fatalf("rows=%d truncated=%v, want 100/true", len(res.Rows), res.Truncated)
+	}
+	// A cap above the result size must not truncate.
+	res, err = RunOpts(pl, st, Options{Policy: set.PolicyAuto, MaxRows: 10_000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Rows) != 12*12*12 || res.Truncated {
+		t.Fatalf("rows=%d truncated=%v, want %d/false", len(res.Rows), res.Truncated, 12*12*12)
+	}
+	// A cap equal to the exact result size is a complete result, not a
+	// truncated one.
+	res, err = RunOpts(pl, st, Options{Policy: set.PolicyAuto, MaxRows: 12 * 12 * 12})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Rows) != 12*12*12 || res.Truncated {
+		t.Fatalf("exact fit: rows=%d truncated=%v, want %d/false", len(res.Rows), res.Truncated, 12*12*12)
+	}
+}
+
+func TestRunMaxRowsParallel(t *testing.T) {
+	pl, st := denseTriangleSetup(t, 12)
+	res, err := RunOpts(pl, st, Options{Policy: set.PolicyAuto, Workers: 4, MaxRows: 100})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Rows) != 100 || !res.Truncated {
+		t.Fatalf("rows=%d truncated=%v, want 100/true", len(res.Rows), res.Truncated)
+	}
+}

@@ -11,6 +11,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -26,6 +28,9 @@ type Result struct {
 	Vars []string
 	// Rows are dictionary-encoded output tuples.
 	Rows [][]uint32
+	// Truncated is set when Options.MaxRows stopped enumeration early;
+	// Rows then holds the first MaxRows results found, not all of them.
+	Truncated bool
 }
 
 // Options configures execution.
@@ -37,7 +42,22 @@ type Options struct {
 	// 48 cores; values ≤ 1 mean sequential). The bottom-up pass stays
 	// sequential — node results are shared.
 	Workers int
+	// Ctx, when non-nil, is checked periodically during join recursion;
+	// execution aborts with the context's error once it is cancelled or its
+	// deadline passes. This is how the query server bounds per-request work.
+	Ctx context.Context
+	// MaxRows, when positive, stops the final enumeration after that many
+	// output rows and marks the result Truncated — bounding result memory,
+	// not just CPU time. The cap applies to the final join only; GHD node
+	// materialization (semijoin-reduced, typically small) is uncapped.
+	// With Distinct, the cap applies before deduplication, so a truncated
+	// distinct result may hold fewer than MaxRows rows.
+	MaxRows int
 }
+
+// errRowLimit aborts the join recursion when MaxRows is reached. It never
+// escapes RunOpts.
+var errRowLimit = errors.New("exec: row limit reached")
 
 // Run executes p against st with the given set layout policy,
 // sequentially.
@@ -52,7 +72,12 @@ func RunOpts(p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
 	if p.Empty {
 		return res, nil
 	}
-	e := &executor{st: st, policy: policy}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	e := &executor{st: st, policy: policy, ctx: opts.Ctx}
 
 	// The root is streamed (its generic join feeds the output enumeration
 	// directly) when no top-down pass is necessary — single-node plans,
@@ -124,8 +149,19 @@ func RunOpts(p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
 	if firstVarIdx(attrs) < 0 {
 		workers = 1 // no variable to partition on (fully constant query)
 	}
+	// Enumerate up to MaxRows+1 rows: finding the extra row is what proves
+	// rows were actually dropped, so a result of exactly MaxRows rows is
+	// not falsely marked truncated. The common trim below cuts back to
+	// MaxRows.
+	limit := opts.MaxRows
+	if limit > 0 {
+		limit++
+	}
 	if workers <= 1 {
-		if err := collect(&res.Rows, newJoiner(attrs, inputs)); err != nil {
+		j := newJoiner(attrs, inputs)
+		j.ctx = opts.Ctx
+		j.limit = limit
+		if err := collect(&res.Rows, j); err != nil && !errors.Is(err, errRowLimit) {
 			return nil, err
 		}
 	} else {
@@ -141,6 +177,8 @@ func RunOpts(p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
 				// immutable tries (resolved once, before the goroutines
 				// start, so the lazy trie caches are not raced).
 				j := newJoiner(attrs, cloneInputs(inputs))
+				j.ctx = opts.Ctx
+				j.limit = limit // per worker; merged rows re-capped below
 				j.filterAt = fv
 				j.filter = func(v uint32) bool { return int(v)%workers == w }
 				errs[w] = collect(&parts[w], j)
@@ -148,7 +186,7 @@ func RunOpts(p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
 		}
 		wg.Wait()
 		for _, err := range errs {
-			if err != nil {
+			if err != nil && !errors.Is(err, errRowLimit) {
 				return nil, err
 			}
 		}
@@ -160,6 +198,10 @@ func RunOpts(p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
 		for _, part := range parts {
 			res.Rows = append(res.Rows, part...)
 		}
+	}
+	if opts.MaxRows > 0 && len(res.Rows) > opts.MaxRows {
+		res.Rows = res.Rows[:opts.MaxRows]
+		res.Truncated = true
 	}
 
 	if p.Distinct {
@@ -199,6 +241,8 @@ func rowKey(row []uint32) string {
 type executor struct {
 	st     *store.Store
 	policy set.Policy
+	// ctx, when non-nil, cancels the bottom-up materialization joins.
+	ctx context.Context
 	// results maps plan nodes to their materialized result tries. A nil
 	// entry means the node is "neutral": it has no variables and its
 	// (fully constant) patterns matched, so it constrains nothing.
@@ -254,6 +298,7 @@ func (e *executor) materialize(n *plan.Node) (*trie.Trie, error) {
 	var rows [][]uint32
 	matched := false
 	j := newJoiner(n.Attrs, inputs)
+	j.ctx = e.ctx
 	err = j.run(func(binding []uint32) {
 		matched = true
 		if len(varPos) == 0 {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/plan"
@@ -87,7 +88,22 @@ type joiner struct {
 	// variable's domain.
 	filterAt int
 	filter   func(uint32) bool
+
+	// Cancellation: when ctx is non-nil, ctx.Err is polled every
+	// cancelStride recursion steps; a non-nil error aborts the join. The
+	// stride keeps the check off the per-tuple hot path (an atomic-free
+	// counter and one branch) while still bounding reaction latency.
+	ctx   context.Context
+	steps uint
+
+	// Row cap: when limit is positive, the join aborts with errRowLimit
+	// once emitted reaches it.
+	limit   int
+	emitted int
 }
+
+// cancelStride is how many recursion steps pass between context polls.
+const cancelStride = 4096
 
 func newJoiner(attrs []plan.Attr, inputs []*input) *joiner {
 	j := &joiner{
@@ -112,8 +128,22 @@ func (j *joiner) run(emit func([]uint32)) error {
 }
 
 func (j *joiner) recurse(idx int) error {
+	if j.ctx != nil {
+		j.steps++
+		if j.steps%cancelStride == 0 {
+			if err := j.ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
 	if idx == len(j.attrs) {
 		j.emit(j.binding)
+		if j.limit > 0 {
+			j.emitted++
+			if j.emitted >= j.limit {
+				return errRowLimit
+			}
+		}
 		return nil
 	}
 	attr := j.attrs[idx]

@@ -46,6 +46,19 @@ var AllOptimizations = Options{
 	Pipelining:       true,
 }
 
+// Key renders the options into a short canonical string, used as part of
+// compiled-plan cache keys (two engines with different options must not
+// share plans).
+func (o Options) Key() string {
+	mark := func(b bool) byte {
+		if b {
+			return '1'
+		}
+		return '0'
+	}
+	return string([]byte{'L', byte('0' + int(o.Layout)), 'A', mark(o.AttributeReorder), 'G', mark(o.GHDPushdown), 'P', mark(o.Pipelining)})
+}
+
 // Attr is one attribute processed by the executor: either a query variable
 // or a selection vertex bound to an encoded constant.
 type Attr struct {

@@ -1,0 +1,55 @@
+package query
+
+import "testing"
+
+func TestNormalizeAlphaEquivalent(t *testing.T) {
+	a := MustParseSPARQL(`SELECT ?x ?y WHERE { ?x <p> ?y . ?y <q> ?z }`)
+	b := MustParseSPARQL(`SELECT ?s ?o WHERE { ?s <p> ?o . ?o <q> ?other }`)
+	na, ka := Normalize(a)
+	nb, kb := Normalize(b)
+	if ka != kb {
+		t.Fatalf("α-equivalent queries got different keys:\n%s\n%s", ka, kb)
+	}
+	if na.String() != nb.String() {
+		t.Fatalf("normalized forms differ:\n%s\n%s", na, nb)
+	}
+	if err := na.Validate(); err != nil {
+		t.Fatalf("normalized query invalid: %v", err)
+	}
+}
+
+func TestNormalizeDistinguishesStructure(t *testing.T) {
+	base := `SELECT ?x WHERE { ?x <p> ?y }`
+	variants := []string{
+		`SELECT ?y WHERE { ?x <p> ?y }`,             // different projection position
+		`SELECT DISTINCT ?x WHERE { ?x <p> ?y }`,    // distinct flag
+		`SELECT ?x WHERE { ?x <q> ?y }`,             // different predicate
+		`SELECT ?x WHERE { ?x <p> ?y . ?y <p> ?x }`, // extra pattern
+		`SELECT ?x WHERE { ?x <p> ?x }`,             // repeated variable
+		`SELECT ?x WHERE { ?x <p> "y" }`,            // literal instead of var
+	}
+	_, baseKey := Normalize(MustParseSPARQL(base))
+	for _, v := range variants {
+		if _, k := Normalize(MustParseSPARQL(v)); k == baseKey {
+			t.Errorf("query %q normalized to the same key as %q", v, base)
+		}
+	}
+}
+
+func TestNormalizeKeyStable(t *testing.T) {
+	q := MustParseSPARQL(`SELECT ?a WHERE { ?a <p> ?b . ?b <p> ?c }`)
+	_, k1 := Normalize(q)
+	_, k2 := Normalize(q)
+	if k1 != k2 {
+		t.Fatalf("keys differ across calls: %q vs %q", k1, k2)
+	}
+}
+
+func TestNormalizeDoesNotMutateInput(t *testing.T) {
+	q := MustParseSPARQL(`SELECT ?x WHERE { ?x <p> ?y }`)
+	before := q.String()
+	Normalize(q)
+	if q.String() != before {
+		t.Fatalf("Normalize mutated its input: %s -> %s", before, q.String())
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of the plan cache's counters,
+// reported by the /stats endpoint.
+type CacheStats struct {
+	Capacity  int    `json:"capacity"`
+	Size      int    `json:"size"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// planCache is a concurrency-safe LRU cache from normalized query keys to
+// prepared queries. Concurrent misses for the same key may both compile and
+// race to add; the second add wins and the first compilation is discarded —
+// harmless (plans are immutable) and simpler than per-key singleflight.
+type planCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	pq  *preparedQuery
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached prepared query for key, marking it most recently
+// used, and records a hit or miss.
+func (c *planCache) get(key string) (*preparedQuery, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).pq, true
+}
+
+// add inserts (or refreshes) key, evicting the least recently used entry
+// when over capacity.
+func (c *planCache) add(key string, pq *preparedQuery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).pq = pq
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, pq: pq})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters.
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:  c.capacity,
+		Size:      c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+
+	"repro/internal/dict"
+	"repro/internal/engine"
+)
+
+// jsonString encodes s as a JSON string without HTML escaping (every IRI
+// rendering contains '<' and '>'; < soup helps nobody).
+func jsonString(s string) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(s); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	return b[:len(b)-1], nil // Encode appends a newline; drop it
+}
+
+// Result encoders stream dictionary-encoded rows straight to the response
+// writer: each id is decoded to its term rendering as it is written, so no
+// [][]rdf.Term materialization of the full result ever exists (repro.Query
+// materializes; the server must not — result sets can be large and many
+// requests are in flight). Renderings are memoized per response because RDF
+// results repeat terms heavily (a LUBM result column often has thousands of
+// rows over a few hundred distinct terms).
+
+// termRenderer decodes ids to term strings with per-response memoization.
+type termRenderer struct {
+	d    *dict.Dictionary
+	memo map[uint32]string
+}
+
+func newTermRenderer(d *dict.Dictionary) *termRenderer {
+	return &termRenderer{d: d, memo: make(map[uint32]string, 64)}
+}
+
+func (tr *termRenderer) render(id uint32) string {
+	if s, ok := tr.memo[id]; ok {
+		return s
+	}
+	s := tr.d.Decode(id).String()
+	tr.memo[id] = s
+	return s
+}
+
+// queryMeta is the non-row metadata included in JSON responses.
+type queryMeta struct {
+	Engine    string  // engine that executed the query
+	Cache     string  // "hit" or "miss" on the plan cache
+	TookMs    float64 // execution time, queue wait excluded
+	Truncated bool    // result hit the server's row cap
+}
+
+// writeJSON streams the result as one JSON object:
+//
+//	{"vars":[...],"engine":"...","cache":"hit","took_ms":1.2,
+//	 "count":N,"rows":[["<iri>","\"literal\""],...]}
+//
+// Rows hold the canonical N-Triples term renderings.
+func writeJSON(w io.Writer, res *engine.Result, d *dict.Dictionary, meta queryMeta) error {
+	bw := bufio.NewWriterSize(w, 32<<10)
+	tr := newTermRenderer(d)
+	// Distinct JSON-escaped term strings are memoized separately from the
+	// raw renderings so escaping is also paid once per distinct term.
+	jsonMemo := make(map[uint32][]byte, 64)
+	renderJSON := func(id uint32) ([]byte, error) {
+		if b, ok := jsonMemo[id]; ok {
+			return b, nil
+		}
+		b, err := jsonString(tr.render(id))
+		if err != nil {
+			return nil, err
+		}
+		jsonMemo[id] = b
+		return b, nil
+	}
+
+	bw.WriteString(`{"vars":[`)
+	for i, v := range res.Vars {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		vb, err := jsonString(v)
+		if err != nil {
+			return err
+		}
+		bw.Write(vb)
+	}
+	bw.WriteString(`],"engine":`)
+	eb, err := jsonString(meta.Engine)
+	if err != nil {
+		return err
+	}
+	bw.Write(eb)
+	bw.WriteString(`,"cache":"`)
+	bw.WriteString(meta.Cache)
+	bw.WriteString(`","took_ms":`)
+	tb, err := json.Marshal(meta.TookMs)
+	if err != nil {
+		return err
+	}
+	bw.Write(tb)
+	if meta.Truncated {
+		bw.WriteString(`,"truncated":true`)
+	}
+	bw.WriteString(`,"count":`)
+	cb, err := json.Marshal(len(res.Rows))
+	if err != nil {
+		return err
+	}
+	bw.Write(cb)
+	bw.WriteString(`,"rows":[`)
+	for i, row := range res.Rows {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteByte('[')
+		for j, id := range row {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			b, err := renderJSON(id)
+			if err != nil {
+				return err
+			}
+			bw.Write(b)
+		}
+		bw.WriteByte(']')
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// writeTSV streams the result as tab-separated values: a "?var" header line
+// followed by one line per row of N-Triples term renderings (whose escaping
+// already keeps tabs and newlines out of the raw text).
+func writeTSV(w io.Writer, res *engine.Result, d *dict.Dictionary) error {
+	bw := bufio.NewWriterSize(w, 32<<10)
+	tr := newTermRenderer(d)
+	for i, v := range res.Vars {
+		if i > 0 {
+			bw.WriteByte('\t')
+		}
+		bw.WriteByte('?')
+		bw.WriteString(v)
+	}
+	bw.WriteByte('\n')
+	for _, row := range res.Rows {
+		for j, id := range row {
+			if j > 0 {
+				bw.WriteByte('\t')
+			}
+			bw.WriteString(tr.render(id))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,492 @@
+// Package server is the concurrent SPARQL serving layer over the engines in
+// this repository: an HTTP endpoint that loads a dataset once and answers
+// many read-only queries against the shared immutable store, the way
+// production RDF stores expose their join engines.
+//
+// The request pipeline is parse → normalize → plan-cache lookup (compile on
+// miss) → execute → stream-encode:
+//
+//   - Queries are α-normalized (internal/query.Normalize) so requests that
+//     differ only in variable naming share one compiled plan.
+//   - Compiled plans are held in a bounded LRU keyed by normalized query +
+//     engine + plan options, with hit/miss counters surfaced at /stats.
+//   - A bounded worker pool caps concurrently executing queries; waiting
+//     requests burn their own deadline, not other requests' CPU.
+//   - Every request carries a context deadline that is threaded into the
+//     worst-case optimal join recursion (internal/exec), so a pathological
+//     query is abandoned instead of starving the server. Engines that
+//     cannot be interrupted mid-join (the pairwise baselines) run detached:
+//     the response returns 504 at the deadline and the worker slot is
+//     reclaimed only when the stray execution finishes.
+//
+// Endpoints: GET/POST /query (params: query, engine, format, timeout),
+// GET /healthz, GET /stats.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engines"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Config parameterizes a Server. The zero value of every field gets a
+// sensible default from New.
+type Config struct {
+	// Store is the loaded dataset; required.
+	Store *store.Store
+	// DefaultEngine answers requests without ?engine=. Default
+	// "emptyheaded".
+	DefaultEngine string
+	// PlanCacheSize bounds the compiled-plan LRU. Default 256 entries.
+	PlanCacheSize int
+	// MaxConcurrent bounds queries executing at once; further requests
+	// queue (and may time out waiting). Default GOMAXPROCS.
+	MaxConcurrent int
+	// DefaultTimeout applies to requests without ?timeout=. Default 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested ?timeout= values. Default 2m.
+	MaxTimeout time.Duration
+	// MaxRows caps the rows one query may return; results hitting the cap
+	// come back marked "truncated". For the plan-executing engines the cap
+	// is enforced during enumeration, bounding memory, not just response
+	// size. Default 4,000,000; negative disables the cap.
+	MaxRows int
+}
+
+// defaultMaxRows bounds per-query result memory unless overridden
+// (4M rows ≈ 50-150MB materialized, depending on row width).
+const defaultMaxRows = 4_000_000
+
+// Server serves SPARQL queries over one immutable store. Create with New;
+// expose with Handler.
+type Server struct {
+	cfg   Config
+	st    *store.Store
+	cache *planCache
+	sem   chan struct{}
+	stats *metrics
+	start time.Time
+
+	// engines holds one lazily-constructed slot per valid engine name. mu
+	// guards only the map; each slot's sync.Once guards its construction,
+	// so building one expensive engine (rdf3x sorts six permutation
+	// indexes) never blocks requests on engines that already exist.
+	mu      sync.Mutex
+	engines map[string]*engineSlot
+}
+
+// engineSlot is one engine's build-once cell.
+type engineSlot struct {
+	once sync.Once
+	eng  engine.Engine
+	err  error
+}
+
+// knownEngine reports whether name is in the registry, without building
+// anything — garbage ?engine= values must not allocate slots.
+func knownEngine(name string) bool {
+	for _, n := range engines.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// New validates cfg, applies defaults, and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	if cfg.DefaultEngine == "" {
+		cfg.DefaultEngine = "emptyheaded"
+	}
+	// Construct the default engine now — it both validates the name and
+	// front-loads any eager index construction (rdf3x sorts six triple
+	// permutations) so the first request doesn't pay for it; the instance
+	// seeds the engine map below.
+	defEng, err := engines.New(cfg.DefaultEngine, cfg.Store)
+	if err != nil {
+		return nil, fmt.Errorf("server: default engine: %w", err)
+	}
+	if cfg.PlanCacheSize <= 0 {
+		cfg.PlanCacheSize = 256
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 2 * time.Minute
+	}
+	if cfg.MaxRows == 0 {
+		cfg.MaxRows = defaultMaxRows
+	} else if cfg.MaxRows < 0 {
+		cfg.MaxRows = 0 // 0 = uncapped from here on
+	}
+	defSlot := &engineSlot{eng: defEng}
+	defSlot.once.Do(func() {}) // mark built
+	return &Server{
+		cfg:     cfg,
+		st:      cfg.Store,
+		cache:   newPlanCache(cfg.PlanCacheSize),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		stats:   newMetrics(),
+		start:   time.Now(),
+		engines: map[string]*engineSlot{cfg.DefaultEngine: defSlot},
+	}, nil
+}
+
+// Handler returns the HTTP handler with the /query, /healthz, and /stats
+// routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// engine returns the shared engine instance for name, constructing it on
+// first use. Construction (expensive: rdf3x sorts six permutation indexes)
+// runs under the slot's Once, not the map lock, so building one engine
+// never stalls requests on engines that already exist.
+func (s *Server) engine(name string) (engine.Engine, error) {
+	if !knownEngine(name) {
+		// Produce the registry's canonical error without allocating a slot
+		// (arbitrary client-supplied names must not grow the map).
+		_, err := engines.New(name, s.st)
+		return nil, err
+	}
+	s.mu.Lock()
+	slot, ok := s.engines[name]
+	if !ok {
+		slot = &engineSlot{}
+		s.engines[name] = slot
+	}
+	s.mu.Unlock()
+	slot.once.Do(func() { slot.eng, slot.err = engines.New(name, s.st) })
+	return slot.eng, slot.err
+}
+
+// planExecutor is satisfied by engines that separate compilation from
+// execution (core/EmptyHeaded and the LogicBlox model); for these the cache
+// holds the compiled plan itself and the row cap is enforced during
+// enumeration.
+type planExecutor interface {
+	engine.Engine
+	Plan(*query.BGP) (*plan.Plan, error)
+	ExecutePlanLimit(ctx context.Context, p *plan.Plan, maxRows int) (*engine.Result, error)
+}
+
+// preparedQuery is one plan-cache entry: the interned normalized BGP and,
+// for planExecutor engines, its compiled plan. Both are immutable and
+// shared by concurrent executions.
+type preparedQuery struct {
+	bgp  *query.BGP
+	plan *plan.Plan // nil for engines that plan internally per execution
+}
+
+// prepare resolves q to a cache entry for engineName, compiling on miss.
+func (s *Server) prepare(engineName string, eng engine.Engine, q *query.BGP) (*preparedQuery, bool, error) {
+	norm, key := query.Normalize(q)
+	key = engineName + "|" + optionsKey(eng) + "|" + key
+	if pq, ok := s.cache.get(key); ok {
+		return pq, true, nil
+	}
+	pq := &preparedQuery{bgp: norm}
+	if pe, ok := eng.(planExecutor); ok {
+		p, err := pe.Plan(norm)
+		if err != nil {
+			return nil, false, err
+		}
+		pq.plan = p
+	}
+	s.cache.add(key, pq)
+	return pq, false, nil
+}
+
+// optionsKey renders the plan-relevant options of eng into the cache key,
+// so engines with different optimization configurations never share plans.
+func optionsKey(eng engine.Engine) string {
+	if ce, ok := eng.(*core.Engine); ok {
+		o := ce.Options()
+		return plan.Options{
+			Layout:           ce.Policy(),
+			AttributeReorder: o.AttributeReorder,
+			GHDPushdown:      o.GHDPushdown,
+			Pipelining:       o.Pipelining,
+		}.Key()
+	}
+	return ""
+}
+
+// execute runs the prepared query on eng under ctx. It takes ownership of
+// release (the worker-pool slot): on the cancellable paths the slot is
+// released when execution returns; on the detached fallback path the slot
+// stays held by the stray goroutine until the engine actually finishes, so
+// MaxConcurrent bounds true CPU concurrency, not just live requests.
+func (s *Server) execute(ctx context.Context, eng engine.Engine, pq *preparedQuery, release func()) (*engine.Result, error) {
+	if pq.plan != nil {
+		if pe, ok := eng.(planExecutor); ok {
+			defer release()
+			return pe.ExecutePlanLimit(ctx, pq.plan, s.cfg.MaxRows)
+		}
+	}
+	if ce, ok := eng.(engine.ContextEngine); ok {
+		defer release()
+		return s.capRows(ce.ExecuteContext(ctx, pq.bgp))
+	}
+	type outcome struct {
+		res *engine.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer release()
+		res, err := eng.Execute(pq.bgp)
+		done <- outcome{res, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case o := <-done:
+		return s.capRows(o.res, o.err)
+	}
+}
+
+// capRows applies the row cap after the fact for engines that cannot
+// enforce it during enumeration (bounding response size; their memory use
+// is only bounded by the timeout — see the package doc).
+func (s *Server) capRows(res *engine.Result, err error) (*engine.Result, error) {
+	if err != nil || res == nil || s.cfg.MaxRows <= 0 || len(res.Rows) <= s.cfg.MaxRows {
+		return res, err
+	}
+	return &engine.Result{Vars: res.Vars, Rows: res.Rows[:s.cfg.MaxRows], Truncated: true}, nil
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// mediaType parses a Content-Type or Accept element down to its bare media
+// type ("application/sparql-query; charset=utf-8" → "application/sparql-query").
+func mediaType(header string) string {
+	mt, _, err := mime.ParseMediaType(header)
+	if err != nil {
+		return ""
+	}
+	return mt
+}
+
+// queryText extracts the SPARQL text from the request: the raw body for
+// POST application/sparql-query, the query form/URL parameter otherwise.
+func queryText(r *http.Request) (string, error) {
+	if r.Method == http.MethodPost && mediaType(r.Header.Get("Content-Type")) == "application/sparql-query" {
+		b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20+1))
+		if err != nil {
+			return "", err
+		}
+		if len(b) > 1<<20 {
+			return "", errors.New("query body exceeds 1MiB")
+		}
+		return string(b), nil
+	}
+	return r.FormValue("query"), nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	s.stats.begin()
+	requestStart := time.Now()
+	engineName := ""
+	finished := false
+	finish := func(isErr, isTimeout bool) {
+		if !finished {
+			finished = true
+			s.stats.end(engineName, time.Since(requestStart), isErr, isTimeout)
+		}
+	}
+	defer finish(true, false) // overwritten by the explicit calls below
+
+	text, err := queryText(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading query: %v", err)
+		finish(true, false)
+		return
+	}
+	if text == "" {
+		httpError(w, http.StatusBadRequest, "missing query parameter")
+		finish(true, false)
+		return
+	}
+
+	requestedEngine := r.FormValue("engine")
+	if requestedEngine == "" {
+		requestedEngine = s.cfg.DefaultEngine
+	}
+	eng, err := s.engine(requestedEngine)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		finish(true, false)
+		return
+	}
+	engineName = requestedEngine // only resolved engines reach the stats
+
+	q, err := query.ParseSPARQL(text)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		finish(true, false)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if tv := r.FormValue("timeout"); tv != "" {
+		d, err := time.ParseDuration(tv)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad timeout %q (want a positive Go duration, e.g. 500ms)", tv)
+			finish(true, false)
+			return
+		}
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		timeout = d
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Acquire a worker slot; queue wait counts against the deadline.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.failCtx(w, ctx)
+		finish(true, errors.Is(ctx.Err(), context.DeadlineExceeded))
+		return
+	}
+	release := sync.OnceFunc(func() { <-s.sem })
+
+	pq, hit, err := s.prepare(engineName, eng, q)
+	if err != nil {
+		release()
+		httpError(w, http.StatusInternalServerError, "planning: %v", err)
+		finish(true, false)
+		return
+	}
+
+	execStart := time.Now()
+	res, err := s.execute(ctx, eng, pq, release)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.failCtx(w, ctx)
+			finish(true, errors.Is(err, context.DeadlineExceeded))
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "executing: %v", err)
+		finish(true, false)
+		return
+	}
+	took := time.Since(execStart)
+
+	// Present the caller's variable names: normalization renamed them, but
+	// positions are preserved, so rows decode unchanged.
+	out := &engine.Result{Vars: q.Select, Rows: res.Rows, Truncated: res.Truncated}
+	meta := queryMeta{Engine: eng.Name(), TookMs: ms(took), Cache: "miss", Truncated: res.Truncated}
+	if hit {
+		meta.Cache = "hit"
+	}
+	if res.Truncated {
+		w.Header().Set("X-Truncated", "true")
+	}
+	var encErr error
+	switch format(r) {
+	case "tsv":
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		encErr = writeTSV(w, out, s.st.Dict())
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		encErr = writeJSON(w, out, s.st.Dict(), meta)
+	}
+	// Encoding errors mean the client went away mid-stream; nothing to send.
+	finish(encErr != nil, false)
+}
+
+// failCtx maps a done context to 504 (deadline) or 503 (client cancelled).
+func (s *Server) failCtx(w http.ResponseWriter, ctx context.Context) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		httpError(w, http.StatusGatewayTimeout, "query timed out")
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, "request cancelled")
+}
+
+// format picks the response encoding: ?format=json|tsv, else the Accept
+// header, else JSON.
+func format(r *http.Request) string {
+	switch r.FormValue("format") {
+	case "tsv":
+		return "tsv"
+	case "json":
+		return "json"
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		if mediaType(strings.TrimSpace(part)) == "text/tab-separated-values" {
+			return "tsv"
+		}
+	}
+	return "json"
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":  "ok",
+		"triples": s.st.NumTriples(),
+		"terms":   s.st.Dict().Size(),
+	})
+}
+
+// Stats snapshots the server's counters (also served at /stats).
+func (s *Server) Stats() Stats {
+	queries, errs, timeouts, active, byEngine, lat := s.stats.snapshot()
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Triples:       s.st.NumTriples(),
+		Terms:         s.st.Dict().Size(),
+		Queries:       queries,
+		Errors:        errs,
+		Timeouts:      timeouts,
+		Active:        active,
+		ByEngine:      byEngine,
+		PlanCache:     s.cache.stats(),
+		Latency:       lat,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}

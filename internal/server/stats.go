@@ -1,0 +1,135 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencySampleCap bounds the reservoir used for percentile estimates; with
+// more than latencySampleCap recorded queries, percentiles reflect the most
+// recent window (a ring buffer), which is what an operator watching /stats
+// wants anyway.
+const latencySampleCap = 4096
+
+// LatencyStats summarizes observed query latencies (successful and failed
+// requests alike; queue wait included).
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Triples       int               `json:"triples"`
+	Terms         int               `json:"terms"`
+	Queries       uint64            `json:"queries"`
+	Errors        uint64            `json:"errors"`
+	Timeouts      uint64            `json:"timeouts"`
+	Active        int               `json:"active"`
+	ByEngine      map[string]uint64 `json:"by_engine"`
+	PlanCache     CacheStats        `json:"plan_cache"`
+	Latency       LatencyStats      `json:"latency"`
+}
+
+// metrics accumulates serving counters. All methods are safe for concurrent
+// use.
+type metrics struct {
+	mu       sync.Mutex
+	queries  uint64
+	errors   uint64
+	timeouts uint64
+	active   int
+	byEngine map[string]uint64
+
+	count uint64
+	sum   time.Duration
+	max   time.Duration
+	ring  []time.Duration
+	next  int
+}
+
+func newMetrics() *metrics {
+	return &metrics{byEngine: map[string]uint64{}}
+}
+
+func (m *metrics) begin() {
+	m.mu.Lock()
+	m.active++
+	m.mu.Unlock()
+}
+
+// end records one finished request. timeout implies error.
+func (m *metrics) end(engine string, d time.Duration, isErr, isTimeout bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.active--
+	m.queries++
+	if engine != "" {
+		m.byEngine[engine]++
+	}
+	if isErr {
+		m.errors++
+	}
+	if isTimeout {
+		m.timeouts++
+	}
+	m.count++
+	m.sum += d
+	if d > m.max {
+		m.max = d
+	}
+	if len(m.ring) < latencySampleCap {
+		m.ring = append(m.ring, d)
+	} else {
+		m.ring[m.next] = d
+		m.next = (m.next + 1) % latencySampleCap
+	}
+}
+
+func (m *metrics) snapshot() (queries, errors, timeouts uint64, active int, byEngine map[string]uint64, lat LatencyStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byEngine = make(map[string]uint64, len(m.byEngine))
+	for k, v := range m.byEngine {
+		byEngine[k] = v
+	}
+	lat = LatencyStats{Count: m.count, MaxMs: ms(m.max)}
+	if m.count > 0 {
+		lat.MeanMs = ms(m.sum) / float64(m.count)
+	}
+	if len(m.ring) > 0 {
+		sorted := make([]time.Duration, len(m.ring))
+		copy(sorted, m.ring)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		lat.P50Ms = ms(Quantile(sorted, 0.50))
+		lat.P90Ms = ms(Quantile(sorted, 0.90))
+		lat.P99Ms = ms(Quantile(sorted, 0.99))
+	}
+	return m.queries, m.errors, m.timeouts, m.active, byEngine, lat
+}
+
+// Quantile returns the p-quantile of sorted durations (nearest-rank
+// method). It is exported so the load generator (internal/bench) reports
+// percentiles computed exactly like the server's own /stats — the two are
+// meant to be compared side by side.
+func Quantile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -13,6 +13,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/dict"
 	"repro/internal/rdf"
@@ -29,6 +30,9 @@ type Relation struct {
 	distinctS, distinctO int
 
 	// Lazily built trie indexes over (S,O) and (O,S), per layout policy.
+	// Guarded by mu so concurrent queries (the server shares one Store
+	// across requests) build each index exactly once.
+	mu                     sync.Mutex
 	trieSO, trieOS         *trie.Trie
 	trieSOUint, trieOSUint *trie.Trie
 }
@@ -44,8 +48,11 @@ func (r *Relation) DistinctO() int { return r.distinctO }
 
 // TrieSO returns the (subject, object) trie for this relation, building and
 // caching it on first use. The policy chooses set layouts; the two policies
-// are cached independently so ablations do not interfere.
+// are cached independently so ablations do not interfere. Safe for
+// concurrent use.
 func (r *Relation) TrieSO(policy set.Policy) *trie.Trie {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	cached := &r.trieSO
 	if policy == set.PolicyUintOnly {
 		cached = &r.trieSOUint
@@ -57,8 +64,10 @@ func (r *Relation) TrieSO(policy set.Policy) *trie.Trie {
 }
 
 // TrieOS returns the (object, subject) trie, building and caching it on
-// first use.
+// first use. Safe for concurrent use.
 func (r *Relation) TrieOS(policy set.Policy) *trie.Trie {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	cached := &r.trieOS
 	if policy == set.PolicyUintOnly {
 		cached = &r.trieOSUint
@@ -77,10 +86,13 @@ type Triple struct {
 // Store is an immutable, dictionary-encoded, vertically partitioned RDF
 // dataset.
 type Store struct {
-	dict        *dict.Dictionary
-	relations   map[dict.ID]*Relation
-	triples     []Triple
-	predicates  []dict.ID // sorted, for deterministic iteration
+	dict       *dict.Dictionary
+	relations  map[dict.ID]*Relation
+	triples    []Triple
+	predicates []dict.ID // sorted, for deterministic iteration
+
+	// Guards the lazily built full-table tries (see TripleTrie).
+	trieMu      sync.Mutex
 	tripleTries map[tripleTrieKey]*trie.Trie
 }
 
@@ -93,8 +105,10 @@ type tripleTrieKey struct {
 // by perm (a permutation of {0,1,2} = {S,P,O}), building and caching it on
 // first use. Engines use these for patterns with variable predicates; the
 // RDF-3X baseline keeps all six permutations, mirroring its clustered
-// indexes.
+// indexes. Safe for concurrent use.
 func (s *Store) TripleTrie(perm [3]int, policy set.Policy) *trie.Trie {
+	s.trieMu.Lock()
+	defer s.trieMu.Unlock()
 	key := tripleTrieKey{perm: perm, policy: policy}
 	if t, ok := s.tripleTries[key]; ok {
 		return t

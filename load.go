@@ -1,0 +1,40 @@
+package repro
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshotMagic is the 8-byte header of the binary snapshot format (see
+// internal/store.WriteSnapshot); LoadDataset uses it to sniff the input
+// format.
+const snapshotMagic = "RDFSNAP1"
+
+// LoadDataset reads a dataset from r, sniffing the format: binary snapshots
+// (written by WriteSnapshot or cmd/lubmgen) are recognized by their magic
+// header, anything else is parsed as N-Triples. This is the shared loading
+// path of cmd/rdfq and cmd/rdfserved.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, _ := br.Peek(len(snapshotMagic))
+	if string(head) == snapshotMagic {
+		return LoadSnapshot(br)
+	}
+	return LoadNTriples(br)
+}
+
+// OpenDataset opens the file at path and loads it with LoadDataset.
+func OpenDataset(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := LoadDataset(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ds, nil
+}

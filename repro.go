@@ -30,6 +30,7 @@ import (
 	"repro/internal/engine/naive"
 	"repro/internal/engine/rdf3x"
 	"repro/internal/engine/triplebit"
+	"repro/internal/engines"
 	"repro/internal/lubm"
 	"repro/internal/query"
 	"repro/internal/rdf"
@@ -145,6 +146,16 @@ func NewTripleBit(d *Dataset) Engine { return triplebit.New(d.st) }
 // NewNaive returns the reference engine used as the correctness oracle in
 // the test suite. It is slow; use it for validation only.
 func NewNaive(d *Dataset) Engine { return naive.New(d.st) }
+
+// NewEngineByName builds the named engine (one of EngineNames) over d. It
+// is the programmatic form of cmd/rdfq's and the query server's -engine
+// selection.
+func NewEngineByName(d *Dataset, name string) (Engine, error) {
+	return engines.New(name, d.st)
+}
+
+// EngineNames lists the names NewEngineByName accepts.
+func EngineNames() []string { return engines.Names() }
 
 // Engines returns one instance of every benchmarked engine (the five rows
 // of Table II), in the paper's column order.
