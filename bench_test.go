@@ -40,12 +40,12 @@ func run(b *testing.B, e repro.Engine, q *repro.BGP) {
 	b.Helper()
 	// Warm: builds tries/indexes and the plan cache, mirroring the
 	// paper's exclusion of load and compile time.
-	if _, err := e.Execute(q); err != nil {
+	if _, err := repro.Execute(e, q); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Execute(q); err != nil {
+		if _, err := repro.Execute(e, q); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"slices"
@@ -24,6 +26,9 @@ func main() {
 	queryText := flag.String("query", "", "SPARQL query text")
 	lubmQuery := flag.Int("lubm-query", 0, "run this LUBM benchmark query instead of -query")
 	limit := flag.Int("limit", 20, "max rows to print (0 = all)")
+	offset := flag.Int("offset", 0, "skip this many result rows")
+	workers := flag.Int("workers", 0, "intra-query parallelism for the enumeration (0 = engine default)")
+	timeout := flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 	flag.Parse()
 
 	var ds *repro.Dataset
@@ -61,23 +66,47 @@ func main() {
 		log.Fatal("rdfq: provide -query or -lubm-query")
 	}
 
-	rows, err := repro.Query(eng, ds, text)
+	q, err := repro.Parse(text)
 	if err != nil {
 		log.Fatalf("rdfq: %v", err)
 	}
-	fmt.Printf("%d rows", len(rows.Records))
-	fmt.Println()
-	for i, rec := range rows.Records {
-		if *limit > 0 && i >= *limit {
-			fmt.Printf("... (%d more)\n", len(rows.Records)-i)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// Consume the engine's cursor directly: rows print as the join
+	// enumerates them (no result materialization), and the -limit row cap
+	// is the cursor's exact MaxRows — hitting it stops the remaining
+	// enumeration instead of computing rows nobody will see.
+	cur, err := eng.Open(q, repro.ExecOpts{Ctx: ctx, MaxRows: *limit, Offset: *offset, Workers: *workers})
+	if err != nil {
+		log.Fatalf("rdfq: %v", err)
+	}
+	defer cur.Close()
+	dict := ds.Store().Dict()
+	total := 0
+	for {
+		row, err := cur.Next()
+		if err == io.EOF {
 			break
 		}
-		for j, term := range rec {
+		if err != nil {
+			log.Fatalf("rdfq: %v (after %d rows)", err, total)
+		}
+		total++
+		for j, id := range row {
 			if j > 0 {
 				fmt.Print("\t")
 			}
-			fmt.Print(term)
+			fmt.Print(dict.Decode(id))
 		}
 		fmt.Println()
 	}
+	if cur.Truncated() {
+		fmt.Printf("%d rows (truncated by -limit; more exist)\n", total)
+		return
+	}
+	fmt.Printf("%d rows\n", total)
 }

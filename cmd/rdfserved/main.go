@@ -41,7 +41,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	defEngine := flag.String("engine", "emptyheaded", "default engine for requests without ?engine=: "+strings.Join(repro.EngineNames(), " | "))
 	cacheSize := flag.Int("plan-cache", 256, "compiled-plan LRU capacity")
-	maxConc := flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	maxConc := flag.Int("max-concurrent", 0, "max worker-pool slots (0 = GOMAXPROCS); a ?workers=N query holds N")
+	maxQueryWorkers := flag.Int("max-query-workers", 0, "ceiling for per-request ?workers= intra-query parallelism (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	maxRows := flag.Int("max-rows", 0, "cap rows per query result, marked truncated (0 = default 4M, -1 = uncapped)")
 
@@ -82,12 +83,13 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Store:          ds.Store(),
-		DefaultEngine:  *defEngine,
-		PlanCacheSize:  *cacheSize,
-		MaxConcurrent:  *maxConc,
-		DefaultTimeout: *timeout,
-		MaxRows:        *maxRows,
+		Store:           ds.Store(),
+		DefaultEngine:   *defEngine,
+		PlanCacheSize:   *cacheSize,
+		MaxConcurrent:   *maxConc,
+		MaxQueryWorkers: *maxQueryWorkers,
+		DefaultTimeout:  *timeout,
+		MaxRows:         *maxRows,
 	})
 	if err != nil {
 		log.Fatalf("rdfserved: %v", err)

@@ -35,11 +35,11 @@ func main() {
 		rows := 0
 		for i, e := range engines {
 			// Warm once (index/trie construction), then time.
-			if _, err := e.Execute(q); err != nil {
+			if _, err := repro.Execute(e, q); err != nil {
 				log.Fatal(err)
 			}
 			t0 := time.Now()
-			res, err := e.Execute(q)
+			res, err := repro.Execute(e, q)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -38,13 +38,13 @@ func main() {
 
 	measure := func(opts repro.Options, q *repro.BGP) time.Duration {
 		e := repro.NewEmptyHeaded(ds, opts)
-		if _, err := e.Execute(q); err != nil { // warm tries + plan cache
+		if _, err := repro.Execute(e, q); err != nil { // warm tries + plan cache
 			log.Fatal(err)
 		}
 		best := time.Duration(0)
 		for i := 0; i < 3; i++ {
 			t0 := time.Now()
-			if _, err := e.Execute(q); err != nil {
+			if _, err := repro.Execute(e, q); err != nil {
 				log.Fatal(err)
 			}
 			if d := time.Since(t0); best == 0 || d < best {

@@ -67,7 +67,7 @@ func main() {
 	fmt.Printf("%-14s %12s %10s\n", "engine", "time", "triangles")
 	for _, e := range engines {
 		start := time.Now()
-		res, err := e.Execute(parsed)
+		res, err := repro.Execute(e, parsed)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,6 +11,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -46,7 +47,9 @@ func NewDataset(cfg Config) *store.Store {
 
 // Measure times one query execution protocol: Reps runs, best and worst
 // dropped when Reps >= 3, mean of the rest. It returns the mean duration
-// and the row count of the last run.
+// and the row count of the last run. Each run drains the engine's cursor
+// without materializing rows, so the timing covers exactly the work the
+// serving layer pays: enumeration, not result buffering.
 func Measure(reps int, e engine.Engine, q *query.BGP) (time.Duration, int, error) {
 	if reps < 1 {
 		reps = 1
@@ -55,12 +58,12 @@ func Measure(reps int, e engine.Engine, q *query.BGP) (time.Duration, int, error
 	rows := 0
 	for i := 0; i < reps; i++ {
 		start := time.Now()
-		res, err := e.Execute(q)
+		n, err := drain(e, q)
 		if err != nil {
 			return 0, 0, err
 		}
 		times = append(times, time.Since(start))
-		rows = res.Len()
+		rows = n
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	if len(times) >= 3 {
@@ -71,6 +74,26 @@ func Measure(reps int, e engine.Engine, q *query.BGP) (time.Duration, int, error
 		total += t
 	}
 	return total / time.Duration(len(times)), rows, nil
+}
+
+// drain opens a cursor for q on e and counts its rows.
+func drain(e engine.Engine, q *query.BGP) (int, error) {
+	cur, err := e.Open(q, engine.ExecOpts{})
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+	n := 0
+	for {
+		_, err := cur.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		n++
+	}
 }
 
 // --- Table I -----------------------------------------------------------------

@@ -118,11 +118,20 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig) (*LoadGenReport, error) 
 					continue
 				}
 				n, _ := io.Copy(io.Discard, resp.Body)
+				// Trailers are populated only after the body is drained.
+				// Responses stream: a mid-stream failure (deadline, engine
+				// error) arrives as status 200 plus an X-Error trailer, so
+				// the status code alone no longer identifies failed queries.
+				trailerErr := resp.Trailer.Get("X-Error")
 				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
+				if resp.StatusCode != http.StatusOK || trailerErr != "" {
 					r.errs++
 					if r.firstErr == "" {
-						r.firstErr = fmt.Sprintf("query %d: HTTP %d", i%len(cfg.Queries), resp.StatusCode)
+						if trailerErr != "" {
+							r.firstErr = fmt.Sprintf("query %d: %s", i%len(cfg.Queries), trailerErr)
+						} else {
+							r.firstErr = fmt.Sprintf("query %d: HTTP %d", i%len(cfg.Queries), resp.StatusCode)
+						}
 					}
 					continue
 				}

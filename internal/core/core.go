@@ -7,7 +7,6 @@
 package core
 
 import (
-	"context"
 	"sync"
 
 	"repro/internal/engine"
@@ -95,17 +94,11 @@ func (e *Engine) Plan(q *query.BGP) (*plan.Plan, error) {
 	})
 }
 
-// Execute implements engine.Engine: compile to a GHD plan (cached per
-// parsed query, mirroring the paper's exclusion of EmptyHeaded's
-// compilation time from measurements), run the bottom-up worst-case
-// optimal pass, and enumerate results.
-func (e *Engine) Execute(q *query.BGP) (*engine.Result, error) {
-	return e.ExecuteContext(context.Background(), q)
-}
-
-// ExecuteContext implements engine.ContextEngine: Execute with cooperative
-// cancellation threaded into the join recursion.
-func (e *Engine) ExecuteContext(ctx context.Context, q *query.BGP) (*engine.Result, error) {
+// Open implements engine.Engine: compile to a GHD plan (cached per parsed
+// query, mirroring the paper's exclusion of EmptyHeaded's compilation time
+// from measurements) and stream the bottom-up worst-case optimal pass plus
+// the final enumeration through a cursor.
+func (e *Engine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error) {
 	e.mu.Lock()
 	p, ok := e.plans[q]
 	e.mu.Unlock()
@@ -119,26 +112,25 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.BGP) (*engine.Resu
 		e.plans[q] = p
 		e.mu.Unlock()
 	}
-	return e.ExecutePlan(ctx, p)
+	return e.OpenPlan(p, opts)
 }
 
-// ExecutePlan runs a plan previously compiled with Plan (or pulled from an
-// external plan cache, as the query server does), honouring ctx. The plan
-// must have been compiled over this engine's store with its options.
-func (e *Engine) ExecutePlan(ctx context.Context, p *plan.Plan) (*engine.Result, error) {
-	return e.ExecutePlanLimit(ctx, p, 0)
-}
-
-// ExecutePlanLimit is ExecutePlan with a row cap: a positive maxRows stops
-// enumeration early and marks the result Truncated, bounding the memory
-// one query can consume (the serving layer's protection against
-// result-set blowup).
-func (e *Engine) ExecutePlanLimit(ctx context.Context, p *plan.Plan, maxRows int) (*engine.Result, error) {
-	r, err := exec.RunOpts(p, e.st, exec.Options{Policy: e.Policy(), Workers: e.opts.Workers, Ctx: ctx, MaxRows: maxRows})
-	if err != nil {
-		return nil, err
+// OpenPlan streams a plan previously compiled with Plan (or pulled from an
+// external plan cache, as the query server does). The plan must have been
+// compiled over this engine's store with its options. opts.Workers > 0
+// overrides the engine's configured parallelism for this execution.
+func (e *Engine) OpenPlan(p *plan.Plan, opts engine.ExecOpts) (engine.Cursor, error) {
+	workers := e.opts.Workers
+	if opts.Workers > 0 {
+		workers = opts.Workers
 	}
-	return &engine.Result{Vars: r.Vars, Rows: r.Rows, Truncated: r.Truncated}, nil
+	return exec.Open(p, e.st, exec.Options{
+		Policy:  e.Policy(),
+		Workers: workers,
+		Ctx:     opts.Ctx,
+		MaxRows: opts.MaxRows,
+		Offset:  opts.Offset,
+	})
 }
 
-var _ engine.ContextEngine = (*Engine)(nil)
+var _ engine.Engine = (*Engine)(nil)

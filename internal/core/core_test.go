@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lubm"
 	"repro/internal/query"
 	"repro/internal/set"
@@ -44,11 +45,11 @@ func TestPlanCacheReusesPlans(t *testing.T) {
 	st := lubmStore(t)
 	e := core.New(st, core.AllOptimizations)
 	q := query.MustParseSPARQL(lubm.Query(14, 1))
-	r1, err := e.Execute(q)
+	r1, err := engine.Execute(e, q)
 	if err != nil {
 		t.Fatalf("first execute: %v", err)
 	}
-	r2, err := e.Execute(q)
+	r2, err := engine.Execute(e, q)
 	if err != nil {
 		t.Fatalf("second execute: %v", err)
 	}
@@ -68,7 +69,7 @@ func TestAllTogglesProduceSameResults(t *testing.T) {
 			GHDPushdown:      mask&4 != 0,
 			Pipelining:       mask&8 != 0,
 		}
-		got, err := core.New(st, opts).Execute(q)
+		got, err := engine.Execute(core.New(st, opts), q)
 		if err != nil {
 			t.Fatalf("opts %+v: %v", opts, err)
 		}
@@ -101,7 +102,7 @@ func TestParseErrorsPropagate(t *testing.T) {
 	st := lubmStore(t)
 	e := core.New(st, core.AllOptimizations)
 	bad := &query.BGP{Select: []string{"x"}} // no patterns
-	if _, err := e.Execute(bad); err == nil {
+	if _, err := engine.Execute(e, bad); err == nil {
 		t.Errorf("invalid query accepted")
 	}
 }

@@ -1,0 +1,233 @@
+package engine_test
+
+// The cross-engine cursor conformance suite: every engine in the registry
+// must satisfy the streaming contract of package engine —
+//
+//	(a) a pre-cancelled context fails promptly with the context's error,
+//	(b) cancellation mid-enumeration stops the cursor within a bounded
+//	    number of rows (no detached executions anywhere), and
+//	(c) Collect(Open(...)) reproduces the materialized result multiset the
+//	    old Execute API returned, checked against the naive oracle on the
+//	    LUBM golden queries,
+//
+// plus exact row-cap/offset semantics for every engine.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/engines"
+	"repro/internal/lubm"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// conformanceStore is a complete digraph over n vertices: the triangle
+// query on it yields n^3 rows, enough to observe mid-stream cancellation.
+func conformanceStore(n int) *store.Store {
+	b := store.NewBuilder()
+	p := rdf.NewIRI("http://c/p")
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Add(rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://c/n%d", i)),
+				P: p,
+				O: rdf.NewIRI(fmt.Sprintf("http://c/n%d", j)),
+			})
+		}
+	}
+	return b.Build()
+}
+
+const conformanceTriangle = `SELECT ?x ?y ?z WHERE { ?x <http://c/p> ?y . ?y <http://c/p> ?z . ?x <http://c/p> ?z }`
+
+// forEachEngine runs f once per registered engine over st.
+func forEachEngine(t *testing.T, st *store.Store, f func(t *testing.T, e engine.Engine)) {
+	t.Helper()
+	for _, name := range engines.Names() {
+		e, err := engines.New(name, st)
+		if err != nil {
+			t.Fatalf("engines.New(%s): %v", name, err)
+		}
+		t.Run(name, func(t *testing.T) { f(t, e) })
+	}
+}
+
+// TestConformancePreCancelled: opening with an already-cancelled context
+// must surface ctx.Err() promptly — either from Open itself or from the
+// first Next — without doing the query's work.
+func TestConformancePreCancelled(t *testing.T) {
+	st := conformanceStore(24)
+	q := query.MustParseSPARQL(conformanceTriangle)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	forEachEngine(t, st, func(t *testing.T, e engine.Engine) {
+		start := time.Now()
+		cur, err := e.Open(q, engine.ExecOpts{Ctx: ctx})
+		if err == nil {
+			_, err = cur.Next()
+			cur.Close()
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("pre-cancelled open took %v", d)
+		}
+	})
+}
+
+// TestConformanceCancelMidEnumeration: cancel after a few rows; the cursor
+// must fail within a bounded number of further rows (the generator's
+// buffered batches), proving the producer reacted instead of enumerating
+// the full n^3 result detached.
+func TestConformanceCancelMidEnumeration(t *testing.T) {
+	st := conformanceStore(64) // 262144 triangle rows if run to completion
+	q := query.MustParseSPARQL(conformanceTriangle)
+	forEachEngine(t, st, func(t *testing.T, e engine.Engine) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cur, err := e.Open(q, engine.ExecOpts{Ctx: ctx})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		defer cur.Close()
+		for i := 0; i < 10; i++ {
+			if _, err := cur.Next(); err != nil {
+				t.Fatalf("row %d: %v", i, err)
+			}
+		}
+		cancel()
+		// Bounded drain: buffered rows may still arrive, but the error must
+		// show up long before the full result would.
+		const bound = 20000
+		rowsAfter := 0
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case <-deadline:
+				t.Fatalf("cursor did not observe cancellation within 10s (%d rows drained)", rowsAfter)
+			default:
+			}
+			_, err := cur.Next()
+			if errors.Is(err, context.Canceled) {
+				return // contract satisfied
+			}
+			if err != nil {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			rowsAfter++
+			if rowsAfter > bound {
+				t.Fatalf("more than %d rows after cancellation — producer did not stop", bound)
+			}
+		}
+	})
+}
+
+// TestConformanceCollectMatchesNaiveOnLUBM: for every engine, the cursor
+// pipeline materialized via Collect must reproduce the naive oracle's
+// result multiset on the LUBM golden queries — the "old Execute" behavior,
+// now routed through Open.
+func TestConformanceCollectMatchesNaiveOnLUBM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	scale := 1
+	st := store.FromTriples(lubm.Generate(lubm.Config{Universities: scale}))
+	ref, err := engines.New("naive", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qn := range lubm.QueryNumbers {
+		q := query.MustParseSPARQL(lubm.Query(qn, scale))
+		want, err := engine.Collect(ref.Open(q, engine.ExecOpts{}))
+		if err != nil {
+			t.Fatalf("Q%d naive: %v", qn, err)
+		}
+		wantC := want.Canonical()
+		forEachEngine(t, st, func(t *testing.T, e engine.Engine) {
+			got, err := engine.Collect(e.Open(q, engine.ExecOpts{}))
+			if err != nil {
+				t.Fatalf("Q%d: %v", qn, err)
+			}
+			if got.Truncated {
+				t.Fatalf("Q%d: uncapped result marked truncated", qn)
+			}
+			if got.Canonical() != wantC {
+				t.Errorf("Q%d: got %d rows, want %d", qn, got.Len(), want.Len())
+			}
+		})
+	}
+}
+
+// TestConformanceExactTruncationAndOffset: for every engine, MaxRows is
+// exact (a cap equal to the result size is not "truncated"; one below is)
+// and Offset skips rows without changing the multiset's tail size.
+func TestConformanceExactTruncationAndOffset(t *testing.T) {
+	n := 8
+	total := n * n * n // 512 triangle rows
+	st := conformanceStore(n)
+	q := query.MustParseSPARQL(conformanceTriangle)
+	forEachEngine(t, st, func(t *testing.T, e engine.Engine) {
+		exact, err := engine.Collect(e.Open(q, engine.ExecOpts{MaxRows: total}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Len() != total || exact.Truncated {
+			t.Fatalf("exact cap: rows=%d truncated=%v, want %d/false", exact.Len(), exact.Truncated, total)
+		}
+		capped, err := engine.Collect(e.Open(q, engine.ExecOpts{MaxRows: total - 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if capped.Len() != total-1 || !capped.Truncated {
+			t.Fatalf("cap-1: rows=%d truncated=%v, want %d/true", capped.Len(), capped.Truncated, total-1)
+		}
+		shifted, err := engine.Collect(e.Open(q, engine.ExecOpts{Offset: total - 5}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shifted.Len() != 5 || shifted.Truncated {
+			t.Fatalf("offset: rows=%d truncated=%v, want 5/false", shifted.Len(), shifted.Truncated)
+		}
+	})
+}
+
+// TestConformanceEarlyCloseStopsProducer: closing a cursor after a few rows
+// must not leak the producing goroutine — a second full run on the same
+// engine still works and Close is idempotent.
+func TestConformanceEarlyCloseStopsProducer(t *testing.T) {
+	st := conformanceStore(16)
+	q := query.MustParseSPARQL(conformanceTriangle)
+	forEachEngine(t, st, func(t *testing.T, e engine.Engine) {
+		cur, err := e.Open(q, engine.ExecOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cur.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cur.Next(); err != io.EOF {
+			t.Fatalf("Next after Close = %v, want io.EOF", err)
+		}
+		res, err := engine.Collect(e.Open(q, engine.ExecOpts{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 16*16*16 {
+			t.Fatalf("rerun after early close: %d rows, want %d", res.Len(), 16*16*16)
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+// genBatchRows is the producer-side batch size: rows are handed from the
+// producing goroutine to the consumer in slices of up to this many, so the
+// per-row channel cost is amortized while buffered memory stays O(batch).
+const genBatchRows = 128
+
+// genFlushMin is the smallest partial batch the producer will flush
+// opportunistically. Flushing partials keeps first-byte latency low, but
+// trying on every row would degenerate into one channel send per row
+// whenever the consumer keeps up; trying only at power-of-two sizes ≥
+// genFlushMin bounds the sends per full batch.
+const genFlushMin = 16
+
+// genChanDepth is how many batches may sit between producer and consumer.
+// Together with genBatchRows it bounds how many rows a producer can run
+// ahead of a stalled or closed consumer.
+const genChanDepth = 4
+
+// generator adapts a push-style enumeration (engines naturally emit rows
+// from recursive loops) to the pull-style Cursor contract: the producer
+// runs on its own goroutine and hands over batches through a bounded
+// channel. Closing the cursor cancels the producer's context, so abandoned
+// queries stop within one cancellation stride instead of enumerating to
+// completion.
+type generator struct {
+	vars   []string
+	ch     chan [][]uint32
+	result chan error
+	cancel context.CancelFunc
+
+	batch  [][]uint32
+	idx    int
+	done   bool
+	err    error
+	closed bool
+}
+
+// NewGenerator runs produce on a new goroutine and returns the cursor over
+// the rows it emits. produce must stop and return promptly once ctx is done
+// (emit returns the context's error when the producer should stop; checking
+// ctx inside long loops that emit rarely is the producer's job). Rows
+// passed to emit are handed to the consumer verbatim: produce must not
+// reuse or mutate them afterwards.
+func NewGenerator(ctx context.Context, vars []string, produce func(ctx context.Context, emit func([]uint32) error) error) Cursor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	g := &generator{
+		vars:   vars,
+		ch:     make(chan [][]uint32, genChanDepth),
+		result: make(chan error, 1),
+		cancel: cancel,
+	}
+	go func() {
+		var batch [][]uint32
+		emit := func(row []uint32) error {
+			batch = append(batch, row)
+			if n := len(batch); n < genBatchRows {
+				// Opportunistic flush at power-of-two partial sizes: a
+				// waiting consumer gets its first rows after ≤ genFlushMin,
+				// while a keeping-up consumer still receives amortized
+				// batches instead of one send per row.
+				if n >= genFlushMin && n&(n-1) == 0 {
+					select {
+					case g.ch <- batch:
+						batch = nil
+					default:
+					}
+				}
+				return nil
+			}
+			select {
+			case g.ch <- batch:
+				batch = nil
+				return nil
+			case <-gctx.Done():
+				return gctx.Err()
+			}
+		}
+		err := produce(gctx, emit)
+		if len(batch) > 0 {
+			// Deliver the tail batch even when produce failed: rows emitted
+			// before an error belong to the consumer (mirroring a streaming
+			// response, where rows written before a mid-stream error stand).
+			select {
+			case g.ch <- batch:
+			case <-gctx.Done():
+				if err == nil {
+					err = gctx.Err()
+				}
+			}
+		}
+		g.result <- err
+		close(g.ch)
+	}()
+	return g
+}
+
+func (g *generator) Vars() []string { return g.vars }
+
+func (g *generator) Next() ([]uint32, error) {
+	for {
+		if g.idx < len(g.batch) {
+			row := g.batch[g.idx]
+			g.idx++
+			return row, nil
+		}
+		if g.done {
+			return nil, g.err
+		}
+		b, ok := <-g.ch
+		if !ok {
+			g.done = true
+			g.err = <-g.result
+			if g.err == nil {
+				g.err = io.EOF
+			}
+			return nil, g.err
+		}
+		g.batch, g.idx = b, 0
+	}
+}
+
+// Truncated is always false for a bare generator: caps are applied by the
+// Limit wrapper.
+func (g *generator) Truncated() bool { return false }
+
+func (g *generator) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	g.cancel()
+	// Drain so a producer blocked on a full channel can observe the cancel
+	// and exit; the channel is closed once it has.
+	for range g.ch {
+	}
+	g.done = true
+	if g.err == nil {
+		g.err = io.EOF
+	}
+	g.batch, g.idx = nil, 0
+	return nil
+}
+
+// Limit wraps c so it skips the first offset rows and yields at most
+// maxRows rows (maxRows <= 0 means uncapped). Truncation is reported
+// exactly: after the cap is reached, one extra row is probed — a row means
+// Truncated() == true, io.EOF means the result happened to fit exactly.
+// Hitting the cap closes the underlying cursor, stopping its producer.
+func Limit(c Cursor, offset, maxRows int) Cursor {
+	if offset <= 0 && maxRows <= 0 {
+		return c
+	}
+	return &limitCursor{inner: c, skip: offset, capped: maxRows > 0, remaining: maxRows}
+}
+
+type limitCursor struct {
+	inner     Cursor
+	skip      int
+	capped    bool
+	remaining int
+	truncated bool
+	done      bool
+	err       error
+}
+
+func (l *limitCursor) Vars() []string { return l.inner.Vars() }
+
+func (l *limitCursor) Next() ([]uint32, error) {
+	if l.done {
+		return nil, l.err
+	}
+	for l.skip > 0 {
+		if _, err := l.inner.Next(); err != nil {
+			return l.finish(err)
+		}
+		l.skip--
+	}
+	if l.capped && l.remaining == 0 {
+		// Exactness probe: only an actually existing extra row marks the
+		// result truncated.
+		_, err := l.inner.Next()
+		switch {
+		case err == nil:
+			l.truncated = true
+		case errors.Is(err, io.EOF):
+			l.truncated = l.inner.Truncated()
+		default:
+			return l.finish(err)
+		}
+		l.inner.Close()
+		return l.finish(io.EOF)
+	}
+	row, err := l.inner.Next()
+	if err != nil {
+		return l.finish(err)
+	}
+	if l.capped {
+		l.remaining--
+	}
+	return row, nil
+}
+
+func (l *limitCursor) finish(err error) ([]uint32, error) {
+	l.done = true
+	l.err = err
+	if errors.Is(err, io.EOF) && !l.truncated {
+		l.truncated = l.inner.Truncated()
+	}
+	return nil, err
+}
+
+func (l *limitCursor) Truncated() bool { return l.truncated }
+
+func (l *limitCursor) Close() error { return l.inner.Close() }
+
+// cancelStride is how many loop iterations pass between context polls in
+// engine inner loops (context.Context.Err takes a lock; polling it on a
+// stride keeps the check off the per-row hot path while still bounding
+// cancellation latency).
+const cancelStride = 4096
+
+// Ticker is the shared strided context poll used inside engine scan and
+// join loops: Check returns the context's error at most once per
+// cancelStride calls. The zero-context Ticker never fails.
+type Ticker struct {
+	ctx   context.Context
+	steps uint
+}
+
+// NewTicker returns a Ticker polling ctx (nil ctx never cancels).
+func NewTicker(ctx context.Context) *Ticker { return &Ticker{ctx: ctx} }
+
+// Check polls the context on a stride and returns its error once done.
+func (t *Ticker) Check() error {
+	if t.ctx == nil {
+		return nil
+	}
+	t.steps++
+	if t.steps%cancelStride != 0 {
+		return nil
+	}
+	return t.ctx.Err()
+}

@@ -1,12 +1,21 @@
-// Package engine defines the interface every query engine in this
-// repository implements, plus the shared result representation used for
-// cross-engine comparisons (the paper's Table II benchmarks five engines on
-// identical queries; our integration tests additionally assert that all
-// engines return identical result multisets).
+// Package engine defines the execution contract every query engine in this
+// repository implements — a streaming, context-aware, row-bounded cursor
+// model — plus the materialized result representation used for cross-engine
+// comparisons (the paper's Table II benchmarks five engines on identical
+// queries; our integration tests additionally assert that all engines
+// return identical result multisets).
+//
+// The contract is Open(query, ExecOpts) → Cursor: rows are produced
+// incrementally, cancellation is cooperative (every engine stops promptly
+// once ExecOpts.Ctx is done), and row caps/offsets are enforced exactly at
+// the cursor layer (Truncated is true iff at least one row beyond MaxRows
+// exists — no "limit+1 probe" leaks into engine code). Collect adapts a
+// cursor back to the old materialized Result API for tests and benchmarks.
 package engine
 
 import (
 	"context"
+	"io"
 	"sort"
 	"strings"
 
@@ -14,6 +23,104 @@ import (
 	"repro/internal/query"
 	"repro/internal/rdf"
 )
+
+// ExecOpts parameterizes one query execution. The zero value means: no
+// cancellation, no row cap, no offset, engine-default parallelism.
+type ExecOpts struct {
+	// Ctx, when non-nil, cancels execution cooperatively: once it is done,
+	// the cursor's Next returns the context's error within a bounded number
+	// of rows (engines poll it on a stride inside their innermost loops).
+	Ctx context.Context
+	// MaxRows, when positive, caps the rows the cursor yields. The cap is
+	// exact: after MaxRows rows Next returns io.EOF, and Truncated reports
+	// true iff at least one further row existed.
+	MaxRows int
+	// Offset skips that many rows before the first one is yielded (applied
+	// before MaxRows, after DISTINCT deduplication).
+	Offset int
+	// Workers requests intra-query parallelism (final-enumeration
+	// partitioning in the WCOJ engines). Values <= 1 mean the engine's
+	// default; engines without a parallel path ignore it.
+	Workers int
+}
+
+// Context returns opts.Ctx, defaulting to context.Background().
+func (o ExecOpts) Context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// Err returns the context's error, if a context is set and it is done.
+func (o ExecOpts) Err() error {
+	if o.Ctx != nil {
+		return o.Ctx.Err()
+	}
+	return nil
+}
+
+// Cursor streams one query's dictionary-encoded result rows. Cursors are
+// single-consumer: Next and Close must not be called concurrently. Close
+// is idempotent and must be called when the consumer is done (it stops the
+// producing computation and frees its resources); closing mid-stream is the
+// supported way to abandon a result early.
+type Cursor interface {
+	// Vars is the projection, in the query's SELECT order.
+	Vars() []string
+	// Next returns the next row, or io.EOF after the last one. Returned
+	// rows are owned by the caller (the cursor never reuses or mutates
+	// them). Any other error (context cancellation, execution failure)
+	// terminates the stream.
+	Next() ([]uint32, error)
+	// Truncated reports whether a MaxRows cap cut the stream short. It is
+	// meaningful after Next has returned io.EOF, and the report is exact:
+	// true iff at least one row beyond the cap existed.
+	Truncated() bool
+	// Close stops the producer and releases resources. Safe to call more
+	// than once, and after Next returned an error.
+	Close() error
+}
+
+// Engine is a query engine bound to one dataset.
+type Engine interface {
+	// Name identifies the engine in benchmark output.
+	Name() string
+	// Open starts executing a basic graph pattern query and returns the
+	// cursor over its rows. Validation and planning errors are returned
+	// synchronously; execution errors surface from the cursor's Next. A
+	// pre-cancelled opts.Ctx returns its error immediately.
+	Open(q *query.BGP, opts ExecOpts) (Cursor, error)
+}
+
+// Execute runs q to completion on e and materializes the result — the old
+// one-shot API, preserved for tests, benchmarks, and CLIs on top of the
+// cursor contract.
+func Execute(e Engine, q *query.BGP) (*Result, error) {
+	return Collect(e.Open(q, ExecOpts{}))
+}
+
+// Collect drains a freshly opened cursor into a materialized Result and
+// closes it. Its signature matches Open's return values so call sites read
+// engine.Collect(e.Open(q, opts)).
+func Collect(c Cursor, err error) (*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	res := &Result{Vars: c.Vars()}
+	for {
+		row, err := c.Next()
+		if err == io.EOF {
+			res.Truncated = c.Truncated()
+			return res, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+}
 
 // Result is a dictionary-encoded query result: one row per solution, in the
 // query's SELECT order. Rows are multisets (SPARQL semantics without
@@ -73,23 +180,4 @@ func uitoa(v uint32) string {
 		v /= 10
 	}
 	return string(buf[i:])
-}
-
-// Engine is a query engine bound to one dataset.
-type Engine interface {
-	// Name identifies the engine in benchmark output.
-	Name() string
-	// Execute runs a basic graph pattern query and returns its result.
-	Execute(q *query.BGP) (*Result, error)
-}
-
-// ContextEngine is implemented by engines whose execution honours context
-// cancellation and deadlines. The query server uses it to bound per-request
-// work; engines that cannot be interrupted mid-join fall back to
-// best-effort handling at the serving layer.
-type ContextEngine interface {
-	Engine
-	// ExecuteContext is Execute with cooperative cancellation: it returns
-	// ctx.Err() (possibly wrapped) once the context is done.
-	ExecuteContext(ctx context.Context, q *query.BGP) (*Result, error)
 }

@@ -44,13 +44,13 @@ func checkAll(t *testing.T, st *store.Store, queries map[string]string) {
 		if err != nil {
 			t.Fatalf("%s: parse: %v", name, err)
 		}
-		want, err := ref.Execute(q)
+		want, err := engine.Execute(ref, q)
 		if err != nil {
 			t.Fatalf("%s: naive: %v", name, err)
 		}
 		wantC := want.Canonical()
 		for _, e := range engines {
-			got, err := e.Execute(q)
+			got, err := engine.Execute(e, q)
 			if err != nil {
 				t.Fatalf("%s on %s: %v", name, e.Name(), err)
 			}
@@ -120,13 +120,13 @@ func TestEnginesAgreeOnLUBM(t *testing.T) {
 	engines := allEngines(st)
 	for _, n := range lubm.QueryNumbers {
 		q := query.MustParseSPARQL(lubm.Query(n, scale))
-		want, err := ref.Execute(q)
+		want, err := engine.Execute(ref, q)
 		if err != nil {
 			t.Fatalf("Q%d naive: %v", n, err)
 		}
 		wantC := want.Canonical()
 		for _, e := range engines {
-			got, err := e.Execute(q)
+			got, err := engine.Execute(e, q)
 			if err != nil {
 				t.Fatalf("Q%d on %s: %v", n, e.Name(), err)
 			}

@@ -10,7 +10,6 @@
 package logicblox
 
 import (
-	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -39,16 +38,10 @@ func New(st *store.Store) *Engine {
 // Name implements engine.Engine.
 func (e *Engine) Name() string { return "logicblox" }
 
-// Execute compiles the query to a single-node plan (flat generic join over
-// every relation, attributes in order of first appearance) and runs it with
-// uint-array layouts. Plans are cached per parsed query.
-func (e *Engine) Execute(q *query.BGP) (*engine.Result, error) {
-	return e.ExecuteContext(context.Background(), q)
-}
-
-// ExecuteContext implements engine.ContextEngine: Execute with cooperative
-// cancellation threaded into the generic join.
-func (e *Engine) ExecuteContext(ctx context.Context, q *query.BGP) (*engine.Result, error) {
+// Open compiles the query to a single-node plan (flat generic join over
+// every relation, attributes in order of first appearance) and streams it
+// with uint-array layouts. Plans are cached per parsed query.
+func (e *Engine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error) {
 	e.mu.Lock()
 	p, ok := e.plans[q]
 	e.mu.Unlock()
@@ -62,25 +55,21 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.BGP) (*engine.Resu
 		e.plans[q] = p
 		e.mu.Unlock()
 	}
-	return e.ExecutePlan(ctx, p)
+	return e.OpenPlan(p, opts)
 }
 
-// ExecutePlan runs a plan previously compiled with Plan, honouring ctx. The
-// plan must have been compiled over this engine's store.
-func (e *Engine) ExecutePlan(ctx context.Context, p *plan.Plan) (*engine.Result, error) {
-	return e.ExecutePlanLimit(ctx, p, 0)
+// OpenPlan streams a plan previously compiled with Plan (the query server's
+// plan-cache path). The plan must have been compiled over this engine's
+// store. The LogicBlox model has no parallel enumeration; opts.Workers is
+// ignored.
+func (e *Engine) OpenPlan(p *plan.Plan, opts engine.ExecOpts) (engine.Cursor, error) {
+	return exec.Open(p, e.st, exec.Options{
+		Policy:  set.PolicyUintOnly,
+		Ctx:     opts.Ctx,
+		MaxRows: opts.MaxRows,
+		Offset:  opts.Offset,
+	})
 }
-
-// ExecutePlanLimit is ExecutePlan with a row cap (see core.ExecutePlanLimit).
-func (e *Engine) ExecutePlanLimit(ctx context.Context, p *plan.Plan, maxRows int) (*engine.Result, error) {
-	r, err := exec.RunOpts(p, e.st, exec.Options{Policy: set.PolicyUintOnly, Ctx: ctx, MaxRows: maxRows})
-	if err != nil {
-		return nil, err
-	}
-	return &engine.Result{Vars: r.Vars, Rows: r.Rows, Truncated: r.Truncated}, nil
-}
-
-var _ engine.ContextEngine = (*Engine)(nil)
 
 // Plan builds the flat single-node plan directly (bypassing the GHD
 // optimizer on purpose).

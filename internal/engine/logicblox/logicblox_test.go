@@ -3,6 +3,7 @@ package logicblox
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -42,7 +43,7 @@ func TestFlatPlanSingleNode(t *testing.T) {
 func TestExecuteTriangle(t *testing.T) {
 	e, _ := build()
 	q := query.MustParseSPARQL(`SELECT ?x ?y ?z WHERE { ?x <e> ?y . ?y <e> ?z . ?z <e> ?x . }`)
-	res, err := e.Execute(q)
+	res, err := engine.Execute(e, q)
 	if err != nil {
 		t.Fatalf("execute: %v", err)
 	}
@@ -50,7 +51,7 @@ func TestExecuteTriangle(t *testing.T) {
 		t.Errorf("triangle rows = %d, want 3 (rotations)", res.Len())
 	}
 	// Plan cache path.
-	res2, err := e.Execute(q)
+	res2, err := engine.Execute(e, q)
 	if err != nil || res2.Canonical() != res.Canonical() {
 		t.Errorf("cached execution differs: %v", err)
 	}
@@ -63,7 +64,7 @@ func TestMissingConstantsShortCircuit(t *testing.T) {
 		`SELECT ?x WHERE { ?x <e> <nope> . }`,
 		`SELECT ?x WHERE { ?x ?p <nope> . }`,
 	} {
-		res, err := e.Execute(query.MustParseSPARQL(text))
+		res, err := engine.Execute(e, query.MustParseSPARQL(text))
 		if err != nil {
 			t.Fatalf("%s: %v", text, err)
 		}
@@ -85,7 +86,7 @@ func TestSelectionsStayAtNaturalPositions(t *testing.T) {
 	if len(p.GlobalOrder) != 2 || p.GlobalOrder[0] != "x" {
 		t.Errorf("global order = %v, want [x $...]", p.GlobalOrder)
 	}
-	res, err := e.Execute(q)
+	res, err := engine.Execute(e, q)
 	if err != nil || res.Len() != 1 {
 		t.Errorf("rows = %d err %v", res.Len(), err)
 	}
@@ -93,7 +94,7 @@ func TestSelectionsStayAtNaturalPositions(t *testing.T) {
 
 func TestVariablePredicate(t *testing.T) {
 	e, _ := build()
-	res, err := e.Execute(query.MustParseSPARQL(`SELECT ?s ?p ?o WHERE { ?s ?p ?o . }`))
+	res, err := engine.Execute(e, query.MustParseSPARQL(`SELECT ?s ?p ?o WHERE { ?s ?p ?o . }`))
 	if err != nil || res.Len() != 4 {
 		t.Errorf("all-triples rows = %d err %v", res.Len(), err)
 	}
@@ -108,7 +109,7 @@ func TestName(t *testing.T) {
 
 func TestInvalidQueryRejected(t *testing.T) {
 	e, _ := build()
-	if _, err := e.Execute(&query.BGP{Select: []string{"x"}}); err == nil {
+	if _, err := engine.Execute(e, &query.BGP{Select: []string{"x"}}); err == nil {
 		t.Errorf("invalid query accepted")
 	}
 }

@@ -8,6 +8,8 @@
 package monetdb
 
 import (
+	"context"
+
 	"repro/internal/engine"
 	"repro/internal/engine/pairwise"
 	"repro/internal/query"
@@ -35,7 +37,9 @@ func (p *provider) resolve(n query.Node) (uint32, bool, bool) {
 
 // Scan is a full scan of the predicate's table (or of the whole triple
 // table for variable predicates) with selection filters applied row by row.
-func (p *provider) Scan(pat query.Pattern) (*pairwise.Table, error) {
+// The scan polls ctx on a stride: a full column scan over a large dataset
+// is exactly the loop a cancelled request must be able to abandon.
+func (p *provider) Scan(ctx context.Context, pat query.Pattern) (*pairwise.Table, error) {
 	out := &pairwise.Table{Vars: pairwise.PatternVars(pat)}
 	sVal, sBound, sOK := p.resolve(pat.S)
 	pVal, pBound, pOK := p.resolve(pat.P)
@@ -52,17 +56,24 @@ func (p *provider) Scan(pat query.Pattern) (*pairwise.Table, error) {
 			out.Rows = append(out.Rows, row)
 		}
 	}
+	tick := engine.NewTicker(ctx)
 	if pBound {
 		rel := p.st.Relation(pVal)
 		if rel == nil {
 			return out, nil
 		}
 		for i := range rel.S {
+			if err := tick.Check(); err != nil {
+				return nil, err
+			}
 			emit(rel.S[i], pVal, rel.O[i])
 		}
 		return out, nil
 	}
 	for _, t := range p.st.Triples() {
+		if err := tick.Check(); err != nil {
+			return nil, err
+		}
 		emit(t.S, t.P, t.O)
 	}
 	return out, nil
@@ -97,7 +108,7 @@ func bindRow(pat query.Pattern, s, pr, o uint32, nvars int) ([]uint32, bool) {
 func (p *provider) CanBind(query.Pattern, []string) bool { return false }
 
 // ScanBoundEach is never called (CanBind is false).
-func (p *provider) ScanBoundEach(pat query.Pattern, bound []string, values []uint32, emit func([]uint32)) error {
+func (p *provider) ScanBoundEach(ctx context.Context, pat query.Pattern, bound []string, values []uint32, emit func([]uint32)) error {
 	panic("monetdb: ScanBoundEach on scan-only provider")
 }
 

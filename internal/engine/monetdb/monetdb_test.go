@@ -1,6 +1,7 @@
 package monetdb
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -23,7 +24,7 @@ func testStore() *store.Store {
 func TestScanFullPredicate(t *testing.T) {
 	p := &provider{st: testStore()}
 	pat := query.Pattern{S: query.Variable("s"), P: query.Constant(rdf.NewIRI("p")), O: query.Variable("o")}
-	tab, err := p.Scan(pat)
+	tab, err := p.Scan(context.Background(), pat)
 	if err != nil || len(tab.Rows) != 3 {
 		t.Fatalf("scan = %v rows, err %v", len(tab.Rows), err)
 	}
@@ -35,13 +36,13 @@ func TestScanFullPredicate(t *testing.T) {
 func TestScanWithSelections(t *testing.T) {
 	p := &provider{st: testStore()}
 	pat := query.Pattern{S: query.Constant(rdf.NewIRI("a")), P: query.Constant(rdf.NewIRI("p")), O: query.Variable("o")}
-	tab, _ := p.Scan(pat)
+	tab, _ := p.Scan(context.Background(), pat)
 	if len(tab.Rows) != 2 {
 		t.Errorf("filtered scan rows = %d", len(tab.Rows))
 	}
 	// Missing constant: empty.
 	pat.S = query.Constant(rdf.NewIRI("zzz"))
-	tab, _ = p.Scan(pat)
+	tab, _ = p.Scan(context.Background(), pat)
 	if len(tab.Rows) != 0 {
 		t.Errorf("missing constant scan rows = %d", len(tab.Rows))
 	}
@@ -50,7 +51,7 @@ func TestScanWithSelections(t *testing.T) {
 func TestScanVariablePredicate(t *testing.T) {
 	p := &provider{st: testStore()}
 	pat := query.Pattern{S: query.Variable("s"), P: query.Variable("pp"), O: query.Variable("o")}
-	tab, _ := p.Scan(pat)
+	tab, _ := p.Scan(context.Background(), pat)
 	if len(tab.Rows) != 4 {
 		t.Errorf("triple scan rows = %d", len(tab.Rows))
 	}
@@ -60,7 +61,7 @@ func TestScanRepeatedVariable(t *testing.T) {
 	st := store.FromTriples([]rdf.Triple{t3("a", "p", "a"), t3("a", "p", "b")})
 	p := &provider{st: st}
 	pat := query.Pattern{S: query.Variable("x"), P: query.Constant(rdf.NewIRI("p")), O: query.Variable("x")}
-	tab, _ := p.Scan(pat)
+	tab, _ := p.Scan(context.Background(), pat)
 	if len(tab.Rows) != 1 {
 		t.Errorf("self-loop rows = %v", tab.Rows)
 	}
@@ -76,7 +77,7 @@ func TestNoIndexNestedLoops(t *testing.T) {
 			t.Errorf("ScanBoundEach should panic")
 		}
 	}()
-	_ = p.ScanBoundEach(query.Pattern{}, nil, nil, nil)
+	_ = p.ScanBoundEach(context.Background(), query.Pattern{}, nil, nil, nil)
 }
 
 func TestEstimates(t *testing.T) {

@@ -7,6 +7,8 @@
 package naive
 
 import (
+	"context"
+
 	"repro/internal/engine"
 	"repro/internal/query"
 	"repro/internal/store"
@@ -44,38 +46,52 @@ func (e *Engine) Name() string { return "naive" }
 // binding maps variable names to encoded values during backtracking.
 type binding map[string]uint32
 
-// Execute implements engine.Engine by backtracking over the patterns,
-// always expanding the pattern with the fewest candidate triples next.
-func (e *Engine) Execute(q *query.BGP) (*engine.Result, error) {
+// Open implements engine.Engine by streaming the backtracking search
+// through a cursor, always expanding the pattern with the fewest candidate
+// triples next. Cancellation is polled on a stride inside the candidate
+// loops, so even a pathological search stops promptly.
+func (e *Engine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	res := &engine.Result{Vars: q.Select}
-	b := binding{}
-	var dedup map[string]bool
-	if q.Distinct {
-		dedup = map[string]bool{}
+	if err := opts.Err(); err != nil {
+		return nil, err
 	}
-	remaining := make([]query.Pattern, len(q.Patterns))
-	copy(remaining, q.Patterns)
-	e.solve(remaining, b, func() {
-		row := make([]uint32, len(q.Select))
-		for i, v := range q.Select {
-			row[i] = b[v]
+	cur := engine.NewGenerator(opts.Ctx, q.Select, func(ctx context.Context, emit func([]uint32) error) error {
+		b := binding{}
+		var dedup map[string]bool
+		if q.Distinct {
+			dedup = map[string]bool{}
 		}
-		if dedup != nil {
-			kb := make([]byte, 0, len(row)*4)
-			for _, v := range row {
-				kb = append(kb, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		remaining := make([]query.Pattern, len(q.Patterns))
+		copy(remaining, q.Patterns)
+		s := &search{e: e, tick: engine.NewTicker(ctx)}
+		return s.solve(remaining, b, func() error {
+			row := make([]uint32, len(q.Select))
+			for i, v := range q.Select {
+				row[i] = b[v]
 			}
-			if dedup[string(kb)] {
-				return
+			if dedup != nil {
+				kb := make([]byte, 0, len(row)*4)
+				for _, v := range row {
+					kb = append(kb, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+				}
+				if dedup[string(kb)] {
+					return nil
+				}
+				dedup[string(kb)] = true
 			}
-			dedup[string(kb)] = true
-		}
-		res.Rows = append(res.Rows, row)
+			return emit(row)
+		})
 	})
-	return res, nil
+	return engine.Limit(cur, opts.Offset, opts.MaxRows), nil
+}
+
+// search is one execution's backtracking state: the engine's indexes plus
+// the strided context poll.
+type search struct {
+	e    *Engine
+	tick *engine.Ticker
 }
 
 // candidates returns the cheapest candidate list for a pattern under the
@@ -101,18 +117,18 @@ func (e *Engine) candidates(pat query.Pattern, b binding) ([]store.Triple, bool)
 	return best, true
 }
 
-func (e *Engine) solve(remaining []query.Pattern, b binding, emit func()) {
+func (s *search) solve(remaining []query.Pattern, b binding, emit func() error) error {
 	if len(remaining) == 0 {
-		emit()
-		return
+		return emit()
 	}
+	e := s.e
 	// Pick the pattern with the smallest candidate list.
 	bestIdx := -1
 	var bestCands []store.Triple
 	for i, pat := range remaining {
 		cands, ok := e.candidates(pat, b)
 		if !ok {
-			return // a constant is absent: no solutions down this branch
+			return nil // a constant is absent: no solutions down this branch
 		}
 		if bestIdx < 0 || len(cands) < len(bestCands) {
 			bestIdx, bestCands = i, cands
@@ -128,6 +144,9 @@ func (e *Engine) solve(remaining []query.Pattern, b binding, emit func()) {
 	ov, oBound, _ := e.resolve(pat.O, b)
 
 	for _, t := range bestCands {
+		if err := s.tick.Check(); err != nil {
+			return err
+		}
 		if sBound && t.S != sv || pBound && t.P != pv || oBound && t.O != ov {
 			continue
 		}
@@ -152,13 +171,18 @@ func (e *Engine) solve(remaining []query.Pattern, b binding, emit func()) {
 			b[posn.n.Var] = posn.v
 			undo = append(undo, posn.n.Var)
 		}
+		var err error
 		if ok {
-			e.solve(rest, b, emit)
+			err = s.solve(rest, b, emit)
 		}
 		for _, v := range undo {
 			delete(b, v)
 		}
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // resolve returns the value a position is fixed to (by constant or current

@@ -3,6 +3,7 @@ package naive
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -22,7 +23,7 @@ func build() *Engine {
 func TestBasicJoin(t *testing.T) {
 	e := build()
 	q := query.MustParseSPARQL(`SELECT ?s ?o WHERE { ?s <p> ?o . ?o <q> <k> . }`)
-	res, err := e.Execute(q)
+	res, err := engine.Execute(e, q)
 	if err != nil {
 		t.Fatalf("execute: %v", err)
 	}
@@ -38,7 +39,7 @@ func TestMissingConstantYieldsEmpty(t *testing.T) {
 		`SELECT ?s WHERE { ?s <p> <absent> . }`,
 		`SELECT ?s WHERE { <absent> <p> ?s . }`,
 	} {
-		res, err := e.Execute(query.MustParseSPARQL(text))
+		res, err := engine.Execute(e, query.MustParseSPARQL(text))
 		if err != nil {
 			t.Fatalf("%s: %v", text, err)
 		}
@@ -51,12 +52,12 @@ func TestMissingConstantYieldsEmpty(t *testing.T) {
 func TestDistinct(t *testing.T) {
 	e := build()
 	q := query.MustParseSPARQL(`SELECT DISTINCT ?s WHERE { ?s <p> ?o . }`)
-	res, err := e.Execute(q)
+	res, err := engine.Execute(e, q)
 	if err != nil || res.Len() != 2 {
 		t.Errorf("distinct rows = %d err %v", res.Len(), err)
 	}
 	q2 := query.MustParseSPARQL(`SELECT ?s WHERE { ?s <p> ?o . }`)
-	res2, _ := e.Execute(q2)
+	res2, _ := engine.Execute(e, q2)
 	if res2.Len() != 3 {
 		t.Errorf("multiset rows = %d", res2.Len())
 	}
@@ -66,7 +67,7 @@ func TestRepeatedVariableInPattern(t *testing.T) {
 	e := New(store.FromTriples([]rdf.Triple{
 		t3("a", "p", "a"), t3("a", "p", "b"),
 	}))
-	res, err := e.Execute(query.MustParseSPARQL(`SELECT ?x WHERE { ?x <p> ?x . }`))
+	res, err := engine.Execute(e, query.MustParseSPARQL(`SELECT ?x WHERE { ?x <p> ?x . }`))
 	if err != nil || res.Len() != 1 {
 		t.Errorf("self-loop rows = %d err %v", res.Len(), err)
 	}
@@ -74,7 +75,7 @@ func TestRepeatedVariableInPattern(t *testing.T) {
 
 func TestInvalidQuery(t *testing.T) {
 	e := build()
-	if _, err := e.Execute(&query.BGP{Select: []string{"x"}}); err == nil {
+	if _, err := engine.Execute(e, &query.BGP{Select: []string{"x"}}); err == nil {
 		t.Errorf("invalid query accepted")
 	}
 }

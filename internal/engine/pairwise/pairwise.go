@@ -8,6 +8,13 @@
 // hash joins or, when the provider supports bound lookups, index
 // nested-loop joins.
 //
+// Execution satisfies the engine.Cursor contract: intermediates are still
+// fully materialized between operators (that is the model the paper
+// evaluates), but every scan, build, and probe loop polls the execution
+// context on a stride, so a cancelled request abandons the pipeline
+// promptly instead of running detached, and the final projection streams
+// row-by-row through the cursor.
+//
 // This is exactly the engine family the paper proves asymptotically
 // suboptimal on cyclic queries (§I): any pairwise plan for the triangle
 // takes Ω(N²) in the worst case, while the generic worst-case optimal join
@@ -15,6 +22,7 @@
 package pairwise
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,18 +46,22 @@ func (t *Table) VarIndex(v string) int {
 	return -1
 }
 
-// ScanProvider supplies access paths for one dataset.
+// ScanProvider supplies access paths for one dataset. Scan and
+// ScanBoundEach receive the execution context and must poll it on a stride
+// (engine.NewTicker) inside their row loops, returning its error once done
+// — this is what makes the pairwise engines cooperatively cancellable all
+// the way down to their access paths.
 type ScanProvider interface {
 	// Scan returns all rows matching pat, one column per distinct
 	// variable of pat (in subject, predicate, object order).
-	Scan(pat query.Pattern) (*Table, error)
+	Scan(ctx context.Context, pat query.Pattern) (*Table, error)
 	// CanBind reports whether ScanBoundEach supports lookups with the
 	// given variables pre-bound.
 	CanBind(pat query.Pattern, bound []string) bool
 	// ScanBoundEach streams rows of pat that agree with the given
 	// bindings; rows use the same column order as Scan. The row slice is
 	// reused; callers must copy.
-	ScanBoundEach(pat query.Pattern, bound []string, values []uint32, emit func(row []uint32)) error
+	ScanBoundEach(ctx context.Context, pat query.Pattern, bound []string, values []uint32, emit func(row []uint32)) error
 	// EstimateCard estimates the number of rows Scan would return.
 	EstimateCard(pat query.Pattern) float64
 	// EstimateBound estimates the rows per lookup of ScanBoundEach.
@@ -86,48 +98,62 @@ func PatternVars(pat query.Pattern) []string {
 	return out
 }
 
-// Execute implements engine.Engine.
-func (e *Engine) Execute(q *query.BGP) (*engine.Result, error) {
+// Open implements engine.Engine. The join pipeline runs on the cursor's
+// producer goroutine; the final projection streams through the cursor.
+func (e *Engine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Err(); err != nil {
+		return nil, err
+	}
+	// Join ordering is planning: it runs synchronously so Open reports its
+	// errors directly (the Engine contract), and only execution streams.
 	steps, err := e.optimize(q.Patterns)
 	if err != nil {
 		return nil, err
 	}
-	cur, err := e.scans.Scan(q.Patterns[steps[0].pattern])
-	if err != nil {
-		return nil, err
-	}
-	for _, s := range steps[1:] {
-		pat := q.Patterns[s.pattern]
-		if s.useINLJ {
-			cur, err = e.indexNestedLoopJoin(cur, pat)
-		} else {
-			var right *Table
-			right, err = e.scans.Scan(pat)
-			if err == nil {
-				cur = HashJoin(cur, right)
+	cur := engine.NewGenerator(opts.Ctx, q.Select, func(ctx context.Context, emit func([]uint32) error) error {
+		cur, err := e.scans.Scan(ctx, q.Patterns[steps[0].pattern])
+		if err != nil {
+			return err
+		}
+		for _, s := range steps[1:] {
+			pat := q.Patterns[s.pattern]
+			if s.useINLJ {
+				cur, err = e.indexNestedLoopJoin(ctx, cur, pat)
+			} else {
+				var right *Table
+				right, err = e.scans.Scan(ctx, pat)
+				if err == nil {
+					cur, err = hashJoin(ctx, cur, right)
+				}
+			}
+			if err != nil {
+				return err
 			}
 		}
-		if err != nil {
-			return nil, err
-		}
-	}
-	return project(cur, q.Select, q.Distinct), nil
+		return project(ctx, cur, q.Select, q.Distinct, emit)
+	})
+	return engine.Limit(cur, opts.Offset, opts.MaxRows), nil
 }
 
-func project(t *Table, sel []string, distinct bool) *engine.Result {
+// project streams the final table's SELECT columns to emit, deduplicating
+// when distinct is set.
+func project(ctx context.Context, t *Table, sel []string, distinct bool, emit func([]uint32) error) error {
 	idx := make([]int, len(sel))
 	for i, v := range sel {
 		idx[i] = t.VarIndex(v)
 	}
-	res := &engine.Result{Vars: sel}
 	var dedup map[string]bool
 	if distinct {
 		dedup = map[string]bool{}
 	}
+	tick := engine.NewTicker(ctx)
 	for _, row := range t.Rows {
+		if err := tick.Check(); err != nil {
+			return err
+		}
 		out := make([]uint32, len(idx))
 		for i, j := range idx {
 			out[i] = row[j]
@@ -139,9 +165,11 @@ func project(t *Table, sel []string, distinct bool) *engine.Result {
 			}
 			dedup[key] = true
 		}
-		res.Rows = append(res.Rows, out)
+		if err := emit(out); err != nil {
+			return err
+		}
 	}
-	return res
+	return nil
 }
 
 func rowKey(row []uint32) string {
@@ -156,18 +184,31 @@ func rowKey(row []uint32) string {
 
 // HashJoin joins two tables on their shared variables (natural join),
 // building a hash table on the smaller input. With no shared variables it
-// degenerates to a cartesian product.
+// degenerates to a cartesian product. This uncancellable form is kept for
+// tests and standalone use; execution goes through hashJoin with the
+// request context.
 func HashJoin(left, right *Table) *Table {
+	out, _ := hashJoin(context.Background(), left, right)
+	return out
+}
+
+// hashJoin is HashJoin with strided context cancellation in the build and
+// probe loops.
+func hashJoin(ctx context.Context, left, right *Table) (*Table, error) {
 	shared, rightExtra := splitVars(left, right)
 	out := &Table{Vars: append(append([]string{}, left.Vars...), rightExtra...)}
+	tick := engine.NewTicker(ctx)
 
 	if len(shared) == 0 {
 		for _, l := range left.Rows {
 			for _, r := range right.Rows {
+				if err := tick.Check(); err != nil {
+					return nil, err
+				}
 				out.Rows = append(out.Rows, mergeRows(l, r, nil, right, rightExtra))
 			}
 		}
-		return out
+		return out, nil
 	}
 
 	// Key extractors.
@@ -181,6 +222,9 @@ func HashJoin(left, right *Table) *Table {
 	ht := make(map[string][][]uint32, len(right.Rows))
 	keyBuf := make([]byte, 0, len(shared)*4)
 	for _, r := range right.Rows {
+		if err := tick.Check(); err != nil {
+			return nil, err
+		}
 		keyBuf = keyBuf[:0]
 		for _, j := range rIdx {
 			v := r[j]
@@ -195,10 +239,16 @@ func HashJoin(left, right *Table) *Table {
 			keyBuf = append(keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 		}
 		for _, r := range ht[string(keyBuf)] {
+			if err := tick.Check(); err != nil {
+				return nil, err
+			}
 			out.Rows = append(out.Rows, mergeRows(l, r, nil, right, rightExtra))
 		}
+		if err := tick.Check(); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
 func splitVars(left, right *Table) (shared, rightExtra []string) {
@@ -227,7 +277,7 @@ func mergeRows(l, r []uint32, _ []int, right *Table, rightExtra []string) []uint
 
 // indexNestedLoopJoin joins the current table with a base pattern by
 // per-row index lookups.
-func (e *Engine) indexNestedLoopJoin(left *Table, pat query.Pattern) (*Table, error) {
+func (e *Engine) indexNestedLoopJoin(ctx context.Context, left *Table, pat query.Pattern) (*Table, error) {
 	patVars := PatternVars(pat)
 	var shared, extra []string
 	for _, v := range patVars {
@@ -250,12 +300,16 @@ func (e *Engine) indexNestedLoopJoin(left *Table, pat query.Pattern) (*Table, er
 			}
 		}
 	}
+	tick := engine.NewTicker(ctx)
 	values := make([]uint32, len(shared))
 	for _, l := range left.Rows {
+		if err := tick.Check(); err != nil {
+			return nil, err
+		}
 		for i, j := range lIdx {
 			values[i] = l[j]
 		}
-		err := e.scans.ScanBoundEach(pat, shared, values, func(row []uint32) {
+		err := e.scans.ScanBoundEach(ctx, pat, shared, values, func(row []uint32) {
 			merged := make([]uint32, 0, len(l)+len(extra))
 			merged = append(merged, l...)
 			for _, j := range extraIdx {

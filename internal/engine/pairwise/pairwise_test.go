@@ -1,10 +1,12 @@
 package pairwise
 
 import (
+	"context"
 	"reflect"
 	"sort"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/query"
 	"repro/internal/rdf"
 )
@@ -95,7 +97,7 @@ func (f *fakeProvider) rows(pat query.Pattern) [][]uint32 {
 	return f.scans[pat.P.Term.Value]
 }
 
-func (f *fakeProvider) Scan(pat query.Pattern) (*Table, error) {
+func (f *fakeProvider) Scan(_ context.Context, pat query.Pattern) (*Table, error) {
 	f.scanned = append(f.scanned, pat.P.Term.Value)
 	out := &Table{Vars: PatternVars(pat)}
 	for _, r := range f.rows(pat) {
@@ -109,7 +111,7 @@ func (f *fakeProvider) Scan(pat query.Pattern) (*Table, error) {
 
 func (f *fakeProvider) CanBind(query.Pattern, []string) bool { return f.canBind }
 
-func (f *fakeProvider) ScanBoundEach(pat query.Pattern, bound []string, values []uint32, emit func([]uint32)) error {
+func (f *fakeProvider) ScanBoundEach(_ context.Context, pat query.Pattern, bound []string, values []uint32, emit func([]uint32)) error {
 	f.bound = append(f.bound, pat.P.Term.Value)
 	for _, r := range f.rows(pat) {
 		row, ok := matchRow(pat, r[0], r[1], bound, values)
@@ -161,7 +163,7 @@ func TestOptimizerStartsWithSmallestRelation(t *testing.T) {
 	}}
 	e := New("fake", f)
 	q := query.MustParseSPARQL(`SELECT ?x ?y ?z WHERE { ?x <big> ?y . ?x <small> ?z . }`)
-	res, err := e.Execute(q)
+	res, err := engine.Execute(e, q)
 	if err != nil {
 		t.Fatalf("execute: %v", err)
 	}
@@ -186,7 +188,7 @@ func TestOptimizerUsesINLJWhenCheap(t *testing.T) {
 	}
 	e := New("fake", f)
 	q := query.MustParseSPARQL(`SELECT ?x ?y ?z WHERE { ?x <tiny> ?y . ?x <huge> ?z . }`)
-	if _, err := e.Execute(q); err != nil {
+	if _, err := engine.Execute(e, q); err != nil {
 		t.Fatalf("execute: %v", err)
 	}
 	// The huge relation must be accessed via bound lookups, not a scan.
@@ -202,7 +204,7 @@ func TestOptimizerUsesINLJWhenCheap(t *testing.T) {
 
 func TestExecuteRejectsEmptyQuery(t *testing.T) {
 	e := New("fake", &fakeProvider{scans: map[string][][]uint32{}})
-	if _, err := e.Execute(&query.BGP{Select: []string{"x"}}); err == nil {
+	if _, err := engine.Execute(e, &query.BGP{Select: []string{"x"}}); err == nil {
 		t.Errorf("invalid query accepted")
 	}
 }
@@ -213,7 +215,7 @@ func TestDistinctProjection(t *testing.T) {
 	}}
 	e := New("fake", f)
 	q := query.MustParseSPARQL(`SELECT DISTINCT ?x WHERE { ?x <p> ?y . }`)
-	res, err := e.Execute(q)
+	res, err := engine.Execute(e, q)
 	if err != nil {
 		t.Fatalf("execute: %v", err)
 	}
@@ -222,7 +224,7 @@ func TestDistinctProjection(t *testing.T) {
 	}
 	// Without DISTINCT the duplicate projection stays.
 	q2 := query.MustParseSPARQL(`SELECT ?x WHERE { ?x <p> ?y . }`)
-	res2, _ := e.Execute(q2)
+	res2, _ := engine.Execute(e, q2)
 	if len(res2.Rows) != 3 {
 		t.Errorf("multiset rows = %v", res2.Rows)
 	}

@@ -9,6 +9,7 @@
 package rdf3x
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/engine"
@@ -156,14 +157,19 @@ func greaterPrefix(k [3]uint32, prefix []uint32) bool {
 }
 
 // emitMatches streams index-range rows, applying any fixed positions not
-// covered by the prefix and repeated-variable consistency.
-func (p *provider) emitMatches(pat query.Pattern, s boundSpec, emit func([]uint32)) {
+// covered by the prefix and repeated-variable consistency. The range loop
+// polls ctx on a stride so large scans abandon promptly when cancelled.
+func (p *provider) emitMatches(ctx context.Context, pat query.Pattern, s boundSpec, emit func([]uint32)) error {
 	if !s.ok {
-		return
+		return nil
 	}
 	patVars := pairwise.PatternVars(pat)
 	row := make([]uint32, len(patVars))
+	tick := engine.NewTicker(ctx)
 	for _, t := range p.rangeScan(s) {
+		if err := tick.Check(); err != nil {
+			return err
+		}
 		pos := [3]uint32{t.S, t.P, t.O}
 		if s.fixed[0] && pos[0] != s.vals[0] || s.fixed[1] && pos[1] != s.vals[1] || s.fixed[2] && pos[2] != s.vals[2] {
 			continue
@@ -172,6 +178,7 @@ func (p *provider) emitMatches(pat query.Pattern, s boundSpec, emit func([]uint3
 			emit(row)
 		}
 	}
+	return nil
 }
 
 // fillRow assigns pattern variables from a triple, checking repeated vars.
@@ -196,12 +203,15 @@ func fillRow(pat query.Pattern, pos [3]uint32, patVars []string, row []uint32) b
 }
 
 // Scan implements pairwise.ScanProvider via an index range scan.
-func (p *provider) Scan(pat query.Pattern) (*pairwise.Table, error) {
+func (p *provider) Scan(ctx context.Context, pat query.Pattern) (*pairwise.Table, error) {
 	out := &pairwise.Table{Vars: pairwise.PatternVars(pat)}
 	s := p.spec(pat, nil, nil)
-	p.emitMatches(pat, s, func(row []uint32) {
+	err := p.emitMatches(ctx, pat, s, func(row []uint32) {
 		out.Rows = append(out.Rows, append([]uint32(nil), row...))
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -209,10 +219,9 @@ func (p *provider) Scan(pat query.Pattern) (*pairwise.Table, error) {
 func (p *provider) CanBind(query.Pattern, []string) bool { return true }
 
 // ScanBoundEach implements indexed lookups.
-func (p *provider) ScanBoundEach(pat query.Pattern, bound []string, values []uint32, emit func([]uint32)) error {
+func (p *provider) ScanBoundEach(ctx context.Context, pat query.Pattern, bound []string, values []uint32, emit func([]uint32)) error {
 	s := p.spec(pat, bound, values)
-	p.emitMatches(pat, s, emit)
-	return nil
+	return p.emitMatches(ctx, pat, s, emit)
 }
 
 // EstimateCard returns the exact range size — RDF-3X's aggregate indexes

@@ -1,8 +1,10 @@
 package rdf3x
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/engine/pairwise"
 	"repro/internal/query"
 	"repro/internal/rdf"
@@ -99,7 +101,7 @@ func TestRangeScanExact(t *testing.T) {
 func TestScanAndBoundScan(t *testing.T) {
 	pr := buildProvider(t)
 	pat := query.Pattern{S: query.Variable("s"), P: query.Constant(rdf.NewIRI("p")), O: query.Variable("o")}
-	tab, err := pr.Scan(pat)
+	tab, err := pr.Scan(context.Background(), pat)
 	if err != nil || len(tab.Rows) != 3 {
 		t.Fatalf("scan rows = %d err %v", len(tab.Rows), err)
 	}
@@ -109,7 +111,7 @@ func TestScanAndBoundScan(t *testing.T) {
 	st := pr.st
 	aID, _ := st.Dict().LookupIRI("a")
 	count := 0
-	err = pr.ScanBoundEach(pat, []string{"s"}, []uint32{aID}, func(row []uint32) { count++ })
+	err = pr.ScanBoundEach(context.Background(), pat, []string{"s"}, []uint32{aID}, func(row []uint32) { count++ })
 	if err != nil || count != 2 {
 		t.Errorf("bound scan count = %d err %v", count, err)
 	}
@@ -137,7 +139,7 @@ func TestEstimateDistinctAndBound(t *testing.T) {
 func TestVariablePredicateScan(t *testing.T) {
 	pr := buildProvider(t)
 	pat := query.Pattern{S: query.Constant(rdf.NewIRI("a")), P: query.Variable("pp"), O: query.Variable("o")}
-	tab, _ := pr.Scan(pat)
+	tab, _ := pr.Scan(context.Background(), pat)
 	if len(tab.Rows) != 3 {
 		t.Errorf("a ?p ?o rows = %d", len(tab.Rows))
 	}
@@ -152,7 +154,7 @@ func TestEngineEndToEnd(t *testing.T) {
 		t.Errorf("name = %s", e.Name())
 	}
 	q := query.MustParseSPARQL(`SELECT ?s WHERE { ?s <p> <x> . ?s <q> <x> . }`)
-	res, err := e.Execute(q)
+	res, err := engine.Execute(e, q)
 	if err != nil || res.Len() != 1 {
 		t.Errorf("rows = %d err %v", res.Len(), err)
 	}

@@ -9,6 +9,7 @@
 package triplebit
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/dict"
@@ -95,28 +96,42 @@ func (p *provider) predicates(pat query.Pattern) ([]*matrix, bool) {
 }
 
 // emitPattern streams (s, o) pairs for one matrix given optional fixed
-// subject/object values, using the best sort order.
-func emitPattern(m *matrix, sVal uint32, sBound bool, oVal uint32, oBound bool, emit func(s, o uint32)) {
+// subject/object values, using the best sort order. tick is the caller's
+// strided context poll; a context error aborts the scan.
+func emitPattern(m *matrix, sVal uint32, sBound bool, oVal uint32, oBound bool, tick *engine.Ticker, emit func(s, o uint32)) error {
 	switch {
 	case sBound && oBound:
 		for _, pr := range rangeOf(m.bySO, sVal) {
+			if err := tick.Check(); err != nil {
+				return err
+			}
 			if pr.b == oVal {
 				emit(pr.a, pr.b)
 			}
 		}
 	case sBound:
 		for _, pr := range rangeOf(m.bySO, sVal) {
+			if err := tick.Check(); err != nil {
+				return err
+			}
 			emit(pr.a, pr.b)
 		}
 	case oBound:
 		for _, pr := range rangeOf(m.byOS, oVal) {
+			if err := tick.Check(); err != nil {
+				return err
+			}
 			emit(pr.b, pr.a)
 		}
 	default:
 		for _, pr := range m.bySO {
+			if err := tick.Check(); err != nil {
+				return err
+			}
 			emit(pr.a, pr.b)
 		}
 	}
+	return nil
 }
 
 // rowFor builds the variable row for a matched triple, checking repeated
@@ -143,7 +158,7 @@ func rowFor(pat query.Pattern, patVars []string, s, pv, o uint32, row []uint32) 
 }
 
 // Scan implements pairwise.ScanProvider.
-func (p *provider) Scan(pat query.Pattern) (*pairwise.Table, error) {
+func (p *provider) Scan(ctx context.Context, pat query.Pattern) (*pairwise.Table, error) {
 	out := &pairwise.Table{Vars: pairwise.PatternVars(pat)}
 	ms, ok := p.predicates(pat)
 	if !ok {
@@ -155,12 +170,16 @@ func (p *provider) Scan(pat query.Pattern) (*pairwise.Table, error) {
 		return out, nil
 	}
 	row := make([]uint32, len(out.Vars))
+	tick := engine.NewTicker(ctx)
 	for _, m := range ms {
-		emitPattern(m, sVal, sBound, oVal, oBound, func(s, o uint32) {
+		err := emitPattern(m, sVal, sBound, oVal, oBound, tick, func(s, o uint32) {
 			if rowFor(pat, out.Vars, s, m.pred, o, row) {
 				out.Rows = append(out.Rows, append([]uint32(nil), row...))
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -170,7 +189,7 @@ func (p *provider) Scan(pat query.Pattern) (*pairwise.Table, error) {
 func (p *provider) CanBind(pat query.Pattern, bound []string) bool { return true }
 
 // ScanBoundEach implements indexed lookups.
-func (p *provider) ScanBoundEach(pat query.Pattern, bound []string, values []uint32, emit func([]uint32)) error {
+func (p *provider) ScanBoundEach(ctx context.Context, pat query.Pattern, bound []string, values []uint32, emit func([]uint32)) error {
 	val := func(n query.Node) (uint32, bool, bool) {
 		if !n.IsVar {
 			return p.resolve(n)
@@ -202,12 +221,16 @@ func (p *provider) ScanBoundEach(pat query.Pattern, bound []string, values []uin
 	}
 	patVars := pairwise.PatternVars(pat)
 	row := make([]uint32, len(patVars))
+	tick := engine.NewTicker(ctx)
 	for _, m := range ms {
-		emitPattern(m, sVal, sBound, oVal, oBound, func(s, o uint32) {
+		err := emitPattern(m, sVal, sBound, oVal, oBound, tick, func(s, o uint32) {
 			if rowFor(pat, patVars, s, m.pred, o, row) {
 				emit(row)
 			}
 		})
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

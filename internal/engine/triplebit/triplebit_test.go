@@ -1,9 +1,11 @@
 package triplebit
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -55,13 +57,13 @@ func TestScanOrders(t *testing.T) {
 
 	// Subject bound: uses SO order.
 	pat := query.Pattern{S: query.Constant(rdf.NewIRI("a")), P: query.Constant(rdf.NewIRI("p")), O: query.Variable("o")}
-	tab, _ := p.Scan(pat)
+	tab, _ := p.Scan(context.Background(), pat)
 	if len(tab.Rows) != 2 {
 		t.Errorf("s-bound rows = %v", tab.Rows)
 	}
 	// Object bound: uses OS order.
 	pat = query.Pattern{S: query.Variable("s"), P: query.Constant(rdf.NewIRI("p")), O: query.Constant(rdf.NewIRI("x"))}
-	tab, _ = p.Scan(pat)
+	tab, _ = p.Scan(context.Background(), pat)
 	if len(tab.Rows) != 2 {
 		t.Errorf("o-bound rows = %v", tab.Rows)
 	}
@@ -77,7 +79,7 @@ func TestScanOrders(t *testing.T) {
 func TestVariablePredicateUnionScan(t *testing.T) {
 	p, _ := build(t)
 	pat := query.Pattern{S: query.Variable("s"), P: query.Variable("pp"), O: query.Variable("o")}
-	tab, _ := p.Scan(pat)
+	tab, _ := p.Scan(context.Background(), pat)
 	if len(tab.Rows) != 4 {
 		t.Errorf("union scan rows = %d", len(tab.Rows))
 	}
@@ -91,7 +93,7 @@ func TestScanBoundEachWithPredVar(t *testing.T) {
 	aID, _ := st.Dict().LookupIRI("a")
 	pat := query.Pattern{S: query.Variable("s"), P: query.Variable("pp"), O: query.Variable("o")}
 	count := 0
-	err := p.ScanBoundEach(pat, []string{"s"}, []uint32{aID}, func([]uint32) { count++ })
+	err := p.ScanBoundEach(context.Background(), pat, []string{"s"}, []uint32{aID}, func([]uint32) { count++ })
 	if err != nil || count != 3 {
 		t.Errorf("bound-by-s count = %d err %v", count, err)
 	}
@@ -100,7 +102,7 @@ func TestScanBoundEachWithPredVar(t *testing.T) {
 func TestMissingConstantEmpty(t *testing.T) {
 	p, _ := build(t)
 	pat := query.Pattern{S: query.Variable("s"), P: query.Constant(rdf.NewIRI("nope")), O: query.Variable("o")}
-	tab, _ := p.Scan(pat)
+	tab, _ := p.Scan(context.Background(), pat)
 	if len(tab.Rows) != 0 {
 		t.Errorf("missing predicate rows = %d", len(tab.Rows))
 	}
@@ -136,7 +138,7 @@ func TestEngineEndToEnd(t *testing.T) {
 		t.Errorf("name = %s", e.Name())
 	}
 	q := query.MustParseSPARQL(`SELECT ?s ?o WHERE { ?s <p> ?o . ?s <q> ?o . }`)
-	res, err := e.Execute(q)
+	res, err := engine.Execute(e, q)
 	if err != nil || res.Len() != 1 {
 		t.Errorf("rows = %d err %v", res.Len(), err)
 	}

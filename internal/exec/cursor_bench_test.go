@@ -1,0 +1,93 @@
+package exec_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/lubm"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// benchPlan compiles LUBM Q2 (the cyclic workhorse) over scale 1.
+func benchPlan(b *testing.B) (*plan.Plan, *store.Store) {
+	b.Helper()
+	st := store.FromTriples(lubm.Generate(lubm.Config{Universities: 1}))
+	q := query.MustParseSPARQL(lubm.Query(2, 1))
+	p, err := plan.Compile(q, st, plan.AllOptimizations)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, st
+}
+
+// BenchmarkCursorDrain measures the full streaming enumeration: open the
+// cursor, pull every row, close. This is the serving layer's hot path; a
+// regression in the generator hand-off or the joiner's emit contract shows
+// up here first.
+func BenchmarkCursorDrain(b *testing.B) {
+	p, st := benchPlan(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := exec.Open(p, st, exec.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for {
+			_, err := cur.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows++
+		}
+		cur.Close()
+		if rows == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkCursorFirstRow measures time-to-first-row with an early close —
+// the latency a streaming client sees before the first byte, and the cost
+// of abandoning the rest.
+func BenchmarkCursorFirstRow(b *testing.B) {
+	p, st := benchPlan(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := exec.Open(p, st, exec.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cur.Next(); err != nil {
+			b.Fatal(err)
+		}
+		cur.Close()
+	}
+}
+
+// BenchmarkCursorMaxRows measures a capped enumeration (the server's
+// MaxRows protection): the exactness probe costs one extra row, not a full
+// run.
+func BenchmarkCursorMaxRows(b *testing.B) {
+	p, st := benchPlan(b)
+	for _, cap := range []int{1, 100} {
+		b.Run(fmt.Sprintf("max=%d", cap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := exec.RunOpts(p, st, exec.Options{MaxRows: cap})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() != cap {
+					b.Fatalf("rows = %d", res.Len())
+				}
+			}
+		})
+	}
+}

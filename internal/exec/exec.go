@@ -8,30 +8,31 @@
 // final enumeration pass joins the root's relations with all materialized
 // node results (and with the raw relations of a pipelined child, §III-C) to
 // produce output tuples.
+//
+// The enumerator is a streaming generator: Open returns an engine.Cursor
+// that yields output rows as the final join produces them, so consumers
+// (the query server above all) hold O(batch) rows in memory, see their
+// first row before enumeration finishes, and can abandon a result early by
+// closing the cursor — which cancels the producing goroutine within one
+// cancellation stride. Run/RunOpts materialize the stream for callers that
+// want the whole result.
 package exec
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/set"
 	"repro/internal/store"
 	"repro/internal/trie"
 )
 
-// Result holds encoded result rows in the plan's SELECT order.
-type Result struct {
-	// Vars is the projection, copied from the plan.
-	Vars []string
-	// Rows are dictionary-encoded output tuples.
-	Rows [][]uint32
-	// Truncated is set when Options.MaxRows stopped enumeration early;
-	// Rows then holds the first MaxRows results found, not all of them.
-	Truncated bool
-}
+// Result holds encoded result rows in the plan's SELECT order. It is the
+// shared engine.Result representation.
+type Result = engine.Result
 
 // Options configures execution.
 type Options struct {
@@ -40,24 +41,23 @@ type Options struct {
 	// Workers parallelizes the final enumeration across goroutines by
 	// partitioning the first variable's domain (the paper's engine ran on
 	// 48 cores; values ≤ 1 mean sequential). The bottom-up pass stays
-	// sequential — node results are shared.
+	// sequential — node results are shared. Row order is deterministic
+	// regardless: workers stream their partitions in worker order.
 	Workers int
 	// Ctx, when non-nil, is checked periodically during join recursion;
 	// execution aborts with the context's error once it is cancelled or its
 	// deadline passes. This is how the query server bounds per-request work.
 	Ctx context.Context
-	// MaxRows, when positive, stops the final enumeration after that many
-	// output rows and marks the result Truncated — bounding result memory,
-	// not just CPU time. The cap applies to the final join only; GHD node
-	// materialization (semijoin-reduced, typically small) is uncapped.
-	// With Distinct, the cap applies before deduplication, so a truncated
-	// distinct result may hold fewer than MaxRows rows.
+	// MaxRows, when positive, stops enumeration after that many output rows
+	// and marks the cursor Truncated — exactly: truncation is reported iff
+	// a further row existed. With Distinct, the cap applies to the
+	// deduplicated stream, so a truncated distinct result holds exactly
+	// MaxRows distinct rows.
 	MaxRows int
+	// Offset skips that many output rows (after deduplication, before the
+	// MaxRows cap).
+	Offset int
 }
-
-// errRowLimit aborts the join recursion when MaxRows is reached. It never
-// escapes RunOpts.
-var errRowLimit = errors.New("exec: row limit reached")
 
 // Run executes p against st with the given set layout policy,
 // sequentially.
@@ -65,19 +65,37 @@ func Run(p *plan.Plan, st *store.Store, policy set.Policy) (*Result, error) {
 	return RunOpts(p, st, Options{Policy: policy})
 }
 
-// RunOpts executes p with full execution options.
+// RunOpts executes p with full execution options and materializes the
+// result (a Collect over Open, preserved for tests and benchmarks).
 func RunOpts(p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
-	policy := opts.Policy
-	res := &Result{Vars: p.Select}
-	if p.Empty {
-		return res, nil
-	}
+	return engine.Collect(Open(p, st, opts))
+}
+
+// Open starts executing p and returns the cursor over its output rows. The
+// bottom-up materialization pass and the final enumeration both run on the
+// cursor's producer goroutine, so Open itself returns immediately; plan
+// errors surface from the first Next. A pre-cancelled Ctx fails fast.
+func Open(p *plan.Plan, st *store.Store, opts Options) (engine.Cursor, error) {
 	if opts.Ctx != nil {
 		if err := opts.Ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
-	e := &executor{st: st, policy: policy, ctx: opts.Ctx}
+	cur := engine.NewGenerator(opts.Ctx, p.Select, func(ctx context.Context, emit func([]uint32) error) error {
+		return stream(p, st, opts, ctx, emit)
+	})
+	return engine.Limit(cur, opts.Offset, opts.MaxRows), nil
+}
+
+// stream is the producer: bottom-up pass, then the final enumeration
+// feeding emit. ctx is the generator's context — cancelled both by the
+// caller's Ctx and by the consumer closing the cursor — so every phase,
+// including node materialization, stops cooperatively.
+func stream(p *plan.Plan, st *store.Store, opts Options, ctx context.Context, emit func([]uint32) error) error {
+	if p.Empty {
+		return nil
+	}
+	e := &executor{st: st, policy: opts.Policy, ctx: ctx}
 
 	// The root is streamed (its generic join feeds the output enumeration
 	// directly) when no top-down pass is necessary — single-node plans,
@@ -100,18 +118,18 @@ func RunOpts(p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
 			continue
 		}
 		if _, err := e.materialize(child); err != nil {
-			return nil, err
+			return err
 		}
 		if e.dead {
-			return res, nil
+			return nil
 		}
 	}
 	if !streamRoot {
 		if _, err := e.materialize(p.Root); err != nil {
-			return nil, err
+			return err
 		}
 		if e.dead {
-			return res, nil
+			return nil
 		}
 	}
 
@@ -120,7 +138,7 @@ func RunOpts(p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
 	// and the pipelined child's raw relations.
 	inputs, attrs, err := e.finalInputs(p, streamRoot)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	attrIdx := map[string]int{}
 	for i, a := range attrs {
@@ -130,94 +148,124 @@ func RunOpts(p *plan.Plan, st *store.Store, opts Options) (*Result, error) {
 	for i, v := range p.Select {
 		pos, ok := attrIdx[v]
 		if !ok {
-			return nil, fmt.Errorf("exec: projected variable %q not produced by plan", v)
+			return fmt.Errorf("exec: projected variable %q not produced by plan", v)
 		}
 		proj[i] = pos
 	}
 
-	collect := func(rows *[][]uint32, j *joiner) error {
-		return j.run(func(binding []uint32) {
-			row := make([]uint32, len(proj))
-			for i, pos := range proj {
-				row[i] = binding[pos]
+	// Streaming dedup for DISTINCT: applied in enumeration order, before
+	// the cursor-layer offset/cap, so a capped distinct result is exactly
+	// the first MaxRows distinct rows.
+	out := emit
+	if p.Distinct {
+		dedup := map[string]bool{}
+		out = func(row []uint32) error {
+			key := rowKey(row)
+			if dedup[key] {
+				return nil
 			}
-			*rows = append(*rows, row)
-		})
+			dedup[key] = true
+			return emit(row)
+		}
+	}
+	project := func(binding []uint32) []uint32 {
+		row := make([]uint32, len(proj))
+		for i, pos := range proj {
+			row[i] = binding[pos]
+		}
+		return row
 	}
 
 	workers := opts.Workers
-	if firstVarIdx(attrs) < 0 {
+	fv := firstVarIdx(attrs)
+	if fv < 0 {
 		workers = 1 // no variable to partition on (fully constant query)
-	}
-	// Enumerate up to MaxRows+1 rows: finding the extra row is what proves
-	// rows were actually dropped, so a result of exactly MaxRows rows is
-	// not falsely marked truncated. The common trim below cuts back to
-	// MaxRows.
-	limit := opts.MaxRows
-	if limit > 0 {
-		limit++
 	}
 	if workers <= 1 {
 		j := newJoiner(attrs, inputs)
-		j.ctx = opts.Ctx
-		j.limit = limit
-		if err := collect(&res.Rows, j); err != nil && !errors.Is(err, errRowLimit) {
-			return nil, err
-		}
-	} else {
-		parts := make([][][]uint32, workers)
-		errs := make([]error, workers)
-		var wg sync.WaitGroup
-		fv := firstVarIdx(attrs)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				// Each worker gets private descent state over the shared
-				// immutable tries (resolved once, before the goroutines
-				// start, so the lazy trie caches are not raced).
-				j := newJoiner(attrs, cloneInputs(inputs))
-				j.ctx = opts.Ctx
-				j.limit = limit // per worker; merged rows re-capped below
-				j.filterAt = fv
-				j.filter = func(v uint32) bool { return int(v)%workers == w }
-				errs[w] = collect(&parts[w], j)
-			}(w)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil && !errors.Is(err, errRowLimit) {
-				return nil, err
-			}
-		}
-		total := 0
-		for _, part := range parts {
-			total += len(part)
-		}
-		res.Rows = make([][]uint32, 0, total)
-		for _, part := range parts {
-			res.Rows = append(res.Rows, part...)
-		}
+		j.ctx = ctx
+		return j.run(func(binding []uint32) error {
+			return out(project(binding))
+		})
 	}
-	if opts.MaxRows > 0 && len(res.Rows) > opts.MaxRows {
-		res.Rows = res.Rows[:opts.MaxRows]
-		res.Truncated = true
+	return streamParallel(ctx, workers, fv, attrs, inputs, project, out)
+}
+
+// streamParallel fans the final enumeration out over workers goroutines,
+// each enumerating one residue class of the first variable's domain, and
+// streams their outputs in worker order — the same concatenation order the
+// materializing implementation produced, so parallel results stay
+// deterministic. Later workers enumerate concurrently while earlier ones
+// drain, buffering at most workerChanDepth batches each.
+func streamParallel(ctx context.Context, workers, fv int, attrs []plan.Attr, inputs []*input, project func([]uint32) []uint32, out func([]uint32) error) error {
+	const workerBatchRows = 128
+	const workerChanDepth = 4
+
+	chans := make([]chan [][]uint32, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		chans[w] = make(chan [][]uint32, workerChanDepth)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer close(chans[w])
+			// Each worker gets private descent state over the shared
+			// immutable tries (resolved once, before the goroutines start,
+			// so the lazy trie caches are not raced).
+			j := newJoiner(attrs, cloneInputs(inputs))
+			j.ctx = ctx
+			j.filterAt = fv
+			j.filter = func(v uint32) bool { return int(v)%workers == w }
+			var batch [][]uint32
+			err := j.run(func(binding []uint32) error {
+				batch = append(batch, project(binding))
+				if len(batch) < workerBatchRows {
+					return nil
+				}
+				select {
+				case chans[w] <- batch:
+					batch = nil
+					return nil
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			})
+			if err == nil && len(batch) > 0 {
+				select {
+				case chans[w] <- batch:
+				case <-ctx.Done():
+					err = ctx.Err()
+				}
+			}
+			errs[w] = err
+		}(w)
 	}
 
-	if p.Distinct {
-		dedup := make(map[string]bool, len(res.Rows))
-		kept := res.Rows[:0]
-		for _, row := range res.Rows {
-			key := rowKey(row)
-			if dedup[key] {
-				continue
+	var consumeErr error
+	for w := 0; w < workers; w++ {
+		for batch := range chans[w] {
+			if consumeErr != nil {
+				continue // keep draining so workers can exit
 			}
-			dedup[key] = true
-			kept = append(kept, row)
+			for _, row := range batch {
+				if err := out(row); err != nil {
+					consumeErr = err
+					break
+				}
+			}
 		}
-		res.Rows = kept
 	}
-	return res, nil
+	wg.Wait()
+	if consumeErr != nil {
+		return consumeErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // firstVarIdx returns the index of the first non-selection attribute, or -1.
@@ -299,16 +347,17 @@ func (e *executor) materialize(n *plan.Node) (*trie.Trie, error) {
 	matched := false
 	j := newJoiner(n.Attrs, inputs)
 	j.ctx = e.ctx
-	err = j.run(func(binding []uint32) {
+	err = j.run(func(binding []uint32) error {
 		matched = true
 		if len(varPos) == 0 {
-			return
+			return nil
 		}
 		row := make([]uint32, len(varPos))
 		for i, pos := range varPos {
 			row[i] = binding[pos]
 		}
 		rows = append(rows, row)
+		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -44,14 +44,14 @@ func checkAgainstNaive(t *testing.T, st *store.Store, queries map[string]string)
 		if err != nil {
 			t.Fatalf("%s: parse: %v", name, err)
 		}
-		want, err := ref.Execute(q)
+		want, err := engine.Execute(ref, q)
 		if err != nil {
 			t.Fatalf("%s: naive: %v", name, err)
 		}
 		wantC := want.Canonical()
 		for _, opts := range allOptionCombos() {
 			eh := core.New(st, opts)
-			got, err := eh.Execute(q)
+			got, err := engine.Execute(eh, q)
 			if err != nil {
 				t.Fatalf("%s opts=%+v: execute: %v", name, opts, err)
 			}
@@ -179,7 +179,7 @@ func TestLUBMAllQueriesMatchNaive(t *testing.T) {
 	ref := naive.New(st)
 	for _, n := range lubm.QueryNumbers {
 		q := query.MustParseSPARQL(lubm.Query(n, 1))
-		want, err := ref.Execute(q)
+		want, err := engine.Execute(ref, q)
 		if err != nil {
 			t.Fatalf("Q%d naive: %v", n, err)
 		}
@@ -190,7 +190,7 @@ func TestLUBMAllQueriesMatchNaive(t *testing.T) {
 			core.NoOptimizations,
 			{Layout: true, GHDPushdown: true},
 		} {
-			got, err := core.New(st, opts).Execute(q)
+			got, err := engine.Execute(core.New(st, opts), q)
 			if err != nil {
 				t.Fatalf("Q%d opts=%+v: %v", n, opts, err)
 			}
@@ -204,7 +204,7 @@ func TestLUBMAllQueriesMatchNaive(t *testing.T) {
 func TestLUBMQuery11IsEmpty(t *testing.T) {
 	st := store.FromTriples(lubm.Generate(lubm.Config{Universities: 1}))
 	q := query.MustParseSPARQL(lubm.Query(11, 1))
-	got, err := core.New(st, core.AllOptimizations).Execute(q)
+	got, err := engine.Execute(core.New(st, core.AllOptimizations), q)
 	if err != nil {
 		t.Fatalf("execute: %v", err)
 	}
@@ -216,7 +216,7 @@ func TestLUBMQuery11IsEmpty(t *testing.T) {
 func TestResultDecode(t *testing.T) {
 	st := store.FromTriples([]rdf.Triple{t3("a", "p", "b")})
 	q := query.MustParseSPARQL(`SELECT ?x ?y WHERE { ?x <p> ?y . }`)
-	got, err := core.New(st, core.AllOptimizations).Execute(q)
+	got, err := engine.Execute(core.New(st, core.AllOptimizations), q)
 	if err != nil {
 		t.Fatalf("execute: %v", err)
 	}

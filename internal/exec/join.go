@@ -80,7 +80,7 @@ type joiner struct {
 	// Per-depth scratch, reused across the recursion.
 	active    [][]*input
 	descended [][]int
-	emit      func([]uint32)
+	emit      func([]uint32) error
 
 	// Parallel partitioning: when filter is non-nil, values bound at
 	// attribute index filterAt are skipped unless filter returns true.
@@ -95,11 +95,6 @@ type joiner struct {
 	// counter and one branch) while still bounding reaction latency.
 	ctx   context.Context
 	steps uint
-
-	// Row cap: when limit is positive, the join aborts with errRowLimit
-	// once emitted reaches it.
-	limit   int
-	emitted int
 }
 
 // cancelStride is how many recursion steps pass between context polls.
@@ -121,8 +116,9 @@ func newJoiner(attrs []plan.Attr, inputs []*input) *joiner {
 }
 
 // run enumerates all join results, invoking emit with the binding slice
-// (valid only during the call).
-func (j *joiner) run(emit func([]uint32)) error {
+// (valid only during the call — emit must copy what it keeps). An error
+// returned by emit aborts the enumeration and is propagated.
+func (j *joiner) run(emit func([]uint32) error) error {
 	j.emit = emit
 	return j.recurse(0)
 }
@@ -137,14 +133,7 @@ func (j *joiner) recurse(idx int) error {
 		}
 	}
 	if idx == len(j.attrs) {
-		j.emit(j.binding)
-		if j.limit > 0 {
-			j.emitted++
-			if j.emitted >= j.limit {
-				return errRowLimit
-			}
-		}
-		return nil
+		return j.emit(j.binding)
 	}
 	attr := j.attrs[idx]
 

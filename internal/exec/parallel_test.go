@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lubm"
 	"repro/internal/query"
 	"repro/internal/rdf"
@@ -21,11 +22,11 @@ func TestParallelMatchesSequentialOnLUBM(t *testing.T) {
 		par := core.New(st, opts)
 		for _, qn := range lubm.QueryNumbers {
 			q := query.MustParseSPARQL(lubm.Query(qn, 1))
-			want, err := seq.Execute(q)
+			want, err := engine.Execute(seq, q)
 			if err != nil {
 				t.Fatalf("Q%d sequential: %v", qn, err)
 			}
-			got, err := par.Execute(q)
+			got, err := engine.Execute(par, q)
 			if err != nil {
 				t.Fatalf("Q%d workers=%d: %v", qn, workers, err)
 			}
@@ -60,11 +61,11 @@ func TestParallelMatchesSequentialOnRandomGraphs(t *testing.T) {
 		par := core.New(st, opts)
 		for i, shape := range shapes {
 			q := query.MustParseSPARQL(shape)
-			want, err := seq.Execute(q)
+			want, err := engine.Execute(seq, q)
 			if err != nil {
 				t.Fatalf("trial %d shape %d: %v", trial, i, err)
 			}
-			got, err := par.Execute(q)
+			got, err := engine.Execute(par, q)
 			if err != nil {
 				t.Fatalf("trial %d shape %d parallel: %v", trial, i, err)
 			}
@@ -81,12 +82,12 @@ func TestParallelDeterministicRowOrder(t *testing.T) {
 	opts.Workers = 4
 	e := core.New(st, opts)
 	q := query.MustParseSPARQL(lubm.Query(8, 1))
-	first, err := e.Execute(q)
+	first, err := engine.Execute(e, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		again, err := e.Execute(q)
+		again, err := engine.Execute(e, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,12 +111,12 @@ func BenchmarkParallelTriangle(b *testing.B) {
 		opts := core.AllOptimizations
 		opts.Workers = workers
 		e := core.New(st, opts)
-		if _, err := e.Execute(q); err != nil {
+		if _, err := engine.Execute(e, q); err != nil {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := e.Execute(q); err != nil {
+				if _, err := engine.Execute(e, q); err != nil {
 					b.Fatal(err)
 				}
 			}

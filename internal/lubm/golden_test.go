@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lubm"
 	"repro/internal/query"
 	"repro/internal/store"
@@ -40,7 +41,7 @@ func TestGoldenCardinalitiesScale1(t *testing.T) {
 	}
 	for _, qn := range lubm.QueryNumbers {
 		q := query.MustParseSPARQL(lubm.Query(qn, 1))
-		res, err := eng.Execute(q)
+		res, err := engine.Execute(eng, q)
 		if err != nil {
 			t.Fatalf("Q%d: %v", qn, err)
 		}

@@ -23,13 +23,14 @@ func jsonString(s string) ([]byte, error) {
 	return b[:len(b)-1], nil // Encode appends a newline; drop it
 }
 
-// Result encoders stream dictionary-encoded rows straight to the response
-// writer: each id is decoded to its term rendering as it is written, so no
-// [][]rdf.Term materialization of the full result ever exists (repro.Query
-// materializes; the server must not — result sets can be large and many
-// requests are in flight). Renderings are memoized per response because RDF
-// results repeat terms heavily (a LUBM result column often has thousands of
-// rows over a few hundred distinct terms).
+// Result encoders pull rows from the cursor and stream them straight to the
+// response writer: each id is decoded to its term rendering as it is
+// written, so neither the encoded result rows nor their decoded renderings
+// are ever materialized — per-request memory is O(cursor batch), and the
+// first byte reaches the client while the join is still enumerating.
+// Renderings are memoized per response because RDF results repeat terms
+// heavily (a LUBM result column often has thousands of rows over a few
+// hundred distinct terms).
 
 // termRenderer decodes ids to term strings with per-response memoization.
 type termRenderer struct {
@@ -52,19 +53,33 @@ func (tr *termRenderer) render(id uint32) string {
 
 // queryMeta is the non-row metadata included in JSON responses.
 type queryMeta struct {
-	Engine    string  // engine that executed the query
-	Cache     string  // "hit" or "miss" on the plan cache
-	TookMs    float64 // execution time, queue wait excluded
-	Truncated bool    // result hit the server's row cap
+	Engine string // engine that executed the query
+	Cache  string // "hit" or "miss" on the plan cache
+}
+
+// encodeResult is what an encoder reports back to the handler: how many
+// rows went out, whether the row cap truncated the stream, and the error
+// that ended it — nil for a complete result, the cursor's error (deadline,
+// cancellation, execution failure) or the write error otherwise. Once rows
+// have been streamed the HTTP status is already committed, so mid-stream
+// errors are reported in-band (a trailing "error" field in JSON, an HTTP
+// trailer for both formats) and counted in /stats by the caller.
+type encodeResult struct {
+	rows      int
+	truncated bool
+	err       error
 }
 
 // writeJSON streams the result as one JSON object:
 //
-//	{"vars":[...],"engine":"...","cache":"hit","took_ms":1.2,
-//	 "count":N,"rows":[["<iri>","\"literal\""],...]}
+//	{"vars":[...],"engine":"...","cache":"hit",
+//	 "rows":[["<iri>","\"literal\""],...],
+//	 "count":N,"truncated":true,"took_ms":1.2,"error":"..."}
 //
-// Rows hold the canonical N-Triples term renderings.
-func writeJSON(w io.Writer, res *engine.Result, d *dict.Dictionary, meta queryMeta) error {
+// Rows hold the canonical N-Triples term renderings. count, truncated, and
+// took_ms trail the rows because they are only known once the stream ends;
+// error appears only when the stream ended abnormally.
+func writeJSON(w io.Writer, vars []string, cur engine.Cursor, d *dict.Dictionary, meta queryMeta, tookMs func() float64) encodeResult {
 	bw := bufio.NewWriterSize(w, 32<<10)
 	tr := newTermRenderer(d)
 	// Distinct JSON-escaped term strings are memoized separately from the
@@ -83,42 +98,38 @@ func writeJSON(w io.Writer, res *engine.Result, d *dict.Dictionary, meta queryMe
 	}
 
 	bw.WriteString(`{"vars":[`)
-	for i, v := range res.Vars {
+	for i, v := range vars {
 		if i > 0 {
 			bw.WriteByte(',')
 		}
 		vb, err := jsonString(v)
 		if err != nil {
-			return err
+			return encodeResult{err: err}
 		}
 		bw.Write(vb)
 	}
 	bw.WriteString(`],"engine":`)
 	eb, err := jsonString(meta.Engine)
 	if err != nil {
-		return err
+		return encodeResult{err: err}
 	}
 	bw.Write(eb)
 	bw.WriteString(`,"cache":"`)
 	bw.WriteString(meta.Cache)
-	bw.WriteString(`","took_ms":`)
-	tb, err := json.Marshal(meta.TookMs)
-	if err != nil {
-		return err
-	}
-	bw.Write(tb)
-	if meta.Truncated {
-		bw.WriteString(`,"truncated":true`)
-	}
-	bw.WriteString(`,"count":`)
-	cb, err := json.Marshal(len(res.Rows))
-	if err != nil {
-		return err
-	}
-	bw.Write(cb)
-	bw.WriteString(`,"rows":[`)
-	for i, row := range res.Rows {
-		if i > 0 {
+	bw.WriteString(`","rows":[`)
+
+	res := encodeResult{}
+	for {
+		row, err := cur.Next()
+		if err == io.EOF {
+			res.truncated = cur.Truncated()
+			break
+		}
+		if err != nil {
+			res.err = err
+			break
+		}
+		if res.rows > 0 {
 			bw.WriteByte(',')
 		}
 		bw.WriteByte('[')
@@ -128,23 +139,47 @@ func writeJSON(w io.Writer, res *engine.Result, d *dict.Dictionary, meta queryMe
 			}
 			b, err := renderJSON(id)
 			if err != nil {
-				return err
+				res.err = err
+				return res
 			}
 			bw.Write(b)
 		}
 		bw.WriteByte(']')
+		res.rows++
 	}
-	bw.WriteString("]}\n")
-	return bw.Flush()
+
+	bw.WriteString(`],"count":`)
+	cb, _ := json.Marshal(res.rows)
+	bw.Write(cb)
+	if res.truncated {
+		bw.WriteString(`,"truncated":true`)
+	}
+	bw.WriteString(`,"took_ms":`)
+	tb, _ := json.Marshal(tookMs())
+	bw.Write(tb)
+	if res.err != nil {
+		bw.WriteString(`,"error":`)
+		if msg, jerr := jsonString(res.err.Error()); jerr == nil {
+			bw.Write(msg)
+		} else {
+			bw.WriteString(`"encoding error"`)
+		}
+	}
+	bw.WriteString("}\n")
+	if ferr := bw.Flush(); ferr != nil && res.err == nil {
+		res.err = ferr
+	}
+	return res
 }
 
 // writeTSV streams the result as tab-separated values: a "?var" header line
 // followed by one line per row of N-Triples term renderings (whose escaping
-// already keeps tabs and newlines out of the raw text).
-func writeTSV(w io.Writer, res *engine.Result, d *dict.Dictionary) error {
+// already keeps tabs and newlines out of the raw text). A mid-stream error
+// simply ends the body; the X-Error HTTP trailer carries the cause.
+func writeTSV(w io.Writer, vars []string, cur engine.Cursor, d *dict.Dictionary) encodeResult {
 	bw := bufio.NewWriterSize(w, 32<<10)
 	tr := newTermRenderer(d)
-	for i, v := range res.Vars {
+	for i, v := range vars {
 		if i > 0 {
 			bw.WriteByte('\t')
 		}
@@ -152,7 +187,17 @@ func writeTSV(w io.Writer, res *engine.Result, d *dict.Dictionary) error {
 		bw.WriteString(v)
 	}
 	bw.WriteByte('\n')
-	for _, row := range res.Rows {
+	res := encodeResult{}
+	for {
+		row, err := cur.Next()
+		if err == io.EOF {
+			res.truncated = cur.Truncated()
+			break
+		}
+		if err != nil {
+			res.err = err
+			break
+		}
 		for j, id := range row {
 			if j > 0 {
 				bw.WriteByte('\t')
@@ -160,6 +205,10 @@ func writeTSV(w io.Writer, res *engine.Result, d *dict.Dictionary) error {
 			bw.WriteString(tr.render(id))
 		}
 		bw.WriteByte('\n')
+		res.rows++
 	}
-	return bw.Flush()
+	if ferr := bw.Flush(); ferr != nil && res.err == nil {
+		res.err = ferr
+	}
+	return res
 }

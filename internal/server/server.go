@@ -4,23 +4,28 @@
 // production RDF stores expose their join engines.
 //
 // The request pipeline is parse → normalize → plan-cache lookup (compile on
-// miss) → execute → stream-encode:
+// miss) → cursor → streaming encoder:
 //
 //   - Queries are α-normalized (internal/query.Normalize) so requests that
 //     differ only in variable naming share one compiled plan.
 //   - Compiled plans are held in a bounded LRU keyed by normalized query +
 //     engine + plan options, with hit/miss counters surfaced at /stats.
-//   - A bounded worker pool caps concurrently executing queries; waiting
-//     requests burn their own deadline, not other requests' CPU.
-//   - Every request carries a context deadline that is threaded into the
-//     worst-case optimal join recursion (internal/exec), so a pathological
-//     query is abandoned instead of starving the server. Engines that
-//     cannot be interrupted mid-join (the pairwise baselines) run detached:
-//     the response returns 504 at the deadline and the worker slot is
-//     reclaimed only when the stray execution finishes.
+//   - Execution is the engine.Cursor contract: every engine streams rows
+//     and honours context cancellation, so responses are encoded straight
+//     off the cursor — per-request memory is O(batch), first-byte latency
+//     is independent of result size, and there is no detached execution:
+//     when a request's deadline fires, its engine stops within one
+//     cancellation stride and its worker-pool slots free deterministically.
+//   - A weighted worker pool caps concurrently executing work; a request
+//     with ?workers=N (intra-query parallelism) holds N slots. Admission
+//     control rejects a request with 429 + Retry-After when its estimated
+//     queue wait already exceeds its remaining deadline.
+//   - Row caps are exact: ?query results hitting MaxRows carry
+//     "truncated":true iff at least one further row existed (the cursor
+//     probes one row past the cap — no after-the-fact trimming).
 //
-// Endpoints: GET/POST /query (params: query, engine, format, timeout),
-// GET /healthz, GET /stats.
+// Endpoints: GET/POST /query (params: query, engine, format, timeout,
+// workers, offset), GET /healthz, GET /stats.
 package server
 
 import (
@@ -29,9 +34,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"mime"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -54,22 +61,27 @@ type Config struct {
 	DefaultEngine string
 	// PlanCacheSize bounds the compiled-plan LRU. Default 256 entries.
 	PlanCacheSize int
-	// MaxConcurrent bounds queries executing at once; further requests
-	// queue (and may time out waiting). Default GOMAXPROCS.
+	// MaxConcurrent bounds worker-pool slots (concurrently executing
+	// work); further requests queue (and may time out waiting, or be
+	// rejected by admission control). Default GOMAXPROCS.
 	MaxConcurrent int
+	// MaxQueryWorkers caps the per-request ?workers= intra-query
+	// parallelism. Default GOMAXPROCS; it is additionally clamped to
+	// MaxConcurrent so one request can never deadlock the pool.
+	MaxQueryWorkers int
 	// DefaultTimeout applies to requests without ?timeout=. Default 30s.
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested ?timeout= values. Default 2m.
 	MaxTimeout time.Duration
 	// MaxRows caps the rows one query may return; results hitting the cap
-	// come back marked "truncated". For the plan-executing engines the cap
-	// is enforced during enumeration, bounding memory, not just response
-	// size. Default 4,000,000; negative disables the cap.
+	// come back marked "truncated" (exactly: only when more rows existed).
+	// The cap is enforced at the cursor layer for every engine, bounding
+	// rows in flight, not just response size. Default 4,000,000; negative
+	// disables the cap.
 	MaxRows int
 }
 
-// defaultMaxRows bounds per-query result memory unless overridden
-// (4M rows ≈ 50-150MB materialized, depending on row width).
+// defaultMaxRows bounds per-query result size unless overridden.
 const defaultMaxRows = 4_000_000
 
 // Server serves SPARQL queries over one immutable store. Create with New;
@@ -78,7 +90,7 @@ type Server struct {
 	cfg   Config
 	st    *store.Store
 	cache *planCache
-	sem   chan struct{}
+	pool  *wsem
 	stats *metrics
 	start time.Time
 
@@ -130,6 +142,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxQueryWorkers <= 0 {
+		cfg.MaxQueryWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueryWorkers > cfg.MaxConcurrent {
+		cfg.MaxQueryWorkers = cfg.MaxConcurrent
+	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 30 * time.Second
 	}
@@ -147,7 +165,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		st:      cfg.Store,
 		cache:   newPlanCache(cfg.PlanCacheSize),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		pool:    newWsem(cfg.MaxConcurrent),
 		stats:   newMetrics(),
 		start:   time.Now(),
 		engines: map[string]*engineSlot{cfg.DefaultEngine: defSlot},
@@ -186,18 +204,17 @@ func (s *Server) engine(name string) (engine.Engine, error) {
 	return slot.eng, slot.err
 }
 
-// planExecutor is satisfied by engines that separate compilation from
+// planOpener is satisfied by engines that separate compilation from
 // execution (core/EmptyHeaded and the LogicBlox model); for these the cache
-// holds the compiled plan itself and the row cap is enforced during
-// enumeration.
-type planExecutor interface {
+// holds the compiled plan itself and OpenPlan skips re-planning.
+type planOpener interface {
 	engine.Engine
 	Plan(*query.BGP) (*plan.Plan, error)
-	ExecutePlanLimit(ctx context.Context, p *plan.Plan, maxRows int) (*engine.Result, error)
+	OpenPlan(p *plan.Plan, opts engine.ExecOpts) (engine.Cursor, error)
 }
 
 // preparedQuery is one plan-cache entry: the interned normalized BGP and,
-// for planExecutor engines, its compiled plan. Both are immutable and
+// for planOpener engines, its compiled plan. Both are immutable and
 // shared by concurrent executions.
 type preparedQuery struct {
 	bgp  *query.BGP
@@ -212,7 +229,7 @@ func (s *Server) prepare(engineName string, eng engine.Engine, q *query.BGP) (*p
 		return pq, true, nil
 	}
 	pq := &preparedQuery{bgp: norm}
-	if pe, ok := eng.(planExecutor); ok {
+	if pe, ok := eng.(planOpener); ok {
 		p, err := pe.Plan(norm)
 		if err != nil {
 			return nil, false, err
@@ -238,48 +255,38 @@ func optionsKey(eng engine.Engine) string {
 	return ""
 }
 
-// execute runs the prepared query on eng under ctx. It takes ownership of
-// release (the worker-pool slot): on the cancellable paths the slot is
-// released when execution returns; on the detached fallback path the slot
-// stays held by the stray goroutine until the engine actually finishes, so
-// MaxConcurrent bounds true CPU concurrency, not just live requests.
-func (s *Server) execute(ctx context.Context, eng engine.Engine, pq *preparedQuery, release func()) (*engine.Result, error) {
+// open starts the prepared query on eng: through the cached plan for
+// planOpener engines, through the engine's own Open otherwise. Every
+// engine returns a streaming, cancellable cursor — there is no detached
+// fallback.
+func (s *Server) open(eng engine.Engine, pq *preparedQuery, opts engine.ExecOpts) (engine.Cursor, error) {
 	if pq.plan != nil {
-		if pe, ok := eng.(planExecutor); ok {
-			defer release()
-			return pe.ExecutePlanLimit(ctx, pq.plan, s.cfg.MaxRows)
+		if pe, ok := eng.(planOpener); ok {
+			return pe.OpenPlan(pq.plan, opts)
 		}
 	}
-	if ce, ok := eng.(engine.ContextEngine); ok {
-		defer release()
-		return s.capRows(ce.ExecuteContext(ctx, pq.bgp))
-	}
-	type outcome struct {
-		res *engine.Result
-		err error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		defer release()
-		res, err := eng.Execute(pq.bgp)
-		done <- outcome{res, err}
-	}()
-	select {
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case o := <-done:
-		return s.capRows(o.res, o.err)
-	}
+	return eng.Open(pq.bgp, opts)
 }
 
-// capRows applies the row cap after the fact for engines that cannot
-// enforce it during enumeration (bounding response size; their memory use
-// is only bounded by the timeout — see the package doc).
-func (s *Server) capRows(res *engine.Result, err error) (*engine.Result, error) {
-	if err != nil || res == nil || s.cfg.MaxRows <= 0 || len(res.Rows) <= s.cfg.MaxRows {
-		return res, err
+// estimateWait predicts how long a request needing n slots would queue:
+// the slots that must drain before it can start, scaled by the observed
+// average slot-hold time. It is a heuristic — the EWMA smooths over
+// heterogeneous queries — but it only has to be right in order of
+// magnitude: its job is to bounce requests whose deadline a saturated pool
+// cannot possibly meet.
+func (s *Server) estimateWait(n int) time.Duration {
+	inUse, _, queuedSlots := s.pool.stats()
+	free := s.cfg.MaxConcurrent - inUse
+	ahead := queuedSlots + n - free
+	if ahead <= 0 {
+		return 0
 	}
-	return &engine.Result{Vars: res.Vars, Rows: res.Rows[:s.cfg.MaxRows], Truncated: true}, nil
+	hold := s.stats.avgHold()
+	if hold == 0 {
+		return 0 // no samples yet: admit and learn
+	}
+	rounds := (ahead + s.cfg.MaxConcurrent - 1) / s.cfg.MaxConcurrent
+	return hold * time.Duration(rounds)
 }
 
 // httpError writes a JSON error body with the given status.
@@ -315,6 +322,19 @@ func queryText(r *http.Request) (string, error) {
 	return r.FormValue("query"), nil
 }
 
+// intParam parses a non-negative integer query parameter; missing means 0.
+func intParam(r *http.Request, name string) (int, error) {
+	v := r.FormValue(name)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s %q (want a non-negative integer)", name, v)
+	}
+	return n, nil
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
@@ -323,11 +343,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.stats.begin()
 	requestStart := time.Now()
 	engineName := ""
+	var execDur time.Duration
 	finished := false
 	finish := func(isErr, isTimeout bool) {
 		if !finished {
 			finished = true
-			s.stats.end(engineName, time.Since(requestStart), isErr, isTimeout)
+			s.stats.end(engineName, time.Since(requestStart), execDur, isErr, isTimeout)
 		}
 	}
 	defer finish(true, false) // overwritten by the explicit calls below
@@ -376,63 +397,164 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = d
 	}
+	workers, err := intParam(r, "workers")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		finish(true, false)
+		return
+	}
+	if workers > s.cfg.MaxQueryWorkers {
+		workers = s.cfg.MaxQueryWorkers // clamp, don't reject: the ceiling is an operator policy
+	}
+	if _, parallel := eng.(*core.Engine); !parallel {
+		// Only the core (EmptyHeaded) engine has a parallel enumeration;
+		// the others run single-threaded regardless of opts.Workers, so
+		// charging them N slots would waste pool capacity and skew the
+		// admission EWMA.
+		workers = 0
+	}
+	offset, err := intParam(r, "offset")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		finish(true, false)
+		return
+	}
+
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	// Acquire a worker slot; queue wait counts against the deadline.
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
+	// A ?workers=N query occupies N worker-pool slots: intra-query
+	// parallelism is real CPU and is accounted like N single-threaded
+	// queries.
+	slots := 1
+	if workers > 1 {
+		slots = workers
+	}
+
+	// Admission control: if the queue wait this request would face already
+	// exceeds its remaining deadline, fail fast with 429 + Retry-After
+	// instead of letting it burn its deadline in the queue and 504.
+	if deadline, ok := ctx.Deadline(); ok {
+		// est == 0 (free pool or no samples yet) never rejects — an
+		// already-expired deadline is the executor's 504, not a 429.
+		if est := s.estimateWait(slots); est > 0 && est > time.Until(deadline) {
+			s.stats.reject()
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(est.Seconds()))))
+			httpError(w, http.StatusTooManyRequests,
+				"server saturated: estimated queue wait %v exceeds request deadline", est.Round(time.Millisecond))
+			finish(true, false)
+			return
+		}
+	}
+
+	// Acquire worker slots; queue wait counts against the deadline.
+	if err := s.pool.acquire(ctx, slots); err != nil {
 		s.failCtx(w, ctx)
 		finish(true, errors.Is(ctx.Err(), context.DeadlineExceeded))
 		return
 	}
-	release := sync.OnceFunc(func() { <-s.sem })
+	acquired := time.Now()
+	release := sync.OnceFunc(func() {
+		s.stats.noteHold(time.Since(acquired))
+		s.pool.release(slots)
+	})
+	defer release()
 
 	pq, hit, err := s.prepare(engineName, eng, q)
 	if err != nil {
-		release()
 		httpError(w, http.StatusInternalServerError, "planning: %v", err)
 		finish(true, false)
 		return
 	}
 
 	execStart := time.Now()
-	res, err := s.execute(ctx, eng, pq, release)
+	cur, err := s.open(eng, pq, engine.ExecOpts{
+		Ctx:     ctx,
+		MaxRows: s.cfg.MaxRows,
+		Offset:  offset,
+		Workers: workers,
+	})
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.failCtx(w, ctx)
-			finish(true, errors.Is(err, context.DeadlineExceeded))
-			return
-		}
-		httpError(w, http.StatusInternalServerError, "executing: %v", err)
-		finish(true, false)
+		s.failExec(w, ctx, err)
+		finish(true, errors.Is(err, context.DeadlineExceeded))
 		return
 	}
-	took := time.Since(execStart)
+	defer cur.Close()
+
+	// Pull the first row before committing the response status, so
+	// failures during the pre-enumeration phases (GHD materialization,
+	// pairwise pipelines, deadlines that fire before any output) still map
+	// to proper HTTP errors. Errors after this point arrive mid-stream and
+	// are reported in-band.
+	first, firstErr := cur.Next()
+	if firstErr != nil && firstErr != io.EOF {
+		execDur = time.Since(execStart)
+		s.failExec(w, ctx, firstErr)
+		finish(true, errors.Is(firstErr, context.DeadlineExceeded))
+		return
+	}
+	pc := &peekedCursor{inner: cur, row: first, eof: firstErr == io.EOF}
 
 	// Present the caller's variable names: normalization renamed them, but
 	// positions are preserved, so rows decode unchanged.
-	out := &engine.Result{Vars: q.Select, Rows: res.Rows, Truncated: res.Truncated}
-	meta := queryMeta{Engine: eng.Name(), TookMs: ms(took), Cache: "miss", Truncated: res.Truncated}
+	meta := queryMeta{Engine: eng.Name(), Cache: "miss"}
 	if hit {
 		meta.Cache = "hit"
 	}
-	if res.Truncated {
-		w.Header().Set("X-Truncated", "true")
+	tookMs := func() float64 {
+		execDur = time.Since(execStart)
+		return ms(execDur)
 	}
-	var encErr error
+	// Truncation and mid-stream failures are only known after the body is
+	// committed; announce them as HTTP trailers (the JSON body also carries
+	// them in trailing fields).
+	w.Header().Set("Trailer", "X-Truncated, X-Error")
+	var enc encodeResult
 	switch format(r) {
 	case "tsv":
 		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
-		encErr = writeTSV(w, out, s.st.Dict())
+		enc = writeTSV(w, q.Select, pc, s.st.Dict())
+		tookMs()
 	default:
 		w.Header().Set("Content-Type", "application/json")
-		encErr = writeJSON(w, out, s.st.Dict(), meta)
+		enc = writeJSON(w, q.Select, pc, s.st.Dict(), meta, tookMs)
 	}
-	// Encoding errors mean the client went away mid-stream; nothing to send.
-	finish(encErr != nil, false)
+	if enc.truncated {
+		w.Header().Set("X-Truncated", "true")
+	}
+	if enc.err != nil {
+		w.Header().Set("X-Error", enc.err.Error())
+	}
+	finish(enc.err != nil, errors.Is(enc.err, context.DeadlineExceeded))
 }
+
+// peekedCursor replays the row the handler pulled for status-code purposes,
+// then delegates to the real cursor.
+type peekedCursor struct {
+	inner engine.Cursor
+	row   []uint32
+	eof   bool
+	used  bool
+}
+
+func (p *peekedCursor) Vars() []string { return p.inner.Vars() }
+
+func (p *peekedCursor) Next() ([]uint32, error) {
+	if !p.used {
+		p.used = true
+		if p.eof {
+			return nil, io.EOF
+		}
+		return p.row, nil
+	}
+	if p.eof {
+		return nil, io.EOF
+	}
+	return p.inner.Next()
+}
+
+func (p *peekedCursor) Truncated() bool { return p.inner.Truncated() }
+func (p *peekedCursor) Close() error    { return p.inner.Close() }
 
 // failCtx maps a done context to 504 (deadline) or 503 (client cancelled).
 func (s *Server) failCtx(w http.ResponseWriter, ctx context.Context) {
@@ -441,6 +563,15 @@ func (s *Server) failCtx(w http.ResponseWriter, ctx context.Context) {
 		return
 	}
 	httpError(w, http.StatusServiceUnavailable, "request cancelled")
+}
+
+// failExec maps a pre-stream execution error to an HTTP status.
+func (s *Server) failExec(w http.ResponseWriter, ctx context.Context, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.failCtx(w, ctx)
+		return
+	}
+	httpError(w, http.StatusInternalServerError, "executing: %v", err)
 }
 
 // format picks the response encoding: ?format=json|tsv, else the Accept
@@ -471,7 +602,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Stats snapshots the server's counters (also served at /stats).
 func (s *Server) Stats() Stats {
-	queries, errs, timeouts, active, byEngine, lat := s.stats.snapshot()
+	queries, errs, timeouts, rejected, active, byEngine, engLat, lat := s.stats.snapshot()
+	inUse, queued, _ := s.pool.stats()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Triples:       s.st.NumTriples(),
@@ -479,8 +611,12 @@ func (s *Server) Stats() Stats {
 		Queries:       queries,
 		Errors:        errs,
 		Timeouts:      timeouts,
+		Rejected:      rejected,
 		Active:        active,
+		InFlightSlots: inUse,
+		QueueDepth:    queued,
 		ByEngine:      byEngine,
+		EngineLatency: engLat,
 		PlanCache:     s.cache.stats(),
 		Latency:       lat,
 	}

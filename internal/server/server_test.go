@@ -199,20 +199,53 @@ func TestBadTimeoutIs400(t *testing.T) {
 	}
 }
 
-// TestSlowQueryTimesOut drives the acceptance criterion "a slow query is
-// cancelled by the request timeout": the triangle query over a dense graph
-// would emit ~40M rows, but a 10ms deadline aborts the join mid-recursion
-// and the request comes back 504 rather than running for seconds.
-func TestSlowQueryTimesOut(t *testing.T) {
+// TestSlowQueryTimesOutMidStream drives the acceptance criterion "a slow
+// query is cancelled by the request timeout" under streaming semantics: the
+// triangle query over a dense graph would emit ~40M rows, so its first rows
+// stream out (status 200) long before the 25ms deadline — which then aborts
+// the join mid-recursion. The response must end promptly with an in-band
+// error (trailing "error" field) instead of running for seconds, and the
+// timeout must be counted.
+func TestSlowQueryTimesOutMidStream(t *testing.T) {
 	srv, ts := newTestServer(t, denseStore(350), Config{})
 	start := time.Now()
-	code, body := get(t, queryURL(ts.URL, triangleQuery, map[string]string{"timeout": "10ms"}))
+	code, body := get(t, queryURL(ts.URL, triangleQuery, map[string]string{"timeout": "25ms"}))
 	elapsed := time.Since(start)
-	if code != http.StatusGatewayTimeout {
-		t.Fatalf("status = %d, want 504; body %.200s", code, body)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (rows stream before the deadline); body %.200s", code, body)
 	}
 	if elapsed > 5*time.Second {
-		t.Fatalf("timeout response took %v — cancellation did not interrupt the join", elapsed)
+		t.Fatalf("response took %v — cancellation did not interrupt the join", elapsed)
+	}
+	if !strings.Contains(body, `"error":`) || !strings.Contains(body, "deadline") {
+		t.Fatalf("streamed body does not carry the mid-stream deadline error (tail: %s)", body[len(body)-min(len(body), 300):])
+	}
+	// The body must still be one well-formed JSON object (rows then
+	// trailing count/took_ms/error fields).
+	var out struct {
+		Count int    `json:"count"`
+		Error string `json:"error"`
+		Rows  [][]string
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("mid-stream-error body is not valid JSON: %v", err)
+	}
+	if out.Error == "" {
+		t.Fatalf("no error field in %0.100s", body)
+	}
+	if st := srv.Stats(); st.Timeouts != 1 {
+		t.Fatalf("Timeouts = %d, want 1", st.Timeouts)
+	}
+}
+
+// TestTimeoutBeforeFirstRowIs504: when the deadline has already passed
+// before any row is produced, the failure still maps to a proper HTTP
+// status (the handler pulls the first row before committing headers).
+func TestTimeoutBeforeFirstRowIs504(t *testing.T) {
+	srv, ts := newTestServer(t, denseStore(30), Config{})
+	code, body := get(t, queryURL(ts.URL, triangleQuery, map[string]string{"timeout": "1ns"}))
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %.200s", code, body)
 	}
 	if st := srv.Stats(); st.Timeouts != 1 {
 		t.Fatalf("Timeouts = %d, want 1", st.Timeouts)
@@ -393,5 +426,187 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	if st2.Latency.Count != goroutines*perGoroutine || st2.Latency.P99Ms < st2.Latency.P50Ms {
 		t.Fatalf("implausible latency stats: %+v", st2.Latency)
+	}
+}
+
+// TestWorkersParam: ?workers=N runs the parallel enumeration path and must
+// return the same result as the sequential one (and garbage values are
+// rejected).
+func TestWorkersParam(t *testing.T) {
+	_, ts := newTestServer(t, denseStore(12), Config{MaxConcurrent: 8})
+	var bodies []string
+	for _, extra := range []map[string]string{nil, {"workers": "4"}} {
+		code, body := get(t, queryURL(ts.URL, triangleQuery, extra))
+		if code != http.StatusOK {
+			t.Fatalf("workers=%v: status %d, body %.200s", extra, code, body)
+		}
+		bodies = append(bodies, body)
+	}
+	var seq, par struct {
+		Count int        `json:"count"`
+		Rows  [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(bodies[0]), &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(bodies[1]), &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Count != 12*12*12 || par.Count != seq.Count {
+		t.Fatalf("counts: sequential %d, workers=4 %d (want %d)", seq.Count, par.Count, 12*12*12)
+	}
+	if code, _ := get(t, queryURL(ts.URL, triangleQuery, map[string]string{"workers": "banana"})); code != http.StatusBadRequest {
+		t.Fatalf("garbage workers: status %d, want 400", code)
+	}
+	// A request above the ceiling is clamped, not rejected.
+	if code, _ := get(t, queryURL(ts.URL, triangleQuery, map[string]string{"workers": "10000"})); code != http.StatusOK {
+		t.Fatalf("huge workers: status %d, want 200 (clamped)", code)
+	}
+}
+
+// TestOffsetParam: ?offset=N skips rows; offset past the end yields an
+// empty result.
+func TestOffsetParam(t *testing.T) {
+	_, ts := newTestServer(t, denseStore(6), Config{})
+	q := `SELECT ?x ?y WHERE { ?x <http://ex/p> ?y }` // 36 rows
+	type resp struct {
+		Count int        `json:"count"`
+		Rows  [][]string `json:"rows"`
+	}
+	var full, skipped, beyond resp
+	for _, tc := range []struct {
+		extra map[string]string
+		out   *resp
+	}{
+		{nil, &full},
+		{map[string]string{"offset": "30"}, &skipped},
+		{map[string]string{"offset": "1000"}, &beyond},
+	} {
+		code, body := get(t, queryURL(ts.URL, q, tc.extra))
+		if code != http.StatusOK {
+			t.Fatalf("offset %v: status %d", tc.extra, code)
+		}
+		if err := json.Unmarshal([]byte(body), tc.out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if full.Count != 36 || skipped.Count != 6 || beyond.Count != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 36/6/0", full.Count, skipped.Count, beyond.Count)
+	}
+	if code, _ := get(t, queryURL(ts.URL, q, map[string]string{"offset": "-3"})); code != http.StatusBadRequest {
+		t.Fatalf("negative offset accepted")
+	}
+}
+
+// TestAdmissionControl429: with the single worker slot held by a slow query
+// and a primed hold-time estimate, a short-deadline request must be bounced
+// immediately with 429 + Retry-After instead of queueing to a certain 504.
+func TestAdmissionControl429(t *testing.T) {
+	srv, ts := newTestServer(t, denseStore(350), Config{MaxConcurrent: 1, MaxRows: -1})
+	// Teach the EWMA that slots are held for a long time.
+	srv.stats.noteHold(5 * time.Second)
+
+	// Occupy the only slot with a long triangle enumeration.
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(queryURL(ts.URL, triangleQuery, map[string]string{"timeout": "30s"}))
+		if err == nil {
+			<-release
+			resp.Body.Close()
+		}
+	}()
+	// Wait until the slot is actually held.
+	for i := 0; ; i++ {
+		if inUse, _, _ := srv.pool.stats(); inUse == 1 {
+			break
+		}
+		if i > 500 {
+			t.Fatal("slow query never acquired the slot")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, err := http.Get(queryURL(ts.URL, triangleQuery, map[string]string{"timeout": "50ms"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %.200s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want a positive number of seconds", ra)
+	}
+	if st := srv.Stats(); st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+	close(release)
+	<-done
+}
+
+// TestStatsNewFields: queue depth, in-flight slots, and per-engine latency
+// percentiles appear in /stats after traffic.
+func TestStatsNewFields(t *testing.T) {
+	_, ts := newTestServer(t, smallStore(), Config{})
+	q := `SELECT ?who WHERE { <http://ex/alice> <http://ex/knows> ?who }`
+	for _, eng := range []string{"emptyheaded", "naive"} {
+		if code, body := get(t, queryURL(ts.URL, q, map[string]string{"engine": eng})); code != http.StatusOK {
+			t.Fatalf("engine %s: status %d, body %s", eng, code, body)
+		}
+	}
+	code, body := get(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("bad /stats JSON: %v", err)
+	}
+	if st.QueueDepth != 0 || st.InFlightSlots != 0 {
+		t.Fatalf("idle server reports queue_depth=%d in_flight_slots=%d", st.QueueDepth, st.InFlightSlots)
+	}
+	for _, eng := range []string{"emptyheaded", "naive"} {
+		el, ok := st.EngineLatency[eng]
+		if !ok || el.Count != 1 {
+			t.Fatalf("engine_latency[%s] = %+v (body %s)", eng, el, body)
+		}
+		if el.P50Ms < 0 || el.P99Ms < el.P50Ms {
+			t.Fatalf("implausible per-engine latency: %+v", el)
+		}
+	}
+	if !strings.Contains(body, `"rejected"`) {
+		t.Fatalf("/stats missing rejected counter: %s", body)
+	}
+}
+
+// TestStreamingTruncationExactAllEngines: every engine reports truncation
+// through the cursor probe — exactly MaxRows rows with "truncated":true
+// when more exist, and no marker when the result fits exactly.
+func TestStreamingTruncationExact(t *testing.T) {
+	// 6^3 = 216 triangle rows. Exact fit: no marker.
+	_, tsFit := newTestServer(t, denseStore(6), Config{MaxRows: 216})
+	for _, eng := range []string{"emptyheaded", "monetdb", "naive"} {
+		_, body := get(t, queryURL(tsFit.URL, triangleQuery, map[string]string{"engine": eng}))
+		if strings.Contains(body, `"truncated"`) {
+			t.Fatalf("%s: exact-fit result carries truncation marker: %.200s", eng, body)
+		}
+	}
+	// One row below the result size: exactly MaxRows rows, marked truncated.
+	_, tsCap := newTestServer(t, denseStore(6), Config{MaxRows: 215})
+	for _, eng := range []string{"emptyheaded", "monetdb", "naive"} {
+		_, body := get(t, queryURL(tsCap.URL, triangleQuery, map[string]string{"engine": eng}))
+		var out struct {
+			Count     int  `json:"count"`
+			Truncated bool `json:"truncated"`
+		}
+		if err := json.Unmarshal([]byte(body), &out); err != nil {
+			t.Fatalf("%s: bad JSON: %v", eng, err)
+		}
+		if out.Count != 215 || !out.Truncated {
+			t.Fatalf("%s: count=%d truncated=%v, want 215/true", eng, out.Count, out.Truncated)
+		}
 	}
 }

@@ -12,6 +12,11 @@ import (
 // wants anyway.
 const latencySampleCap = 4096
 
+// engineSampleCap bounds each per-engine execution-latency ring. Smaller
+// than the global ring: there are up to six engines and the per-engine
+// percentiles exist to attribute tail latency, not to archive it.
+const engineSampleCap = 1024
+
 // LatencyStats summarizes observed query latencies (successful and failed
 // requests alike; queue wait included).
 type LatencyStats struct {
@@ -23,18 +28,50 @@ type LatencyStats struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
+// EngineLatency summarizes one engine's execution latency: cursor open to
+// end of stream. Queue wait is excluded; response encoding is included,
+// because under streaming the engine enumerates concurrently with the
+// encoder — open-to-last-row wall time is the execution. (A slow client
+// therefore stretches this number; cross-check against the global latency
+// split when a single engine's tail looks anomalous.) Its purpose is to
+// let loadgen runs attribute tail latency to an engine.
+type EngineLatency struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
 // Stats is the /stats payload.
 type Stats struct {
-	UptimeSeconds float64           `json:"uptime_seconds"`
-	Triples       int               `json:"triples"`
-	Terms         int               `json:"terms"`
-	Queries       uint64            `json:"queries"`
-	Errors        uint64            `json:"errors"`
-	Timeouts      uint64            `json:"timeouts"`
-	Active        int               `json:"active"`
-	ByEngine      map[string]uint64 `json:"by_engine"`
-	PlanCache     CacheStats        `json:"plan_cache"`
-	Latency       LatencyStats      `json:"latency"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Triples       int     `json:"triples"`
+	Terms         int     `json:"terms"`
+	Queries       uint64  `json:"queries"`
+	Errors        uint64  `json:"errors"`
+	Timeouts      uint64  `json:"timeouts"`
+	// Rejected counts requests turned away by admission control (429):
+	// their estimated queue wait exceeded their remaining deadline.
+	Rejected uint64 `json:"rejected"`
+	// Active is requests currently being handled end-to-end (queueing,
+	// executing, or encoding).
+	Active int `json:"active"`
+	// InFlightSlots is worker-pool slots currently held by executing
+	// queries (a ?workers=N query holds N).
+	InFlightSlots int `json:"in_flight_slots"`
+	// QueueDepth is requests waiting for worker-pool slots.
+	QueueDepth    int                      `json:"queue_depth"`
+	ByEngine      map[string]uint64        `json:"by_engine"`
+	EngineLatency map[string]EngineLatency `json:"engine_latency"`
+	PlanCache     CacheStats               `json:"plan_cache"`
+	Latency       LatencyStats             `json:"latency"`
+}
+
+// engStat is one engine's counters: request count plus an execution-latency
+// ring for percentiles.
+type engStat struct {
+	count uint64
+	ring  []time.Duration
+	next  int
 }
 
 // metrics accumulates serving counters. All methods are safe for concurrent
@@ -44,18 +81,24 @@ type metrics struct {
 	queries  uint64
 	errors   uint64
 	timeouts uint64
+	rejected uint64
 	active   int
-	byEngine map[string]uint64
+	byEngine map[string]*engStat
 
 	count uint64
 	sum   time.Duration
 	max   time.Duration
 	ring  []time.Duration
 	next  int
+
+	// holdEWMA tracks how long a worker-pool slot is typically held
+	// (exponentially weighted moving average); admission control multiplies
+	// it by the queue depth to estimate wait.
+	holdEWMA time.Duration
 }
 
 func newMetrics() *metrics {
-	return &metrics{byEngine: map[string]uint64{}}
+	return &metrics{byEngine: map[string]*engStat{}}
 }
 
 func (m *metrics) begin() {
@@ -64,14 +107,29 @@ func (m *metrics) begin() {
 	m.mu.Unlock()
 }
 
-// end records one finished request. timeout implies error.
-func (m *metrics) end(engine string, d time.Duration, isErr, isTimeout bool) {
+// end records one finished request: total duration (queue wait included)
+// feeds the global latency stats; execDur, when positive, feeds the named
+// engine's execution-latency ring. timeout implies error.
+func (m *metrics) end(engine string, total, execDur time.Duration, isErr, isTimeout bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.active--
 	m.queries++
 	if engine != "" {
-		m.byEngine[engine]++
+		es := m.byEngine[engine]
+		if es == nil {
+			es = &engStat{}
+			m.byEngine[engine] = es
+		}
+		es.count++
+		if execDur > 0 {
+			if len(es.ring) < engineSampleCap {
+				es.ring = append(es.ring, execDur)
+			} else {
+				es.ring[es.next] = execDur
+				es.next = (es.next + 1) % engineSampleCap
+			}
+		}
 	}
 	if isErr {
 		m.errors++
@@ -80,24 +138,61 @@ func (m *metrics) end(engine string, d time.Duration, isErr, isTimeout bool) {
 		m.timeouts++
 	}
 	m.count++
-	m.sum += d
-	if d > m.max {
-		m.max = d
+	m.sum += total
+	if total > m.max {
+		m.max = total
 	}
 	if len(m.ring) < latencySampleCap {
-		m.ring = append(m.ring, d)
+		m.ring = append(m.ring, total)
 	} else {
-		m.ring[m.next] = d
+		m.ring[m.next] = total
 		m.next = (m.next + 1) % latencySampleCap
 	}
 }
 
-func (m *metrics) snapshot() (queries, errors, timeouts uint64, active int, byEngine map[string]uint64, lat LatencyStats) {
+// reject counts one admission-control rejection.
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// noteHold folds one observed slot-hold duration into the EWMA.
+func (m *metrics) noteHold(d time.Duration) {
+	m.mu.Lock()
+	if m.holdEWMA == 0 {
+		m.holdEWMA = d
+	} else {
+		// α = 1/8: smooth enough to ride out one odd query, fresh enough
+		// to track load shifts within a few dozen requests.
+		m.holdEWMA += (d - m.holdEWMA) / 8
+	}
+	m.mu.Unlock()
+}
+
+// avgHold returns the current slot-hold EWMA (0 until the first sample).
+func (m *metrics) avgHold() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.holdEWMA
+}
+
+func (m *metrics) snapshot() (queries, errors, timeouts, rejected uint64, active int, byEngine map[string]uint64, engLat map[string]EngineLatency, lat LatencyStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	byEngine = make(map[string]uint64, len(m.byEngine))
-	for k, v := range m.byEngine {
-		byEngine[k] = v
+	engLat = make(map[string]EngineLatency, len(m.byEngine))
+	for k, es := range m.byEngine {
+		byEngine[k] = es.count
+		el := EngineLatency{Count: es.count}
+		if len(es.ring) > 0 {
+			sorted := make([]time.Duration, len(es.ring))
+			copy(sorted, es.ring)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			el.P50Ms = ms(Quantile(sorted, 0.50))
+			el.P99Ms = ms(Quantile(sorted, 0.99))
+		}
+		engLat[k] = el
 	}
 	lat = LatencyStats{Count: m.count, MaxMs: ms(m.max)}
 	if m.count > 0 {
@@ -111,7 +206,7 @@ func (m *metrics) snapshot() (queries, errors, timeouts uint64, active int, byEn
 		lat.P90Ms = ms(Quantile(sorted, 0.90))
 		lat.P99Ms = ms(Quantile(sorted, 0.99))
 	}
-	return m.queries, m.errors, m.timeouts, m.active, byEngine, lat
+	return m.queries, m.errors, m.timeouts, m.rejected, m.active, byEngine, engLat, lat
 }
 
 // Quantile returns the p-quantile of sorted durations (nearest-rank

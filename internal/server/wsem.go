@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// wsem is a FIFO weighted semaphore: the worker pool. A plain request costs
+// one slot; a request with ?workers=N costs N, so intra-query parallelism
+// is accounted against the same pool as inter-query concurrency and
+// MaxConcurrent keeps bounding true CPU use. Grants are all-or-nothing and
+// strictly FIFO (no overtaking), which makes multi-slot acquisitions
+// deadlock-free as long as every weight is ≤ capacity — the server clamps
+// them.
+type wsem struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	queue    []*wsemWaiter
+}
+
+type wsemWaiter struct {
+	n     int
+	ready chan struct{}
+}
+
+func newWsem(capacity int) *wsem {
+	return &wsem{capacity: capacity}
+}
+
+// acquire blocks until n slots are granted or ctx is done. If the grant
+// races a cancellation, the grant wins (the caller owns the slots and will
+// release them normally; its own work then fails fast on the dead context).
+func (s *wsem) acquire(ctx context.Context, n int) error {
+	s.mu.Lock()
+	if len(s.queue) == 0 && s.inUse+n <= s.capacity {
+		s.inUse += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &wsemWaiter{n: n, ready: make(chan struct{})}
+	s.queue = append(s.queue, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-w.ready:
+		// Granted concurrently with the cancellation: keep the grant.
+		return nil
+	default:
+	}
+	for i, q := range s.queue {
+		if q == w {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	// Removing a waiter can unblock the queue: if w was the head-of-line
+	// multi-slot request, smaller requests behind it may now fit.
+	s.grantLocked()
+	return ctx.Err()
+}
+
+// release returns n slots and grants queued waiters in FIFO order.
+func (s *wsem) release(n int) {
+	s.mu.Lock()
+	s.inUse -= n
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked hands slots to queued waiters in FIFO order while they fit.
+// Callers hold s.mu.
+func (s *wsem) grantLocked() {
+	for len(s.queue) > 0 {
+		w := s.queue[0]
+		if s.inUse+w.n > s.capacity {
+			break // head-of-line blocks: strict FIFO, no starvation
+		}
+		s.inUse += w.n
+		s.queue = s.queue[1:]
+		close(w.ready)
+	}
+}
+
+// stats returns slots in use, queued requests, and queued slots.
+func (s *wsem) stats() (inUse, queuedRequests, queuedSlots int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.queue {
+		queuedSlots += w.n
+	}
+	return s.inUse, len(s.queue), queuedSlots
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestWsemFIFOAndWeights(t *testing.T) {
+	s := newWsem(2)
+	if err := s.acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if inUse, _, _ := s.stats(); inUse != 2 {
+		t.Fatalf("inUse = %d", inUse)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.acquire(context.Background(), 1) }()
+	select {
+	case <-done:
+		t.Fatal("acquire succeeded on a full semaphore")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.release(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	s.release(1)
+	if inUse, queued, _ := s.stats(); inUse != 0 || queued != 0 {
+		t.Fatalf("end state: inUse=%d queued=%d", inUse, queued)
+	}
+}
+
+// TestWsemCancelledWaiterUnblocksQueue pins the re-grant on waiter
+// cancellation: a big head-of-line request whose context dies must not
+// keep smaller requests behind it blocked when capacity is already free.
+func TestWsemCancelledWaiterUnblocksQueue(t *testing.T) {
+	s := newWsem(4)
+	if err := s.acquire(context.Background(), 1); err != nil { // 3 free
+		t.Fatal(err)
+	}
+	bigCtx, cancelBig := context.WithCancel(context.Background())
+	bigErr := make(chan error, 1)
+	go func() { bigErr <- s.acquire(bigCtx, 4) }() // needs 4, only 3 free: queues
+	for i := 0; ; i++ {
+		if _, queued, _ := s.stats(); queued == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("big request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	smallDone := make(chan error, 1)
+	go func() { smallDone <- s.acquire(context.Background(), 1) }() // FIFO: behind big
+	for i := 0; ; i++ {
+		if _, queued, _ := s.stats(); queued == 2 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("small request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelBig()
+	if err := <-bigErr; err == nil {
+		t.Fatal("cancelled big acquire returned nil")
+	}
+	select {
+	case err := <-smallDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("small waiter stayed blocked after the head-of-line waiter cancelled")
+	}
+	s.release(1)
+	s.release(1)
+}
+
+// TestWsemGrantRacesCancel: a grant that lands while the waiter is
+// cancelling is kept (the caller owns the slots and releases them).
+func TestWsemGrantRacesCancel(t *testing.T) {
+	s := newWsem(1)
+	for i := 0; i < 200; i++ {
+		if err := s.acquire(context.Background(), 1); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		got := make(chan error, 1)
+		go func() { got <- s.acquire(ctx, 1) }()
+		go cancel()
+		s.release(1)
+		if err := <-got; err == nil {
+			s.release(1) // we own it
+		}
+		if inUse, queued, _ := s.stats(); inUse != 0 || queued != 0 {
+			t.Fatalf("iter %d: leaked state inUse=%d queued=%d", i, inUse, queued)
+		}
+	}
+}

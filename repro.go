@@ -37,12 +37,28 @@ import (
 	"repro/internal/store"
 )
 
-// Engine is the common query engine interface: Name plus Execute over a
-// parsed basic graph pattern.
+// Engine is the common query engine interface: Name plus Open, which
+// streams a parsed basic graph pattern's rows through a Cursor.
 type Engine = engine.Engine
+
+// Cursor streams a query's dictionary-encoded rows incrementally; see
+// engine.Cursor for the contract (Next until io.EOF, exact Truncated,
+// Close to abandon early).
+type Cursor = engine.Cursor
+
+// ExecOpts bundles per-execution knobs: context cancellation, exact row
+// caps, offsets, and intra-query parallelism.
+type ExecOpts = engine.ExecOpts
 
 // Result is a dictionary-encoded result set.
 type Result = engine.Result
+
+// Execute runs q to completion on e and materializes the result — the
+// convenience form of Open + Collect.
+func Execute(e Engine, q *BGP) (*Result, error) { return engine.Execute(e, q) }
+
+// Collect drains a cursor (as returned by Engine.Open) into a Result.
+func Collect(c Cursor, err error) (*Result, error) { return engine.Collect(c, err) }
 
 // BGP is a parsed basic graph pattern query.
 type BGP = query.BGP
@@ -200,7 +216,7 @@ func Query(e Engine, d *Dataset, sparql string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Execute(q)
+	res, err := Execute(e, q)
 	if err != nil {
 		return nil, err
 	}
