@@ -25,10 +25,11 @@ func main() {
 	engineName := flag.String("engine", "emptyheaded", "engine: "+strings.Join(repro.EngineNames(), " | "))
 	queryText := flag.String("query", "", "SPARQL query text")
 	lubmQuery := flag.Int("lubm-query", 0, "run this LUBM benchmark query instead of -query")
-	limit := flag.Int("limit", 20, "max rows to print (0 = all)")
-	offset := flag.Int("offset", 0, "skip this many result rows")
+	limit := flag.Int("limit", 20, "max rows to print (0 = all; a LIMIT clause in the query tightens this)")
+	offset := flag.Int("offset", 0, "skip this many result rows (adds to an OFFSET clause in the query)")
 	workers := flag.Int("workers", 0, "intra-query parallelism for the enumeration (0 = engine default)")
 	timeout := flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
+	shards := flag.Int("shards", 0, "partition the dataset into N subject-hash shards and run by scatter-gather (0/1 = unsharded)")
 	flag.Parse()
 
 	var ds *repro.Dataset
@@ -45,6 +46,12 @@ func main() {
 		log.Fatal("rdfq: provide -data FILE or -lubm SCALE")
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d triples\n", ds.NumTriples())
+	if *shards > 1 {
+		if err := ds.Partition(*shards); err != nil {
+			log.Fatalf("rdfq: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "partitioned into %d subject-hash shards\n", *shards)
+	}
 
 	eng, err := repro.NewEngineByName(ds, *engineName)
 	if err != nil {
@@ -76,11 +83,24 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// A LIMIT clause in the query tightens the -limit cap (never widens
+	// it), and an OFFSET clause adds to -offset — both land on the same
+	// exact cursor-level knobs. LIMIT 0 is a valid query: zero rows.
+	effLimit := *limit
+	if q.HasLimit {
+		if q.Limit == 0 {
+			fmt.Println("0 rows (query says LIMIT 0)")
+			return
+		}
+		if effLimit == 0 || q.Limit < effLimit {
+			effLimit = q.Limit
+		}
+	}
 	// Consume the engine's cursor directly: rows print as the join
-	// enumerates them (no result materialization), and the -limit row cap
+	// enumerates them (no result materialization), and the row cap
 	// is the cursor's exact MaxRows — hitting it stops the remaining
 	// enumeration instead of computing rows nobody will see.
-	cur, err := eng.Open(q, repro.ExecOpts{Ctx: ctx, MaxRows: *limit, Offset: *offset, Workers: *workers})
+	cur, err := eng.Open(q, repro.ExecOpts{Ctx: ctx, MaxRows: effLimit, Offset: *offset + q.Offset, Workers: *workers})
 	if err != nil {
 		log.Fatalf("rdfq: %v", err)
 	}
@@ -105,7 +125,7 @@ func main() {
 		fmt.Println()
 	}
 	if cur.Truncated() {
-		fmt.Printf("%d rows (truncated by -limit; more exist)\n", total)
+		fmt.Printf("%d rows (truncated by the row cap; more exist)\n", total)
 		return
 	}
 	fmt.Printf("%d rows\n", total)

@@ -45,6 +45,7 @@ func main() {
 	maxQueryWorkers := flag.Int("max-query-workers", 0, "ceiling for per-request ?workers= intra-query parallelism (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	maxRows := flag.Int("max-rows", 0, "cap rows per query result, marked truncated (0 = default 4M, -1 = uncapped)")
+	shards := flag.Int("shards", 0, "partition the store into N subject-hash shards and serve by scatter-gather (0/1 = unsharded)")
 
 	// Loadgen flags.
 	loadgen := flag.Bool("loadgen", false, "run as a load generator against -url instead of serving")
@@ -90,9 +91,13 @@ func main() {
 		MaxQueryWorkers: *maxQueryWorkers,
 		DefaultTimeout:  *timeout,
 		MaxRows:         *maxRows,
+		Shards:          *shards,
 	})
 	if err != nil {
 		log.Fatalf("rdfserved: %v", err)
+	}
+	if *shards > 1 {
+		log.Printf("partitioned into %d subject-hash shards (scatter-gather execution)", *shards)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

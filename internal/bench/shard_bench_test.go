@@ -1,0 +1,92 @@
+package bench
+
+// The sharded-vs-unsharded benchmark pair: the same engine and queries over
+// one LUBM store, unpartitioned and partitioned, so the scatter-gather
+// speedup (or overhead — merge-layer joins and the ownership filter are not
+// free) is measured rather than asserted. CI's bench smoke runs each case
+// once to keep the path exercised.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/engines"
+	"repro/internal/lubm"
+	"repro/internal/query"
+	"repro/internal/shard"
+	"repro/internal/store"
+)
+
+var shardBench struct {
+	once sync.Once
+	st   *store.Store
+}
+
+func shardBenchStore() *store.Store {
+	shardBench.once.Do(func() {
+		shardBench.st = NewDataset(Config{Scale: 1})
+	})
+	return shardBench.st
+}
+
+// drainCursor counts rows off an opened cursor.
+func drainCursor(b *testing.B, e engine.Engine, q *query.BGP) int {
+	b.Helper()
+	cur, err := e.Open(q, engine.ExecOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cur.Close()
+	n := 0
+	for {
+		_, err := cur.Next()
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		n++
+	}
+}
+
+func BenchmarkShardedVsUnsharded(b *testing.B) {
+	st := shardBenchStore()
+	queries := map[string]string{
+		// Subject-star: fully shard-local scatter-gather.
+		"q2": lubm.Query(2, 1),
+		// Path-shaped: exercises the replicated-by-object index.
+		"q8": lubm.Query(8, 1),
+	}
+	for _, engName := range []string{"emptyheaded", "monetdb"} {
+		eng, err := engines.New(engName, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		variants := map[string]engine.Engine{"unsharded": eng}
+		for _, n := range []int{4} {
+			p, err := shard.Partition(st, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sh, err := engines.NewSharded(engName, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			variants[fmt.Sprintf("shards=%d", n)] = sh
+		}
+		for qname, text := range queries {
+			q := query.MustParseSPARQL(text)
+			for vname, ve := range variants {
+				b.Run(fmt.Sprintf("%s/%s/%s", engName, qname, vname), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						drainCursor(b, ve, q)
+					}
+				})
+			}
+		}
+	}
+}

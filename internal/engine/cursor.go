@@ -223,6 +223,24 @@ func (l *limitCursor) Truncated() bool { return l.truncated }
 
 func (l *limitCursor) Close() error { return l.inner.Close() }
 
+// AppendRowKeyCol appends one column's fixed-width little-endian encoding
+// to a row-key buffer (for keys over a subset of columns).
+func AppendRowKeyCol(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// RowKey renders a dictionary-encoded row into a compact string key for
+// map-based DISTINCT deduplication and hash joins. Every layer that keys
+// rows (the WCOJ executor, the pairwise and naive engines, the shard merge
+// layer) shares this one encoding.
+func RowKey(row []uint32) string {
+	b := make([]byte, 0, len(row)*4)
+	for _, v := range row {
+		b = AppendRowKeyCol(b, v)
+	}
+	return string(b)
+}
+
 // cancelStride is how many loop iterations pass between context polls in
 // engine inner loops (context.Context.Err takes a lock; polling it on a
 // stride keeps the check off the per-row hot path while still bounding

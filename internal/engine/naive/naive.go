@@ -72,14 +72,11 @@ func (e *Engine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error)
 				row[i] = b[v]
 			}
 			if dedup != nil {
-				kb := make([]byte, 0, len(row)*4)
-				for _, v := range row {
-					kb = append(kb, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-				}
-				if dedup[string(kb)] {
+				key := engine.RowKey(row)
+				if dedup[key] {
 					return nil
 				}
-				dedup[string(kb)] = true
+				dedup[key] = true
 			}
 			return emit(row)
 		})

@@ -159,7 +159,7 @@ func project(ctx context.Context, t *Table, sel []string, distinct bool, emit fu
 			out[i] = row[j]
 		}
 		if dedup != nil {
-			key := rowKey(out)
+			key := engine.RowKey(out)
 			if dedup[key] {
 				continue
 			}
@@ -170,14 +170,6 @@ func project(ctx context.Context, t *Table, sel []string, distinct bool, emit fu
 		}
 	}
 	return nil
-}
-
-func rowKey(row []uint32) string {
-	b := make([]byte, 0, len(row)*4)
-	for _, v := range row {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
 }
 
 // --- physical operators -----------------------------------------------------

@@ -15,6 +15,7 @@ import (
 	"repro/internal/engine/naive"
 	"repro/internal/engine/rdf3x"
 	"repro/internal/engine/triplebit"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -45,4 +46,14 @@ func New(name string, st *store.Store) (engine.Engine, error) {
 	default:
 		return nil, fmt.Errorf("unknown engine %q (available: %s)", name, strings.Join(Names(), ", "))
 	}
+}
+
+// NewSharded builds one instance of the named engine over every shard of p
+// and returns the scatter-gather wrapper, which satisfies the same
+// engine.Engine contract. Engine construction runs once per shard, so the
+// same reuse advice as New applies, per shard set.
+func NewSharded(name string, p *shard.Partitioned) (engine.Engine, error) {
+	return shard.NewEngine(p, name, func(st *store.Store) (engine.Engine, error) {
+		return New(name, st)
+	})
 }

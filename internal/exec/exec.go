@@ -160,7 +160,7 @@ func stream(p *plan.Plan, st *store.Store, opts Options, ctx context.Context, em
 	if p.Distinct {
 		dedup := map[string]bool{}
 		out = func(row []uint32) error {
-			key := rowKey(row)
+			key := engine.RowKey(row)
 			if dedup[key] {
 				return nil
 			}
@@ -276,14 +276,6 @@ func firstVarIdx(attrs []plan.Attr) int {
 		}
 	}
 	return -1
-}
-
-func rowKey(row []uint32) string {
-	b := make([]byte, 0, len(row)*4)
-	for _, v := range row {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
 }
 
 type executor struct {

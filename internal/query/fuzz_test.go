@@ -14,6 +14,12 @@ func FuzzParseSPARQL(f *testing.F) {
 		`{}`,
 		`SELECT ?x WHERE { ?x <p`,
 		`# comment only`,
+		`SELECT ?x WHERE { ?x <p> <o> } LIMIT 10`,
+		`SELECT ?x WHERE { ?x <p> <o> } LIMIT 0 OFFSET 3`,
+		`SELECT ?x WHERE { ?x <p> <o> } OFFSET 5 LIMIT 2`,
+		`SELECT ?x WHERE { ?x <p> <o> } LIMIT -1`,
+		`SELECT ?x WHERE { ?x <p> <o> } LIMIT 1 LIMIT 2`,
+		`SELECT ?x WHERE { ?x <p> <o> } OFFSET`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -10,7 +10,10 @@ import (
 // the pattern body, so two queries that differ only in variable names (and
 // in the PREFIX sugar the parser already expands) normalize identically and
 // can share a compiled plan. Pattern order, projection order, and DISTINCT
-// are preserved — they are semantically (or plan-) relevant.
+// are preserved — they are semantically (or plan-) relevant. LIMIT/OFFSET
+// are deliberately dropped: they are execution-time parameters (callers map
+// them onto engine.ExecOpts), so queries differing only in modifiers share
+// one plan-cache entry.
 //
 // The returned BGP shares no mutable state with q, so it can be retained in
 // a cache and handed to concurrent executions. The key is injective over

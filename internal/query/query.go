@@ -67,6 +67,18 @@ type BGP struct {
 	Distinct bool
 	// Patterns is the conjunctive body.
 	Patterns []Pattern
+	// Limit caps the result rows (SPARQL "LIMIT n"); meaningful only when
+	// HasLimit is set, because LIMIT 0 is a valid clause. Limit and Offset
+	// are annotations for callers: engines do not interpret them — the
+	// execution layers (server, CLIs, repro.Query) map them onto
+	// engine.ExecOpts.MaxRows/Offset, where caps are enforced exactly at
+	// the cursor.
+	Limit int
+	// HasLimit records whether a LIMIT clause was present.
+	HasLimit bool
+	// Offset skips that many solutions before the first returned one
+	// (SPARQL "OFFSET m"); zero means none.
+	Offset int
 }
 
 // Vars returns every variable in the body, in order of first appearance.
@@ -109,6 +121,15 @@ func (q *BGP) Validate() error {
 		}
 		seen[v] = true
 	}
+	if q.Limit < 0 {
+		return fmt.Errorf("query: negative LIMIT %d", q.Limit)
+	}
+	if q.Offset < 0 {
+		return fmt.Errorf("query: negative OFFSET %d", q.Offset)
+	}
+	if !q.HasLimit && q.Limit != 0 {
+		return fmt.Errorf("query: Limit %d set without HasLimit", q.Limit)
+	}
 	return nil
 }
 
@@ -125,5 +146,12 @@ func (q *BGP) String() string {
 	for _, p := range q.Patterns {
 		s += "\n  " + p.String()
 	}
-	return s + "\n}"
+	s += "\n}"
+	if q.HasLimit {
+		s += fmt.Sprintf("\nLIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		s += fmt.Sprintf("\nOFFSET %d", q.Offset)
+	}
+	return s
 }

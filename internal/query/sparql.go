@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 
@@ -13,6 +14,7 @@ import (
 //	PREFIX name: <iri>          (zero or more)
 //	SELECT [DISTINCT] ?v... | *
 //	WHERE { t1 . t2 . ... }     (trailing '.' optional)
+//	LIMIT n / OFFSET m          (optional, either order, each at most once)
 //
 // where each triple pattern position is a variable (?x), an IRI (<...> or
 // prefixed name), or a literal ("..." with optional @lang or ^^type).
@@ -116,6 +118,44 @@ func (p *sparqlParser) parse() (*BGP, error) {
 			p.lex.next()
 		}
 	}
+	// Solution modifiers: LIMIT and OFFSET, in either order, at most once
+	// each (the SPARQL grammar's LimitOffsetClauses).
+	hasOffset := false
+	for {
+		tok, err = p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind != tokWord {
+			break
+		}
+		switch {
+		case strings.EqualFold(tok.text, "LIMIT"):
+			if q.HasLimit {
+				return nil, p.lex.errf("duplicate LIMIT clause")
+			}
+			p.lex.next()
+			n, err := p.parseCount("LIMIT")
+			if err != nil {
+				return nil, err
+			}
+			q.Limit, q.HasLimit = n, true
+			continue
+		case strings.EqualFold(tok.text, "OFFSET"):
+			if hasOffset {
+				return nil, p.lex.errf("duplicate OFFSET clause")
+			}
+			hasOffset = true
+			p.lex.next()
+			n, err := p.parseCount("OFFSET")
+			if err != nil {
+				return nil, err
+			}
+			q.Offset = n
+			continue
+		}
+		break
+	}
 	tok, err = p.lex.peek()
 	if err != nil {
 		return nil, err
@@ -130,6 +170,22 @@ func (p *sparqlParser) parse() (*BGP, error) {
 		return nil, err
 	}
 	return q, nil
+}
+
+// parseCount reads the non-negative integer operand of LIMIT/OFFSET.
+func (p *sparqlParser) parseCount(clause string) (int, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return 0, err
+	}
+	if tok.kind != tokWord {
+		return 0, p.lex.errf("%s expects a non-negative integer, got %q", clause, tok.text)
+	}
+	n, err := strconv.Atoi(tok.text)
+	if err != nil || n < 0 {
+		return 0, p.lex.errf("%s expects a non-negative integer, got %q", clause, tok.text)
+	}
+	return n, nil
 }
 
 func (p *sparqlParser) parsePrefix() error {

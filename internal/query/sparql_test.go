@@ -150,7 +150,14 @@ func TestParseErrors(t *testing.T) {
 		"undeclared prefix":     `SELECT ?x WHERE { ?x ub:type <http://o> . }`,
 		"literal subject":       `SELECT ?x WHERE { "lit" <http://p> ?x . }`,
 		"literal predicate":     `SELECT ?x WHERE { ?x "lit" <http://o> . }`,
-		"trailing content":      `SELECT ?x WHERE { ?x <http://p> <http://o> . } LIMIT`,
+		"bare LIMIT":            `SELECT ?x WHERE { ?x <http://p> <http://o> . } LIMIT`,
+		"trailing content":      `SELECT ?x WHERE { ?x <http://p> <http://o> . } GROUP`,
+		"negative LIMIT":        `SELECT ?x WHERE { ?x <http://p> <http://o> . } LIMIT -1`,
+		"non-numeric LIMIT":     `SELECT ?x WHERE { ?x <http://p> <http://o> . } LIMIT ten`,
+		"duplicate LIMIT":       `SELECT ?x WHERE { ?x <http://p> <http://o> . } LIMIT 1 LIMIT 2`,
+		"negative OFFSET":       `SELECT ?x WHERE { ?x <http://p> <http://o> . } OFFSET -3`,
+		"duplicate OFFSET":      `SELECT ?x WHERE { ?x <http://p> <http://o> . } OFFSET 1 OFFSET 2`,
+		"limit before brace":    `SELECT ?x LIMIT 3 WHERE { ?x <http://p> <http://o> . }`,
 		"unterminated iri":      `SELECT ?x WHERE { ?x <http://p <http://o> . }`,
 		"unterminated literal":  `SELECT ?x WHERE { ?x <http://p> "abc . }`,
 		"bad escape":            `SELECT ?x WHERE { ?x <http://p> "a\qb" . }`,
@@ -165,6 +172,46 @@ func TestParseErrors(t *testing.T) {
 	for name, in := range bad {
 		if _, err := ParseSPARQL(in); err == nil {
 			t.Errorf("%s: expected parse error for %q", name, in)
+		}
+	}
+}
+
+func TestParseLimitOffset(t *testing.T) {
+	base := `SELECT ?x WHERE { ?x <http://p> <http://o> . }`
+	cases := []struct {
+		name     string
+		suffix   string
+		limit    int
+		hasLimit bool
+		offset   int
+	}{
+		{"none", ``, 0, false, 0},
+		{"limit", ` LIMIT 10`, 10, true, 0},
+		{"limit zero", ` LIMIT 0`, 0, true, 0},
+		{"offset", ` OFFSET 5`, 0, false, 5},
+		{"offset zero", ` OFFSET 0`, 0, false, 0},
+		{"limit offset", ` LIMIT 10 OFFSET 5`, 10, true, 5},
+		{"offset limit", ` OFFSET 5 LIMIT 10`, 10, true, 5},
+		{"lowercase", ` limit 7 offset 2`, 7, true, 2},
+	}
+	for _, c := range cases {
+		q, err := ParseSPARQL(base + c.suffix)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if q.Limit != c.limit || q.HasLimit != c.hasLimit || q.Offset != c.offset {
+			t.Errorf("%s: Limit=%d HasLimit=%v Offset=%d, want %d/%v/%d",
+				c.name, q.Limit, q.HasLimit, q.Offset, c.limit, c.hasLimit, c.offset)
+		}
+		// The rendered query round-trips with identical modifiers.
+		rt, err := ParseSPARQL(q.String())
+		if err != nil {
+			t.Errorf("%s: re-parse of %q: %v", c.name, q.String(), err)
+			continue
+		}
+		if rt.Limit != q.Limit || rt.HasLimit != q.HasLimit || rt.Offset != q.Offset {
+			t.Errorf("%s: round-trip modifiers changed: %+v vs %+v", c.name, rt, q)
 		}
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"repro/internal/engines"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -79,6 +80,23 @@ type Config struct {
 	// rows in flight, not just response size. Default 4,000,000; negative
 	// disables the cap.
 	MaxRows int
+	// Shards, when > 1, partitions the store into that many subject-hash
+	// shards at startup (internal/shard) and answers every query by
+	// scatter-gather over per-shard engine instances. /stats then reports
+	// the per-shard layout and merge drain balance. 0 or 1 serves the
+	// store unpartitioned.
+	//
+	// Pool accounting: a sharded request holds the same slot count as an
+	// unsharded one (1, or ?workers=N), even though its scatter phase
+	// drains up to Shards sub-queries concurrently — each sub-query covers
+	// ~1/Shards of the data, so total work per request is roughly
+	// unchanged and holds get shorter, but instantaneous parallelism is
+	// multiplied. MaxConcurrent therefore bounds admitted queries, not
+	// threads; CPU-bound sharded deployments should size it accordingly
+	// (e.g. MaxConcurrent ≈ cores/Shards). Charging Shards slots per
+	// request instead is the stricter alternative; see the ROADMAP's
+	// shard-aware planning follow-up.
+	Shards int
 }
 
 // defaultMaxRows bounds per-query result size unless overridden.
@@ -89,6 +107,7 @@ const defaultMaxRows = 4_000_000
 type Server struct {
 	cfg   Config
 	st    *store.Store
+	part  *shard.Partitioned // non-nil iff Config.Shards > 1
 	cache *planCache
 	pool  *wsem
 	stats *metrics
@@ -128,11 +147,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DefaultEngine == "" {
 		cfg.DefaultEngine = "emptyheaded"
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("server: Config.Shards must be >= 0, got %d", cfg.Shards)
+	}
+	var part *shard.Partitioned
+	if cfg.Shards > 1 {
+		p, err := shard.Partition(cfg.Store, cfg.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		part = p
+	}
 	// Construct the default engine now — it both validates the name and
 	// front-loads any eager index construction (rdf3x sorts six triple
 	// permutations) so the first request doesn't pay for it; the instance
 	// seeds the engine map below.
-	defEng, err := engines.New(cfg.DefaultEngine, cfg.Store)
+	defEng, err := buildEngine(cfg.DefaultEngine, cfg.Store, part)
 	if err != nil {
 		return nil, fmt.Errorf("server: default engine: %w", err)
 	}
@@ -164,6 +194,7 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:     cfg,
 		st:      cfg.Store,
+		part:    part,
 		cache:   newPlanCache(cfg.PlanCacheSize),
 		pool:    newWsem(cfg.MaxConcurrent),
 		stats:   newMetrics(),
@@ -200,8 +231,32 @@ func (s *Server) engine(name string) (engine.Engine, error) {
 		s.engines[name] = slot
 	}
 	s.mu.Unlock()
-	slot.once.Do(func() { slot.eng, slot.err = engines.New(name, s.st) })
+	slot.once.Do(func() { slot.eng, slot.err = buildEngine(name, s.st, s.part) })
 	return slot.eng, slot.err
+}
+
+// buildEngine constructs the named engine: over the partition
+// (scatter-gather across per-shard instances) when the server is sharded,
+// over the whole store otherwise.
+func buildEngine(name string, st *store.Store, part *shard.Partitioned) (engine.Engine, error) {
+	if part != nil {
+		return engines.NewSharded(name, part)
+	}
+	return engines.New(name, st)
+}
+
+// engineSupportsWorkers reports whether eng honours ExecOpts.Workers: the
+// core (EmptyHeaded) engine, directly or as the per-shard engine behind
+// the scatter-gather wrapper (shard.Engine forwards Workers to every
+// shard). A ?workers=N sharded request is charged N slots like an
+// unsharded one; the shard fan-out itself is deliberately not charged —
+// see Config.Shards for the accounting trade-off.
+func engineSupportsWorkers(eng engine.Engine) bool {
+	if se, ok := eng.(*shard.Engine); ok {
+		eng = se.ShardEngine(0)
+	}
+	_, ok := eng.(*core.Engine)
+	return ok
 }
 
 // planOpener is satisfied by engines that separate compilation from
@@ -222,6 +277,11 @@ type preparedQuery struct {
 }
 
 // prepare resolves q to a cache entry for engineName, compiling on miss.
+// Under sharding the cache holds only the interned normalized BGP —
+// shard.Engine is not a planOpener, so per-shard sub-query plans are
+// recomputed per execution (a cache "hit" saves parsing and normalization
+// only; caching the decomposition plus per-group compiled plans is the
+// ROADMAP's shard-aware-planning follow-up).
 func (s *Server) prepare(engineName string, eng engine.Engine, q *query.BGP) (*preparedQuery, bool, error) {
 	norm, key := query.Normalize(q)
 	key = engineName + "|" + optionsKey(eng) + "|" + key
@@ -268,20 +328,26 @@ func (s *Server) open(eng engine.Engine, pq *preparedQuery, opts engine.ExecOpts
 	return eng.Open(pq.bgp, opts)
 }
 
-// estimateWait predicts how long a request needing n slots would queue:
-// the slots that must drain before it can start, scaled by the observed
-// average slot-hold time. It is a heuristic — the EWMA smooths over
+// estimateWait predicts how long a request for engineName needing n slots
+// would queue: the slots that must drain before it can start, scaled by
+// the slot-weighted hold EWMA of the engines currently occupying the pool
+// (queue wait is governed by who holds the slots; the requester's own EWMA
+// is only the fallback when occupancy is untracked). EWMAs are kept per
+// engine, so a past burst of pairwise-baseline traffic never inflates the
+// estimate — and Retry-After — once the pool is back to serving WCOJ
+// queries; conversely a pool genuinely full of slow queries rejects fast
+// engines honestly. It is a heuristic — the EWMA smooths over
 // heterogeneous queries — but it only has to be right in order of
 // magnitude: its job is to bounce requests whose deadline a saturated pool
 // cannot possibly meet.
-func (s *Server) estimateWait(n int) time.Duration {
+func (s *Server) estimateWait(engineName string, n int) time.Duration {
 	inUse, _, queuedSlots := s.pool.stats()
 	free := s.cfg.MaxConcurrent - inUse
 	ahead := queuedSlots + n - free
 	if ahead <= 0 {
 		return 0
 	}
-	hold := s.stats.avgHold()
+	hold := s.stats.expectedHold(engineName)
 	if hold == 0 {
 		return 0 // no samples yet: admit and learn
 	}
@@ -406,11 +472,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if workers > s.cfg.MaxQueryWorkers {
 		workers = s.cfg.MaxQueryWorkers // clamp, don't reject: the ceiling is an operator policy
 	}
-	if _, parallel := eng.(*core.Engine); !parallel {
-		// Only the core (EmptyHeaded) engine has a parallel enumeration;
-		// the others run single-threaded regardless of opts.Workers, so
-		// charging them N slots would waste pool capacity and skew the
-		// admission EWMA.
+	if !engineSupportsWorkers(eng) {
+		// Only the core (EmptyHeaded) enumeration has a parallel path —
+		// directly, or per shard behind the scatter-gather wrapper, which
+		// forwards Workers. Other engines run single-threaded regardless of
+		// opts.Workers, so charging them N slots would waste pool capacity
+		// and skew the admission EWMA.
 		workers = 0
 	}
 	offset, err := intParam(r, "offset")
@@ -418,6 +485,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		finish(true, false)
 		return
+	}
+	// SPARQL solution modifiers map onto the same cursor-level knobs as the
+	// request parameters: OFFSET clauses add to ?offset=, and LIMIT tightens
+	// the server's row cap (never widens it — MaxRows stays the operator's
+	// ceiling). LIMIT 0 is valid SPARQL: no rows, with the truncated flag
+	// still exact (one row is probed to learn whether anything existed).
+	offset += q.Offset
+	maxRows := s.cfg.MaxRows
+	limitZero := false
+	if q.HasLimit {
+		switch {
+		case q.Limit == 0:
+			limitZero = true
+			maxRows = 1
+		case maxRows == 0 || q.Limit < maxRows:
+			maxRows = q.Limit
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
@@ -435,9 +519,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// exceeds its remaining deadline, fail fast with 429 + Retry-After
 	// instead of letting it burn its deadline in the queue and 504.
 	if deadline, ok := ctx.Deadline(); ok {
-		// est == 0 (free pool or no samples yet) never rejects — an
-		// already-expired deadline is the executor's 504, not a 429.
-		if est := s.estimateWait(slots); est > 0 && est > time.Until(deadline) {
+		// est == 0 (free pool or no samples yet for this engine) never
+		// rejects — an already-expired deadline is the executor's 504, not
+		// a 429.
+		if est := s.estimateWait(engineName, slots); est > 0 && est > time.Until(deadline) {
 			s.stats.reject()
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(est.Seconds()))))
 			httpError(w, http.StatusTooManyRequests,
@@ -454,8 +539,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	acquired := time.Now()
+	s.stats.beginHold(engineName, slots)
 	release := sync.OnceFunc(func() {
-		s.stats.noteHold(time.Since(acquired))
+		s.stats.endHold(engineName, slots, time.Since(acquired))
 		s.pool.release(slots)
 	})
 	defer release()
@@ -470,7 +556,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	execStart := time.Now()
 	cur, err := s.open(eng, pq, engine.ExecOpts{
 		Ctx:     ctx,
-		MaxRows: s.cfg.MaxRows,
+		MaxRows: maxRows,
 		Offset:  offset,
 		Workers: workers,
 	})
@@ -493,7 +579,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		finish(true, errors.Is(firstErr, context.DeadlineExceeded))
 		return
 	}
-	pc := &peekedCursor{inner: cur, row: first, eof: firstErr == io.EOF}
+	var pc engine.Cursor = &peekedCursor{inner: cur, row: first, eof: firstErr == io.EOF}
+	if limitZero {
+		// LIMIT 0: the probed row is evidence, not output.
+		pc = &limitZeroCursor{inner: cur, hadRow: firstErr == nil}
+	}
 
 	// Present the caller's variable names: normalization renamed them, but
 	// positions are preserved, so rows decode unchanged.
@@ -556,6 +646,18 @@ func (p *peekedCursor) Next() ([]uint32, error) {
 func (p *peekedCursor) Truncated() bool { return p.inner.Truncated() }
 func (p *peekedCursor) Close() error    { return p.inner.Close() }
 
+// limitZeroCursor serves SPARQL "LIMIT 0": no rows, with Truncated still
+// exact — the handler's one-row probe tells whether any solution existed.
+type limitZeroCursor struct {
+	inner  engine.Cursor
+	hadRow bool
+}
+
+func (l *limitZeroCursor) Vars() []string          { return l.inner.Vars() }
+func (l *limitZeroCursor) Next() ([]uint32, error) { return nil, io.EOF }
+func (l *limitZeroCursor) Truncated() bool         { return l.hadRow }
+func (l *limitZeroCursor) Close() error            { return l.inner.Close() }
+
 // failCtx maps a done context to 504 (deadline) or 503 (client cancelled).
 func (s *Server) failCtx(w http.ResponseWriter, ctx context.Context) {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
@@ -604,6 +706,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Stats() Stats {
 	queries, errs, timeouts, rejected, active, byEngine, engLat, lat := s.stats.snapshot()
 	inUse, queued, _ := s.pool.stats()
+	var sharding *ShardingStats
+	if s.part != nil {
+		ss := s.part.Stats()
+		sharding = &ShardingStats{
+			Shards:             len(ss),
+			OwnedTriples:       make([]int, len(ss)),
+			ReplicatedTriples:  make([]int, len(ss)),
+			MergeRowsDelivered: make([]int64, len(ss)),
+		}
+		for i, sh := range ss {
+			sharding.OwnedTriples[i] = sh.Owned
+			sharding.ReplicatedTriples[i] = sh.Replicated
+			sharding.MergeRowsDelivered[i] = sh.Delivered
+		}
+	}
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Triples:       s.st.NumTriples(),
@@ -619,6 +736,7 @@ func (s *Server) Stats() Stats {
 		EngineLatency: engLat,
 		PlanCache:     s.cache.stats(),
 		Latency:       lat,
+		Sharding:      sharding,
 	}
 }
 

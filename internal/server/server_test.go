@@ -504,7 +504,7 @@ func TestOffsetParam(t *testing.T) {
 func TestAdmissionControl429(t *testing.T) {
 	srv, ts := newTestServer(t, denseStore(350), Config{MaxConcurrent: 1, MaxRows: -1})
 	// Teach the EWMA that slots are held for a long time.
-	srv.stats.noteHold(5 * time.Second)
+	srv.stats.endHold("emptyheaded", 0, 5*time.Second) // seed the EWMA
 
 	// Occupy the only slot with a long triangle enumeration.
 	release := make(chan struct{})

@@ -39,6 +39,26 @@ type EngineLatency struct {
 	Count uint64  `json:"count"`
 	P50Ms float64 `json:"p50_ms"`
 	P99Ms float64 `json:"p99_ms"`
+	// HoldEWMAMs is the engine's worker-pool slot-hold EWMA — the number
+	// admission control multiplies by queue depth for requests naming this
+	// engine. Kept per engine so the pairwise baselines (orders of
+	// magnitude slower) cannot inflate Retry-After for the WCOJ engines.
+	HoldEWMAMs float64 `json:"hold_ewma_ms"`
+}
+
+// ShardingStats reports the horizontal partition layout and the merge
+// cursors' cumulative drain balance when the server runs sharded.
+type ShardingStats struct {
+	Shards int `json:"shards"`
+	// OwnedTriples[i] counts triples whose subject shard i owns.
+	OwnedTriples []int `json:"owned_triples"`
+	// ReplicatedTriples[i] counts triples copied to shard i for their
+	// object (the replicated-by-object index backing cross-subject joins).
+	ReplicatedTriples []int `json:"replicated_triples"`
+	// MergeRowsDelivered[i] is the cumulative number of rows shard i has
+	// contributed to scatter-gather merge cursors; a skewed distribution
+	// means the subject hash is not spreading the queried entities.
+	MergeRowsDelivered []int64 `json:"merge_rows_delivered"`
 }
 
 // Stats is the /stats payload.
@@ -64,14 +84,18 @@ type Stats struct {
 	EngineLatency map[string]EngineLatency `json:"engine_latency"`
 	PlanCache     CacheStats               `json:"plan_cache"`
 	Latency       LatencyStats             `json:"latency"`
+	// Sharding is present only when the server partitioned its store
+	// (Config.Shards > 1).
+	Sharding *ShardingStats `json:"sharding,omitempty"`
 }
 
-// engStat is one engine's counters: request count plus an execution-latency
-// ring for percentiles.
+// engStat is one engine's counters: request count, an execution-latency
+// ring for percentiles, and the slot-hold EWMA admission control reads.
 type engStat struct {
-	count uint64
-	ring  []time.Duration
-	next  int
+	count    uint64
+	ring     []time.Duration
+	next     int
+	holdEWMA time.Duration
 }
 
 // metrics accumulates serving counters. All methods are safe for concurrent
@@ -91,14 +115,24 @@ type metrics struct {
 	ring  []time.Duration
 	next  int
 
-	// holdEWMA tracks how long a worker-pool slot is typically held
-	// (exponentially weighted moving average); admission control multiplies
-	// it by the queue depth to estimate wait.
-	holdEWMA time.Duration
+	// holdSlots tracks worker-pool slots currently held, per engine
+	// (beginHold/endHold) — the occupancy view estimateWait reads.
+	holdSlots map[string]int
+}
+
+// engStatLocked returns (creating on demand) the named engine's counters.
+// Caller holds m.mu.
+func (m *metrics) engStatLocked(engine string) *engStat {
+	es := m.byEngine[engine]
+	if es == nil {
+		es = &engStat{}
+		m.byEngine[engine] = es
+	}
+	return es
 }
 
 func newMetrics() *metrics {
-	return &metrics{byEngine: map[string]*engStat{}}
+	return &metrics{byEngine: map[string]*engStat{}, holdSlots: map[string]int{}}
 }
 
 func (m *metrics) begin() {
@@ -116,11 +150,7 @@ func (m *metrics) end(engine string, total, execDur time.Duration, isErr, isTime
 	m.active--
 	m.queries++
 	if engine != "" {
-		es := m.byEngine[engine]
-		if es == nil {
-			es = &engStat{}
-			m.byEngine[engine] = es
-		}
+		es := m.engStatLocked(engine)
 		es.count++
 		if execDur > 0 {
 			if len(es.ring) < engineSampleCap {
@@ -157,24 +187,66 @@ func (m *metrics) reject() {
 	m.mu.Unlock()
 }
 
-// noteHold folds one observed slot-hold duration into the EWMA.
-func (m *metrics) noteHold(d time.Duration) {
+// beginHold records that a request for engine now holds that many
+// worker-pool slots.
+func (m *metrics) beginHold(engine string, slots int) {
 	m.mu.Lock()
-	if m.holdEWMA == 0 {
-		m.holdEWMA = d
+	m.holdSlots[engine] += slots
+	m.mu.Unlock()
+}
+
+// endHold releases the occupancy accounting and folds one observed
+// slot-hold duration into the named engine's EWMA. Hold times are kept
+// strictly per engine: the pairwise baselines hold slots orders of
+// magnitude longer than the WCOJ engines, and one shared EWMA would let a
+// burst of slow-engine traffic pollute every later estimate even after the
+// pool has drained. slots == 0 is a pure EWMA sample (tests use it to
+// seed).
+func (m *metrics) endHold(engine string, slots int, d time.Duration) {
+	m.mu.Lock()
+	if slots > 0 {
+		if n := m.holdSlots[engine] - slots; n > 0 {
+			m.holdSlots[engine] = n
+		} else {
+			delete(m.holdSlots, engine)
+		}
+	}
+	es := m.engStatLocked(engine)
+	if es.holdEWMA == 0 {
+		es.holdEWMA = d
 	} else {
 		// α = 1/8: smooth enough to ride out one odd query, fresh enough
 		// to track load shifts within a few dozen requests.
-		m.holdEWMA += (d - m.holdEWMA) / 8
+		es.holdEWMA += (d - es.holdEWMA) / 8
 	}
 	m.mu.Unlock()
 }
 
-// avgHold returns the current slot-hold EWMA (0 until the first sample).
-func (m *metrics) avgHold() time.Duration {
+// expectedHold estimates how long one pool slot will stay held: the
+// slot-weighted mean of the hold EWMAs of the engines currently occupying
+// the pool — queue wait is governed by who holds the slots, not by what
+// the newcomer will run. With no (tracked) occupancy it falls back to the
+// requester's own EWMA, and an engine with no samples yet reports 0 —
+// admission control admits and learns rather than inheriting another
+// engine's history.
+func (m *metrics) expectedHold(requester string) time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.holdEWMA
+	var total time.Duration
+	slots := 0
+	for eng, k := range m.holdSlots {
+		if es := m.byEngine[eng]; es != nil && es.holdEWMA > 0 && k > 0 {
+			total += es.holdEWMA * time.Duration(k)
+			slots += k
+		}
+	}
+	if slots > 0 {
+		return total / time.Duration(slots)
+	}
+	if es := m.byEngine[requester]; es != nil {
+		return es.holdEWMA
+	}
+	return 0
 }
 
 func (m *metrics) snapshot() (queries, errors, timeouts, rejected uint64, active int, byEngine map[string]uint64, engLat map[string]EngineLatency, lat LatencyStats) {
@@ -184,7 +256,7 @@ func (m *metrics) snapshot() (queries, errors, timeouts, rejected uint64, active
 	engLat = make(map[string]EngineLatency, len(m.byEngine))
 	for k, es := range m.byEngine {
 		byEngine[k] = es.count
-		el := EngineLatency{Count: es.count}
+		el := EngineLatency{Count: es.count, HoldEWMAMs: ms(es.holdEWMA)}
 		if len(es.ring) > 0 {
 			sorted := make([]time.Duration, len(es.ring))
 			copy(sorted, es.ring)

@@ -1,0 +1,299 @@
+package shard_test
+
+// The cross-shard conformance suite: for every registered engine wrapped in
+// shard.Engine, sharded execution must be indistinguishable from
+// single-store execution —
+//
+//	(a) Collect equality (after canonical sort) with the unsharded engine,
+//	    on the triangle/path/star query shapes and on the LUBM scale-1
+//	    golden queries, at N ∈ {1, 2, 7} shards, and
+//	(b) the streaming-cursor contract of internal/engine's conformance
+//	    suite holds for the merge cursor too: pre-cancelled contexts fail
+//	    promptly, mid-enumeration cancellation stops within a bounded
+//	    number of rows, MaxRows/Offset are exact, and early Close stops the
+//	    producers.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/engines"
+	"repro/internal/lubm"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/shard"
+	"repro/internal/store"
+)
+
+var shardCounts = []int{1, 2, 7}
+
+// conformanceStore is a complete digraph over n vertices under <http://c/p>
+// plus sparse <http://c/q> and <http://c/r> edges: the triangle query on p
+// yields n^3 rows, and q/r give the star query distinct predicates.
+func conformanceStore(n int) *store.Store {
+	b := store.NewBuilder()
+	node := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://c/n%d", i)) }
+	p := rdf.NewIRI("http://c/p")
+	q := rdf.NewIRI("http://c/q")
+	r := rdf.NewIRI("http://c/r")
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Add(rdf.Triple{S: node(i), P: p, O: node(j)})
+		}
+		b.Add(rdf.Triple{S: node(i), P: q, O: node((i + 1) % n)})
+		b.Add(rdf.Triple{S: node(i), P: r, O: node((i * 5) % n)})
+	}
+	return b.Build()
+}
+
+const conformanceTriangle = `SELECT ?x ?y ?z WHERE { ?x <http://c/p> ?y . ?y <http://c/p> ?z . ?x <http://c/p> ?z }`
+
+// shapeQueries are the shapes the partitioning strategy must get right:
+// subject stars (shard-local), object-subject paths (replication), and the
+// triangle (merge-layer join).
+var shapeQueries = map[string]string{
+	"star":          `SELECT ?a ?b ?c WHERE { ?x <http://c/q> ?a . ?x <http://c/r> ?b . ?x <http://c/p> ?c }`,
+	"star-distinct": `SELECT DISTINCT ?a ?b WHERE { ?x <http://c/q> ?a . ?x <http://c/r> ?b }`,
+	"path2":         `SELECT ?x ?z WHERE { ?x <http://c/q> ?y . ?y <http://c/r> ?z }`,
+	"path3":         `SELECT ?w ?z WHERE { ?w <http://c/q> ?x . ?x <http://c/q> ?y . ?y <http://c/r> ?z }`,
+	"object-object": `SELECT ?a ?b WHERE { ?a <http://c/q> ?v . ?b <http://c/r> ?v }`,
+	"triangle":      conformanceTriangle,
+}
+
+// forEachSharded runs f once per (registered engine, shard count) over st.
+func forEachSharded(t *testing.T, st *store.Store, f func(t *testing.T, base, sh engine.Engine, n int)) {
+	t.Helper()
+	parts := map[int]*shard.Partitioned{}
+	for _, n := range shardCounts {
+		p, err := shard.Partition(st, n)
+		if err != nil {
+			t.Fatalf("Partition(%d): %v", n, err)
+		}
+		parts[n] = p
+	}
+	for _, name := range engines.Names() {
+		base, err := engines.New(name, st)
+		if err != nil {
+			t.Fatalf("engines.New(%s): %v", name, err)
+		}
+		for _, n := range shardCounts {
+			sh, err := engines.NewSharded(name, parts[n])
+			if err != nil {
+				t.Fatalf("engines.NewSharded(%s, %d): %v", name, n, err)
+			}
+			t.Run(fmt.Sprintf("%s/n=%d", name, n), func(t *testing.T) { f(t, base, sh, n) })
+		}
+	}
+}
+
+// TestShardConformanceShapes: sharded Collect equals unsharded Collect on
+// every query shape, for every engine, at every shard count.
+func TestShardConformanceShapes(t *testing.T) {
+	st := conformanceStore(12)
+	for shape, text := range shapeQueries {
+		q := query.MustParseSPARQL(text)
+		wants := map[string]string{}
+		forEachSharded(t, st, func(t *testing.T, base, sh engine.Engine, n int) {
+			want, ok := wants[shape+base.Name()]
+			if !ok {
+				res, err := engine.Collect(base.Open(q, engine.ExecOpts{}))
+				if err != nil {
+					t.Fatalf("%s unsharded: %v", shape, err)
+				}
+				want = res.Canonical()
+				wants[shape+base.Name()] = want
+			}
+			got, err := engine.Collect(sh.Open(q, engine.ExecOpts{}))
+			if err != nil {
+				t.Fatalf("%s: %v", shape, err)
+			}
+			if got.Truncated {
+				t.Fatalf("%s: uncapped result marked truncated", shape)
+			}
+			if got.Canonical() != want {
+				t.Errorf("%s: sharded result differs from unsharded", shape)
+			}
+		})
+	}
+}
+
+// TestShardConformanceLUBM: sharded Collect is byte-identical (after
+// canonical sort) to the unsharded engine on the LUBM scale-1 golden
+// queries, for all six engines at N ∈ {1, 2, 7}.
+func TestShardConformanceLUBM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	scale := 1
+	st := store.FromTriples(lubm.Generate(lubm.Config{Universities: scale}))
+	ref, err := engines.New("naive", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[int]string{}
+	for _, qn := range lubm.QueryNumbers {
+		q := query.MustParseSPARQL(lubm.Query(qn, scale))
+		want, err := engine.Collect(ref.Open(q, engine.ExecOpts{}))
+		if err != nil {
+			t.Fatalf("Q%d naive: %v", qn, err)
+		}
+		wants[qn] = want.Canonical()
+	}
+	forEachSharded(t, st, func(t *testing.T, base, sh engine.Engine, n int) {
+		for _, qn := range lubm.QueryNumbers {
+			q := query.MustParseSPARQL(lubm.Query(qn, scale))
+			got, err := engine.Collect(sh.Open(q, engine.ExecOpts{}))
+			if err != nil {
+				t.Fatalf("Q%d: %v", qn, err)
+			}
+			if got.Canonical() != wants[qn] {
+				t.Errorf("Q%d: sharded result differs from naive oracle (%d rows)", qn, got.Len())
+			}
+		}
+	})
+}
+
+// TestShardConformancePreCancelled: an already-cancelled context surfaces
+// promptly from the merge cursor.
+func TestShardConformancePreCancelled(t *testing.T) {
+	st := conformanceStore(16)
+	q := query.MustParseSPARQL(conformanceTriangle)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	forEachSharded(t, st, func(t *testing.T, _, sh engine.Engine, n int) {
+		start := time.Now()
+		cur, err := sh.Open(q, engine.ExecOpts{Ctx: ctx})
+		if err == nil {
+			_, err = cur.Next()
+			cur.Close()
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("pre-cancelled open took %v", d)
+		}
+	})
+}
+
+// TestShardConformanceCancelMidEnumeration: cancel after a few rows; the
+// merge cursor must fail within a bounded number of further rows, proving
+// shard producers reacted instead of enumerating detached.
+func TestShardConformanceCancelMidEnumeration(t *testing.T) {
+	st := conformanceStore(48) // 110592 triangle rows if run to completion
+	q := query.MustParseSPARQL(conformanceTriangle)
+	forEachSharded(t, st, func(t *testing.T, _, sh engine.Engine, n int) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cur, err := sh.Open(q, engine.ExecOpts{Ctx: ctx})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		defer cur.Close()
+		for i := 0; i < 10; i++ {
+			if _, err := cur.Next(); err != nil {
+				t.Fatalf("row %d: %v", i, err)
+			}
+		}
+		cancel()
+		const bound = 30000 // generator batches + fan-in buffers per shard
+		rowsAfter := 0
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case <-deadline:
+				t.Fatalf("cursor did not observe cancellation within 10s (%d rows drained)", rowsAfter)
+			default:
+			}
+			_, err := cur.Next()
+			if errors.Is(err, context.Canceled) {
+				return
+			}
+			if err != nil {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			rowsAfter++
+			if rowsAfter > bound {
+				t.Fatalf("more than %d rows after cancellation — producers did not stop", bound)
+			}
+		}
+	})
+}
+
+// TestShardConformanceExactTruncationAndOffset: MaxRows is exact at the
+// merge cursor (a cap equal to the result size is not "truncated"; one
+// below is) and Offset skips without changing the tail, on both merge paths
+// (path2 exercises the scatter-gather union with per-shard cap hints,
+// triangle the merge-layer join).
+func TestShardConformanceExactTruncationAndOffset(t *testing.T) {
+	n := 8
+	total := n * n * n // 512 rows for both shapes below
+	st := conformanceStore(n)
+	for shape, text := range map[string]string{
+		"path2":    `SELECT ?x ?z WHERE { ?x <http://c/p> ?y . ?y <http://c/p> ?z }`,
+		"triangle": conformanceTriangle,
+	} {
+		q := query.MustParseSPARQL(text)
+		forEachSharded(t, st, func(t *testing.T, _, sh engine.Engine, shards int) {
+			exact, err := engine.Collect(sh.Open(q, engine.ExecOpts{MaxRows: total}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact.Len() != total || exact.Truncated {
+				t.Fatalf("%s exact cap: rows=%d truncated=%v, want %d/false", shape, exact.Len(), exact.Truncated, total)
+			}
+			capped, err := engine.Collect(sh.Open(q, engine.ExecOpts{MaxRows: total - 1}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if capped.Len() != total-1 || !capped.Truncated {
+				t.Fatalf("%s cap-1: rows=%d truncated=%v, want %d/true", shape, capped.Len(), capped.Truncated, total-1)
+			}
+			shifted, err := engine.Collect(sh.Open(q, engine.ExecOpts{Offset: total - 5}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shifted.Len() != 5 || shifted.Truncated {
+				t.Fatalf("%s offset: rows=%d truncated=%v, want 5/false", shape, shifted.Len(), shifted.Truncated)
+			}
+		})
+	}
+}
+
+// TestShardConformanceEarlyCloseStopsProducer: closing the merge cursor
+// after a few rows leaks nothing — Close is idempotent, Next afterwards is
+// io.EOF, and a rerun on the same sharded engine still completes.
+func TestShardConformanceEarlyCloseStopsProducer(t *testing.T) {
+	st := conformanceStore(12)
+	q := query.MustParseSPARQL(conformanceTriangle)
+	forEachSharded(t, st, func(t *testing.T, _, sh engine.Engine, n int) {
+		cur, err := sh.Open(q, engine.ExecOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cur.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cur.Next(); err != io.EOF {
+			t.Fatalf("Next after Close = %v, want io.EOF", err)
+		}
+		res, err := engine.Collect(sh.Open(q, engine.ExecOpts{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 12*12*12 {
+			t.Fatalf("rerun after early close: %d rows, want %d", res.Len(), 12*12*12)
+		}
+	})
+}

@@ -1,0 +1,676 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Engine executes queries by scatter-gather over the shards of a
+// Partitioned dataset. It implements the repository-wide engine.Engine
+// contract — Open(q, ExecOpts) → Cursor — by planning per-shard
+// sub-queries, opening one cursor per shard concurrently, and streaming
+// their merged rows: cancellation, DISTINCT deduplication, Offset, and the
+// exact MaxRows cap are all enforced once at the merge cursor, with row
+// caps propagated down to the shard drains as per-shard hints.
+type Engine struct {
+	part *Partitioned
+	base string
+	engs []engine.Engine
+
+	// constSeen memoizes fully-constant-pattern existence checks: the
+	// partition is immutable, and the check otherwise scans one predicate's
+	// relation per Open. Capped at constSeenCap entries (reset when full)
+	// so an adversarial stream of distinct constant patterns cannot grow
+	// server memory without bound.
+	constMu   sync.Mutex
+	constSeen map[store.Triple]bool
+}
+
+// constSeenCap bounds the existence-check memo; a full map is simply
+// dropped (the checks are recomputable — this is a cache, not state).
+const constSeenCap = 1 << 14
+
+// NewEngine builds one instance of a base engine over every shard of p
+// (via build, typically the engine registry) and returns the scatter-gather
+// wrapper. Construction cost is the base engine's, once per shard — over
+// smaller inputs, so eager index builds (rdf3x's six permutation sorts)
+// also parallelize across shards in wall-clock terms when the caller
+// shards a large dataset.
+func NewEngine(p *Partitioned, name string, build func(*store.Store) (engine.Engine, error)) (*Engine, error) {
+	engs := make([]engine.Engine, p.NumShards())
+	for i := range engs {
+		e, err := build(p.Shard(i))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		engs[i] = e
+	}
+	return &Engine{part: p, base: name, engs: engs, constSeen: map[store.Triple]bool{}}, nil
+}
+
+// Name identifies the engine and its shard count in benchmark output.
+func (e *Engine) Name() string {
+	return e.base + "[shards=" + strconv.Itoa(len(e.engs)) + "]"
+}
+
+// ShardEngine returns shard i's engine instance (every shard runs the same
+// engine type). Callers use it to inspect the underlying engine's
+// capabilities — e.g. whether it honours ExecOpts.Workers, which the
+// wrapper forwards to every shard.
+func (e *Engine) ShardEngine(i int) engine.Engine { return e.engs[i] }
+
+// Open starts the sharded execution of q. The query is decomposed into
+// root-covered groups (see the package comment); a single group scatters to
+// every shard and streams the merged union, multiple groups additionally
+// join their streams at the merge layer.
+func (e *Engine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Err(); err != nil {
+		return nil, err
+	}
+	if len(e.engs) == 1 {
+		// One shard is the whole dataset: pass straight through.
+		cur, err := e.engs[0].Open(q, opts)
+		return e.counting(0, cur, err)
+	}
+	rest, ok := e.splitConstant(q.Patterns)
+	if !ok {
+		return emptyCursor{vars: q.Select}, nil
+	}
+	groups := decompose(rest)
+	if len(groups) == 1 {
+		return e.openSingle(q, groups[0], opts)
+	}
+	return e.openJoin(q, groups, opts)
+}
+
+// splitConstant separates fully-constant patterns (no variables anywhere)
+// from the rest and verifies each against the data. A constant pattern is a
+// pure existence filter: if it fails, the whole query is empty (ok ==
+// false); if it holds it constrains nothing further.
+func (e *Engine) splitConstant(pats []query.Pattern) (rest []query.Pattern, ok bool) {
+	for _, p := range pats {
+		if p.S.IsVar || p.P.IsVar || p.O.IsVar {
+			rest = append(rest, p)
+			continue
+		}
+		if !e.hasTriple(p) {
+			return nil, false
+		}
+	}
+	return rest, true
+}
+
+// hasTriple reports whether the fully-constant pattern's triple exists. The
+// subject's owner shard holds it if anyone does. The relation scan runs at
+// most once per distinct constant triple (results are memoized — the
+// partition is immutable).
+func (e *Engine) hasTriple(p query.Pattern) bool {
+	d := e.part.dict
+	s, ok := d.Lookup(p.S.Term)
+	if !ok {
+		return false
+	}
+	pid, ok := d.Lookup(p.P.Term)
+	if !ok {
+		return false
+	}
+	o, ok := d.Lookup(p.O.Term)
+	if !ok {
+		return false
+	}
+	key := store.Triple{S: s, P: pid, O: o}
+	e.constMu.Lock()
+	found, cached := e.constSeen[key]
+	e.constMu.Unlock()
+	if cached {
+		return found
+	}
+	found = false
+	if rel := e.part.shards[ShardOf(s, len(e.engs))].Relation(pid); rel != nil {
+		for i := range rel.S {
+			if rel.S[i] == s && rel.O[i] == o {
+				found = true
+				break
+			}
+		}
+	}
+	e.constMu.Lock()
+	if len(e.constSeen) >= constSeenCap {
+		e.constSeen = map[store.Triple]bool{}
+	}
+	e.constSeen[key] = found
+	e.constMu.Unlock()
+	return found
+}
+
+// group is one root-covered unit of scatter-gather: the root node appears
+// in the subject or object position of every pattern, so all of a
+// solution's triples for these patterns colocate on the shard owning the
+// root's binding.
+type group struct {
+	root query.Node
+	pats []query.Pattern
+}
+
+// vars returns the group's variables in first-appearance order.
+func (g group) vars() []string {
+	return (&query.BGP{Patterns: g.pats}).Vars()
+}
+
+// nodeKey identifies a node for grouping: variables by name, constants by
+// their canonical term key.
+func nodeKey(n query.Node) string {
+	if n.IsVar {
+		return "?" + n.Var
+	}
+	return n.Term.Key()
+}
+
+// decompose greedily covers the patterns with root groups: repeatedly pick
+// the node (variable or constant, in subject/object position only —
+// replication does not index by predicate) contained in the most remaining
+// patterns, and emit those patterns as one group. Ties break towards first
+// appearance, so α-equivalent queries decompose identically. Subject stars
+// and object-subject chains come out as one group; the triangle query
+// decomposes into two.
+func decompose(pats []query.Pattern) []group {
+	used := make([]bool, len(pats))
+	remaining := len(pats)
+	var groups []group
+	for remaining > 0 {
+		type cand struct {
+			node  query.Node
+			cover []int
+		}
+		seen := map[string]int{}
+		var cands []cand
+		for i, p := range pats {
+			if used[i] {
+				continue
+			}
+			for _, nd := range []query.Node{p.S, p.O} {
+				k := nodeKey(nd)
+				ci, ok := seen[k]
+				if !ok {
+					ci = len(cands)
+					seen[k] = ci
+					cands = append(cands, cand{node: nd})
+				}
+				// Guard against counting a pattern twice when S == O.
+				if cov := cands[ci].cover; len(cov) == 0 || cov[len(cov)-1] != i {
+					cands[ci].cover = append(cands[ci].cover, i)
+				}
+			}
+		}
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if len(c.cover) > len(best.cover) {
+				best = c
+			}
+		}
+		g := group{root: best.node}
+		for _, i := range best.cover {
+			g.pats = append(g.pats, pats[i])
+			used[i] = true
+		}
+		remaining -= len(best.cover)
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// counting wraps a shard-local cursor so its rows feed the drain-balance
+// counters.
+func (e *Engine) counting(shard int, c engine.Cursor, err error) (engine.Cursor, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &countCursor{Cursor: c, part: e.part, shard: shard}, nil
+}
+
+type countCursor struct {
+	engine.Cursor
+	part  *Partitioned
+	shard int
+}
+
+func (c *countCursor) Next() ([]uint32, error) {
+	row, err := c.Cursor.Next()
+	if err == nil {
+		c.part.delivered[c.shard].Add(1)
+	}
+	return row, err
+}
+
+// openSingle executes a query fully covered by one root group.
+func (e *Engine) openSingle(q *query.BGP, g group, opts engine.ExecOpts) (engine.Cursor, error) {
+	n := len(e.engs)
+	if !g.root.IsVar {
+		// Constant root: every solution's triples contain it, so its owner
+		// shard alone answers the query — route instead of scattering, and
+		// pass caps straight through (no filtering happens above it).
+		id, ok := e.part.dict.Lookup(g.root.Term)
+		if !ok {
+			return emptyCursor{vars: q.Select}, nil
+		}
+		sh := ShardOf(id, n)
+		sub := &query.BGP{Select: q.Select, Distinct: q.Distinct, Patterns: g.pats}
+		cur, err := e.engs[sh].Open(sub, opts)
+		return e.counting(sh, cur, err)
+	}
+
+	// Variable root: scatter to every shard. The sub-query projects the
+	// root (appended when the caller did not select it) so the merge layer
+	// can apply the ownership filter; appending a variable to a
+	// non-DISTINCT projection never changes the multiset (projection does
+	// not deduplicate), and under DISTINCT the merge dedups the stripped
+	// rows anyway.
+	sel := q.Select
+	rootIdx := -1
+	for i, v := range sel {
+		if v == g.root.Var {
+			rootIdx = i
+			break
+		}
+	}
+	strip := false
+	if rootIdx < 0 {
+		sel = append(append(make([]string, 0, len(q.Select)+1), q.Select...), g.root.Var)
+		rootIdx = len(sel) - 1
+		strip = true
+	}
+	sub := &query.BGP{Select: sel, Distinct: q.Distinct, Patterns: g.pats}
+
+	// Per-shard row-cap hint: after the ownership filter each shard can
+	// contribute at most Offset+MaxRows rows to the final result, plus one
+	// so the merge-level cap's exactness probe can still find an overflow
+	// row. Unsafe under DISTINCT (capped shard rows may collapse after the
+	// root column is stripped), so no hint is pushed there.
+	perShardCap := 0
+	if opts.MaxRows > 0 && !q.Distinct {
+		perShardCap = opts.Offset + opts.MaxRows + 1
+	}
+
+	opens := make([]openFunc, n)
+	for i := range opens {
+		eng := e.engs[i]
+		opens[i] = func(sctx context.Context) (engine.Cursor, error) {
+			return eng.Open(sub, engine.ExecOpts{Ctx: sctx, Workers: opts.Workers})
+		}
+	}
+	keep := func(sh int, row []uint32) bool { return ShardOf(row[rootIdx], n) == sh }
+	cur := gather(opts.Ctx, q.Select, opens, keep, strip, perShardCap, e.part)
+	if q.Distinct {
+		cur = newDedup(cur)
+	}
+	return engine.Limit(cur, opts.Offset, opts.MaxRows), nil
+}
+
+// openGroup opens the streaming cursor over one group's full solution set
+// (all of the group's variables, no DISTINCT) — the building block of the
+// merge-layer join. Group solutions are sets at full projection, so joining
+// them reconstructs the whole query's solution set exactly.
+func (e *Engine) openGroup(ctx context.Context, g group, vars []string, workers int) (engine.Cursor, error) {
+	n := len(e.engs)
+	sub := &query.BGP{Select: vars, Patterns: g.pats}
+	if !g.root.IsVar {
+		id, ok := e.part.dict.Lookup(g.root.Term)
+		if !ok {
+			return emptyCursor{vars: vars}, nil
+		}
+		sh := ShardOf(id, n)
+		cur, err := e.engs[sh].Open(sub, engine.ExecOpts{Ctx: ctx, Workers: workers})
+		return e.counting(sh, cur, err)
+	}
+	rootIdx := -1
+	for i, v := range vars {
+		if v == g.root.Var {
+			rootIdx = i
+			break
+		}
+	}
+	opens := make([]openFunc, n)
+	for i := range opens {
+		eng := e.engs[i]
+		opens[i] = func(sctx context.Context) (engine.Cursor, error) {
+			return eng.Open(sub, engine.ExecOpts{Ctx: sctx, Workers: workers})
+		}
+	}
+	keep := func(sh int, row []uint32) bool { return ShardOf(row[rootIdx], n) == sh }
+	return gather(ctx, vars, opens, keep, false, 0, e.part), nil
+}
+
+// openJoin executes a query needing several root groups: group 0 (the
+// largest by construction) streams as the probe side while the remaining
+// groups are materialized into hash tables keyed on their join variables —
+// a left-deep streaming hash join at the merge layer.
+//
+// Cost: like any hash join, the build sides are materialized — coordinator
+// memory is O(sum of the non-probe groups' solution sets), paid before the
+// first row regardless of MaxRows (caps bound only the probe/output side).
+// Greedy decomposition keeps build groups small (they are the leftover,
+// usually single-pattern groups, bounded by one predicate's relation), but
+// a root-uncoverable query over a huge predicate still builds a big table —
+// the same trade the pairwise engines make for their join intermediates.
+// Streaming both sides would need a distributed semi-join phase; see the
+// ROADMAP's shard-aware planning follow-up.
+func (e *Engine) openJoin(q *query.BGP, groups []group, opts engine.ExecOpts) (engine.Cursor, error) {
+	// buildPlan wires group i+1 into the left-deep join: which accumulated
+	// columns form the join key, which of the group's columns match it, and
+	// which group columns extend the accumulated row.
+	type buildPlan struct {
+		g        group
+		vars     []string
+		accKey   []int // join-key positions in the accumulated row
+		rowKeyIx []int // join-key positions in the group's rows
+		appendIx []int // group columns appended to the accumulated row
+	}
+	probeVars := groups[0].vars()
+	acc := append([]string(nil), probeVars...)
+	accPos := map[string]int{}
+	for i, v := range acc {
+		accPos[v] = i
+	}
+	plans := make([]buildPlan, 0, len(groups)-1)
+	for _, g := range groups[1:] {
+		bp := buildPlan{g: g, vars: g.vars()}
+		for j, v := range bp.vars {
+			if i, ok := accPos[v]; ok {
+				bp.accKey = append(bp.accKey, i)
+				bp.rowKeyIx = append(bp.rowKeyIx, j)
+			} else {
+				bp.appendIx = append(bp.appendIx, j)
+				accPos[v] = len(acc)
+				acc = append(acc, v)
+			}
+		}
+		plans = append(plans, bp)
+	}
+	selIx := make([]int, len(q.Select))
+	for i, v := range q.Select {
+		selIx[i] = accPos[v]
+	}
+
+	raw := engine.NewGenerator(opts.Ctx, q.Select, func(gctx context.Context, emit func([]uint32) error) error {
+		// Build phase: materialize every non-probe group. Cursors are
+		// context-aware, so cancellation lands mid-build too.
+		tabs := make([]map[string][][]uint32, len(plans))
+		for i, bp := range plans {
+			cur, err := e.openGroup(gctx, bp.g, bp.vars, opts.Workers)
+			if err != nil {
+				return err
+			}
+			tab := map[string][][]uint32{}
+			for {
+				row, err := cur.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					cur.Close()
+					return err
+				}
+				k := rowKey(row, bp.rowKeyIx)
+				tab[k] = append(tab[k], row)
+			}
+			cur.Close()
+			tabs[i] = tab
+		}
+
+		probe, err := e.openGroup(gctx, groups[0], probeVars, opts.Workers)
+		if err != nil {
+			return err
+		}
+		defer probe.Close()
+
+		var expand func(depth int, accRow []uint32) error
+		expand = func(depth int, accRow []uint32) error {
+			if depth == len(plans) {
+				out := make([]uint32, len(selIx))
+				for i, j := range selIx {
+					out[i] = accRow[j]
+				}
+				return emit(out)
+			}
+			bp := plans[depth]
+			for _, m := range tabs[depth][rowKey(accRow, bp.accKey)] {
+				next := accRow
+				if len(bp.appendIx) > 0 {
+					next = make([]uint32, len(accRow), len(accRow)+len(bp.appendIx))
+					copy(next, accRow)
+					for _, j := range bp.appendIx {
+						next = append(next, m[j])
+					}
+				}
+				if err := expand(depth+1, next); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		tick := engine.NewTicker(gctx)
+		for {
+			row, err := probe.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if err := tick.Check(); err != nil {
+				return err
+			}
+			if err := expand(0, row); err != nil {
+				return err
+			}
+		}
+	})
+	cur := raw
+	if q.Distinct {
+		cur = newDedup(cur)
+	}
+	return engine.Limit(cur, opts.Offset, opts.MaxRows), nil
+}
+
+// rowKey encodes the selected columns of a row into a map key, using the
+// repository-wide row-key encoding (engine.RowKey and friends).
+func rowKey(row []uint32, idx []int) string {
+	b := make([]byte, 0, len(idx)*4)
+	for _, i := range idx {
+		b = engine.AppendRowKeyCol(b, row[i])
+	}
+	return string(b)
+}
+
+// openFunc opens one shard's sub-query cursor under the merge's context.
+type openFunc func(context.Context) (engine.Cursor, error)
+
+// gatherBatch is how many rows a shard drain accumulates before handing
+// them to the merge producer — per-row channel sends were measured as too
+// expensive at this seam once before (see genBatchRows in
+// internal/engine/cursor.go); the merge fan-in amortizes the same way.
+const gatherBatch = 64
+
+// gatherFlushMin is the smallest partial batch a drain flushes
+// opportunistically (non-blocking, at power-of-two sizes), keeping
+// first-row latency low for trickling shards without degenerating into
+// per-row sends.
+const gatherFlushMin = 8
+
+// gatherBuf is the fan-in channel depth in batches: enough to keep shards
+// busy while the producer re-batches, small enough that an abandoned merge
+// strands O(shards · gatherBatch) rows.
+const gatherBuf = 8
+
+// gather is the scatter-gather merge cursor: it opens one cursor per shard
+// concurrently (each under a shared child context), drains them into a
+// fan-in channel, and streams the union in arrival order. keep, when
+// non-nil, is the ownership filter (applied before strip and before the
+// per-shard cap); strip drops the appended root column; perShardCap bounds
+// the rows any one shard contributes (0 = unbounded). A failing shard
+// cancels its siblings and surfaces its error; closing the merge cursor
+// cancels every shard.
+func gather(ctx context.Context, vars []string, opens []openFunc, keep func(shard int, row []uint32) bool, strip bool, perShardCap int, part *Partitioned) engine.Cursor {
+	return engine.NewGenerator(ctx, vars, func(gctx context.Context, emit func([]uint32) error) error {
+		sctx, scancel := context.WithCancel(gctx)
+		defer scancel()
+		rows := make(chan [][]uint32, gatherBuf)
+		errs := make(chan error, len(opens))
+		var wg sync.WaitGroup
+		for i := range opens {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if err := drainShard(sctx, i, opens[i], keep, strip, perShardCap, part, rows); err != nil {
+					errs <- err
+					scancel() // fail fast: stop sibling shards
+				}
+			}(i)
+		}
+		go func() {
+			wg.Wait()
+			close(rows)
+		}()
+		for batch := range rows {
+			for _, row := range batch {
+				if err := emit(row); err != nil {
+					scancel()
+					for range rows { // unblock drainers until the channel closes
+					}
+					return err
+				}
+			}
+		}
+		select {
+		case err := <-errs:
+			return err
+		default:
+			// A drainer parked on a send can exit on cancellation without
+			// seeing its cursor's context error; report the cause here.
+			return gctx.Err()
+		}
+	})
+}
+
+// drainShard opens and drains one shard's cursor into the fan-in channel
+// in batches, applying the ownership filter, root stripping, and the
+// per-shard cap. Rows accumulated before a cursor error are still flushed
+// (rows before an error stand, mirroring the generator's contract).
+func drainShard(ctx context.Context, shard int, open openFunc, keep func(int, []uint32) bool, strip bool, perShardCap int, part *Partitioned, out chan<- [][]uint32) error {
+	cur, err := open(ctx)
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	delivered := 0
+	var batch [][]uint32
+	// flush hands the batch over; non-blocking when block is false (the
+	// batch is kept on a full channel). Returns false once ctx is done —
+	// cancelled by a sibling's failure, the merge closing, or the caller's
+	// context; the gather loop reports the cause.
+	flush := func(block bool) bool {
+		if len(batch) == 0 {
+			return true
+		}
+		if block {
+			select {
+			case out <- batch:
+			case <-ctx.Done():
+				return false
+			}
+		} else {
+			select {
+			case out <- batch:
+			default:
+				return true // channel busy: keep accumulating
+			}
+		}
+		if part != nil {
+			part.delivered[shard].Add(int64(len(batch)))
+		}
+		delivered += len(batch)
+		batch = nil
+		return true
+	}
+	for {
+		row, err := cur.Next()
+		if err == io.EOF {
+			flush(true)
+			return nil
+		}
+		if err != nil {
+			flush(true)
+			return err
+		}
+		if keep != nil && !keep(shard, row) {
+			continue
+		}
+		if strip {
+			row = row[:len(row)-1]
+		}
+		batch = append(batch, row)
+		if perShardCap > 0 && delivered+len(batch) >= perShardCap {
+			flush(true)
+			return nil
+		}
+		if n := len(batch); n >= gatherBatch {
+			if !flush(true) {
+				return nil
+			}
+		} else if n >= gatherFlushMin && n&(n-1) == 0 {
+			flush(false)
+		}
+	}
+}
+
+// dedupCursor streams only the first occurrence of each row — the merge
+// layer's DISTINCT: shards deduplicate locally, but rows replicated across
+// shards (and rows collapsing once the root column is stripped) must dedup
+// here.
+type dedupCursor struct {
+	inner engine.Cursor
+	seen  map[string]struct{}
+}
+
+func newDedup(c engine.Cursor) engine.Cursor {
+	return &dedupCursor{inner: c, seen: make(map[string]struct{})}
+}
+
+func (d *dedupCursor) Vars() []string { return d.inner.Vars() }
+
+func (d *dedupCursor) Next() ([]uint32, error) {
+	for {
+		row, err := d.inner.Next()
+		if err != nil {
+			return nil, err
+		}
+		k := engine.RowKey(row)
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return row, nil
+	}
+}
+
+func (d *dedupCursor) Truncated() bool { return d.inner.Truncated() }
+func (d *dedupCursor) Close() error    { return d.inner.Close() }
+
+// emptyCursor is the empty result (unknown constants, failed existence
+// filters).
+type emptyCursor struct{ vars []string }
+
+func (c emptyCursor) Vars() []string          { return c.vars }
+func (c emptyCursor) Next() ([]uint32, error) { return nil, io.EOF }
+func (c emptyCursor) Truncated() bool         { return false }
+func (c emptyCursor) Close() error            { return nil }

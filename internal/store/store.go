@@ -164,12 +164,29 @@ func (b *Builder) AddAll(ts []rdf.Triple) {
 
 // Build finalizes the store. The builder must not be used afterwards.
 func (b *Builder) Build() *Store {
+	return assemble(b.dict, b.triples)
+}
+
+// FromEncoded builds a store over triples that are already encoded against
+// d; the new store shares d rather than copying it. This is the loading
+// path of horizontal partitioning (internal/shard): shard stores hold a
+// slice of one parent dataset and must agree with it on term ids, so rows
+// from different shards are directly comparable and decode through the one
+// shared dictionary. The caller must pass deduplicated triples (a parent
+// Store's triple table already is) and must not mutate the slice afterwards.
+func FromEncoded(d *dict.Dictionary, triples []Triple) *Store {
+	return assemble(d, triples)
+}
+
+// assemble builds the derived state (per-predicate relations, the sorted
+// predicate list, distinct-value statistics) over encoded triples.
+func assemble(d *dict.Dictionary, triples []Triple) *Store {
 	st := &Store{
-		dict:      b.dict,
+		dict:      d,
 		relations: make(map[dict.ID]*Relation),
-		triples:   b.triples,
+		triples:   triples,
 	}
-	for _, t := range b.triples {
+	for _, t := range triples {
 		rel := st.relations[t.P]
 		if rel == nil {
 			rel = &Relation{Predicate: t.P}

@@ -25,8 +25,26 @@ func LoadDataset(r io.Reader) (*Dataset, error) {
 	return LoadNTriples(br)
 }
 
-// OpenDataset opens the file at path and loads it with LoadDataset.
-func OpenDataset(path string) (*Dataset, error) {
+// DatasetOption customizes OpenDataset.
+type DatasetOption func(*datasetOptions)
+
+type datasetOptions struct {
+	shards int
+}
+
+// WithShards partitions the loaded dataset into n subject-hash shards (see
+// Dataset.Partition). n <= 1 is a no-op.
+func WithShards(n int) DatasetOption {
+	return func(o *datasetOptions) { o.shards = n }
+}
+
+// OpenDataset opens the file at path, loads it with LoadDataset, and
+// applies the options (e.g. WithShards).
+func OpenDataset(path string, opts ...DatasetOption) (*Dataset, error) {
+	var o datasetOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -35,6 +53,11 @@ func OpenDataset(path string) (*Dataset, error) {
 	ds, err := LoadDataset(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if o.shards > 1 {
+		if err := ds.Partition(o.shards); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
 	}
 	return ds, nil
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/lubm"
 	"repro/internal/query"
 	"repro/internal/rdf"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -79,9 +80,38 @@ var AllOptimizations = core.AllOptimizations
 var NoOptimizations = core.NoOptimizations
 
 // Dataset is an immutable, dictionary-encoded RDF dataset shared by any
-// number of engines.
+// number of engines. It is optionally partitioned into subject-hash shards
+// (Partition / OpenDataset's WithShards), in which case NewEngineByName
+// returns scatter-gather engines over the shard set.
 type Dataset struct {
-	st *store.Store
+	st   *store.Store
+	part *shard.Partitioned
+}
+
+// Partition splits the dataset into n subject-hash shards (triples are
+// additionally replicated to their object's shard — see internal/shard for
+// the routing rule and its cost). Afterwards NewEngineByName builds
+// scatter-gather engines over the shard set; results are indistinguishable
+// from unsharded execution. n <= 1 reverts to unsharded engines.
+func (d *Dataset) Partition(n int) error {
+	if n <= 1 {
+		d.part = nil
+		return nil
+	}
+	p, err := shard.Partition(d.st, n)
+	if err != nil {
+		return err
+	}
+	d.part = p
+	return nil
+}
+
+// Shards returns the shard count (1 when unpartitioned).
+func (d *Dataset) Shards() int {
+	if d.part == nil {
+		return 1
+	}
+	return d.part.NumShards()
 }
 
 // LoadTriples builds a dataset from parsed triples.
@@ -165,8 +195,12 @@ func NewNaive(d *Dataset) Engine { return naive.New(d.st) }
 
 // NewEngineByName builds the named engine (one of EngineNames) over d. It
 // is the programmatic form of cmd/rdfq's and the query server's -engine
-// selection.
+// selection. On a partitioned dataset it returns the scatter-gather
+// wrapper over per-shard engine instances.
 func NewEngineByName(d *Dataset, name string) (Engine, error) {
+	if d.part != nil {
+		return engines.NewSharded(name, d.part)
+	}
 	return engines.New(name, d.st)
 }
 
@@ -210,13 +244,21 @@ type Rows struct {
 
 // Query parses, executes, and decodes a SPARQL query on the given engine.
 // The dataset must be the one the engine was built over (it supplies the
-// dictionary for decoding).
+// dictionary for decoding). LIMIT/OFFSET clauses in the query text are
+// honoured: they map onto the cursor-level ExecOpts caps.
 func Query(e Engine, d *Dataset, sparql string) (*Rows, error) {
 	q, err := Parse(sparql)
 	if err != nil {
 		return nil, err
 	}
-	res, err := Execute(e, q)
+	opts := ExecOpts{Offset: q.Offset}
+	if q.HasLimit {
+		if q.Limit == 0 {
+			return &Rows{Vars: q.Select}, nil
+		}
+		opts.MaxRows = q.Limit
+	}
+	res, err := Collect(e.Open(q, opts))
 	if err != nil {
 		return nil, err
 	}

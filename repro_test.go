@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -106,5 +107,91 @@ func TestGenerateLUBMAndLUBMQueries(t *testing.T) {
 	}
 	if repro.MustParse(repro.LUBMQuery(2, 1)) == nil {
 		t.Errorf("MustParse returned nil")
+	}
+}
+
+// canon renders decoded rows sorted, for order-insensitive comparison.
+func canon(r *repro.Rows) string {
+	lines := make([]string, len(r.Records))
+	for i, rec := range r.Records {
+		parts := make([]string, len(rec))
+		for j, term := range rec {
+			parts[j] = term.String()
+		}
+		lines[i] = strings.Join(parts, "\t")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func TestPartitionedDatasetMatchesUnsharded(t *testing.T) {
+	ds, err := repro.LoadNTriples(strings.NewReader(apiTestData))
+	if err != nil {
+		t.Fatalf("LoadNTriples: %v", err)
+	}
+	if ds.Shards() != 1 {
+		t.Fatalf("fresh dataset Shards() = %d, want 1", ds.Shards())
+	}
+	const q = `SELECT ?x ?z WHERE { ?x <http://ex/p> ?y . ?y <http://ex/p> ?z . }`
+	plain, err := repro.NewEngineByName(ds, "naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := repro.Query(plain, ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Partition(3); err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if ds.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", ds.Shards())
+	}
+	sharded, err := repro.NewEngineByName(ds, "naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repro.Query(sharded, ds, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon(got) != canon(want) {
+		t.Fatalf("sharded rows differ:\n%s\nwant:\n%s", canon(got), canon(want))
+	}
+	// Partition(1) reverts to unsharded construction.
+	if err := ds.Partition(1); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Shards() != 1 {
+		t.Fatalf("Shards() after Partition(1) = %d, want 1", ds.Shards())
+	}
+}
+
+func TestQueryHonoursLimitOffset(t *testing.T) {
+	ds, err := repro.LoadNTriples(strings.NewReader(apiTestData))
+	if err != nil {
+		t.Fatalf("LoadNTriples: %v", err)
+	}
+	eng := repro.NewNaive(ds)
+	rows, err := repro.Query(eng, ds, `SELECT ?x ?y WHERE { ?x <http://ex/p> ?y . } LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Records) != 1 {
+		t.Fatalf("LIMIT 1: %d rows, want 1", len(rows.Records))
+	}
+	rows, err = repro.Query(eng, ds, `SELECT ?x ?y WHERE { ?x <http://ex/p> ?y . } OFFSET 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Records) != 1 {
+		t.Fatalf("OFFSET 1: %d rows, want 1", len(rows.Records))
+	}
+	rows, err = repro.Query(eng, ds, `SELECT ?x ?y WHERE { ?x <http://ex/p> ?y . } LIMIT 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Records) != 0 || len(rows.Vars) != 2 {
+		t.Fatalf("LIMIT 0: %d rows / vars %v, want 0 rows with both vars", len(rows.Records), rows.Vars)
 	}
 }
