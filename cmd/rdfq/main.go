@@ -4,6 +4,8 @@
 //
 //	rdfq -data graph.nt -engine emptyheaded -query 'SELECT ?x WHERE { ... }'
 //	rdfq -lubm 1 -engine rdf3x -lubm-query 2
+//	rdfq -data graph.nt -update patch.nt -query '...'   # query the patched overlay
+//	rdfq -data graph.nt -update patch.nt -compact ...   # ...compacted into a fresh base
 package main
 
 import (
@@ -30,6 +32,8 @@ func main() {
 	workers := flag.Int("workers", 0, "intra-query parallelism for the enumeration (0 = engine default)")
 	timeout := flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 	shards := flag.Int("shards", 0, "partition the dataset into N subject-hash shards and run by scatter-gather (0/1 = unsharded)")
+	update := flag.String("update", "", "apply this N-Triples patch file before querying ('+'/no prefix inserts, '-' deletes)")
+	compact := flag.Bool("compact", false, "compact applied updates into a fresh base before querying")
 	flag.Parse()
 
 	var ds *repro.Dataset
@@ -51,6 +55,25 @@ func main() {
 			log.Fatalf("rdfq: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "partitioned into %d subject-hash shards\n", *shards)
+	}
+	if *update != "" {
+		f, err := os.Open(*update)
+		if err != nil {
+			log.Fatalf("rdfq: %v", err)
+		}
+		res, err := ds.ApplyPatch(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("rdfq: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "applied %s: +%d -%d (%d no-ops), %d triples visible\n",
+			*update, res.Inserted, res.Deleted, res.Noops, ds.NumTriples())
+	}
+	if *compact {
+		if err := ds.Compact(); err != nil {
+			log.Fatalf("rdfq: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "compacted to epoch %d\n", ds.Epoch())
 	}
 
 	eng, err := repro.NewEngineByName(ds, *engineName)

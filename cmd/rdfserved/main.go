@@ -8,6 +8,15 @@
 //	curl 'localhost:8080/query?engine=emptyheaded&query=SELECT+?x+WHERE+{...}'
 //	curl localhost:8080/stats
 //
+// The store is live: POST /update applies an N-Triples insert/delete patch
+// ('+'/no prefix inserts, '-' deletes) against a delta overlay while
+// queries keep serving, and -compact-every periodically drains the delta
+// into a freshly indexed base swapped in under a new epoch (-snapshot
+// persists it atomically):
+//
+//	rdfserved -data graph.nt -compact-every 30s -snapshot graph.snap
+//	curl -X POST --data-binary $'-<http://a> <http://p> <http://b> .\n' localhost:8080/update
+//
 // With -loadgen it instead acts as a load generator against a running
 // server, reporting throughput and latency percentiles:
 //
@@ -46,6 +55,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	maxRows := flag.Int("max-rows", 0, "cap rows per query result, marked truncated (0 = default 4M, -1 = uncapped)")
 	shards := flag.Int("shards", 0, "partition the store into N subject-hash shards and serve by scatter-gather (0/1 = unsharded)")
+	compactEvery := flag.Duration("compact-every", 0, "background-compact the update delta at this interval (0 = only explicit POST /compact)")
+	compactMinDelta := flag.Int("compact-min-delta", 0, "skip background compaction while the delta holds fewer operations")
+	snapshotPath := flag.String("snapshot", "", "atomically persist the compacted snapshot to this file after every compaction")
 
 	// Loadgen flags.
 	loadgen := flag.Bool("loadgen", false, "run as a load generator against -url instead of serving")
@@ -92,12 +104,19 @@ func main() {
 		DefaultTimeout:  *timeout,
 		MaxRows:         *maxRows,
 		Shards:          *shards,
+		CompactEvery:    *compactEvery,
+		CompactMinDelta: *compactMinDelta,
+		SnapshotPath:    *snapshotPath,
 	})
 	if err != nil {
 		log.Fatalf("rdfserved: %v", err)
 	}
+	defer srv.Close()
 	if *shards > 1 {
 		log.Printf("partitioned into %d subject-hash shards (scatter-gather execution)", *shards)
+	}
+	if *compactEvery > 0 {
+		log.Printf("background compactor: every %v (min delta %d, snapshot %q)", *compactEvery, *compactMinDelta, *snapshotPath)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

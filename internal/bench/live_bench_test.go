@@ -1,0 +1,105 @@
+package bench
+
+// The mixed read/write smoke: loadgen queries hammer the server while an
+// update stream patches the delta overlay and a compaction swaps the base
+// mid-run. CI runs one iteration under -race — the point is exercising the
+// serve-while-writing path end to end (HTTP /update + /compact against
+// concurrent /query), not producing numbers.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/lubm"
+	"repro/internal/server"
+)
+
+func BenchmarkLiveMixedReadWrite(b *testing.B) {
+	srv, err := server.New(server.Config{Store: NewDataset(Config{Scale: 1})})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := []string{lubm.Query(1, 1), lubm.Query(2, 1), lubm.Query(8, 1), lubm.Query(14, 1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stop := make(chan struct{})
+		var updateErr atomic.Value
+		// Update stream: insert-then-delete batches of fresh entities, one
+		// forced compaction partway through.
+		go func() {
+			defer close(stop)
+			for round := 0; round < 24; round++ {
+				// Insert this round's batch; delete the previous round's, so
+				// the delta stays non-empty while queries run (round-local
+				// insert-then-delete would net to nothing).
+				var patch strings.Builder
+				for j := 0; j < 8; j++ {
+					fmt.Fprintf(&patch, "+<http://live-bench/i%d/n%d-%d> <http://live-bench/p> <http://live-bench/i%d/n%d-%d> .\n",
+						i, round, j, i, round, j+1)
+				}
+				if round > 0 {
+					for j := 0; j < 8; j++ {
+						fmt.Fprintf(&patch, "-<http://live-bench/i%d/n%d-%d> <http://live-bench/p> <http://live-bench/i%d/n%d-%d> .\n",
+							i, round-1, j, i, round-1, j+1)
+					}
+				}
+				resp, err := http.Post(ts.URL+"/update", "text/plain", strings.NewReader(patch.String()))
+				if err != nil {
+					updateErr.CompareAndSwap(nil, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					updateErr.CompareAndSwap(nil, fmt.Errorf("/update status %d", resp.StatusCode))
+					return
+				}
+				if round == 12 {
+					resp, err := http.Post(ts.URL+"/compact", "", nil)
+					if err != nil {
+						updateErr.CompareAndSwap(nil, err)
+						return
+					}
+					resp.Body.Close()
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+
+		report, err := RunLoadGen(context.Background(), LoadGenConfig{
+			URL:      ts.URL,
+			Queries:  queries,
+			Clients:  4,
+			Requests: 48,
+			Timeout:  30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-stop
+		if v := updateErr.Load(); v != nil {
+			b.Fatalf("update stream: %v", v)
+		}
+		if report.Errors != 0 {
+			b.Fatalf("loadgen saw %d errors under writes (first: %s)", report.Errors, report.FirstErr)
+		}
+		b.ReportMetric(report.QPS, "qps")
+	}
+	st := srv.Stats()
+	if st.Live == nil || st.Live.Updates == 0 {
+		b.Fatalf("no updates recorded: %+v", st.Live)
+	}
+	if st.Live.Compactions == 0 {
+		b.Fatalf("the forced compaction never swapped: %+v", st.Live)
+	}
+	b.Logf("epoch=%d compactions=%d updates=%d", st.Live.Epoch, st.Live.Compactions, st.Live.Updates)
+}

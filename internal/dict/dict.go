@@ -13,6 +13,7 @@ package dict
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/rdf"
 )
@@ -23,8 +24,14 @@ type ID = uint32
 
 // Dictionary maps rdf.Term values to dense uint32 ids and back.
 //
+// Ids are append-only: once assigned, an id's term never changes, so any id
+// a reader obtained stays decodable forever. All methods are safe for
+// concurrent use — the live-update write path (internal/live) encodes new
+// terms while the immutable base keeps serving readers.
+//
 // The zero value is not usable; call New.
 type Dictionary struct {
+	mu    sync.RWMutex
 	byKey map[string]ID
 	terms []rdf.Term
 }
@@ -38,10 +45,18 @@ func New() *Dictionary {
 // seen before.
 func (d *Dictionary) Encode(t rdf.Term) ID {
 	key := t.Key()
+	d.mu.RLock()
+	id, ok := d.byKey[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.byKey[key]; ok {
 		return id
 	}
-	id := ID(len(d.terms))
+	id = ID(len(d.terms))
 	d.byKey[key] = id
 	d.terms = append(d.terms, t)
 	return id
@@ -55,7 +70,9 @@ func (d *Dictionary) EncodeTriple(t rdf.Triple) (s, p, o ID) {
 // Lookup returns the id for t without assigning a new one. The second result
 // reports whether t was present.
 func (d *Dictionary) Lookup(t rdf.Term) (ID, bool) {
+	d.mu.RLock()
 	id, ok := d.byKey[t.Key()]
+	d.mu.RUnlock()
 	return id, ok
 }
 
@@ -67,6 +84,8 @@ func (d *Dictionary) LookupIRI(iri string) (ID, bool) {
 // Decode returns the term for id. It panics if id was never assigned, which
 // indicates corrupted engine state rather than bad user input.
 func (d *Dictionary) Decode(id ID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) >= len(d.terms) {
 		panic(fmt.Sprintf("dict: decode of unassigned id %d (size %d)", id, len(d.terms)))
 	}
@@ -74,10 +93,16 @@ func (d *Dictionary) Decode(id ID) rdf.Term {
 }
 
 // Size returns the number of distinct terms registered.
-func (d *Dictionary) Size() int { return len(d.terms) }
+func (d *Dictionary) Size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
 
 // Contains reports whether t has been assigned an id.
 func (d *Dictionary) Contains(t rdf.Term) bool {
+	d.mu.RLock()
 	_, ok := d.byKey[t.Key()]
+	d.mu.RUnlock()
 	return ok
 }

@@ -6,6 +6,7 @@ package engines
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"repro/internal/core"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/engine/naive"
 	"repro/internal/engine/rdf3x"
 	"repro/internal/engine/triplebit"
+	"repro/internal/live"
 	"repro/internal/shard"
 	"repro/internal/store"
 )
@@ -56,4 +58,20 @@ func NewSharded(name string, p *shard.Partitioned) (engine.Engine, error) {
 	return shard.NewEngine(p, name, func(st *store.Store) (engine.Engine, error) {
 		return New(name, st)
 	})
+}
+
+// NewLive wraps the named engine over a live (read-write) store: queries
+// run against the delta overlay, and each epoch's inner engine — sharded
+// when the live store is partitioned — is built lazily and cached until the
+// next compaction swaps the base.
+func NewLive(name string, ls *live.Store) (*live.Engine, error) {
+	if !slices.Contains(Names(), name) {
+		return nil, fmt.Errorf("unknown engine %q (available: %s)", name, strings.Join(Names(), ", "))
+	}
+	return live.NewEngine(ls, name, func(st *store.Store, p *shard.Partitioned) (engine.Engine, error) {
+		if p != nil {
+			return NewSharded(name, p)
+		}
+		return New(name, st)
+	}), nil
 }

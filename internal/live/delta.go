@@ -1,0 +1,221 @@
+package live
+
+import (
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// delta is one immutable snapshot of the mutable overlay relative to a base
+// store, kept in fully netted form:
+//
+//   - ins holds triples present in the overlay but absent from the base;
+//   - del holds base triples currently deleted (tombstones).
+//
+// The two are disjoint by construction (a tombstoned triple is in the base,
+// an inserted one is not), so the overlay is exactly (base \ del) ∪ ins and
+// re-inserting a tombstoned triple just clears its tombstone. Writers build
+// a new delta per applied patch under the live store's writer lock; readers
+// share snapshots freely and never see a half-applied patch.
+type delta struct {
+	ins, del []store.Triple
+	insSet   map[store.Triple]struct{}
+	delSet   map[store.Triple]struct{}
+	insIdx   *tripleIndex
+	delIdx   *tripleIndex
+}
+
+func emptyDelta() *delta {
+	return &delta{
+		insSet: map[store.Triple]struct{}{},
+		delSet: map[store.Triple]struct{}{},
+		insIdx: indexTriples(nil),
+		delIdx: indexTriples(nil),
+	}
+}
+
+func (d *delta) empty() bool { return len(d.ins) == 0 && len(d.del) == 0 }
+
+// size returns the number of pending operations (inserts + tombstones).
+func (d *delta) size() int { return len(d.ins) + len(d.del) }
+
+// ApplyResult reports one patch's effect. Counts are per operation, in
+// order: an insert-then-delete of the same absent triple within one batch
+// counts one Inserted and one Deleted and leaves the overlay unchanged.
+type ApplyResult struct {
+	// Inserted counts operations that made an absent triple present.
+	Inserted int
+	// Deleted counts operations that made a present triple absent.
+	Deleted int
+	// Noops counts operations without effect: duplicate inserts, deletes of
+	// absent triples.
+	Noops int
+	// DeltaInserts and DeltaTombstones are the delta's netted sizes after
+	// the patch.
+	DeltaInserts    int
+	DeltaTombstones int
+	// Epoch is the base epoch the patch landed on.
+	Epoch uint64
+}
+
+// apply nets patch into a fresh delta snapshot. baseHas answers membership
+// in the immutable base. Encoding new terms goes through d's (concurrency-
+// safe) dictionary; deletes resolve terms with Lookup only, so deleting
+// never grows the dictionary.
+func (d *delta) apply(patch Patch, dc *dict.Dictionary, baseHas func(store.Triple) bool) (*delta, ApplyResult) {
+	ins := make(map[store.Triple]struct{}, len(d.insSet)+len(patch.Ops))
+	for t := range d.insSet {
+		ins[t] = struct{}{}
+	}
+	del := make(map[store.Triple]struct{}, len(d.delSet)+len(patch.Ops))
+	for t := range d.delSet {
+		del[t] = struct{}{}
+	}
+	var res ApplyResult
+	var addedIns, addedDel []store.Triple
+	for _, op := range patch.Ops {
+		if op.Delete {
+			t, ok := lookupTriple(dc, op.Triple)
+			if !ok {
+				res.Noops++ // a term is not even in the dictionary: absent
+				continue
+			}
+			if _, present := ins[t]; present {
+				delete(ins, t)
+				res.Deleted++
+				continue
+			}
+			if _, dead := del[t]; !dead && baseHas(t) {
+				del[t] = struct{}{}
+				addedDel = append(addedDel, t)
+				res.Deleted++
+				continue
+			}
+			res.Noops++
+			continue
+		}
+		s, p, o := dc.EncodeTriple(op.Triple)
+		t := store.Triple{S: s, P: p, O: o}
+		if _, dead := del[t]; dead {
+			delete(del, t)
+			res.Inserted++
+			continue
+		}
+		if baseHas(t) {
+			res.Noops++ // present in the base and not tombstoned
+			continue
+		}
+		if _, present := ins[t]; present {
+			res.Noops++
+			continue
+		}
+		ins[t] = struct{}{}
+		addedIns = append(addedIns, t)
+		res.Inserted++
+	}
+	nd := &delta{
+		ins:    keepOrder(d.ins, ins, addedIns),
+		del:    keepOrder(d.del, del, addedDel),
+		insSet: ins,
+		delSet: del,
+	}
+	nd.insIdx = indexTriples(nd.ins)
+	nd.delIdx = indexTriples(nd.del)
+	res.DeltaInserts = len(nd.ins)
+	res.DeltaTombstones = len(nd.del)
+	return nd, res
+}
+
+// keepOrder rebuilds a delta slice deterministically: survivors of the old
+// slice in their old order, then this patch's surviving additions in
+// operation order (an addition revoked — or re-made — later in the same
+// batch must not appear, or appear twice).
+func keepOrder(old []store.Triple, now map[store.Triple]struct{}, added []store.Triple) []store.Triple {
+	out := make([]store.Triple, 0, len(now))
+	seen := make(map[store.Triple]struct{}, len(now))
+	for _, t := range old {
+		if _, ok := now[t]; ok {
+			out = append(out, t)
+			seen[t] = struct{}{}
+		}
+	}
+	for _, t := range added {
+		if _, ok := now[t]; !ok {
+			continue
+		}
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// lookupTriple resolves a parsed triple against the dictionary without
+// assigning new ids; ok is false when any term is unregistered (the triple
+// cannot be present anywhere).
+func lookupTriple(dc *dict.Dictionary, t rdf.Triple) (store.Triple, bool) {
+	s, ok := dc.Lookup(t.S)
+	if !ok {
+		return store.Triple{}, false
+	}
+	p, ok := dc.Lookup(t.P)
+	if !ok {
+		return store.Triple{}, false
+	}
+	o, ok := dc.Lookup(t.O)
+	if !ok {
+		return store.Triple{}, false
+	}
+	return store.Triple{S: s, P: p, O: o}, true
+}
+
+// tripleIndex is a small hash index over an encoded triple slice: the
+// overlay evaluator's scan structure for delta slices and (lazily, once per
+// epoch) the base table. It mirrors the naive engine's candidate indexes —
+// the overlay correction terms always touch at least one delta-sized list,
+// so obviously-correct hash scans are fast enough.
+type tripleIndex struct {
+	all []store.Triple
+	byS map[uint32][]store.Triple
+	byP map[uint32][]store.Triple
+	byO map[uint32][]store.Triple
+}
+
+func indexTriples(ts []store.Triple) *tripleIndex {
+	idx := &tripleIndex{
+		all: ts,
+		byS: make(map[uint32][]store.Triple),
+		byP: make(map[uint32][]store.Triple),
+		byO: make(map[uint32][]store.Triple),
+	}
+	for _, t := range ts {
+		idx.byS[t.S] = append(idx.byS[t.S], t)
+		idx.byP[t.P] = append(idx.byP[t.P], t)
+		idx.byO[t.O] = append(idx.byO[t.O], t)
+	}
+	return idx
+}
+
+// pick returns the cheapest candidate list for a pattern whose bound
+// positions are given (value + bound flag per position).
+func (idx *tripleIndex) pick(v [3]uint32, bound [3]bool) []store.Triple {
+	best := idx.all
+	if bound[0] {
+		if l := idx.byS[v[0]]; len(l) < len(best) {
+			best = l
+		}
+	}
+	if bound[1] {
+		if l := idx.byP[v[1]]; len(l) < len(best) {
+			best = l
+		}
+	}
+	if bound[2] {
+		if l := idx.byO[v[2]]; len(l) < len(best) {
+			best = l
+		}
+	}
+	return best
+}

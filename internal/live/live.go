@@ -1,0 +1,423 @@
+// Package live is the write path of this repository: a mutable delta
+// overlay over the immutable, fully-indexed base store every engine was
+// built for, plus epoch-swapped compaction — the differential-update
+// pattern read-optimized RDF systems (RDF-3X's differential indexing, the
+// survey's "delta store" designs) use to take writes without giving up
+// query speed.
+//
+// # Model
+//
+// A Store holds an atomically swappable state: an immutable base
+// (*store.Store, optionally partitioned into shards), and an immutable
+// netted delta (inserted triples absent from the base, tombstones over base
+// triples). The visible dataset is always overlay = (base \ tombstones) ∪
+// inserts. Writers (Apply/Insert/Delete) build a new delta snapshot under a
+// writer lock and publish it with one pointer store; readers never block
+// and never observe a half-applied patch.
+//
+// Engine wraps any registered engine so the full Open(q, ExecOpts) → Cursor
+// contract works over the overlay: while the delta is empty, queries pass
+// straight through to the base engine (zero overhead); otherwise the base
+// engine's streaming cursor is merged with delta corrections computed by
+// the classic incremental-view-maintenance delta rules (each correction
+// term pins one pattern to the small delta), so base + corrections is
+// Collect-identical to a store rebuilt from the patched triple set — for
+// every engine, including the scatter-gather shard engine, with exact
+// DISTINCT/Offset/MaxRows semantics preserved.
+//
+// Compact drains the delta into a freshly assembled base (re-partitioned
+// when sharded) and swaps it in under a bumped epoch counter. In-flight
+// cursors pin the state they opened against and finish on it; there is no
+// stop-the-world. The epoch is the invalidation signal for anything
+// compiled against base statistics (the server keys its plan cache by it).
+package live
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/shard"
+	"repro/internal/store"
+)
+
+// Options parameterizes a live Store.
+type Options struct {
+	// Shards, when > 1, partitions every epoch's base into that many
+	// subject-hash shards (internal/shard); engines built through this
+	// store then execute by scatter-gather. Compaction re-partitions the
+	// fresh base before the swap.
+	Shards int
+}
+
+// Store is a read-write overlay over an immutable base store. Create with
+// NewStore; build engines over it with NewEngine (or the registry's
+// NewLive). All methods are safe for concurrent use; writers serialize
+// against each other, readers never block.
+type Store struct {
+	opts Options
+	dict *dict.Dictionary
+
+	mu  sync.Mutex // serializes writers: Apply, Compact, SetShards
+	cur atomic.Pointer[state]
+
+	// snapMu serializes SnapshotTo writers, and lastSnapEpoch guards
+	// against epoch regression: with two overlapping compact+persist
+	// sequences (an explicit /compact racing the background compactor), a
+	// slow older write must not rename over a newer epoch's snapshot.
+	snapMu        sync.Mutex
+	lastSnapEpoch uint64 // guarded by snapMu
+
+	compactions        atomic.Uint64
+	lastCompactNanos   atomic.Int64
+	lastCompactDrained atomic.Int64
+}
+
+// state is one immutable snapshot: a base epoch plus one delta version.
+// Cursors pin the state they opened against, so a compaction swap never
+// invalidates in-flight reads. The pin counter lives on the baseRef —
+// shared by every delta version over one base — so applying a patch does
+// not drop in-flight same-epoch cursors from the count.
+type state struct {
+	epoch uint64
+	base  *baseRef
+	delta *delta
+}
+
+// baseRef is one base store plus everything derived from it: the optional
+// shard partition, lazily built engines (shared by every delta snapshot
+// over this base — applying a patch must not rebuild rdf3x's six indexes),
+// and the overlay evaluator's lazy structures.
+type baseRef struct {
+	st   *store.Store
+	part *shard.Partitioned // non-nil when sharded
+
+	pins atomic.Int64 // in-flight cursors over this base
+
+	idxOnce sync.Once
+	idx     *tripleIndex // hash index over the base table, for corrections
+
+	setOnce sync.Once
+	set     map[store.Triple]struct{} // base membership, for the write path
+
+	engMu      sync.Mutex
+	engines    map[string]*engineSlot
+	noDistinct map[*query.BGP]*query.BGP // interned DISTINCT-stripped query clones
+}
+
+type engineSlot struct {
+	once sync.Once
+	eng  engine.Engine
+	err  error
+}
+
+func newBaseRef(st *store.Store, shards int) (*baseRef, error) {
+	b := &baseRef{st: st}
+	if shards > 1 {
+		p, err := shard.Partition(st, shards)
+		if err != nil {
+			return nil, err
+		}
+		b.part = p
+	}
+	return b, nil
+}
+
+// engine returns the cached inner engine for name, building it on first use
+// (over the shard partition when present).
+func (b *baseRef) engine(name string, build BuildFunc) (engine.Engine, error) {
+	b.engMu.Lock()
+	if b.engines == nil {
+		b.engines = map[string]*engineSlot{}
+	}
+	sl := b.engines[name]
+	if sl == nil {
+		sl = &engineSlot{}
+		b.engines[name] = sl
+	}
+	b.engMu.Unlock()
+	sl.once.Do(func() { sl.eng, sl.err = build(b.st, b.part) })
+	return sl.eng, sl.err
+}
+
+// index returns the base table's hash index, building it once per epoch on
+// first overlay query.
+func (b *baseRef) index() *tripleIndex {
+	b.idxOnce.Do(func() { b.idx = indexTriples(b.st.Triples()) })
+	return b.idx
+}
+
+// tripleSet returns base membership, building it once per epoch on first
+// write.
+func (b *baseRef) tripleSet() map[store.Triple]struct{} {
+	b.setOnce.Do(func() {
+		ts := b.st.Triples()
+		b.set = make(map[store.Triple]struct{}, len(ts))
+		for _, t := range ts {
+			b.set[t] = struct{}{}
+		}
+	})
+	return b.set
+}
+
+// NewStore wraps base in a live overlay store. The base's dictionary
+// becomes the shared, append-only dictionary for all future writes and
+// epochs.
+func NewStore(base *store.Store, opts Options) (*Store, error) {
+	ref, err := newBaseRef(base, opts.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	ls := &Store{opts: opts, dict: base.Dict()}
+	ls.cur.Store(&state{epoch: 0, base: ref, delta: emptyDelta()})
+	return ls, nil
+}
+
+// pin loads the current state and marks one in-flight reader on its base.
+func (ls *Store) pin() *state {
+	s := ls.cur.Load()
+	s.base.pins.Add(1)
+	return s
+}
+
+func (s *state) unpin() { s.base.pins.Add(-1) }
+
+// Dict returns the shared dictionary (append-only, concurrency-safe).
+func (ls *Store) Dict() *dict.Dictionary { return ls.dict }
+
+// Base returns the current epoch's immutable base store. Pending delta
+// operations are not reflected in it; use NumTriples for the overlay count.
+func (ls *Store) Base() *store.Store { return ls.cur.Load().base.st }
+
+// Part returns the current epoch's shard partition, or nil when unsharded.
+func (ls *Store) Part() *shard.Partitioned { return ls.cur.Load().base.part }
+
+// Epoch returns the current epoch: it increments on every base swap
+// (Compact, SetShards), not on delta writes.
+func (ls *Store) Epoch() uint64 { return ls.cur.Load().epoch }
+
+// Shards returns the shard count (1 when unpartitioned).
+func (ls *Store) Shards() int {
+	if p := ls.cur.Load().base.part; p != nil {
+		return p.NumShards()
+	}
+	return 1
+}
+
+// DeltaSize returns the netted delta sizes: pending inserts and tombstones.
+func (ls *Store) DeltaSize() (inserts, tombstones int) {
+	d := ls.cur.Load().delta
+	return len(d.ins), len(d.del)
+}
+
+// NumTriples returns the overlay's triple count: base minus tombstones plus
+// inserts.
+func (ls *Store) NumTriples() int {
+	s := ls.cur.Load()
+	return s.base.st.NumTriples() - len(s.delta.del) + len(s.delta.ins)
+}
+
+// Apply nets one patch into the overlay and publishes the new delta
+// atomically. Concurrent queries see either the whole patch or none of it.
+func (ls *Store) Apply(p Patch) (ApplyResult, error) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	s := ls.cur.Load()
+	set := s.base.tripleSet()
+	nd, res := s.delta.apply(p, ls.dict, func(t store.Triple) bool {
+		_, ok := set[t]
+		return ok
+	})
+	res.Epoch = s.epoch
+	ls.cur.Store(&state{epoch: s.epoch, base: s.base, delta: nd})
+	return res, nil
+}
+
+// Insert adds triples to the overlay, returning how many were actually
+// absent before.
+func (ls *Store) Insert(ts []rdf.Triple) (int, error) {
+	res, err := ls.Apply(InsertAll(ts))
+	return res.Inserted, err
+}
+
+// Delete removes triples from the overlay (tombstoning base triples),
+// returning how many were actually present before.
+func (ls *Store) Delete(ts []rdf.Triple) (int, error) {
+	res, err := ls.Apply(DeleteAll(ts))
+	return res.Deleted, err
+}
+
+// CompactStats reports one compaction.
+type CompactStats struct {
+	// Epoch is the epoch after the compaction (unchanged if the delta was
+	// already empty and no swap happened).
+	Epoch uint64
+	// Drained is the number of delta operations folded into the new base.
+	Drained int
+	// Duration is how long materializing and indexing the new base took.
+	Duration time.Duration
+	// Swapped reports whether a new base was actually published.
+	Swapped bool
+}
+
+// Compact drains the delta into a freshly assembled base store (and shard
+// partition, when sharded) and atomically swaps it in under the next epoch.
+// Queries running during the compaction keep their pinned state and are
+// never blocked or invalidated; new queries pick up the new epoch on their
+// next Open. An empty delta is a no-op. Writers are serialized with the
+// compaction (an Apply issued mid-compaction waits for the swap).
+func (ls *Store) Compact() (CompactStats, error) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	s := ls.cur.Load()
+	if s.delta.empty() {
+		return CompactStats{Epoch: s.epoch}, nil
+	}
+	start := time.Now()
+	merged := overlayTriples(s)
+	newBase := store.FromEncoded(ls.dict, merged)
+	ref, err := newBaseRef(newBase, ls.opts.Shards)
+	if err != nil {
+		return CompactStats{}, fmt.Errorf("live: compact: %w", err)
+	}
+	drained := s.delta.size()
+	ls.cur.Store(&state{epoch: s.epoch + 1, base: ref, delta: emptyDelta()})
+	dur := time.Since(start)
+	ls.compactions.Add(1)
+	ls.lastCompactNanos.Store(int64(dur))
+	ls.lastCompactDrained.Store(int64(drained))
+	return CompactStats{Epoch: s.epoch + 1, Drained: drained, Duration: dur, Swapped: true}, nil
+}
+
+// SetShards re-partitions the current base into n subject-hash shards (n <=
+// 1 reverts to unsharded) under a new epoch. The delta is carried over
+// unchanged; future compactions keep the new shard count. Setting the
+// current count again is a no-op — cached engines, indexes, and plan-cache
+// entries survive.
+func (ls *Store) SetShards(n int) error {
+	if n < 0 {
+		return fmt.Errorf("live: negative shard count %d", n)
+	}
+	if n <= 1 {
+		n = 0
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	s := ls.cur.Load()
+	current := 0
+	if s.base.part != nil {
+		current = s.base.part.NumShards()
+	}
+	if n == current {
+		return nil
+	}
+	ref, err := newBaseRef(s.base.st, n)
+	if err != nil {
+		return fmt.Errorf("live: %w", err)
+	}
+	ls.opts.Shards = n
+	ls.cur.Store(&state{epoch: s.epoch + 1, base: ref, delta: s.delta})
+	return nil
+}
+
+// overlayTriples materializes (base \ tombstones) ∪ inserts, in base order
+// followed by insertion order. The result is deduplicated by construction
+// (the base table is, tombstones only remove, inserts are disjoint from the
+// surviving base).
+func overlayTriples(s *state) []store.Triple {
+	base := s.base.st.Triples()
+	out := make([]store.Triple, 0, len(base)-len(s.delta.del)+len(s.delta.ins))
+	if len(s.delta.del) == 0 {
+		out = append(out, base...)
+	} else {
+		for _, t := range base {
+			if _, dead := s.delta.delSet[t]; !dead {
+				out = append(out, t)
+			}
+		}
+	}
+	return append(out, s.delta.ins...)
+}
+
+// WriteSnapshot serializes the current overlay (pending delta included) in
+// the binary snapshot format — the bytes a rebuilt-from-scratch store of
+// the patched triple set would produce modulo triple order.
+func (ls *Store) WriteSnapshot(w io.Writer) error {
+	s := ls.pin()
+	defer s.unpin()
+	if s.delta.empty() {
+		return s.base.st.WriteSnapshot(w)
+	}
+	return store.WriteSnapshotData(w, ls.dict, overlayTriples(s))
+}
+
+// SnapshotTo persists the current overlay to path atomically (write to
+// temp, fsync, rename): a crash mid-write never corrupts an existing
+// snapshot at path. Concurrent calls are serialized, and a call that lost
+// the race to a newer epoch's snapshot skips its write instead of
+// regressing the file (the overlay state is captured under the same lock,
+// so the snapshot on disk is always the newest one requested). The
+// regression guard is per store, assuming one snapshot destination (the
+// deployment shape); alternating destinations through one Store may skip
+// writes.
+func (ls *Store) SnapshotTo(path string) error {
+	ls.snapMu.Lock()
+	defer ls.snapMu.Unlock()
+	epoch := ls.cur.Load().epoch
+	if epoch < ls.lastSnapEpoch {
+		return nil // a newer base was already persisted here
+	}
+	if err := store.AtomicWriteFile(path, ls.WriteSnapshot); err != nil {
+		return err
+	}
+	ls.lastSnapEpoch = epoch
+	return nil
+}
+
+// StoreStats is a point-in-time snapshot of the live store's counters.
+type StoreStats struct {
+	Epoch           uint64
+	BaseTriples     int
+	DeltaInserts    int
+	DeltaTombstones int
+	OverlayTriples  int
+	Terms           int
+	Shards          int
+	// PinnedReaders counts cursors currently pinned to the present epoch's
+	// base — any delta version of it (cursors still draining a pre-swap
+	// epoch are not included).
+	PinnedReaders int64
+	Compactions   uint64
+	// LastCompactDuration and LastCompactDrained describe the most recent
+	// compaction (zero if none happened yet).
+	LastCompactDuration time.Duration
+	LastCompactDrained  int
+}
+
+// Stats snapshots the store's counters.
+func (ls *Store) Stats() StoreStats {
+	s := ls.cur.Load()
+	shards := 1
+	if s.base.part != nil {
+		shards = s.base.part.NumShards()
+	}
+	return StoreStats{
+		Epoch:               s.epoch,
+		BaseTriples:         s.base.st.NumTriples(),
+		DeltaInserts:        len(s.delta.ins),
+		DeltaTombstones:     len(s.delta.del),
+		OverlayTriples:      s.base.st.NumTriples() - len(s.delta.del) + len(s.delta.ins),
+		Terms:               ls.dict.Size(),
+		Shards:              shards,
+		PinnedReaders:       s.base.pins.Load(),
+		Compactions:         ls.compactions.Load(),
+		LastCompactDuration: time.Duration(ls.lastCompactNanos.Load()),
+		LastCompactDrained:  int(ls.lastCompactDrained.Load()),
+	}
+}

@@ -1,0 +1,282 @@
+package live_test
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/engine"
+	"repro/internal/engines"
+	"repro/internal/live"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+
+func tr(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: iri(s), P: iri(p), O: iri(o)}
+}
+
+// canonDecoded renders a result multiset with terms decoded, so results
+// from stores with different dictionaries compare equal.
+func canonDecoded(t *testing.T, res *engine.Result, d *dict.Dictionary) string {
+	t.Helper()
+	lines := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, id := range row {
+			parts[i] = d.Decode(id).String()
+		}
+		lines = append(lines, strings.Join(parts, "\t"))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// overlayEquals asserts that querying ls through every registered engine
+// matches a store rebuilt from scratch over the overlay's decoded triples,
+// evaluated by the naive oracle.
+func overlayEquals(t *testing.T, ls *live.Store, queries ...string) {
+	t.Helper()
+	rebuilt := rebuildFromOverlay(t, ls)
+	oracle, err := engines.New("naive", rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, text := range queries {
+		q := query.MustParseSPARQL(text)
+		want, err := engine.Collect(oracle.Open(q, engine.ExecOpts{}))
+		if err != nil {
+			t.Fatalf("q%d oracle: %v", qi, err)
+		}
+		wantC := canonDecoded(t, want, rebuilt.Dict())
+		for _, name := range engines.Names() {
+			le, err := engines.NewLive(name, ls)
+			if err != nil {
+				t.Fatalf("NewLive(%s): %v", name, err)
+			}
+			got, err := engine.Collect(le.Open(q, engine.ExecOpts{}))
+			if err != nil {
+				t.Fatalf("q%d %s: %v", qi, name, err)
+			}
+			if gotC := canonDecoded(t, got, ls.Dict()); gotC != wantC {
+				t.Errorf("q%d %s: overlay != rebuilt\n got (%d rows):\n%s\nwant (%d rows):\n%s",
+					qi, name, got.Len(), gotC, want.Len(), wantC)
+			}
+		}
+	}
+}
+
+// rebuildFromOverlay round-trips the overlay through its snapshot writer,
+// then re-encodes every decoded triple into a completely fresh store (new
+// dictionary, new id assignment) — the "store rebuilt from scratch over the
+// patched triple set" oracle.
+func rebuildFromOverlay(t *testing.T, ls *live.Store) *store.Store {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ls.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	src, err := store.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := store.NewBuilder()
+	for _, et := range src.Triples() {
+		b.Add(rdf.Triple{S: src.Dict().Decode(et.S), P: src.Dict().Decode(et.P), O: src.Dict().Decode(et.O)})
+	}
+	return b.Build()
+}
+
+func TestApplySemantics(t *testing.T) {
+	base := store.FromTriples([]rdf.Triple{tr("a", "p", "b"), tr("b", "p", "c")})
+	ls, err := live.NewStore(base, live.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate insert is a no-op.
+	res, err := ls.Apply(live.InsertAll([]rdf.Triple{tr("a", "p", "b")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 0 || res.Noops != 1 {
+		t.Fatalf("duplicate insert: %+v", res)
+	}
+
+	// Delete of an absent triple is a no-op and must not grow the dict.
+	terms := ls.Dict().Size()
+	res, err = ls.Apply(live.DeleteAll([]rdf.Triple{tr("zzz", "qqq", "www")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 0 || res.Noops != 1 {
+		t.Fatalf("delete absent: %+v", res)
+	}
+	if ls.Dict().Size() != terms {
+		t.Fatalf("delete of absent triple grew the dictionary: %d -> %d", terms, ls.Dict().Size())
+	}
+
+	// Insert-then-delete in one batch nets to nothing.
+	res, err = ls.Apply(live.Patch{Ops: []live.Op{
+		{Triple: tr("n", "p", "n2")},
+		{Delete: true, Triple: tr("n", "p", "n2")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Deleted != 1 || res.DeltaInserts != 0 || res.DeltaTombstones != 0 {
+		t.Fatalf("insert-then-delete: %+v", res)
+	}
+	if n := ls.NumTriples(); n != 2 {
+		t.Fatalf("NumTriples = %d, want 2", n)
+	}
+
+	// Delete a base triple, then re-insert it: tombstone cleared.
+	if _, err = ls.Apply(live.DeleteAll([]rdf.Triple{tr("a", "p", "b")})); err != nil {
+		t.Fatal(err)
+	}
+	if ins, del := ls.DeltaSize(); ins != 0 || del != 1 {
+		t.Fatalf("delta after delete: ins=%d del=%d", ins, del)
+	}
+	if n := ls.NumTriples(); n != 1 {
+		t.Fatalf("NumTriples after delete = %d, want 1", n)
+	}
+	if _, err = ls.Apply(live.InsertAll([]rdf.Triple{tr("a", "p", "b")})); err != nil {
+		t.Fatal(err)
+	}
+	if ins, del := ls.DeltaSize(); ins != 0 || del != 0 {
+		t.Fatalf("delta after re-insert: ins=%d del=%d", ins, del)
+	}
+
+	// Epoch bumps on compaction only.
+	if ls.Epoch() != 0 {
+		t.Fatalf("epoch = %d before any compaction", ls.Epoch())
+	}
+	if _, err = ls.Insert([]rdf.Triple{tr("x", "p", "y")}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ls.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Swapped || st.Epoch != 1 || ls.Epoch() != 1 {
+		t.Fatalf("compact: %+v epoch=%d", st, ls.Epoch())
+	}
+	if ls.NumTriples() != 3 || ls.Base().NumTriples() != 3 {
+		t.Fatalf("post-compact triples: overlay=%d base=%d, want 3/3", ls.NumTriples(), ls.Base().NumTriples())
+	}
+	// Empty delta: no swap, same epoch.
+	st, err = ls.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Swapped || st.Epoch != 1 {
+		t.Fatalf("empty compact: %+v", st)
+	}
+}
+
+// TestPinsSurviveApply: a cursor opened before a patch must stay counted in
+// PinnedReaders (pins are per base epoch, not per delta version).
+func TestPinsSurviveApply(t *testing.T) {
+	ls, err := live.NewStore(store.FromTriples([]rdf.Triple{tr("a", "p", "b")}), live.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err := engines.NewLive("naive", ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := le.Open(query.MustParseSPARQL(`SELECT ?s ?o WHERE { ?s <http://x/p> ?o }`), engine.ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.Stats().PinnedReaders; got != 1 {
+		t.Fatalf("pinned = %d, want 1", got)
+	}
+	if _, err := ls.Insert([]rdf.Triple{tr("c", "p", "d")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.Stats().PinnedReaders; got != 1 {
+		t.Fatalf("pinned after Apply = %d, want 1 (same-epoch cursor dropped from the count)", got)
+	}
+	cur.Close()
+	if got := ls.Stats().PinnedReaders; got != 0 {
+		t.Fatalf("pinned after close = %d, want 0", got)
+	}
+}
+
+// TestSetShardsNoOp: re-requesting the current shard count must not bump
+// the epoch or rebuild engines.
+func TestSetShardsNoOp(t *testing.T) {
+	ls, err := live.NewStore(store.FromTriples([]rdf.Triple{tr("a", "p", "b")}), live.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.SetShards(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.SetShards(1); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Epoch() != 0 {
+		t.Fatalf("no-op SetShards bumped epoch to %d", ls.Epoch())
+	}
+	if err := ls.SetShards(2); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Epoch() != 1 || ls.Shards() != 2 {
+		t.Fatalf("SetShards(2): epoch=%d shards=%d", ls.Epoch(), ls.Shards())
+	}
+	if err := ls.SetShards(2); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Epoch() != 1 {
+		t.Fatalf("repeat SetShards(2) bumped epoch to %d", ls.Epoch())
+	}
+}
+
+func TestOverlayMatchesRebuiltSmall(t *testing.T) {
+	// A little star+path dataset exercising joins across base and delta.
+	var ts []rdf.Triple
+	for i := 0; i < 6; i++ {
+		ts = append(ts, tr(fmt.Sprintf("s%d", i), "knows", fmt.Sprintf("s%d", (i+1)%6)))
+		ts = append(ts, tr(fmt.Sprintf("s%d", i), "type", "Person"))
+	}
+	base := store.FromTriples(ts)
+	ls, err := live.NewStore(base, live.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inserts join against base triples, deletes break base join chains.
+	if _, err := ls.Apply(live.Patch{Ops: []live.Op{
+		{Triple: tr("s1", "knows", "s4")},               // new edge between base nodes
+		{Triple: tr("n9", "knows", "s0")},               // new node into base
+		{Triple: tr("n9", "type", "Person")},            // ...typed by an insert
+		{Delete: true, Triple: tr("s2", "knows", "s3")}, // cut a base chain
+		{Delete: true, Triple: tr("s5", "type", "Person")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`SELECT ?a ?b WHERE { ?a <http://x/knows> ?b }`,
+		`SELECT ?a ?b ?c WHERE { ?a <http://x/knows> ?b . ?b <http://x/knows> ?c }`,
+		`SELECT ?a WHERE { ?a <http://x/type> <http://x/Person> . ?a <http://x/knows> ?b . ?b <http://x/type> <http://x/Person> }`,
+		`SELECT DISTINCT ?b WHERE { ?a <http://x/knows> ?b . ?a <http://x/type> <http://x/Person> }`,
+		`SELECT ?a ?p ?b WHERE { ?a ?p ?b }`,
+	}
+	overlayEquals(t, ls, queries...)
+
+	// After compaction the same queries must agree again (fast path).
+	if _, err := ls.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	overlayEquals(t, ls, queries...)
+}

@@ -1,0 +1,84 @@
+package live
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Op is one patch operation: insert or delete of a single triple.
+type Op struct {
+	// Delete marks a deletion; otherwise the operation inserts.
+	Delete bool
+	Triple rdf.Triple
+}
+
+// Patch is an ordered batch of insert/delete operations. Order matters
+// within a batch: "+t" followed by "-t" nets to a no-op, "-t" followed by
+// "+t" leaves t present.
+type Patch struct {
+	Ops []Op
+}
+
+// ParsePatch reads the N-Triples patch format: one operation per line, each
+// line an N-Triples statement optionally prefixed with '+' (insert) or '-'
+// (delete). Unprefixed lines insert, so any plain N-Triples document is a
+// valid all-insert patch. Blank lines and '#' comments are skipped.
+//
+//	+<http://a> <http://p> <http://b> .
+//	-<http://a> <http://p> <http://c> .
+//	<http://d> <http://p> "literal" .
+func ParsePatch(r io.Reader) (Patch, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var p Patch
+	lineNo := 0
+	for {
+		lineNo++
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return Patch{}, err
+		}
+		atEOF := err == io.EOF
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, "#") {
+			op := Op{}
+			switch trimmed[0] {
+			case '+':
+				trimmed = strings.TrimSpace(trimmed[1:])
+			case '-':
+				op.Delete = true
+				trimmed = strings.TrimSpace(trimmed[1:])
+			}
+			t, perr := rdf.ParseTriple(trimmed)
+			if perr != nil {
+				return Patch{}, fmt.Errorf("live: patch line %d: %w", lineNo, perr)
+			}
+			op.Triple = t
+			p.Ops = append(p.Ops, op)
+		}
+		if atEOF {
+			return p, nil
+		}
+	}
+}
+
+// InsertAll returns a patch inserting every triple.
+func InsertAll(ts []rdf.Triple) Patch {
+	ops := make([]Op, len(ts))
+	for i, t := range ts {
+		ops[i] = Op{Triple: t}
+	}
+	return Patch{Ops: ops}
+}
+
+// DeleteAll returns a patch deleting every triple.
+func DeleteAll(ts []rdf.Triple) Patch {
+	ops := make([]Op, len(ts))
+	for i, t := range ts {
+		ops[i] = Op{Delete: true, Triple: t}
+	}
+	return Patch{Ops: ops}
+}

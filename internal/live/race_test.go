@@ -1,0 +1,166 @@
+package live_test
+
+// Liveness under compaction: queries driven concurrently with a hammering
+// writer and compactor must never fail, never block on a swap, and never
+// observe a half-applied patch or epoch (each full scan sees either all of
+// a patch's triples or none). Run under -race in CI; the goroutine and pin
+// checks catch leaked producers.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/engines"
+	"repro/internal/live"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func TestLivenessUnderCompaction(t *testing.T) {
+	const (
+		baseTriples = 400
+		patchSize   = 7
+		readers     = 4
+		duration    = 600 * time.Millisecond
+	)
+	var base []rdf.Triple
+	for i := 0; i < baseTriples; i++ {
+		base = append(base, tr(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("s%d", (i+1)%baseTriples)))
+	}
+	var patch []rdf.Triple
+	for i := 0; i < patchSize; i++ {
+		patch = append(patch, tr(fmt.Sprintf("w%d", i), "p", fmt.Sprintf("w%d", i+1)))
+	}
+	ls, err := live.NewStore(store.FromTriples(base), live.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goroutinesBefore := runtime.NumGoroutine()
+	scan := `SELECT ?s ?o WHERE { ?s <http://x/p> ?o }`
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		failed   atomic.Value // first error string
+		queries  atomic.Int64
+		compacts atomic.Int64
+	)
+	fail := func(format string, args ...any) {
+		failed.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+
+	// Writer: atomically insert then delete the whole patch, forever. A
+	// reader's full scan must therefore count either baseTriples or
+	// baseTriples+patchSize — anything else is a torn patch.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := ls.Insert(patch); err != nil {
+				fail("insert: %v", err)
+				return
+			}
+			if _, err := ls.Delete(patch); err != nil {
+				fail("delete: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Compactor: swap bases as fast as the data allows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st, err := ls.Compact()
+			if err != nil {
+				fail("compact: %v", err)
+				return
+			}
+			if st.Swapped {
+				compacts.Add(1)
+			}
+		}
+	}()
+
+	// Readers: full scans through different engines; counts must be one of
+	// the two consistent sizes.
+	for r := 0; r < readers; r++ {
+		name := engines.Names()[r%len(engines.Names())]
+		le, err := engines.NewLive(name, ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := query.MustParseSPARQL(scan)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := engine.Collect(le.Open(q, engine.ExecOpts{}))
+				if err != nil {
+					fail("%s query: %v", name, err)
+					return
+				}
+				if n := res.Len(); n != baseTriples && n != baseTriples+patchSize {
+					fail("%s saw a torn patch: %d rows (want %d or %d)", name, n, baseTriples, baseTriples+patchSize)
+					return
+				}
+				queries.Add(1)
+			}
+		}()
+	}
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+
+	if msg := failed.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed")
+	}
+	if compacts.Load() == 0 {
+		t.Fatal("no compactions happened — the test exercised nothing")
+	}
+	t.Logf("%d queries, %d compactions, final epoch %d", queries.Load(), compacts.Load(), ls.Epoch())
+
+	// No leaked producers: pins drain to zero and the goroutine count
+	// returns to (about) where it started.
+	if pins := ls.Stats().PinnedReaders; pins != 0 {
+		t.Fatalf("%d cursors still pinned", pins)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= goroutinesBefore+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				goroutinesBefore, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

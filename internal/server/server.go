@@ -1,15 +1,25 @@
 // Package server is the concurrent SPARQL serving layer over the engines in
 // this repository: an HTTP endpoint that loads a dataset once and answers
-// many read-only queries against the shared immutable store, the way
-// production RDF stores expose their join engines.
+// many queries against a shared store, the way production RDF stores expose
+// their join engines.
+//
+// The store is live (internal/live): POST /update applies an N-Triples
+// insert/delete patch to a delta overlay while the immutable base keeps
+// serving, and a compaction — background (Config.CompactEvery), explicit
+// (POST /compact), or ?compact=true on an update — drains the delta into a
+// fresh base swapped in under a bumped epoch. In-flight queries pin their
+// epoch; nothing blocks on the swap.
 //
 // The request pipeline is parse → normalize → plan-cache lookup (compile on
 // miss) → cursor → streaming encoder:
 //
 //   - Queries are α-normalized (internal/query.Normalize) so requests that
 //     differ only in variable naming share one compiled plan.
-//   - Compiled plans are held in a bounded LRU keyed by normalized query +
-//     engine + plan options, with hit/miss counters surfaced at /stats.
+//   - Compiled plans are held in a bounded LRU keyed by store epoch +
+//     normalized query + engine + plan options, with hit/miss counters
+//     surfaced at /stats. The epoch in the key means a compaction can never
+//     serve a plan compiled against dropped statistics: post-swap requests
+//     miss and recompile against the new base.
 //   - Execution is the engine.Cursor contract: every engine streams rows
 //     and honours context cancellation, so responses are encoded straight
 //     off the cursor — per-request memory is O(batch), first-byte latency
@@ -25,10 +35,12 @@
 //     probes one row past the cap — no after-the-fact trimming).
 //
 // Endpoints: GET/POST /query (params: query, engine, format, timeout,
-// workers, offset), GET /healthz, GET /stats.
+// workers, offset), POST /update (N-Triples patch; param: compact),
+// POST /compact, GET /healthz, GET /stats.
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -46,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/engines"
+	"repro/internal/live"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/shard"
@@ -97,35 +110,49 @@ type Config struct {
 	// request instead is the stricter alternative; see the ROADMAP's
 	// shard-aware planning follow-up.
 	Shards int
+	// CompactEvery, when > 0, runs the background compactor: at that
+	// interval, a non-empty delta (of at least CompactMinDelta operations)
+	// is drained into a fresh base store swapped in under the next epoch.
+	// Zero disables background compaction; POST /compact still works.
+	CompactEvery time.Duration
+	// CompactMinDelta is the background compactor's threshold: skip the
+	// drain while the delta holds fewer netted operations. <= 1 compacts on
+	// any non-empty delta.
+	CompactMinDelta int
+	// SnapshotPath, when set, atomically persists the store's snapshot
+	// (write-to-temp, fsync, rename) after every compaction, so a
+	// restarting server loads the compacted dataset instead of replaying
+	// updates it has lost anyway.
+	SnapshotPath string
+	// MaxUpdateBytes caps one /update request body. Default 8 MiB.
+	MaxUpdateBytes int
 }
 
 // defaultMaxRows bounds per-query result size unless overridden.
 const defaultMaxRows = 4_000_000
 
-// Server serves SPARQL queries over one immutable store. Create with New;
-// expose with Handler.
+// defaultMaxUpdateBytes bounds one /update body unless overridden.
+const defaultMaxUpdateBytes = 8 << 20
+
+// Server serves SPARQL queries (and updates) over one live store. Create
+// with New; expose with Handler; call Close to stop background compaction.
 type Server struct {
 	cfg   Config
-	st    *store.Store
-	part  *shard.Partitioned // non-nil iff Config.Shards > 1
+	ls    *live.Store
 	cache *planCache
 	pool  *wsem
 	stats *metrics
 	start time.Time
 
-	// engines holds one lazily-constructed slot per valid engine name. mu
-	// guards only the map; each slot's sync.Once guards its construction,
-	// so building one expensive engine (rdf3x sorts six permutation
-	// indexes) never blocks requests on engines that already exist.
-	mu      sync.Mutex
-	engines map[string]*engineSlot
-}
+	stopCompact context.CancelFunc // nil unless CompactEvery > 0
+	compactDone chan struct{}
 
-// engineSlot is one engine's build-once cell.
-type engineSlot struct {
-	once sync.Once
-	eng  engine.Engine
-	err  error
+	// engines holds one live engine wrapper per valid engine name. The
+	// wrappers are cheap (each epoch's inner engine is built lazily inside
+	// internal/live and cached until the next base swap), so slots are
+	// created on demand under mu.
+	mu      sync.Mutex
+	engines map[string]*live.Engine
 }
 
 // knownEngine reports whether name is in the registry, without building
@@ -150,21 +177,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("server: Config.Shards must be >= 0, got %d", cfg.Shards)
 	}
-	var part *shard.Partitioned
-	if cfg.Shards > 1 {
-		p, err := shard.Partition(cfg.Store, cfg.Shards)
-		if err != nil {
-			return nil, fmt.Errorf("server: %w", err)
-		}
-		part = p
-	}
-	// Construct the default engine now — it both validates the name and
-	// front-loads any eager index construction (rdf3x sorts six triple
-	// permutations) so the first request doesn't pay for it; the instance
-	// seeds the engine map below.
-	defEng, err := buildEngine(cfg.DefaultEngine, cfg.Store, part)
+	ls, err := live.NewStore(cfg.Store, live.Options{Shards: cfg.Shards})
 	if err != nil {
-		return nil, fmt.Errorf("server: default engine: %w", err)
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	if cfg.PlanCacheSize <= 0 {
 		cfg.PlanCacheSize = 256
@@ -189,69 +204,106 @@ func New(cfg Config) (*Server, error) {
 	} else if cfg.MaxRows < 0 {
 		cfg.MaxRows = 0 // 0 = uncapped from here on
 	}
-	defSlot := &engineSlot{eng: defEng}
-	defSlot.once.Do(func() {}) // mark built
-	return &Server{
+	if cfg.MaxUpdateBytes <= 0 {
+		cfg.MaxUpdateBytes = defaultMaxUpdateBytes
+	}
+	s := &Server{
 		cfg:     cfg,
-		st:      cfg.Store,
-		part:    part,
+		ls:      ls,
 		cache:   newPlanCache(cfg.PlanCacheSize),
 		pool:    newWsem(cfg.MaxConcurrent),
 		stats:   newMetrics(),
 		start:   time.Now(),
-		engines: map[string]*engineSlot{cfg.DefaultEngine: defSlot},
-	}, nil
+		engines: map[string]*live.Engine{},
+	}
+	// Construct the default engine's inner instance now — it both validates
+	// the name and front-loads any eager index construction (rdf3x sorts six
+	// triple permutations) so the first request doesn't pay for it.
+	defEng, err := s.engine(cfg.DefaultEngine)
+	if err != nil {
+		return nil, fmt.Errorf("server: default engine: %w", err)
+	}
+	if _, err := defEng.Inner(); err != nil {
+		return nil, fmt.Errorf("server: default engine: %w", err)
+	}
+	if cfg.CompactEvery > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.stopCompact = cancel
+		s.compactDone = make(chan struct{})
+		go func() {
+			defer close(s.compactDone)
+			ls.AutoCompact(ctx, live.CompactPolicy{
+				Every:        cfg.CompactEvery,
+				MinOps:       cfg.CompactMinDelta,
+				SnapshotPath: cfg.SnapshotPath,
+			})
+		}()
+	}
+	return s, nil
 }
 
-// Handler returns the HTTP handler with the /query, /healthz, and /stats
-// routes mounted.
+// Close stops background work (the auto-compactor); it does not flush the
+// delta. Safe to call more than once.
+func (s *Server) Close() {
+	if s.stopCompact != nil {
+		s.stopCompact()
+		<-s.compactDone
+		s.stopCompact = nil
+	}
+}
+
+// Live exposes the server's live store (tests and embedding callers apply
+// updates or force compactions through it directly).
+func (s *Server) Live() *live.Store { return s.ls }
+
+// Handler returns the HTTP handler with the /query, /update, /compact,
+// /healthz, and /stats routes mounted.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/compact", s.handleCompact)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
 }
 
-// engine returns the shared engine instance for name, constructing it on
-// first use. Construction (expensive: rdf3x sorts six permutation indexes)
-// runs under the slot's Once, not the map lock, so building one engine
-// never stalls requests on engines that already exist.
-func (s *Server) engine(name string) (engine.Engine, error) {
+// engine returns the live engine wrapper for name, constructing it on first
+// use. The wrapper is cheap; the expensive per-epoch inner engine (rdf3x
+// sorts six permutation indexes) is built lazily inside internal/live under
+// its own once, so building one engine never stalls requests on engines
+// that already exist.
+func (s *Server) engine(name string) (*live.Engine, error) {
 	if !knownEngine(name) {
 		// Produce the registry's canonical error without allocating a slot
 		// (arbitrary client-supplied names must not grow the map).
-		_, err := engines.New(name, s.st)
+		_, err := engines.New(name, s.ls.Base())
 		return nil, err
 	}
 	s.mu.Lock()
-	slot, ok := s.engines[name]
-	if !ok {
-		slot = &engineSlot{}
-		s.engines[name] = slot
+	defer s.mu.Unlock()
+	if le, ok := s.engines[name]; ok {
+		return le, nil
 	}
-	s.mu.Unlock()
-	slot.once.Do(func() { slot.eng, slot.err = buildEngine(name, s.st, s.part) })
-	return slot.eng, slot.err
+	le, err := engines.NewLive(name, s.ls)
+	if err != nil {
+		return nil, err
+	}
+	s.engines[name] = le
+	return le, nil
 }
 
-// buildEngine constructs the named engine: over the partition
-// (scatter-gather across per-shard instances) when the server is sharded,
-// over the whole store otherwise.
-func buildEngine(name string, st *store.Store, part *shard.Partitioned) (engine.Engine, error) {
-	if part != nil {
-		return engines.NewSharded(name, part)
+// engineSupportsWorkers reports whether the live engine's inner engine
+// honours ExecOpts.Workers: the core (EmptyHeaded) engine, directly or as
+// the per-shard engine behind the scatter-gather wrapper (shard.Engine
+// forwards Workers to every shard). A ?workers=N sharded request is charged
+// N slots like an unsharded one; the shard fan-out itself is deliberately
+// not charged — see Config.Shards for the accounting trade-off.
+func engineSupportsWorkers(le *live.Engine) bool {
+	eng, err := le.Inner()
+	if err != nil {
+		return false
 	}
-	return engines.New(name, st)
-}
-
-// engineSupportsWorkers reports whether eng honours ExecOpts.Workers: the
-// core (EmptyHeaded) engine, directly or as the per-shard engine behind
-// the scatter-gather wrapper (shard.Engine forwards Workers to every
-// shard). A ?workers=N sharded request is charged N slots like an
-// unsharded one; the shard fan-out itself is deliberately not charged —
-// see Config.Shards for the accounting trade-off.
-func engineSupportsWorkers(eng engine.Engine) bool {
 	if se, ok := eng.(*shard.Engine); ok {
 		eng = se.ShardEngine(0)
 	}
@@ -259,50 +311,51 @@ func engineSupportsWorkers(eng engine.Engine) bool {
 	return ok
 }
 
-// planOpener is satisfied by engines that separate compilation from
-// execution (core/EmptyHeaded and the LogicBlox model); for these the cache
-// holds the compiled plan itself and OpenPlan skips re-planning.
-type planOpener interface {
-	engine.Engine
-	Plan(*query.BGP) (*plan.Plan, error)
-	OpenPlan(p *plan.Plan, opts engine.ExecOpts) (engine.Cursor, error)
-}
-
 // preparedQuery is one plan-cache entry: the interned normalized BGP and,
-// for planOpener engines, its compiled plan. Both are immutable and
-// shared by concurrent executions.
+// for engines that separate compilation from execution (core/EmptyHeaded),
+// its compiled plan tagged with the epoch it was compiled at. All fields
+// are immutable and shared by concurrent executions.
 type preparedQuery struct {
-	bgp  *query.BGP
-	plan *plan.Plan // nil for engines that plan internally per execution
+	bgp   *query.BGP
+	plan  *plan.Plan // nil for engines that plan internally per execution
+	epoch uint64     // epoch plan was compiled against (meaningful when plan != nil)
 }
 
 // prepare resolves q to a cache entry for engineName, compiling on miss.
-// Under sharding the cache holds only the interned normalized BGP —
-// shard.Engine is not a planOpener, so per-shard sub-query plans are
-// recomputed per execution (a cache "hit" saves parsing and normalization
-// only; caching the decomposition plus per-group compiled plans is the
-// ROADMAP's shard-aware-planning follow-up).
-func (s *Server) prepare(engineName string, eng engine.Engine, q *query.BGP) (*preparedQuery, bool, error) {
+// The key carries the store epoch, so entries from before a compaction
+// swap — whose plans were costed against statistics that no longer exist —
+// can never be served afterwards; they age out of the LRU. Under sharding
+// the cache holds only the interned normalized BGP — shard.Engine is not a
+// planOpener, so per-shard sub-query plans are recomputed per execution (a
+// cache "hit" saves parsing and normalization only; caching the
+// decomposition plus per-group compiled plans is the ROADMAP's
+// shard-aware-planning follow-up).
+func (s *Server) prepare(engineName string, le *live.Engine, q *query.BGP) (*preparedQuery, bool, error) {
 	norm, key := query.Normalize(q)
-	key = engineName + "|" + optionsKey(eng) + "|" + key
+	key = "e" + strconv.FormatUint(le.Epoch(), 10) + "|" + engineName + "|" + s.optionsKey(le) + "|" + key
 	if pq, ok := s.cache.get(key); ok {
 		return pq, true, nil
 	}
 	pq := &preparedQuery{bgp: norm}
-	if pe, ok := eng.(planOpener); ok {
-		p, err := pe.Plan(norm)
-		if err != nil {
-			return nil, false, err
-		}
-		pq.plan = p
+	p, epoch, ok, err := le.PlanFor(norm)
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		pq.plan, pq.epoch = p, epoch
 	}
 	s.cache.add(key, pq)
 	return pq, false, nil
 }
 
-// optionsKey renders the plan-relevant options of eng into the cache key,
-// so engines with different optimization configurations never share plans.
-func optionsKey(eng engine.Engine) string {
+// optionsKey renders the plan-relevant options of the wrapped engine into
+// the cache key, so engines with different optimization configurations
+// never share plans.
+func (s *Server) optionsKey(le *live.Engine) string {
+	eng, err := le.Inner()
+	if err != nil {
+		return ""
+	}
 	if ce, ok := eng.(*core.Engine); ok {
 		o := ce.Options()
 		return plan.Options{
@@ -315,17 +368,12 @@ func optionsKey(eng engine.Engine) string {
 	return ""
 }
 
-// open starts the prepared query on eng: through the cached plan for
-// planOpener engines, through the engine's own Open otherwise. Every
-// engine returns a streaming, cancellable cursor — there is no detached
-// fallback.
-func (s *Server) open(eng engine.Engine, pq *preparedQuery, opts engine.ExecOpts) (engine.Cursor, error) {
-	if pq.plan != nil {
-		if pe, ok := eng.(planOpener); ok {
-			return pe.OpenPlan(pq.plan, opts)
-		}
-	}
-	return eng.Open(pq.bgp, opts)
+// open starts the prepared query: the live engine reuses the cached plan
+// when it still matches the current epoch (fast path and overlay base
+// stream alike) and replans otherwise. Every engine returns a streaming,
+// cancellable cursor — there is no detached fallback.
+func (s *Server) open(le *live.Engine, pq *preparedQuery, opts engine.ExecOpts) (engine.Cursor, error) {
+	return le.OpenPrepared(pq.bgp, pq.plan, pq.epoch, opts)
 }
 
 // estimateWait predicts how long a request for engineName needing n slots
@@ -603,11 +651,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	switch format(r) {
 	case "tsv":
 		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
-		enc = writeTSV(w, q.Select, pc, s.st.Dict())
+		enc = writeTSV(w, q.Select, pc, s.ls.Dict())
 		tookMs()
 	default:
 		w.Header().Set("Content-Type", "application/json")
-		enc = writeJSON(w, q.Select, pc, s.st.Dict(), meta, tookMs)
+		enc = writeJSON(w, q.Select, pc, s.ls.Dict(), meta, tookMs)
 	}
 	if enc.truncated {
 		w.Header().Set("X-Truncated", "true")
@@ -693,22 +741,110 @@ func format(r *http.Request) string {
 	return "json"
 }
 
+// handleUpdate applies one N-Triples patch (lines optionally prefixed '+'
+// for insert — the default — or '-' for delete) to the delta overlay. With
+// ?compact=true the delta is drained into a fresh base immediately after.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	limit := int64(s.cfg.MaxUpdateBytes)
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading patch: %v", err)
+		return
+	}
+	if int64(len(body)) > limit {
+		httpError(w, http.StatusRequestEntityTooLarge, "patch exceeds %d bytes", limit)
+		return
+	}
+	patch, err := live.ParsePatch(bytes.NewReader(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.ls.Apply(patch)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "applying patch: %v", err)
+		return
+	}
+	s.stats.update(res.Inserted, res.Deleted)
+	reply := map[string]any{
+		"inserted":         res.Inserted,
+		"deleted":          res.Deleted,
+		"noops":            res.Noops,
+		"delta_inserts":    res.DeltaInserts,
+		"delta_tombstones": res.DeltaTombstones,
+		"epoch":            res.Epoch,
+	}
+	if r.FormValue("compact") == "true" {
+		cs, err := s.compactNow()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "compacting: %v", err)
+			return
+		}
+		reply["epoch"] = cs.Epoch
+		reply["compacted"] = cs.Swapped
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(reply)
+}
+
+// handleCompact forces a compaction swap (a no-op on an empty delta).
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	cs, err := s.compactNow()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "compacting: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"epoch":       cs.Epoch,
+		"compacted":   cs.Swapped,
+		"drained":     cs.Drained,
+		"duration_ms": ms(cs.Duration),
+	})
+}
+
+// compactNow drains the delta and, when configured, persists the fresh
+// snapshot atomically.
+func (s *Server) compactNow() (live.CompactStats, error) {
+	cs, err := s.ls.Compact()
+	if err != nil {
+		return cs, err
+	}
+	if cs.Swapped && s.cfg.SnapshotPath != "" {
+		if err := s.ls.SnapshotTo(s.cfg.SnapshotPath); err != nil {
+			return cs, fmt.Errorf("persisting snapshot: %w", err)
+		}
+	}
+	return cs, nil
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.ls.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":  "ok",
-		"triples": s.st.NumTriples(),
-		"terms":   s.st.Dict().Size(),
+		"triples": st.OverlayTriples,
+		"terms":   st.Terms,
+		"epoch":   st.Epoch,
 	})
 }
 
 // Stats snapshots the server's counters (also served at /stats).
 func (s *Server) Stats() Stats {
 	queries, errs, timeouts, rejected, active, byEngine, engLat, lat := s.stats.snapshot()
+	updates, inserted, deleted := s.stats.updateCounts()
 	inUse, queued, _ := s.pool.stats()
 	var sharding *ShardingStats
-	if s.part != nil {
-		ss := s.part.Stats()
+	if part := s.ls.Part(); part != nil {
+		ss := part.Stats()
 		sharding = &ShardingStats{
 			Shards:             len(ss),
 			OwnedTriples:       make([]int, len(ss)),
@@ -721,10 +857,11 @@ func (s *Server) Stats() Stats {
 			sharding.MergeRowsDelivered[i] = sh.Delivered
 		}
 	}
+	lst := s.ls.Stats()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Triples:       s.st.NumTriples(),
-		Terms:         s.st.Dict().Size(),
+		Triples:       lst.OverlayTriples,
+		Terms:         lst.Terms,
 		Queries:       queries,
 		Errors:        errs,
 		Timeouts:      timeouts,
@@ -737,6 +874,20 @@ func (s *Server) Stats() Stats {
 		PlanCache:     s.cache.stats(),
 		Latency:       lat,
 		Sharding:      sharding,
+		Live: &LiveStats{
+			Epoch:              lst.Epoch,
+			BaseTriples:        lst.BaseTriples,
+			DeltaInserts:       lst.DeltaInserts,
+			DeltaTombstones:    lst.DeltaTombstones,
+			OverlayTriples:     lst.OverlayTriples,
+			PinnedReaders:      lst.PinnedReaders,
+			Updates:            updates,
+			TriplesInserted:    inserted,
+			TriplesDeleted:     deleted,
+			Compactions:        lst.Compactions,
+			LastCompactMs:      ms(lst.LastCompactDuration),
+			LastCompactDrained: lst.LastCompactDrained,
+		},
 	}
 }
 

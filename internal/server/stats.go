@@ -61,6 +61,35 @@ type ShardingStats struct {
 	MergeRowsDelivered []int64 `json:"merge_rows_delivered"`
 }
 
+// LiveStats reports the write path: delta overlay sizes, the epoch counter,
+// and compaction activity (internal/live).
+type LiveStats struct {
+	// Epoch increments on every base swap (compaction, re-sharding); the
+	// plan cache is keyed by it.
+	Epoch uint64 `json:"epoch"`
+	// BaseTriples is the immutable base's size; DeltaInserts and
+	// DeltaTombstones are the netted pending operations over it;
+	// OverlayTriples = BaseTriples - DeltaTombstones + DeltaInserts is what
+	// queries see.
+	BaseTriples     int `json:"base_triples"`
+	DeltaInserts    int `json:"delta_inserts"`
+	DeltaTombstones int `json:"delta_tombstones"`
+	OverlayTriples  int `json:"overlay_triples"`
+	// PinnedReaders counts cursors currently pinned to the present epoch
+	// state.
+	PinnedReaders int64 `json:"pinned_readers"`
+	// Updates counts applied /update patches; TriplesInserted and
+	// TriplesDeleted are their cumulative effective (non-noop) operations.
+	Updates         uint64 `json:"updates"`
+	TriplesInserted uint64 `json:"triples_inserted"`
+	TriplesDeleted  uint64 `json:"triples_deleted"`
+	// Compactions counts base swaps; the Last fields describe the most
+	// recent one.
+	Compactions        uint64  `json:"compactions"`
+	LastCompactMs      float64 `json:"last_compact_ms"`
+	LastCompactDrained int     `json:"last_compact_drained"`
+}
+
 // Stats is the /stats payload.
 type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -87,6 +116,8 @@ type Stats struct {
 	// Sharding is present only when the server partitioned its store
 	// (Config.Shards > 1).
 	Sharding *ShardingStats `json:"sharding,omitempty"`
+	// Live reports the write path: delta sizes, epoch, compactions.
+	Live *LiveStats `json:"live,omitempty"`
 }
 
 // engStat is one engine's counters: request count, an execution-latency
@@ -118,6 +149,12 @@ type metrics struct {
 	// holdSlots tracks worker-pool slots currently held, per engine
 	// (beginHold/endHold) — the occupancy view estimateWait reads.
 	holdSlots map[string]int
+
+	// Write-path counters: applied patches and their cumulative effective
+	// operations.
+	updates         uint64
+	triplesInserted uint64
+	triplesDeleted  uint64
 }
 
 // engStatLocked returns (creating on demand) the named engine's counters.
@@ -178,6 +215,22 @@ func (m *metrics) end(engine string, total, execDur time.Duration, isErr, isTime
 		m.ring[m.next] = total
 		m.next = (m.next + 1) % latencySampleCap
 	}
+}
+
+// update records one applied /update patch and its effective operations.
+func (m *metrics) update(inserted, deleted int) {
+	m.mu.Lock()
+	m.updates++
+	m.triplesInserted += uint64(inserted)
+	m.triplesDeleted += uint64(deleted)
+	m.mu.Unlock()
+}
+
+// updateCounts snapshots the write-path counters.
+func (m *metrics) updateCounts() (updates, inserted, deleted uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.updates, m.triplesInserted, m.triplesDeleted
 }
 
 // reject counts one admission-control rejection.

@@ -5,7 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
+	"repro/internal/dict"
 	"repro/internal/rdf"
 )
 
@@ -25,6 +28,17 @@ const snapshotMagic = "RDFSNAP1"
 
 // WriteSnapshot serializes the store to w.
 func (s *Store) WriteSnapshot(w io.Writer) error {
+	return WriteSnapshotData(w, s.dict, s.triples)
+}
+
+// WriteSnapshotData serializes an encoded triple table plus its dictionary
+// in the snapshot format, without requiring an assembled Store. The
+// live-update layer uses it to persist a delta overlay (base minus
+// tombstones plus inserts) directly. The dictionary may keep growing
+// concurrently — ids are append-only, so the size captured here stays
+// decodable — but every triple must reference only ids assigned before the
+// call.
+func WriteSnapshotData(w io.Writer, d *dict.Dictionary, triples []Triple) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
@@ -43,12 +57,12 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 
-	n := s.dict.Size()
+	n := d.Size()
 	if err := writeUvarint(uint64(n)); err != nil {
 		return err
 	}
 	for id := 0; id < n; id++ {
-		t := s.dict.Decode(uint32(id))
+		t := d.Decode(uint32(id))
 		if err := bw.WriteByte(byte(t.Kind)); err != nil {
 			return err
 		}
@@ -64,10 +78,10 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 			}
 		}
 	}
-	if err := writeUvarint(uint64(len(s.triples))); err != nil {
+	if err := writeUvarint(uint64(len(triples))); err != nil {
 		return err
 	}
-	for _, tr := range s.triples {
+	for _, tr := range triples {
 		if err := writeUvarint(uint64(tr.S)); err != nil {
 			return err
 		}
@@ -79,6 +93,52 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// WriteSnapshotFile persists the store's snapshot to path atomically: the
+// bytes go to a temporary file in the same directory, are fsynced, and only
+// then renamed over path. A crash mid-write (e.g. during a background
+// compaction under serving) therefore never truncates or corrupts the
+// snapshot a restarting server loads — path either holds the previous
+// complete snapshot or the new one.
+func (s *Store) WriteSnapshotFile(path string) error {
+	return AtomicWriteFile(path, s.WriteSnapshot)
+}
+
+// AtomicWriteFile writes a file via write-to-temp, fsync, rename. write
+// receives the temporary file; on any error the temporary is removed and
+// path is untouched.
+func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable; some
+	// filesystems do not support fsync on directories, which is fine.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // ReadSnapshot deserializes a store written by WriteSnapshot.

@@ -31,10 +31,10 @@ import (
 	"repro/internal/engine/rdf3x"
 	"repro/internal/engine/triplebit"
 	"repro/internal/engines"
+	"repro/internal/live"
 	"repro/internal/lubm"
 	"repro/internal/query"
 	"repro/internal/rdf"
-	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -79,44 +79,44 @@ var AllOptimizations = core.AllOptimizations
 // engine.
 var NoOptimizations = core.NoOptimizations
 
-// Dataset is an immutable, dictionary-encoded RDF dataset shared by any
-// number of engines. It is optionally partitioned into subject-hash shards
+// Dataset is a dictionary-encoded RDF dataset shared by any number of
+// engines: an immutable, fully-indexed base plus a mutable delta overlay
+// (internal/live), so it accepts inserts and deletes while existing engines
+// keep serving. It is optionally partitioned into subject-hash shards
 // (Partition / OpenDataset's WithShards), in which case NewEngineByName
 // returns scatter-gather engines over the shard set.
 type Dataset struct {
-	st   *store.Store
-	part *shard.Partitioned
+	ls *live.Store
+}
+
+func newDataset(st *store.Store) *Dataset {
+	ls, err := live.NewStore(st, live.Options{})
+	if err != nil {
+		// live.NewStore only fails on invalid shard counts; Options{} cannot.
+		panic(err)
+	}
+	return &Dataset{ls: ls}
 }
 
 // Partition splits the dataset into n subject-hash shards (triples are
 // additionally replicated to their object's shard — see internal/shard for
 // the routing rule and its cost). Afterwards NewEngineByName builds
 // scatter-gather engines over the shard set; results are indistinguishable
-// from unsharded execution. n <= 1 reverts to unsharded engines.
+// from unsharded execution. n <= 1 reverts to unsharded engines. Future
+// compactions keep the partitioning.
 func (d *Dataset) Partition(n int) error {
 	if n <= 1 {
-		d.part = nil
-		return nil
+		n = 0
 	}
-	p, err := shard.Partition(d.st, n)
-	if err != nil {
-		return err
-	}
-	d.part = p
-	return nil
+	return d.ls.SetShards(n)
 }
 
 // Shards returns the shard count (1 when unpartitioned).
-func (d *Dataset) Shards() int {
-	if d.part == nil {
-		return 1
-	}
-	return d.part.NumShards()
-}
+func (d *Dataset) Shards() int { return d.ls.Shards() }
 
 // LoadTriples builds a dataset from parsed triples.
 func LoadTriples(ts []Triple) *Dataset {
-	return &Dataset{st: store.FromTriples(ts)}
+	return newDataset(store.FromTriples(ts))
 }
 
 // LoadNTriples parses N-Triples from r and builds a dataset.
@@ -133,7 +133,7 @@ func LoadNTriples(r io.Reader) (*Dataset, error) {
 		}
 		b.Add(t)
 	}
-	return &Dataset{st: b.Build()}, nil
+	return newDataset(b.Build()), nil
 }
 
 // GenerateLUBM generates the LUBM benchmark dataset at the given scale
@@ -142,13 +142,20 @@ func LoadNTriples(r io.Reader) (*Dataset, error) {
 func GenerateLUBM(universities int, seed int64) *Dataset {
 	b := store.NewBuilder()
 	lubm.GenerateTo(lubm.Config{Universities: universities, Seed: seed}, b.Add)
-	return &Dataset{st: b.Build()}
+	return newDataset(b.Build())
 }
 
 // WriteSnapshot serializes the dataset in the binary snapshot format, which
 // loads much faster than re-parsing N-Triples (dictionary encoding is
-// preserved; derived indexes are rebuilt lazily).
-func (d *Dataset) WriteSnapshot(w io.Writer) error { return d.st.WriteSnapshot(w) }
+// preserved; derived indexes are rebuilt lazily). Pending updates are
+// included: the snapshot holds the overlay, exactly what a rebuilt store
+// would.
+func (d *Dataset) WriteSnapshot(w io.Writer) error { return d.ls.WriteSnapshot(w) }
+
+// WriteSnapshotFile persists the snapshot to path atomically (write to a
+// temp file, fsync, rename), so a crash mid-write never corrupts an
+// existing snapshot.
+func (d *Dataset) WriteSnapshotFile(path string) error { return d.ls.SnapshotTo(path) }
 
 // LoadSnapshot reads a dataset previously written with WriteSnapshot.
 func LoadSnapshot(r io.Reader) (*Dataset, error) {
@@ -156,52 +163,90 @@ func LoadSnapshot(r io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{st: st}, nil
+	return newDataset(st), nil
 }
 
-// NumTriples returns the number of distinct triples loaded.
-func (d *Dataset) NumTriples() int { return d.st.NumTriples() }
+// NumTriples returns the number of distinct triples visible to queries
+// (pending inserts and deletes included).
+func (d *Dataset) NumTriples() int { return d.ls.NumTriples() }
 
 // NumTerms returns the dictionary size (distinct RDF terms).
-func (d *Dataset) NumTerms() int { return d.st.Dict().Size() }
+func (d *Dataset) NumTerms() int { return d.ls.Dict().Size() }
 
-// Store exposes the underlying store for advanced integrations and the
-// benchmark harness.
-func (d *Dataset) Store() *store.Store { return d.st }
+// Store exposes the current epoch's immutable base store for advanced
+// integrations and the benchmark harness. Pending (uncompacted) updates are
+// not reflected in it; Compact folds them in.
+func (d *Dataset) Store() *store.Store { return d.ls.Base() }
+
+// Live exposes the underlying live store (epoch, delta and compaction
+// introspection beyond the convenience methods below).
+func (d *Dataset) Live() *live.Store { return d.ls }
+
+// Insert adds triples to the dataset while existing engines keep serving;
+// it returns how many were actually absent before. Engines created with
+// NewEngineByName observe the change on their next query; the direct
+// constructors (NewEmptyHeaded, ...) bind to the base snapshot they were
+// built over.
+func (d *Dataset) Insert(ts []Triple) (int, error) { return d.ls.Insert(ts) }
+
+// Delete removes triples (tombstoning them over the immutable base),
+// returning how many were actually present before.
+func (d *Dataset) Delete(ts []Triple) (int, error) { return d.ls.Delete(ts) }
+
+// ApplyPatch applies the N-Triples patch format read from r: one statement
+// per line, '+' prefix (or none) inserts, '-' deletes.
+func (d *Dataset) ApplyPatch(r io.Reader) (live.ApplyResult, error) {
+	p, err := live.ParsePatch(r)
+	if err != nil {
+		return live.ApplyResult{}, err
+	}
+	return d.ls.Apply(p)
+}
+
+// Compact drains pending updates into a freshly indexed base store swapped
+// in atomically under a new epoch; queries running concurrently are
+// unaffected.
+func (d *Dataset) Compact() error {
+	_, err := d.ls.Compact()
+	return err
+}
+
+// Epoch returns the dataset's compaction epoch (increments per base swap).
+func (d *Dataset) Epoch() uint64 { return d.ls.Epoch() }
 
 // NewEmptyHeaded returns the paper's primary engine with the given
-// optimization configuration.
-func NewEmptyHeaded(d *Dataset, opts Options) Engine { return core.New(d.st, opts) }
+// optimization configuration, bound to the dataset's current base snapshot
+// (later updates are invisible to it; use NewEngineByName for a live
+// engine).
+func NewEmptyHeaded(d *Dataset, opts Options) Engine { return core.New(d.ls.Base(), opts) }
 
 // NewLogicBlox returns the LogicBlox-like baseline: worst-case optimal
 // joins without EmptyHeaded's layout/plan optimizations.
-func NewLogicBlox(d *Dataset) Engine { return logicblox.New(d.st) }
+func NewLogicBlox(d *Dataset) Engine { return logicblox.New(d.ls.Base()) }
 
 // NewMonetDB returns the MonetDB-like baseline: a pairwise column-store
 // engine over vertically partitioned tables.
-func NewMonetDB(d *Dataset) Engine { return monetdb.New(d.st) }
+func NewMonetDB(d *Dataset) Engine { return monetdb.New(d.ls.Base()) }
 
 // NewRDF3X returns the RDF-3X-like baseline: six clustered permutation
 // indexes with selectivity-driven pairwise joins.
-func NewRDF3X(d *Dataset) Engine { return rdf3x.New(d.st) }
+func NewRDF3X(d *Dataset) Engine { return rdf3x.New(d.ls.Base()) }
 
 // NewTripleBit returns the TripleBit-like baseline: per-predicate matrix
 // storage with selectivity-driven pairwise joins.
-func NewTripleBit(d *Dataset) Engine { return triplebit.New(d.st) }
+func NewTripleBit(d *Dataset) Engine { return triplebit.New(d.ls.Base()) }
 
 // NewNaive returns the reference engine used as the correctness oracle in
 // the test suite. It is slow; use it for validation only.
-func NewNaive(d *Dataset) Engine { return naive.New(d.st) }
+func NewNaive(d *Dataset) Engine { return naive.New(d.ls.Base()) }
 
 // NewEngineByName builds the named engine (one of EngineNames) over d. It
 // is the programmatic form of cmd/rdfq's and the query server's -engine
-// selection. On a partitioned dataset it returns the scatter-gather
-// wrapper over per-shard engine instances.
+// selection. The engine is live: it observes Insert/Delete/Compact, and on
+// a partitioned dataset it executes by scatter-gather over per-shard
+// instances (rebuilt per compaction epoch).
 func NewEngineByName(d *Dataset, name string) (Engine, error) {
-	if d.part != nil {
-		return engines.NewSharded(name, d.part)
-	}
-	return engines.New(name, d.st)
+	return engines.NewLive(name, d.ls)
 }
 
 // EngineNames lists the names NewEngineByName accepts.
@@ -262,5 +307,5 @@ func Query(e Engine, d *Dataset, sparql string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{Vars: res.Vars, Records: res.Decode(d.st.Dict())}, nil
+	return &Rows{Vars: res.Vars, Records: res.Decode(d.ls.Dict())}, nil
 }

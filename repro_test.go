@@ -195,3 +195,68 @@ func TestQueryHonoursLimitOffset(t *testing.T) {
 		t.Fatalf("LIMIT 0: %d rows / vars %v, want 0 rows with both vars", len(rows.Records), rows.Vars)
 	}
 }
+
+func TestDatasetLiveUpdates(t *testing.T) {
+	ds, err := repro.LoadNTriples(strings.NewReader(apiTestData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngineByName(ds, "emptyheaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chain = `SELECT ?x ?y ?z WHERE { ?x <http://ex/p> ?y . ?y <http://ex/p> ?z }`
+	rows, err := repro.Query(eng, ds, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Records) != 1 {
+		t.Fatalf("base chain rows = %d, want 1 (a→b→c)", len(rows.Records))
+	}
+
+	// Extend the chain live: the same engine sees the new edge.
+	n, err := ds.ApplyPatch(strings.NewReader("+<http://ex/c> <http://ex/p> <http://ex/d> .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Inserted != 1 {
+		t.Fatalf("ApplyPatch: %+v", n)
+	}
+	if ds.NumTriples() != 4 {
+		t.Fatalf("NumTriples after insert = %d, want 4", ds.NumTriples())
+	}
+	rows, err = repro.Query(eng, ds, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Records) != 2 {
+		t.Fatalf("chain rows after insert = %d, want 2 (a→b→c, b→c→d)", len(rows.Records))
+	}
+
+	// Compact: epoch bumps, same results from the same engine handle.
+	if err := ds.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Epoch() != 1 {
+		t.Fatalf("Epoch after compact = %d, want 1", ds.Epoch())
+	}
+	rows, err = repro.Query(eng, ds, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Records) != 2 {
+		t.Fatalf("chain rows after compact = %d, want 2", len(rows.Records))
+	}
+
+	// Delete a base edge; chains through it disappear.
+	if _, err := ds.ApplyPatch(strings.NewReader("-<http://ex/a> <http://ex/p> <http://ex/b> .\n")); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = repro.Query(eng, ds, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Records) != 1 {
+		t.Fatalf("chain rows after delete = %d, want 1 (b→c→d)", len(rows.Records))
+	}
+}
