@@ -1,0 +1,61 @@
+// Command benchjson runs the hot-path perf suite (internal/bench.RunPerfSuite)
+// and writes the machine-readable report — set intersect/seek kernels, the
+// full-store trie rebuild (flat vs pointer reference), Table II WCOJ
+// queries, and the sharded-vs-unsharded pair — as JSON. CI runs it on every
+// PR and uploads the file as an artifact; the copy committed at the repo
+// root (BENCH_5.json) is the trajectory baseline future PRs diff against.
+//
+// Usage:
+//
+//	benchjson [-scale N] [-reps N] [-out FILE] [-seed FILE]
+//
+// -seed embeds a {"name": ns_per_op} JSON map as the report's
+// seed_baseline_ns_per_op section, carrying numbers measured at an earlier
+// commit forward into the new file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "LUBM scale factor (universities)")
+	reps := flag.Int("reps", 3, "repetitions per measurement")
+	out := flag.String("out", "BENCH_5.json", "output path")
+	seed := flag.String("seed", "", "optional JSON map of baseline ns/op to embed")
+	flag.Parse()
+
+	report, err := bench.RunPerfSuite(bench.Config{Scale: *scale, Reps: *reps})
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if *seed != "" {
+		data, err := os.ReadFile(*seed)
+		if err != nil {
+			log.Fatalf("benchjson: read seed baseline: %v", err)
+		}
+		if err := json.Unmarshal(data, &report.SeedBaseline); err != nil {
+			log.Fatalf("benchjson: parse seed baseline: %v", err)
+		}
+	}
+	if err := report.WriteJSON(*out); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	for _, r := range report.Results {
+		fmt.Printf("%-45s %14.0f ns/op", r.Name, r.NsPerOp)
+		if r.Rows > 0 {
+			fmt.Printf(" %8d rows", r.Rows)
+		}
+		fmt.Println()
+	}
+	for k, v := range report.Derived {
+		fmt.Printf("%-45s %14.2fx\n", k, v)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/lubm"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/set"
 	"repro/internal/store"
 )
 
@@ -87,6 +88,48 @@ func BenchmarkCursorMaxRows(b *testing.B) {
 				if res.Len() != cap {
 					b.Fatalf("rows = %d", res.Len())
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkLeapfrogJoin measures the leapfrog multiway-intersection core on
+// the join shapes that stress it: the cyclic triangle-bearing Q9 (three
+// patterns sharing variables pairwise — every variable level leapfrogs over
+// multiple iterators) and star-shaped Q2 (one root variable intersected
+// across three relations). CI runs this once per PR so the inner loop stays
+// exercised; BENCH_5.json tracks the absolute numbers.
+func BenchmarkLeapfrogJoin(b *testing.B) {
+	st := store.FromTriples(lubm.Generate(lubm.Config{Universities: 1}))
+	for _, tc := range []struct {
+		name string
+		qnum int
+	}{{"q2_star", 2}, {"q9_cyclic", 9}} {
+		q := query.MustParseSPARQL(lubm.Query(tc.qnum, 1))
+		p, err := plan.Compile(q, st, plan.AllOptimizations)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the lazy tries so the benchmark isolates the join.
+		if _, err := exec.Run(p, st, set.PolicyAuto); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cur, err := exec.Open(p, st, exec.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					_, err := cur.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				cur.Close()
 			}
 		})
 	}

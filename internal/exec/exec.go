@@ -216,7 +216,8 @@ func streamParallel(ctx context.Context, workers, fv int, attrs []plan.Attr, inp
 			j := newJoiner(attrs, cloneInputs(inputs))
 			j.ctx = ctx
 			j.filterAt = fv
-			j.filter = func(v uint32) bool { return int(v)%workers == w }
+			j.filterMod = uint32(workers)
+			j.filterRes = uint32(w)
 			var batch [][]uint32
 			err := j.run(func(binding []uint32) error {
 				batch = append(batch, project(binding))

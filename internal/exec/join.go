@@ -11,15 +11,17 @@ import (
 
 // input is one relation participating in a generic join: a trie plus its
 // current descent state. The trie's level order must be a subsequence of
-// the join's attribute order (the planner guarantees this).
+// the join's attribute order (the planner guarantees this). Nodes are
+// values (flat-trie handles), so the stack is a flat array with no pointer
+// chasing.
 type input struct {
 	levels []plan.Attr
-	stack  []*trie.Node // stack[d] = node after descending d levels
+	stack  []trie.Node // stack[d] = node after descending d levels
 	depth  int
 }
 
 func newInput(t *trie.Trie, levels []plan.Attr) *input {
-	in := &input{levels: levels, stack: make([]*trie.Node, len(levels)+1)}
+	in := &input{levels: levels, stack: make([]trie.Node, len(levels)+1)}
 	in.stack[0] = t.Root()
 	return in
 }
@@ -30,7 +32,7 @@ func newInput(t *trie.Trie, levels []plan.Attr) *input {
 func cloneInputs(ins []*input) []*input {
 	out := make([]*input, len(ins))
 	for i, in := range ins {
-		c := &input{levels: in.levels, stack: make([]*trie.Node, len(in.stack))}
+		c := &input{levels: in.levels, stack: make([]trie.Node, len(in.stack))}
 		c.stack[0] = in.stack[0]
 		out[i] = c
 	}
@@ -50,7 +52,8 @@ func (in *input) currentSet() *set.Set {
 // descendAll descends every consecutive level named name with value v
 // (repeated names handle self-join patterns like ?x p ?x). It returns the
 // number of levels descended and whether all descents succeeded; on failure
-// it rolls its own descents back.
+// it rolls its own descents back. This is the selection path — each descent
+// probes the set by value.
 func (in *input) descendAll(name string, v uint32) (int, bool) {
 	k := 0
 	for in.depth < len(in.levels) && in.levels[in.depth].Name == name {
@@ -60,7 +63,34 @@ func (in *input) descendAll(name string, v uint32) (int, bool) {
 			return 0, false
 		}
 		in.depth++
-		in.stack[in.depth] = child // nil after the leaf level; never read
+		in.stack[in.depth] = child // zero Node after the leaf level; never read
+		k++
+	}
+	return k, true
+}
+
+// descendRanked is the leapfrog descent: the first level descends by the
+// value's rank, already known from the seeking iterator's position — no
+// Rank probe at all, just the flat trie's CSR offset addition. Consecutive
+// same-name levels (self-joins, rare) fall back to value probes. On failure
+// it rolls its own descents back.
+func (in *input) descendRanked(name string, v uint32, rank int) (int, bool) {
+	n := in.stack[in.depth]
+	var child trie.Node
+	if !n.IsLeaf() {
+		child = n.Child(rank)
+	}
+	in.depth++
+	in.stack[in.depth] = child
+	k := 1
+	for in.depth < len(in.levels) && in.levels[in.depth].Name == name {
+		child, ok := in.stack[in.depth].ChildByValue(v)
+		if !ok {
+			in.depth -= k
+			return 0, false
+		}
+		in.depth++
+		in.stack[in.depth] = child
 		k++
 	}
 	return k, true
@@ -69,32 +99,45 @@ func (in *input) descendAll(name string, v uint32) (int, bool) {
 // ascend undoes k levels of descent.
 func (in *input) ascend(k int) { in.depth -= k }
 
-// joiner runs Algorithm 1: for each attribute in order, intersect the
-// current sets of all participating inputs (or probe the constant for
-// selection attributes), bind, descend, and recurse.
+// lfIter pairs one active input with its seeking iterator for the current
+// attribute. The pair is a value so the per-depth scratch arrays hold the
+// whole leapfrog state contiguously.
+type lfIter struct {
+	it set.Iter
+	in *input
+}
+
+// joiner runs Algorithm 1 with a leapfrog core: for each attribute in
+// order, intersect the current sets of all participating inputs by mutual
+// seeking (or probe the constant for selection attributes), bind, descend,
+// and recurse.
 type joiner struct {
 	attrs   []plan.Attr
 	inputs  []*input
 	binding []uint32
 
-	// Per-depth scratch, reused across the recursion.
+	// Per-depth scratch, reused across the recursion: selection actives,
+	// leapfrog iterator states, and descend counters. Everything the inner
+	// loop touches is preallocated here — no allocations and no closures
+	// per recursion step.
 	active    [][]*input
+	lf        [][]lfIter
 	descended [][]int
 	emit      func([]uint32) error
 
-	// Parallel partitioning: when filter is non-nil, values bound at
-	// attribute index filterAt are skipped unless filter returns true.
-	// Each worker of a parallel join owns one partition of the first
-	// variable's domain.
-	filterAt int
-	filter   func(uint32) bool
+	// Parallel partitioning: when filterMod is non-zero, values bound at
+	// attribute index filterAt are skipped unless v % filterMod ==
+	// filterRes. Each worker of a parallel join owns one residue class of
+	// the first variable's domain.
+	filterAt  int
+	filterMod uint32
+	filterRes uint32
 
 	// Cancellation: when ctx is non-nil, ctx.Err is polled every
-	// cancelStride recursion steps; a non-nil error aborts the join. The
-	// stride keeps the check off the per-tuple hot path (an atomic-free
-	// counter and one branch) while still bounding reaction latency.
-	ctx   context.Context
-	steps uint
+	// cancelStride recursion steps via a countdown (one predictable
+	// decrement-and-branch on the hot path; no modulo).
+	ctx      context.Context
+	cancelIn int
 }
 
 // cancelStride is how many recursion steps pass between context polls.
@@ -106,10 +149,13 @@ func newJoiner(attrs []plan.Attr, inputs []*input) *joiner {
 		inputs:    inputs,
 		binding:   make([]uint32, len(attrs)),
 		active:    make([][]*input, len(attrs)),
+		lf:        make([][]lfIter, len(attrs)),
 		descended: make([][]int, len(attrs)),
+		cancelIn:  cancelStride,
 	}
 	for i := range attrs {
 		j.active[i] = make([]*input, 0, len(inputs))
+		j.lf[i] = make([]lfIter, 0, len(inputs))
 		j.descended[i] = make([]int, len(inputs))
 	}
 	return j
@@ -125,8 +171,9 @@ func (j *joiner) run(emit func([]uint32) error) error {
 
 func (j *joiner) recurse(idx int) error {
 	if j.ctx != nil {
-		j.steps++
-		if j.steps%cancelStride == 0 {
+		j.cancelIn--
+		if j.cancelIn <= 0 {
+			j.cancelIn = cancelStride
 			if err := j.ctx.Err(); err != nil {
 				return err
 			}
@@ -137,20 +184,19 @@ func (j *joiner) recurse(idx int) error {
 	}
 	attr := j.attrs[idx]
 
-	active := j.active[idx][:0]
-	for _, in := range j.inputs {
-		if in.activeAt(attr.Name) {
-			active = append(active, in)
-		}
-	}
-	if len(active) == 0 {
-		return fmt.Errorf("exec: attribute %q constrained by no relation (planner bug)", attr.Name)
-	}
-
 	if attr.IsSel {
 		// Equality selection: probe the constant in every active trie.
 		// With the bitset layout this is the constant-time lookup of
 		// §III-A; with the uint layout it is a binary search.
+		active := j.active[idx][:0]
+		for _, in := range j.inputs {
+			if in.activeAt(attr.Name) {
+				active = append(active, in)
+			}
+		}
+		if len(active) == 0 {
+			return fmt.Errorf("exec: attribute %q constrained by no relation (planner bug)", attr.Name)
+		}
 		counts := j.descended[idx]
 		for i, in := range active {
 			k, ok := in.descendAll(attr.Name, attr.Value)
@@ -170,45 +216,85 @@ func (j *joiner) recurse(idx int) error {
 		return err
 	}
 
-	// Iterate the smallest current set, probing the others (the
-	// intersection-and-loop core of the generic join).
-	smallest := active[0]
-	for _, in := range active[1:] {
-		if in.currentSet().Len() < smallest.currentSet().Len() {
-			smallest = in
+	// Leapfrog multiway intersection (Veldhuizen's leapfrog triejoin,
+	// the technique the LogicBlox experience paper credits for making the
+	// generic join competitive): all active iterators seek to a common
+	// value; the iterator holding the largest current value is the frontier
+	// and everyone else gallops to it. A single active input degenerates to
+	// a plain scan of its set through the same iterator.
+	lf := j.lf[idx][:0]
+	for _, in := range j.inputs {
+		if in.activeAt(attr.Name) {
+			lf = append(lf, lfIter{in: in})
 		}
 	}
-	var iterErr error
+	if len(lf) == 0 {
+		return fmt.Errorf("exec: attribute %q constrained by no relation (planner bug)", attr.Name)
+	}
+	for i := range lf {
+		lf[i].it.Reset(lf[i].in.currentSet())
+		if lf[i].it.Done() {
+			return nil // an empty participant: no values can match
+		}
+	}
+	k := len(lf)
+	// Order by current value so the leapfrog invariant holds (insertion
+	// sort: k is the number of patterns sharing a variable, almost always
+	// ≤ 3).
+	for i := 1; i < k; i++ {
+		for m := i; m > 0 && lf[m].it.Cur() < lf[m-1].it.Cur(); m-- {
+			lf[m], lf[m-1] = lf[m-1], lf[m]
+		}
+	}
 	counts := j.descended[idx]
-	smallest.currentSet().Iterate(func(_ int, v uint32) bool {
-		if j.filter != nil && idx == j.filterAt && !j.filter(v) {
-			return true
-		}
-		ok := true
-		descendedTo := 0
-		for i, in := range active {
-			k, o := in.descendAll(attr.Name, v)
-			if !o {
-				ok = false
-				descendedTo = i
-				break
+	p := 0
+	maxV := lf[k-1].it.Cur()
+	for {
+		it := &lf[p].it
+		if it.Cur() == maxV {
+			// Every iterator agrees on maxV: a join value.
+			v := maxV
+			if j.filterMod == 0 || idx != j.filterAt || v%j.filterMod == j.filterRes {
+				ok := true
+				failedAt := 0
+				for i := range lf {
+					kk, o := lf[i].in.descendRanked(attr.Name, v, lf[i].it.Pos())
+					if !o {
+						ok = false
+						failedAt = i
+						break
+					}
+					counts[i] = kk
+				}
+				if ok {
+					j.binding[idx] = v
+					err := j.recurse(idx + 1)
+					for i := range lf {
+						lf[i].in.ascend(counts[i])
+					}
+					if err != nil {
+						return err
+					}
+				} else {
+					for r := 0; r < failedAt; r++ {
+						lf[r].in.ascend(counts[r])
+					}
+				}
 			}
-			counts[i] = k
-		}
-		if !ok {
-			for r := 0; r < descendedTo; r++ {
-				active[r].ascend(counts[r])
+			it.Next()
+			if it.Done() {
+				return nil
 			}
-			return true
+			maxV = it.Cur()
+		} else {
+			if !it.SeekGE(maxV) {
+				return nil
+			}
+			maxV = it.Cur()
 		}
-		j.binding[idx] = v
-		if err := j.recurse(idx + 1); err != nil {
-			iterErr = err
+		p++
+		if p == k {
+			p = 0
 		}
-		for i, in := range active {
-			in.ascend(counts[i])
-		}
-		return iterErr == nil
-	})
-	return iterErr
+	}
 }

@@ -400,6 +400,21 @@ type StoreStats struct {
 	LastCompactDrained  int
 }
 
+// IndexMemoryBytes estimates the heap footprint of every trie index built
+// over the current base so far — the unsharded store's indexes plus, when
+// partitioned, every shard store's. It never triggers index builds, so the
+// server's /stats can poll it freely.
+func (ls *Store) IndexMemoryBytes() int {
+	s := ls.cur.Load()
+	total := s.base.st.IndexMemoryBytes()
+	if s.base.part != nil {
+		for i := 0; i < s.base.part.NumShards(); i++ {
+			total += s.base.part.Shard(i).IndexMemoryBytes()
+		}
+	}
+	return total
+}
+
 // Stats snapshots the store's counters.
 func (ls *Store) Stats() StoreStats {
 	s := ls.cur.Load()

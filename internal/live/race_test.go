@@ -71,6 +71,11 @@ func TestLivenessUnderCompaction(t *testing.T) {
 				fail("insert: %v", err)
 				return
 			}
+			// Yield between the insert and the netting delete so the
+			// compactor can observe a non-empty delta; on fast machines the
+			// paired writes otherwise leave it no window and the test dies
+			// with "no compactions happened".
+			runtime.Gosched()
 			if _, err := ls.Delete(patch); err != nil {
 				fail("delete: %v", err)
 				return
@@ -132,6 +137,13 @@ func TestLivenessUnderCompaction(t *testing.T) {
 	}
 
 	time.Sleep(duration)
+	// Keep hammering (bounded) until at least one compaction has landed —
+	// on fast machines the insert/delete window the compactor must catch is
+	// narrow, and a fixed duration makes the "no compactions" assertion
+	// below a coin flip.
+	for waited := time.Duration(0); compacts.Load() == 0 && failed.Load() == nil && waited < 10*time.Second; waited += 10 * time.Millisecond {
+		time.Sleep(10 * time.Millisecond)
+	}
 	close(stop)
 	wg.Wait()
 

@@ -1,0 +1,253 @@
+// Package radix implements the comparison-free sorting kernels behind the
+// flat trie builder (internal/trie) and the store's statistics pass
+// (internal/store). Trie construction is the hot path of every index build —
+// it runs under live.Compact() for the whole store and under shard.Partition
+// for every shard — and a closure-based sort.Slice over multi-column tuples
+// was its dominant cost. LSD counting sort replaces it: each pass is one
+// sequential counting scan plus one scatter, no comparator calls, no
+// per-element function pointers.
+//
+// The kernels are size-adaptive, because trie builds come in two very
+// different shapes: full relations (10⁵–10⁸ rows, where wide digits
+// amortize) and GHD node results (often tens of rows, where clearing a wide
+// count table would dominate — the executor builds one trie per
+// materialized plan node per query). Tiny inputs use insertion sort, small
+// inputs 8-bit digits (256-entry table), large inputs 16-bit digits
+// (65536-entry table).
+package radix
+
+const (
+	// insertionCutoff is the size below which insertion sort beats any
+	// counting pass (no table to clear, perfect locality).
+	insertionCutoff = 48
+	// byteDigitCutoff is the size below which 8-bit digits win: twice the
+	// passes of 16-bit digits, but each clears a 1 KiB table instead of
+	// 256 KiB. The crossover is where 2 passes of table clear equal 2
+	// extra passes over the data, around 2¹⁵ elements.
+	byteDigitCutoff = 1 << 15
+
+	maxDigits = 1 << 16
+)
+
+// Scratch holds the reusable buffers of the sorting kernels so repeated
+// sorts (one per trie level, one per relation column) do not reallocate the
+// count table or the swap space. The zero value is ready to use.
+type Scratch struct {
+	count []int32 // grown on demand: 256 entries for small sorts, 65536 for large
+	tmp   []uint32
+	cp    []uint32 // CountDistinct's private sort copy
+}
+
+// countTable returns a zeroed count table of the given size, reusing prior
+// capacity. Small sorts never touch (or allocate) the 256 KiB large table.
+func (s *Scratch) countTable(size int) []int32 {
+	if cap(s.count) < size {
+		s.count = make([]int32, size)
+		return s.count
+	}
+	t := s.count[:size]
+	for i := range t {
+		t[i] = 0
+	}
+	return t
+}
+
+// grow returns a scratch slice of length n, reusing prior capacity.
+func (s *Scratch) grow(n int) []uint32 {
+	if cap(s.tmp) < n {
+		s.tmp = make([]uint32, n)
+	}
+	return s.tmp[:n]
+}
+
+// digitBits picks the radix width for an input of n elements.
+func digitBits(n int) uint {
+	if n < byteDigitCutoff {
+		return 8
+	}
+	return 16
+}
+
+// SortUint32 sorts v ascending in place. It is not stable in any observable
+// sense (equal uint32 keys are indistinguishable).
+func (s *Scratch) SortUint32(v []uint32) {
+	if len(v) < 2 {
+		return
+	}
+	if len(v) <= insertionCutoff {
+		insertionSortUint32(v)
+		return
+	}
+	var or, and uint32
+	or, and = 0, ^uint32(0)
+	for _, x := range v {
+		or |= x
+		and &= x
+	}
+	db := digitBits(len(v))
+	mask := uint32(1)<<db - 1
+	tmp := s.grow(len(v))
+	src, dst := v, tmp
+	swapped := false
+	for shift := uint(0); shift < 32; shift += db {
+		// Skip passes where every key shares the digit.
+		if (or>>shift)&mask == (and>>shift)&mask {
+			continue
+		}
+		s.countingPass(src, dst, shift, mask)
+		src, dst = dst, src
+		swapped = !swapped
+	}
+	if swapped {
+		copy(v, src)
+	}
+}
+
+func insertionSortUint32(v []uint32) {
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i
+		for j > 0 && v[j-1] > x {
+			v[j] = v[j-1]
+			j--
+		}
+		v[j] = x
+	}
+}
+
+// countingPass scatters src into dst ordered by the digit at shift,
+// preserving the relative order of equal digits (stability is what makes
+// the LSD composition correct).
+func (s *Scratch) countingPass(src, dst []uint32, shift uint, mask uint32) {
+	count := s.countTable(int(mask) + 1)
+	for _, x := range src {
+		count[(x>>shift)&mask]++
+	}
+	sum := int32(0)
+	for i := range count {
+		c := count[i]
+		count[i] = sum
+		sum += c
+	}
+	for _, x := range src {
+		d := (x >> shift) & mask
+		dst[count[d]] = x
+		count[d]++
+	}
+}
+
+// SortPermByColumns sorts perm (a permutation of row indices into cols) so
+// that rows compare ascending in lexicographic column order: cols[0] is the
+// most significant key, cols[len-1] the least. Large inputs run LSD over
+// the columns from last to first, each column in stable counting passes, so
+// the whole sort is O(rows × columns) with no comparator; tiny inputs fall
+// back to lexicographic insertion sort. perm must hold valid indices for
+// every column.
+func (s *Scratch) SortPermByColumns(cols [][]uint32, perm []uint32) {
+	if len(perm) < 2 {
+		return
+	}
+	if len(perm) <= insertionCutoff {
+		insertionSortPerm(cols, perm)
+		return
+	}
+	db := digitBits(len(perm))
+	mask := uint32(1)<<db - 1
+	tmp := s.grow(len(perm))
+	src, dst := perm, tmp
+	swapped := false
+	for c := len(cols) - 1; c >= 0; c-- {
+		col := cols[c]
+		var or, and uint32
+		or, and = 0, ^uint32(0)
+		for _, x := range col {
+			or |= x
+			and &= x
+		}
+		for shift := uint(0); shift < 32; shift += db {
+			if (or>>shift)&mask == (and>>shift)&mask {
+				continue
+			}
+			s.permPass(col, src, dst, shift, mask)
+			src, dst = dst, src
+			swapped = !swapped
+		}
+	}
+	if swapped {
+		copy(perm, src)
+	}
+}
+
+// insertionSortPerm sorts the permutation by lexicographic row order with a
+// hand-rolled comparison — no closure, no interface call.
+func insertionSortPerm(cols [][]uint32, perm []uint32) {
+	for i := 1; i < len(perm); i++ {
+		r := perm[i]
+		j := i
+		for j > 0 && rowLess(cols, r, perm[j-1]) {
+			perm[j] = perm[j-1]
+			j--
+		}
+		perm[j] = r
+	}
+}
+
+// rowLess reports whether row a sorts strictly before row b.
+func rowLess(cols [][]uint32, a, b uint32) bool {
+	for _, col := range cols {
+		av, bv := col[a], col[b]
+		if av != bv {
+			return av < bv
+		}
+	}
+	return false
+}
+
+// permPass stably scatters the permutation src into dst ordered by the
+// digit of col[index] at shift.
+func (s *Scratch) permPass(col []uint32, src, dst []uint32, shift uint, mask uint32) {
+	count := s.countTable(int(mask) + 1)
+	for _, r := range src {
+		count[(col[r]>>shift)&mask]++
+	}
+	sum := int32(0)
+	for i := range count {
+		c := count[i]
+		count[i] = sum
+		sum += c
+	}
+	for _, r := range src {
+		d := (col[r] >> shift) & mask
+		dst[count[d]] = r
+		count[d]++
+	}
+}
+
+// CountDistinct returns the number of distinct values in vals without
+// mutating it: a radix sort of a scratch copy plus one transition scan.
+// This replaces the map-based distinct counter that ran per relation on
+// every store assembly (hot under live.Compact()): the sort is sequential
+// memory traffic where the map was a hash insert per row.
+func (s *Scratch) CountDistinct(vals []uint32) int {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	// Sort in scratch space only: cp holds the private copy (reused across
+	// calls); SortUint32 uses tmp as its swap buffer.
+	if cap(s.cp) < n {
+		s.cp = make([]uint32, n)
+	}
+	cp := s.cp[:n]
+	copy(cp, vals)
+	s.SortUint32(cp)
+	distinct := 1
+	prev := cp[0]
+	for _, v := range cp[1:] {
+		if v != prev {
+			distinct++
+			prev = v
+		}
+	}
+	return distinct
+}

@@ -859,21 +859,22 @@ func (s *Server) Stats() Stats {
 	}
 	lst := s.ls.Stats()
 	return Stats{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Triples:       lst.OverlayTriples,
-		Terms:         lst.Terms,
-		Queries:       queries,
-		Errors:        errs,
-		Timeouts:      timeouts,
-		Rejected:      rejected,
-		Active:        active,
-		InFlightSlots: inUse,
-		QueueDepth:    queued,
-		ByEngine:      byEngine,
-		EngineLatency: engLat,
-		PlanCache:     s.cache.stats(),
-		Latency:       lat,
-		Sharding:      sharding,
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Triples:          lst.OverlayTriples,
+		Terms:            lst.Terms,
+		IndexMemoryBytes: s.ls.IndexMemoryBytes(),
+		Queries:          queries,
+		Errors:           errs,
+		Timeouts:         timeouts,
+		Rejected:         rejected,
+		Active:           active,
+		InFlightSlots:    inUse,
+		QueueDepth:       queued,
+		ByEngine:         byEngine,
+		EngineLatency:    engLat,
+		PlanCache:        s.cache.stats(),
+		Latency:          lat,
+		Sharding:         sharding,
 		Live: &LiveStats{
 			Epoch:              lst.Epoch,
 			BaseTriples:        lst.BaseTriples,

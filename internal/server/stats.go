@@ -95,9 +95,15 @@ type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Triples       int     `json:"triples"`
 	Terms         int     `json:"terms"`
-	Queries       uint64  `json:"queries"`
-	Errors        uint64  `json:"errors"`
-	Timeouts      uint64  `json:"timeouts"`
+	// IndexMemoryBytes estimates the heap held by trie indexes built so
+	// far (flat-trie arenas: values, bit words, rank directories, CSR
+	// offsets, set headers), across the base store and all shards. Lazily
+	// built indexes appear here as traffic warms them; the counter resets
+	// when a compaction swaps in a fresh base.
+	IndexMemoryBytes int    `json:"index_memory_bytes"`
+	Queries          uint64 `json:"queries"`
+	Errors           uint64 `json:"errors"`
+	Timeouts         uint64 `json:"timeouts"`
 	// Rejected counts requests turned away by admission control (429):
 	// their estimated queue wait exceeded their remaining deadline.
 	Rejected uint64 `json:"rejected"`

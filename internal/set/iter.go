@@ -1,0 +1,161 @@
+package set
+
+import "math/bits"
+
+// Iter is a stateful forward iterator over a Set with seek support — the
+// primitive behind leapfrog-style multiway intersection (internal/exec).
+// Where the old join loop re-ranked every probed value with a fresh binary
+// search over the whole set, an Iter remembers its position: SeekGE gallops
+// forward from the cursor on the uint layout and word-skips on the bitset
+// layout, so a full leapfrog pass over a set costs O(n) amortized instead of
+// O(n log n), and the iterator's Pos doubles as the trie child rank at no
+// extra cost.
+//
+// The zero Iter is exhausted; call Reset to attach it to a set. Iters are
+// values — embed them in per-depth scratch arrays and Reset in place to keep
+// the join inner loop allocation-free.
+type Iter struct {
+	s   *Set
+	pos int    // rank of the current member; == s.card when exhausted
+	cur uint32 // current member; valid only when pos < s.card
+
+	// Bitset cursor: cur lives in word w; rem holds the bits of words[w] at
+	// and above cur's bit (so the lowest set bit of rem is cur).
+	w   int
+	rem uint64
+}
+
+// Reset points the iterator at the first member of s. An empty (or nil) set
+// leaves the iterator exhausted.
+func (it *Iter) Reset(s *Set) {
+	if s == nil {
+		s = Empty
+	}
+	it.s = s
+	it.pos = 0
+	if s.card == 0 {
+		return
+	}
+	switch s.layout {
+	case UintArray:
+		it.cur = s.vals[0]
+	case Bitset:
+		it.w = 0
+		for it.w < len(s.words) && s.words[it.w] == 0 {
+			it.w++
+		}
+		it.rem = s.words[it.w]
+		it.cur = s.base + uint32(it.w*64+bits.TrailingZeros64(it.rem))
+	}
+}
+
+// Done reports whether the iterator is exhausted.
+func (it *Iter) Done() bool { return it.s == nil || it.pos >= it.s.card }
+
+// Cur returns the current member. Valid only while !Done().
+func (it *Iter) Cur() uint32 { return it.cur }
+
+// Pos returns the rank (0-based sorted index) of the current member. Valid
+// only while !Done(). Tries address child nodes by exactly this rank, which
+// is why the leapfrog descent needs no separate Rank probe.
+func (it *Iter) Pos() int { return it.pos }
+
+// Next advances to the following member.
+func (it *Iter) Next() {
+	s := it.s
+	it.pos++
+	if it.pos >= s.card {
+		return
+	}
+	switch s.layout {
+	case UintArray:
+		it.cur = s.vals[it.pos]
+	case Bitset:
+		it.rem &= it.rem - 1 // clear the current member's bit
+		for it.rem == 0 {
+			it.w++
+			it.rem = s.words[it.w] // pos < card guarantees a further word
+		}
+		it.cur = s.base + uint32(it.w*64+bits.TrailingZeros64(it.rem))
+	}
+}
+
+// SeekGE advances the iterator to the first member ≥ v and reports whether
+// one exists. It never moves backwards: if the current member is already
+// ≥ v the iterator is left in place. Exhausted iterators stay exhausted.
+func (it *Iter) SeekGE(v uint32) bool {
+	s := it.s
+	if s == nil || it.pos >= s.card {
+		return false
+	}
+	if it.cur >= v {
+		return true
+	}
+	switch s.layout {
+	case UintArray:
+		return it.seekUint(v)
+	case Bitset:
+		return it.seekBitset(v)
+	}
+	return false
+}
+
+// seekUint gallops forward from the cursor: exponential probing to bracket
+// v, then binary search inside the bracket. Cost is O(log d) in the
+// distance d actually advanced, which is what makes a whole leapfrog pass
+// linear in the set size.
+func (it *Iter) seekUint(v uint32) bool {
+	vals := it.s.vals
+	lo := it.pos // vals[lo] < v (checked by SeekGE)
+	bound := 1
+	for lo+bound < len(vals) && vals[lo+bound] < v {
+		lo += bound
+		bound <<= 1
+	}
+	hi := lo + bound
+	if hi > len(vals) {
+		hi = len(vals)
+	}
+	// Invariant: vals[lo] < v; vals[hi] >= v or hi == len(vals).
+	for lo+1 < hi {
+		m := int(uint(lo+hi) >> 1)
+		if vals[m] < v {
+			lo = m
+		} else {
+			hi = m
+		}
+	}
+	it.pos = hi
+	if hi >= len(vals) {
+		return false
+	}
+	it.cur = vals[hi]
+	return true
+}
+
+// seekBitset jumps straight to v's word, masks the bits below v, and scans
+// forward for the next set bit; the rank directory re-derives Pos in O(1).
+func (it *Iter) seekBitset(v uint32) bool {
+	s := it.s
+	off := v - s.base // v > cur >= base, so no underflow
+	w := int(off / 64)
+	if w >= len(s.words) {
+		it.pos = s.card
+		return false
+	}
+	rem := s.words[w] &^ ((1 << (off % 64)) - 1)
+	for rem == 0 {
+		w++
+		if w >= len(s.words) {
+			it.pos = s.card
+			return false
+		}
+		rem = s.words[w]
+	}
+	b := bits.TrailingZeros64(rem)
+	it.w = w
+	it.rem = rem
+	it.pos = int(s.ranks[w]) + bits.OnesCount64(s.words[w]&((1<<b)-1))
+	it.cur = s.base + uint32(w*64+b)
+	return true
+}

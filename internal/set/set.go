@@ -80,6 +80,48 @@ func FromSorted(vals []uint32, policy Policy) *Set {
 	return &Set{layout: UintArray, vals: vals, card: len(vals)}
 }
 
+// WantBitset reports whether FromSorted would choose the bitset layout for
+// a sorted set of the given cardinality and bounds under policy. The flat
+// trie builder (internal/trie) asks before constructing anything so it can
+// size its value and word arenas exactly.
+func WantBitset(card int, min, max uint32, policy Policy) bool {
+	return policy == PolicyAuto && card > 0 && denseEnough(card, min, max)
+}
+
+// BitsetWords returns the number of 64-bit words a bitset spanning
+// [min, max] occupies (its base is min rounded down to a word boundary).
+func BitsetWords(min, max uint32) int {
+	return int((max-(min&^63))/64) + 1
+}
+
+// InitSortedView initializes dst in place as a uint-array set viewing vals,
+// which must be sorted and duplicate-free. vals is retained, not copied —
+// this is how the flat trie backs thousands of per-node sets with slices of
+// one shared arena instead of per-set allocations. Empty vals yield the
+// empty set.
+func InitSortedView(dst *Set, vals []uint32) {
+	if len(vals) == 0 {
+		*dst = Set{}
+		return
+	}
+	*dst = Set{layout: UintArray, vals: vals, card: len(vals)}
+}
+
+// InitBitset initializes dst in place as a bitset over pre-filled words
+// (bit i of words[w] set ⇔ member base+64w+i). base must be a multiple of
+// 64, the first and last words must be non-zero, and card must equal the
+// total popcount. The rank directory is computed into ranks, which must
+// have len(words); both slices are retained. The flat trie builder carves
+// words and ranks out of per-level arenas.
+func InitBitset(dst *Set, words []uint64, ranks []int32, base uint32, card int) {
+	total := int32(0)
+	for i, w := range words {
+		ranks[i] = total
+		total += int32(bits.OnesCount64(w))
+	}
+	*dst = Set{layout: Bitset, words: words, ranks: ranks, base: base, card: card}
+}
+
 // FromValues builds a Set from an arbitrary slice of values: it sorts,
 // deduplicates (copying, so the argument is not retained or mutated), and
 // applies the layout policy.

@@ -14,12 +14,53 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dict"
+	"repro/internal/radix"
 	"repro/internal/rdf"
 	"repro/internal/set"
 	"repro/internal/trie"
 )
+
+// trieSlot is a once-per-index build latch: a lock-free fast path for the
+// served case plus a per-slot mutex so exactly one goroutine builds while
+// waiters of the *same* index block — and nobody else. Independent slots
+// build and serve concurrently: a slow (S,O) build no longer holds up a
+// reader that needs the already-cached (O,S) trie or the other layout
+// policy's cache, which mattered the moment trie builds moved onto the
+// Compact() serving path.
+type trieSlot struct {
+	v  atomic.Pointer[trie.Trie]
+	mu sync.Mutex
+}
+
+// get returns the slot's trie, building it via build on first use.
+func (sl *trieSlot) get(build func() *trie.Trie) *trie.Trie {
+	if t := sl.v.Load(); t != nil {
+		return t
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if t := sl.v.Load(); t != nil {
+		return t
+	}
+	t := build()
+	sl.v.Store(t)
+	return t
+}
+
+// peek returns the trie if it has been built, without triggering a build —
+// memory accounting reads this so /stats never forces index construction.
+func (sl *trieSlot) peek() *trie.Trie { return sl.v.Load() }
+
+// policyIdx maps a layout policy to its cache slot index.
+func policyIdx(p set.Policy) int {
+	if p == set.PolicyUintOnly {
+		return 1
+	}
+	return 0
+}
 
 // Relation is one vertically partitioned predicate table: parallel subject
 // and object columns, one row per (distinct) triple.
@@ -29,12 +70,9 @@ type Relation struct {
 
 	distinctS, distinctO int
 
-	// Lazily built trie indexes over (S,O) and (O,S), per layout policy.
-	// Guarded by mu so concurrent queries (the server shares one Store
-	// across requests) build each index exactly once.
-	mu                     sync.Mutex
-	trieSO, trieOS         *trie.Trie
-	trieSOUint, trieOSUint *trie.Trie
+	// Lazily built trie indexes over (S,O) and (O,S), one latch per
+	// (order, policy) slot so independent indexes build concurrently.
+	so, os [2]trieSlot
 }
 
 // Len returns the number of rows.
@@ -49,33 +87,34 @@ func (r *Relation) DistinctO() int { return r.distinctO }
 // TrieSO returns the (subject, object) trie for this relation, building and
 // caching it on first use. The policy chooses set layouts; the two policies
 // are cached independently so ablations do not interfere. Safe for
-// concurrent use.
+// concurrent use; concurrent callers of other slots never block.
 func (r *Relation) TrieSO(policy set.Policy) *trie.Trie {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	cached := &r.trieSO
-	if policy == set.PolicyUintOnly {
-		cached = &r.trieSOUint
-	}
-	if *cached == nil {
-		*cached = trie.BuildFromColumns([][]uint32{r.S, r.O}, policy)
-	}
-	return *cached
+	return r.so[policyIdx(policy)].get(func() *trie.Trie {
+		return trie.BuildFromColumns([][]uint32{r.S, r.O}, policy)
+	})
 }
 
 // TrieOS returns the (object, subject) trie, building and caching it on
-// first use. Safe for concurrent use.
+// first use. Safe for concurrent use; concurrent callers of other slots
+// never block.
 func (r *Relation) TrieOS(policy set.Policy) *trie.Trie {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	cached := &r.trieOS
-	if policy == set.PolicyUintOnly {
-		cached = &r.trieOSUint
+	return r.os[policyIdx(policy)].get(func() *trie.Trie {
+		return trie.BuildFromColumns([][]uint32{r.O, r.S}, policy)
+	})
+}
+
+// indexMemoryBytes sums the footprint of the relation's built tries.
+func (r *Relation) indexMemoryBytes() int {
+	total := 0
+	for i := 0; i < 2; i++ {
+		if t := r.so[i].peek(); t != nil {
+			total += t.MemoryBytes()
+		}
+		if t := r.os[i].peek(); t != nil {
+			total += t.MemoryBytes()
+		}
 	}
-	if *cached == nil {
-		*cached = trie.BuildFromColumns([][]uint32{r.O, r.S}, policy)
-	}
-	return *cached
+	return total
 }
 
 // Triple is one dictionary-encoded triple.
@@ -91,44 +130,36 @@ type Store struct {
 	triples    []Triple
 	predicates []dict.ID // sorted, for deterministic iteration
 
-	// Guards the lazily built full-table tries (see TripleTrie).
-	trieMu      sync.Mutex
-	tripleTries map[tripleTrieKey]*trie.Trie
+	// Lazily built full-table tries (see TripleTrie), one latch per
+	// (permutation, policy) so distinct permutations build concurrently.
+	// Indexed by permIdx: perm[0]*3+perm[1] ∈ [0,9) (6 of the 9 slots are
+	// valid permutations; the rest stay empty).
+	tripleTries [2][9]trieSlot
 }
 
-type tripleTrieKey struct {
-	perm   [3]int
-	policy set.Policy
-}
+// permIdx encodes a column permutation as a slot index.
+func permIdx(perm [3]int) int { return perm[0]*3 + perm[1] }
 
 // TripleTrie returns a trie over the full triple table with columns ordered
 // by perm (a permutation of {0,1,2} = {S,P,O}), building and caching it on
 // first use. Engines use these for patterns with variable predicates; the
 // RDF-3X baseline keeps all six permutations, mirroring its clustered
-// indexes. Safe for concurrent use.
+// indexes. Safe for concurrent use; builds of distinct permutations or
+// policies proceed concurrently.
 func (s *Store) TripleTrie(perm [3]int, policy set.Policy) *trie.Trie {
-	s.trieMu.Lock()
-	defer s.trieMu.Unlock()
-	key := tripleTrieKey{perm: perm, policy: policy}
-	if t, ok := s.tripleTries[key]; ok {
-		return t
-	}
-	cols := make([][]uint32, 3)
-	for c := 0; c < 3; c++ {
-		cols[c] = make([]uint32, len(s.triples))
-	}
-	for i, t := range s.triples {
-		pos := [3]uint32{t.S, t.P, t.O}
+	return s.tripleTries[policyIdx(policy)][permIdx(perm)].get(func() *trie.Trie {
+		cols := make([][]uint32, 3)
 		for c := 0; c < 3; c++ {
-			cols[c][i] = pos[perm[c]]
+			cols[c] = make([]uint32, len(s.triples))
 		}
-	}
-	t := trie.BuildFromColumns(cols, policy)
-	if s.tripleTries == nil {
-		s.tripleTries = make(map[tripleTrieKey]*trie.Trie)
-	}
-	s.tripleTries[key] = t
-	return t
+		for i, t := range s.triples {
+			pos := [3]uint32{t.S, t.P, t.O}
+			for c := 0; c < 3; c++ {
+				cols[c][i] = pos[perm[c]]
+			}
+		}
+		return trie.BuildFromColumns(cols, policy)
+	})
 }
 
 // Builder accumulates triples and produces an immutable Store.
@@ -179,7 +210,10 @@ func FromEncoded(d *dict.Dictionary, triples []Triple) *Store {
 }
 
 // assemble builds the derived state (per-predicate relations, the sorted
-// predicate list, distinct-value statistics) over encoded triples.
+// predicate list, distinct-value statistics) over encoded triples. It runs
+// on every store build — including each Compact() swap and every shard of a
+// Partition — so the statistics pass is a radix sort (one reused scratch,
+// sequential memory traffic), not a hash map per column.
 func assemble(d *dict.Dictionary, triples []Triple) *Store {
 	st := &Store{
 		dict:      d,
@@ -197,19 +231,12 @@ func assemble(d *dict.Dictionary, triples []Triple) *Store {
 		rel.O = append(rel.O, t.O)
 	}
 	sort.Slice(st.predicates, func(i, j int) bool { return st.predicates[i] < st.predicates[j] })
+	var scratch radix.Scratch
 	for _, rel := range st.relations {
-		rel.distinctS = countDistinct(rel.S)
-		rel.distinctO = countDistinct(rel.O)
+		rel.distinctS = scratch.CountDistinct(rel.S)
+		rel.distinctO = scratch.CountDistinct(rel.O)
 	}
 	return st
-}
-
-func countDistinct(vals []uint32) int {
-	m := make(map[uint32]struct{}, len(vals)/2+1)
-	for _, v := range vals {
-		m[v] = struct{}{}
-	}
-	return len(m)
 }
 
 // FromTriples builds a store from a triple slice in one step.
@@ -259,6 +286,25 @@ func (s *Store) Stats(p dict.ID) Stats {
 		return Stats{}
 	}
 	return Stats{Rows: rel.Len(), DistinctS: rel.distinctS, DistinctO: rel.distinctO}
+}
+
+// IndexMemoryBytes estimates the heap footprint of every trie index built
+// so far (per-relation SO/OS tries across both layout policies, plus any
+// full-table permutation tries). It never triggers index construction, so
+// /stats can call it on the serving path; unbuilt indexes report zero.
+func (s *Store) IndexMemoryBytes() int {
+	total := 0
+	for _, rel := range s.relations {
+		total += rel.indexMemoryBytes()
+	}
+	for p := range s.tripleTries {
+		for i := range s.tripleTries[p] {
+			if t := s.tripleTries[p][i].peek(); t != nil {
+				total += t.MemoryBytes()
+			}
+		}
+	}
+	return total
 }
 
 // String summarizes the store.

@@ -7,66 +7,107 @@
 // A trie over attributes [a1, ..., ak] is equivalent to a clustered index on
 // (a1, ..., ak): descending the trie by one level narrows the relation by an
 // equality on the next attribute.
+//
+// # Physical layout
+//
+// The trie is flat: no per-node heap objects, no child pointers. Each level
+// owns four contiguous arenas —
+//
+//	start  CSR offsets: node n's members occupy global ranks
+//	       start[n]..start[n+1] at this level
+//	sets   one set header per node, viewing the arenas below
+//	vals   the concatenated sorted members of every uint-layout node
+//	words/ranks  the concatenated bit words and rank directories of every
+//	       bitset-layout node
+//
+// Node identity is (level, index); the child reached from node n by its
+// rank-i member is node start[n]+i at the next level, because members are
+// laid out in node order and every member spawns exactly one child. Descent
+// is therefore one offset addition — no pointer chase — and a set iterator's
+// position doubles as the child index (internal/exec exploits this in the
+// leapfrog join). Construction radix-sorts a row permutation once
+// (internal/radix; no comparator closures) and then emits each level with
+// two sequential passes, so building is cache-friendly and allocates O(arity)
+// arenas instead of O(nodes) individual sets.
 package trie
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/radix"
 	"repro/internal/set"
 )
 
-// Node is one trie node: a set of values at this level and, for non-leaf
-// levels, one child per value (addressed by the value's rank in the set).
-type Node struct {
-	set      *set.Set
-	children []*Node // nil at the leaf level; otherwise len == set.Len()
+// level is one attribute's arena group. See the package comment for the
+// layout contract.
+type level struct {
+	start []int32   // CSR: len = nodes+1; start[n+1]-start[n] = node n's cardinality
+	sets  []set.Set // len = nodes; headers viewing vals or words/ranks
+	vals  []uint32  // arena backing every uint-layout set at this level
+	words []uint64  // arena backing every bitset-layout set's words
+	ranks []int32   // arena backing every bitset-layout set's rank directory
 }
 
-// Set returns the values present at this node's level.
-func (n *Node) Set() *set.Set { return n.set }
+// Trie is an immutable trie over a fixed number of attributes. A Trie value
+// is either a full trie (rootLevel 0, one node at level 0) or a zero-copy
+// view of a subtree (see Sub) — views share the levels of their parent.
+type Trie struct {
+	arity     int
+	tuples    int // -1 for views (unknown without counting)
+	levels    []level
+	rootLevel int32
+	rootNode  int32
+}
+
+// Node is a handle to one trie node: (trie, level, index). It is a value —
+// copying it is free and descent state can live in flat stacks
+// (internal/exec keeps []Node per input).
+type Node struct {
+	t     *Trie
+	level int32
+	node  int32
+}
+
+// Set returns the values present at this node's level. The returned set is
+// a view into the trie's arenas; it must not be mutated.
+func (n Node) Set() *set.Set { return &n.t.levels[n.level].sets[n.node] }
+
+// IsLeaf reports whether this node is at the last level of its trie.
+func (n Node) IsLeaf() bool { return int(n.level) == len(n.t.levels)-1 }
 
 // Child returns the child node for the i-th value (0-based rank) of the
 // node's set. It panics if the node is a leaf.
-func (n *Node) Child(i int) *Node {
-	if n.children == nil {
+func (n Node) Child(i int) Node {
+	if n.IsLeaf() {
 		panic("trie: Child on leaf node")
 	}
-	return n.children[i]
+	return Node{t: n.t, level: n.level + 1, node: n.t.levels[n.level].start[n.node] + int32(i)}
 }
 
 // ChildByValue returns the child reached by descending with value v, or
-// (nil, false) if v is not present at this level.
-func (n *Node) ChildByValue(v uint32) (*Node, bool) {
-	r, ok := n.set.Rank(v)
+// (Node{}, false) if v is not present at this level. On a leaf it returns
+// (Node{}, true) when v is a member — membership confirmed, no child to
+// descend to.
+func (n Node) ChildByValue(v uint32) (Node, bool) {
+	r, ok := n.Set().Rank(v)
 	if !ok {
-		return nil, false
+		return Node{}, false
 	}
-	if n.children == nil {
-		return nil, true // leaf: membership confirmed but no child to return
+	if n.IsLeaf() {
+		return Node{}, true
 	}
-	return n.children[r], true
-}
-
-// IsLeaf reports whether this node is at the last level of its trie.
-func (n *Node) IsLeaf() bool { return n.children == nil }
-
-// Trie is an immutable trie over a fixed number of attributes.
-type Trie struct {
-	arity  int
-	tuples int
-	root   *Node
+	return Node{t: n.t, level: n.level + 1, node: n.t.levels[n.level].start[n.node] + int32(r)}, true
 }
 
 // Arity returns the number of attributes (levels).
 func (t *Trie) Arity() int { return t.arity }
 
-// Len returns the number of distinct tuples stored.
+// Len returns the number of distinct tuples stored, or -1 for subtree views.
 func (t *Trie) Len() int { return t.tuples }
 
 // Root returns the root node. For an empty trie the root carries an empty
 // set.
-func (t *Trie) Root() *Node { return t.root }
+func (t *Trie) Root() Node { return Node{t: t, level: t.rootLevel, node: t.rootNode} }
 
 // String describes the trie briefly.
 func (t *Trie) String() string {
@@ -74,12 +115,19 @@ func (t *Trie) String() string {
 }
 
 // Sub returns a read-only view of the subtree rooted at n, exposed as a
-// Trie of the given arity. Views share structure with the original trie —
-// this is how equality selections produce node results without copying
-// (descending a covering index by the selected constant yields the result
-// relation directly). The tuple count of a view is unknown; Len reports -1.
-func Sub(n *Node, arity int) *Trie {
-	return &Trie{arity: arity, tuples: -1, root: n}
+// Trie of the given arity. Views share the parent's level arenas — this is
+// how equality selections produce node results without copying (descending
+// a covering index by the selected constant yields the result relation
+// directly). The tuple count of a view is unknown; Len reports -1.
+func Sub(n Node, arity int) *Trie {
+	if n.t == nil {
+		panic("trie: Sub of zero Node")
+	}
+	if arity != len(n.t.levels)-int(n.level) {
+		panic(fmt.Sprintf("trie: Sub arity %d does not match remaining levels %d",
+			arity, len(n.t.levels)-int(n.level)))
+	}
+	return &Trie{arity: arity, tuples: -1, levels: n.t.levels, rootLevel: n.level, rootNode: n.node}
 }
 
 // BuildFromColumns builds a trie whose level c holds column cols[c]. All
@@ -96,25 +144,125 @@ func BuildFromColumns(cols [][]uint32, policy set.Policy) *Trie {
 			panic("trie: ragged columns")
 		}
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	t := &Trie{arity: arity, levels: make([]level, arity)}
+	if n == 0 {
+		// Canonical empty trie: one root node holding the empty set,
+		// nothing below.
+		t.levels[0] = level{start: []int32{0, 0}, sets: make([]set.Set, 1)}
+		for l := 1; l < arity; l++ {
+			t.levels[l] = level{start: []int32{0}}
+		}
+		return t
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		for _, col := range cols {
-			if col[ia] != col[ib] {
-				return col[ia] < col[ib]
+
+	var scratch radix.Scratch
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	scratch.SortPermByColumns(cols, perm)
+
+	// bounds[g]..bounds[g+1] is the sorted-row range of the current level's
+	// g-th node. The root level sees every row.
+	bounds := []int32{0, int32(n)}
+	for l := 0; l < arity; l++ {
+		col := cols[l]
+		nodes := len(bounds) - 1
+		lv := &t.levels[l]
+		lv.start = make([]int32, nodes+1)
+		lv.sets = make([]set.Set, nodes)
+		leaf := l == arity-1
+
+		// Pass A: count each node's distinct values (rows are sorted, so
+		// distinct = transitions) and pre-size the arenas exactly. The
+		// layout decision needs only (card, min, max), all known here, so
+		// no per-node layout flags are stored — pass B re-derives it.
+		uintTotal, wordTotal := 0, 0
+		for g := 0; g < nodes; g++ {
+			lo, hi := bounds[g], bounds[g+1]
+			card := 1
+			prev := col[perm[lo]]
+			for r := lo + 1; r < hi; r++ {
+				if v := col[perm[r]]; v != prev {
+					card++
+					prev = v
+				}
+			}
+			lv.start[g+1] = lv.start[g] + int32(card)
+			minV, maxV := col[perm[lo]], col[perm[hi-1]]
+			if set.WantBitset(card, minV, maxV, policy) {
+				wordTotal += set.BitsetWords(minV, maxV)
+			} else {
+				uintTotal += card
 			}
 		}
-		return false
-	})
-	b := &builder{cols: cols, policy: policy}
-	root := b.build(idx, 0)
-	if root == nil {
-		root = &Node{set: set.Empty}
+		total := int(lv.start[nodes]) // nodes at the next level
+		lv.vals = make([]uint32, 0, uintTotal)
+		if wordTotal > 0 {
+			lv.words = make([]uint64, wordTotal)
+			lv.ranks = make([]int32, wordTotal)
+		}
+		var newBounds []int32
+		if !leaf {
+			newBounds = make([]int32, total+1)
+		}
+
+		// Pass B: emit each node's set into the arenas and record where
+		// every member's row group starts — those become the next level's
+		// node bounds.
+		wordOff := 0
+		for g := 0; g < nodes; g++ {
+			lo, hi := bounds[g], bounds[g+1]
+			card := int(lv.start[g+1] - lv.start[g])
+			minV, maxV := col[perm[lo]], col[perm[hi-1]]
+			k := lv.start[g] // global rank cursor == next-level node index
+			if set.WantBitset(card, minV, maxV, policy) {
+				nw := set.BitsetWords(minV, maxV)
+				words := lv.words[wordOff : wordOff+nw : wordOff+nw]
+				rks := lv.ranks[wordOff : wordOff+nw : wordOff+nw]
+				wordOff += nw
+				base := minV &^ 63
+				prev := minV + 1 // sentinel ≠ first value (see below)
+				for r := lo; r < hi; r++ {
+					if v := col[perm[r]]; v != prev {
+						off := v - base
+						words[off/64] |= 1 << (off % 64)
+						if !leaf {
+							newBounds[k] = r
+						}
+						k++
+						prev = v
+					}
+				}
+				set.InitBitset(&lv.sets[g], words, rks, base, card)
+			} else {
+				valsStart := len(lv.vals)
+				// minV+1 can only collide with a later value by wrapping to
+				// 0 when minV is MaxUint32 — but then minV is also the max,
+				// so every row matches the first transition anyway.
+				prev := minV + 1
+				for r := lo; r < hi; r++ {
+					if v := col[perm[r]]; v != prev {
+						lv.vals = append(lv.vals, v)
+						if !leaf {
+							newBounds[k] = r
+						}
+						k++
+						prev = v
+					}
+				}
+				end := len(lv.vals)
+				set.InitSortedView(&lv.sets[g], lv.vals[valsStart:end:end])
+			}
+		}
+		if leaf {
+			t.tuples = total
+		} else {
+			newBounds[total] = int32(n)
+			bounds = newBounds
+		}
 	}
-	return &Trie{arity: arity, tuples: b.tuples, root: root}
+	return t
 }
 
 // BuildFromRows builds a trie from row-major tuples, each of length arity.
@@ -134,71 +282,36 @@ func BuildFromRows(rows [][]uint32, arity int, policy set.Policy) *Trie {
 	return BuildFromColumns(cols, policy)
 }
 
-type builder struct {
-	cols   [][]uint32
-	policy set.Policy
-	tuples int
-}
-
-// build constructs the node for the tuples selected by idx at the given
-// level. idx is sorted lexicographically over the remaining columns.
-func (b *builder) build(idx []int, level int) *Node {
-	if len(idx) == 0 {
-		return nil
-	}
-	col := b.cols[level]
-	leaf := level == len(b.cols)-1
-
-	// Collect distinct values (already in ascending order thanks to the
-	// lexicographic sort) and the idx range for each.
-	var vals []uint32
-	var starts []int
-	prev := uint32(0)
-	for i, r := range idx {
-		v := col[r]
-		if i == 0 || v != prev {
-			vals = append(vals, v)
-			starts = append(starts, i)
-			prev = v
-		}
-	}
-	s := set.FromSorted(vals, b.policy)
-	if leaf {
-		b.tuples += len(vals)
-		return &Node{set: s}
-	}
-	children := make([]*Node, len(vals))
-	for gi := range vals {
-		lo := starts[gi]
-		hi := len(idx)
-		if gi+1 < len(starts) {
-			hi = starts[gi+1]
-		}
-		children[gi] = b.build(idx[lo:hi], level+1)
-	}
-	return &Node{set: s, children: children}
-}
-
 // Each enumerates every tuple in lexicographic order. The tuple slice is
 // reused between calls; callers must copy it to retain it. Enumeration stops
 // early if fn returns false.
 func (t *Trie) Each(fn func(tuple []uint32) bool) {
 	buf := make([]uint32, t.arity)
-	t.each(t.root, 0, buf, fn)
+	t.each(t.Root(), 0, buf, fn)
 }
 
-func (t *Trie) each(n *Node, level int, buf []uint32, fn func([]uint32) bool) bool {
-	cont := true
-	n.set.Iterate(func(i int, v uint32) bool {
-		buf[level] = v
-		if n.IsLeaf() {
-			cont = fn(buf)
+func (t *Trie) each(n Node, d int, buf []uint32, fn func([]uint32) bool) bool {
+	lv := &t.levels[n.level]
+	leaf := int(n.level) == len(t.levels)-1
+	var childBase int32
+	if !leaf {
+		childBase = lv.start[n.node]
+	}
+	var it set.Iter
+	for it.Reset(&lv.sets[n.node]); !it.Done(); it.Next() {
+		buf[d] = it.Cur()
+		if leaf {
+			if !fn(buf) {
+				return false
+			}
 		} else {
-			cont = t.each(n.children[i], level+1, buf, fn)
+			child := Node{t: t, level: n.level + 1, node: childBase + int32(it.Pos())}
+			if !t.each(child, d+1, buf, fn) {
+				return false
+			}
 		}
-		return cont
-	})
-	return cont
+	}
+	return true
 }
 
 // Rows materializes every tuple as a fresh [][]uint32, mainly for tests.
@@ -213,33 +326,40 @@ func (t *Trie) Rows() [][]uint32 {
 
 // Lookup descends the trie with the given prefix of values and returns the
 // node reached (whose set holds the possible next-attribute values), or
-// (nil, false) if the prefix is absent. A full-arity prefix returns
-// (nil, true) when the tuple exists.
-func (t *Trie) Lookup(prefix ...uint32) (*Node, bool) {
+// (Node{}, false) if the prefix is absent. A full-arity prefix returns
+// (Node{}, true) when the tuple exists.
+func (t *Trie) Lookup(prefix ...uint32) (Node, bool) {
 	if len(prefix) > t.arity {
 		panic("trie: Lookup prefix longer than arity")
 	}
-	n := t.root
+	n := t.Root()
 	for _, v := range prefix {
 		child, ok := n.ChildByValue(v)
 		if !ok {
-			return nil, false
+			return Node{}, false
 		}
 		n = child
+	}
+	if len(prefix) == t.arity {
+		return Node{}, true
 	}
 	return n, true
 }
 
-// MemoryBytes estimates the heap footprint of all sets in the trie.
+// setHeaderBytes approximates the in-arena footprint of one set.Set header
+// (layout byte + three slice headers + base + card on a 64-bit platform).
+const setHeaderBytes = 88
+
+// MemoryBytes estimates the heap footprint of the trie's arenas: values,
+// bit words, rank directories, CSR offsets, and set headers. Subtree views
+// report the footprint of the whole underlying trie (arenas are shared, so
+// a per-subtree number would double count).
 func (t *Trie) MemoryBytes() int {
 	total := 0
-	var walk func(n *Node)
-	walk = func(n *Node) {
-		total += n.set.MemoryBytes()
-		for _, c := range n.children {
-			walk(c)
-		}
+	for i := range t.levels {
+		lv := &t.levels[i]
+		total += 4*len(lv.vals) + 8*len(lv.words) + 4*len(lv.ranks) +
+			4*len(lv.start) + setHeaderBytes*len(lv.sets)
 	}
-	walk(t.root)
 	return total
 }

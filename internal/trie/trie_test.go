@@ -155,7 +155,7 @@ func TestEachEarlyStop(t *testing.T) {
 func TestChildByValueOnLeaf(t *testing.T) {
 	tr := BuildFromColumns([][]uint32{{7}}, set.PolicyAuto)
 	n, ok := tr.Root().ChildByValue(7)
-	if !ok || n != nil {
+	if !ok || n != (Node{}) {
 		t.Errorf("leaf ChildByValue = %v,%v", n, ok)
 	}
 	if _, ok := tr.Root().ChildByValue(8); ok {
@@ -281,6 +281,196 @@ func TestPropertyLookupMatchesMembership(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- flat ≡ reference property suite ----------------------------------------
+
+// randomCols generates arity columns of n rows over a bounded domain; small
+// domains force duplicate prefixes (shared trie paths), larger ones force
+// sparse sets.
+func randomCols(rng *rand.Rand, n, arity int, domain uint32) [][]uint32 {
+	cols := make([][]uint32, arity)
+	for c := range cols {
+		cols[c] = make([]uint32, n)
+		for i := range cols[c] {
+			cols[c][i] = rng.Uint32() % domain
+		}
+	}
+	return cols
+}
+
+// checkFlatMatchesReference walks both representations and demands
+// observational identity: tuple count, enumerated rows, per-path set layout
+// and membership, Lookup outcomes, and Sub view rows.
+func checkFlatMatchesReference(t *testing.T, cols [][]uint32, policy set.Policy) {
+	t.Helper()
+	arity := len(cols)
+	flat := BuildFromColumns(cols, policy)
+	ref := BuildReference(cols, policy)
+	if flat.Len() != ref.Len() || flat.Arity() != ref.Arity() {
+		t.Fatalf("len/arity: flat %d/%d, ref %d/%d", flat.Len(), flat.Arity(), ref.Len(), ref.Arity())
+	}
+	if !reflect.DeepEqual(flat.Rows(), ref.Rows()) {
+		t.Fatalf("rows diverge:\nflat %v\nref  %v", flat.Rows(), ref.Rows())
+	}
+	// Walk every node pair: sets must match in membership AND layout (the
+	// arena build must reproduce the layout optimizer's decisions exactly).
+	var walk func(fn Node, rn *RefNode, path []uint32)
+	walk = func(fn Node, rn *RefNode, path []uint32) {
+		fs, rs := fn.Set(), rn.Set()
+		if fs.Layout() != rs.Layout() {
+			t.Fatalf("layout at %v: flat %v, ref %v", path, fs.Layout(), rs.Layout())
+		}
+		if !fs.Equal(rs) {
+			t.Fatalf("set at %v: flat %v, ref %v", path, fs.Values(), rs.Values())
+		}
+		if fn.IsLeaf() != rn.IsLeaf() {
+			t.Fatalf("leafness at %v", path)
+		}
+		if fn.IsLeaf() {
+			return
+		}
+		vals := fs.Values()
+		for i, v := range vals {
+			walk(fn.Child(i), rn.Child(i), append(path, v))
+		}
+	}
+	if flat.Len() > 0 || ref.Len() > 0 {
+		walk(flat.Root(), ref.Root(), nil)
+	}
+	// Random and boundary lookups, full and partial prefixes.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		k := rng.Intn(arity + 1)
+		prefix := make([]uint32, k)
+		for i := range prefix {
+			prefix[i] = rng.Uint32() % 70
+		}
+		fn, fok := flat.Lookup(prefix...)
+		rn, rok := ref.Lookup(prefix...)
+		if fok != rok {
+			t.Fatalf("Lookup(%v): flat %v, ref %v", prefix, fok, rok)
+		}
+		if fok && k < arity {
+			// Compare the reached nodes' sets and, below the top, Sub views.
+			if !fn.Set().Equal(rn.Set()) {
+				t.Fatalf("Lookup(%v) sets diverge", prefix)
+			}
+			if k > 0 {
+				view := Sub(fn, arity-k)
+				if view.Len() != -1 {
+					t.Fatalf("view Len = %d, want -1", view.Len())
+				}
+				want := refSubRows(rn, arity-k)
+				if !reflect.DeepEqual(view.Rows(), want) {
+					t.Fatalf("Sub(%v) rows diverge", prefix)
+				}
+			}
+		}
+	}
+}
+
+// refSubRows enumerates the subtree below a reference node.
+func refSubRows(n *RefNode, arity int) [][]uint32 {
+	view := &RefTrie{arity: arity, tuples: -1, root: n}
+	return view.Rows()
+}
+
+func TestFlatMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		arity := 1 + rng.Intn(3)
+		n := rng.Intn(400)
+		// Alternate dense and sparse domains so both layouts appear.
+		domain := uint32(8 + rng.Intn(64))
+		if trial%3 == 0 {
+			domain = 100000
+		}
+		cols := randomCols(rng, n, arity, domain)
+		for _, policy := range []set.Policy{set.PolicyAuto, set.PolicyUintOnly} {
+			checkFlatMatchesReference(t, cols, policy)
+		}
+	}
+}
+
+func TestFlatMatchesReferenceQuick(t *testing.T) {
+	f := func(raw []uint32, aritySeed uint8) bool {
+		arity := int(aritySeed%3) + 1
+		n := len(raw) / arity
+		cols := make([][]uint32, arity)
+		for c := range cols {
+			cols[c] = make([]uint32, n)
+			for i := 0; i < n; i++ {
+				cols[c][i] = raw[i*arity+c] % 512
+			}
+		}
+		flat := BuildFromColumns(cols, set.PolicyAuto)
+		ref := BuildReference(cols, set.PolicyAuto)
+		return flat.Len() == ref.Len() && reflect.DeepEqual(flat.Rows(), ref.Rows())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEachEarlyStopMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cols := randomCols(rng, 300, 3, 16)
+	flat := BuildFromColumns(cols, set.PolicyAuto)
+	ref := BuildReference(cols, set.PolicyAuto)
+	for _, stop := range []int{1, 7, flat.Len() / 2, flat.Len()} {
+		var got, want [][]uint32
+		count := 0
+		flat.Each(func(tu []uint32) bool {
+			got = append(got, append([]uint32(nil), tu...))
+			count++
+			return count < stop
+		})
+		count = 0
+		ref.Each(func(tu []uint32) bool {
+			want = append(want, append([]uint32(nil), tu...))
+			count++
+			return count < stop
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("early stop at %d diverges", stop)
+		}
+	}
+}
+
+// --- benchmarks --------------------------------------------------------------
+
+func benchCols(n int, domain uint32) [][]uint32 {
+	rng := rand.New(rand.NewSource(1))
+	cols := make([][]uint32, 2)
+	for c := range cols {
+		cols[c] = make([]uint32, n)
+		for i := range cols[c] {
+			cols[c][i] = rng.Uint32() % domain
+		}
+	}
+	return cols
+}
+
+// BenchmarkTrieBuildFlat measures the arena builder — the cost that sits
+// directly under live.Compact() and shard.Partition.
+func BenchmarkTrieBuildFlat(b *testing.B) {
+	cols := benchCols(100000, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildFromColumns(cols, set.PolicyAuto)
+	}
+}
+
+// BenchmarkTrieBuildPointer measures the retired pointer-per-node builder
+// on identical input; the flat/pointer ratio is the PR's headline number
+// (recorded in BENCH_5.json).
+func BenchmarkTrieBuildPointer(b *testing.B) {
+	cols := benchCols(100000, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildReference(cols, set.PolicyAuto)
 	}
 }
 
