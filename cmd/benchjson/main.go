@@ -1,9 +1,11 @@
 // Command benchjson runs the hot-path perf suite (internal/bench.RunPerfSuite)
 // and writes the machine-readable report — set intersect/seek kernels, the
 // full-store trie rebuild (flat vs pointer reference), Table II WCOJ
-// queries, and the sharded-vs-unsharded pair — as JSON. CI runs it on every
+// queries, the sharded-vs-unsharded pair, the cold-start boot trajectory
+// (N-Triples vs snapshot vs mmap segment), and WAL append throughput per
+// fsync policy — as JSON. CI runs it on every
 // PR and uploads the file as an artifact; the copy committed at the repo
-// root (BENCH_5.json) is the trajectory baseline future PRs diff against.
+// root (BENCH_6.json) is the trajectory baseline future PRs diff against.
 //
 // Usage:
 //
@@ -27,7 +29,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "LUBM scale factor (universities)")
 	reps := flag.Int("reps", 3, "repetitions per measurement")
-	out := flag.String("out", "BENCH_5.json", "output path")
+	out := flag.String("out", "BENCH_6.json", "output path")
 	seed := flag.String("seed", "", "optional JSON map of baseline ns/op to embed")
 	flag.Parse()
 

@@ -17,6 +17,17 @@
 //	rdfserved -data graph.nt -compact-every 30s -snapshot graph.snap
 //	curl -X POST --data-binary $'-<http://a> <http://p> <http://b> .\n' localhost:8080/update
 //
+// With -data-dir the store is durable: every applied patch is written to a
+// write-ahead log (fsynced per -fsync) before it publishes, compactions
+// persist the base as an mmap-able segment file, and a restart boots from
+// segment + log replay instead of reloading -data (which then only seeds
+// the directory on its very first boot; -lubm seeds likewise, and neither
+// is required once the directory exists). The server listens immediately
+// and answers 503 {"wal_replay":true} until recovery finishes; SIGTERM
+// seals the log so the next boot knows the shutdown was clean:
+//
+//	rdfserved -data graph.nt -data-dir /var/lib/rdf -fsync 50ms -compact-every 30s
+//
 // With -loadgen it instead acts as a load generator against a running
 // server, reporting throughput and latency percentiles:
 //
@@ -25,6 +36,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +47,7 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -58,6 +71,8 @@ func main() {
 	compactEvery := flag.Duration("compact-every", 0, "background-compact the update delta at this interval (0 = only explicit POST /compact)")
 	compactMinDelta := flag.Int("compact-min-delta", 0, "skip background compaction while the delta holds fewer operations")
 	snapshotPath := flag.String("snapshot", "", "atomically persist the compacted snapshot to this file after every compaction")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + mmap-able base segment); -data/-lubm only seed its first boot")
+	fsync := flag.String("fsync", "always", "WAL sync policy: always | off | group-commit interval like 50ms (with -data-dir)")
 
 	// Loadgen flags.
 	loadgen := flag.Bool("loadgen", false, "run as a load generator against -url instead of serving")
@@ -77,41 +92,79 @@ func main() {
 		return
 	}
 
+	if *data == "" && *lubmScale == 0 && *dataDir == "" {
+		log.Fatal("rdfserved: provide -data FILE, -lubm SCALE, or an initialized -data-dir DIR")
+	}
+
+	// Listen before loading: boot can be slow (a durable boot replays the
+	// WAL; a cold one parses N-Triples and builds indexes), and health
+	// checkers want the socket open from the first moment. The boot handler
+	// answers 503 on every route until the real handler swaps in.
+	var handler atomic.Pointer[http.Handler]
+	boot := bootHandler(*dataDir != "")
+	handler.Store(&boot)
+	httpSrv := &http.Server{Addr: *addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	})}
+	go func() {
+		log.Printf("listening on %s (booting)", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("rdfserved: %v", err)
+		}
+	}()
+
 	var ds *repro.Dataset
 	var err error
+	start := time.Now()
 	switch {
+	case *dataDir != "":
+		opts := []repro.DatasetOption{repro.WithDataDir(*dataDir), repro.WithFsync(*fsync), repro.WithShards(*shards)}
+		if *lubmScale > 0 {
+			opts = append(opts, repro.WithLUBM(*lubmScale))
+		}
+		ds, err = repro.OpenDataset(*data, opts...)
+		if err != nil {
+			log.Fatalf("rdfserved: %v", err)
+		}
+		rec := ds.Durable().Recovered()
+		log.Printf("opened %s: %d triples in %v (fsync %s; replayed %d WAL records / %d ops; clean shutdown: %v)",
+			*dataDir, ds.NumTriples(), time.Since(start).Round(time.Millisecond), *fsync, rec.Records, rec.Ops, rec.Sealed)
 	case *lubmScale > 0:
-		start := time.Now()
 		ds = repro.GenerateLUBM(*lubmScale, 0)
 		log.Printf("generated LUBM scale %d: %d triples in %v", *lubmScale, ds.NumTriples(), time.Since(start).Round(time.Millisecond))
-	case *data != "":
-		start := time.Now()
+	default:
 		ds, err = repro.OpenDataset(*data)
 		if err != nil {
 			log.Fatalf("rdfserved: %v", err)
 		}
 		log.Printf("loaded %s: %d triples in %v", *data, ds.NumTriples(), time.Since(start).Round(time.Millisecond))
-	default:
-		log.Fatal("rdfserved: provide -data FILE or -lubm SCALE")
 	}
 
-	srv, err := server.New(server.Config{
-		Store:           ds.Store(),
+	cfg := server.Config{
 		DefaultEngine:   *defEngine,
 		PlanCacheSize:   *cacheSize,
 		MaxConcurrent:   *maxConc,
 		MaxQueryWorkers: *maxQueryWorkers,
 		DefaultTimeout:  *timeout,
 		MaxRows:         *maxRows,
-		Shards:          *shards,
 		CompactEvery:    *compactEvery,
 		CompactMinDelta: *compactMinDelta,
 		SnapshotPath:    *snapshotPath,
-	})
+	}
+	if ds.Durable() != nil {
+		// Hand the replayed live store over as-is — wrapping ds.Store()
+		// would silently drop the WAL-replayed delta overlay. Sharding was
+		// already applied at open time (WithShards → durable.Options).
+		cfg.Live = ds.Live()
+		cfg.Durable = ds.Durable()
+	} else {
+		cfg.Store = ds.Store()
+		cfg.Shards = *shards
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("rdfserved: %v", err)
 	}
-	defer srv.Close()
 	if *shards > 1 {
 		log.Printf("partitioned into %d subject-hash shards (scatter-gather execution)", *shards)
 	}
@@ -119,16 +172,13 @@ func main() {
 		log.Printf("background compactor: every %v (min delta %d, snapshot %q)", *compactEvery, *compactMinDelta, *snapshotPath)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	go func() {
-		log.Printf("serving on %s (default engine %s)", *addr, *defEngine)
-		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("rdfserved: %v", err)
-		}
-	}()
+	ready := srv.Handler()
+	handler.Store(&ready)
+	log.Printf("serving on %s (default engine %s)", *addr, *defEngine)
 
 	// Graceful shutdown: finish in-flight queries (up to 15s) on SIGINT or
-	// SIGTERM.
+	// SIGTERM, then seal the WAL so the next boot knows the shutdown was
+	// clean.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
@@ -138,7 +188,25 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("rdfserved: shutdown: %v", err)
 	}
+	srv.Close()
+	if err := ds.Close(); err != nil {
+		log.Printf("rdfserved: closing dataset: %v", err)
+	} else if ds.Durable() != nil {
+		log.Print("sealed WAL (clean shutdown)")
+	}
 	log.Print("bye")
+}
+
+// bootHandler answers every request 503 while the dataset loads (for a
+// durable boot, that includes WAL replay): health checkers can tell
+// "booting" from "down" without waiting for the store to open.
+func bootHandler(walReplay bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "starting", "wal_replay": walReplay})
+	})
 }
 
 func runLoadGen(url string, clients, requests int, engine, queryText, lubmQueries string, scale int, timeout time.Duration) error {

@@ -4,7 +4,9 @@ package bench
 // update stream patches the delta overlay and a compaction swaps the base
 // mid-run. CI runs one iteration under -race — the point is exercising the
 // serve-while-writing path end to end (HTTP /update + /compact against
-// concurrent /query), not producing numbers.
+// concurrent /query), not producing numbers. The Durable variant runs the
+// same workload with every patch flowing through the write-ahead log and
+// the compaction persisting a segment file.
 
 import (
 	"context"
@@ -16,8 +18,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/lubm"
 	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 func BenchmarkLiveMixedReadWrite(b *testing.B) {
@@ -26,6 +31,39 @@ func BenchmarkLiveMixedReadWrite(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer srv.Close()
+	runLiveMixed(b, srv)
+}
+
+// BenchmarkLiveMixedReadWriteDurable is the same serve-while-writing
+// workload over the durability stack: group-commit WAL appends under the
+// update stream, a segment write + log truncation under the mid-run
+// compaction, concurrent queries throughout.
+func BenchmarkLiveMixedReadWriteDurable(b *testing.B) {
+	d, err := durable.Open(b.TempDir(),
+		func() (*store.Store, error) { return NewDataset(Config{Scale: 1}), nil },
+		durable.Options{Fsync: wal.Policy{Mode: wal.SyncInterval, Interval: 5 * time.Millisecond}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	srv, err := server.New(server.Config{Live: d.Live(), Durable: d})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	runLiveMixed(b, srv)
+	st := d.Stats()
+	if st.WAL.Records == 0 {
+		b.Fatalf("no WAL records under the update stream: %+v", st)
+	}
+	if st.CompactionsPersisted == 0 {
+		b.Fatalf("the forced compaction persisted no segment: %+v", st)
+	}
+	b.Logf("wal_records=%d wal_syncs=%d segments_persisted=%d",
+		st.WAL.Records, st.WAL.Syncs, st.CompactionsPersisted)
+}
+
+func runLiveMixed(b *testing.B, srv *server.Server) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -2,17 +2,22 @@ package bench
 
 // perf.go is the machine-readable perf trajectory: RunPerfSuite measures
 // the WCOJ hot-path kernels (set intersection and seek, full-store trie
-// builds, Table II join queries, the sharded-vs-unsharded pair) and
-// cmd/benchjson serializes the report as BENCH_<pr>.json at the repo root,
-// which CI regenerates and uploads as an artifact on every PR. Future PRs
-// diff their report against the committed one, so "made the hot path
-// faster" stays a number with provenance instead of a commit-message claim.
+// builds, Table II join queries, the sharded-vs-unsharded pair, the
+// cold-start boot trajectory across on-disk formats, and WAL append
+// throughput per fsync policy) and cmd/benchjson serializes the report as
+// BENCH_<pr>.json at the repo root, which CI regenerates and uploads as an
+// artifact on every PR. Future PRs diff their report against the committed
+// one, so "made the hot path faster" stays a number with provenance instead
+// of a commit-message claim.
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -20,10 +25,13 @@ import (
 	"repro/internal/engines"
 	"repro/internal/lubm"
 	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/segment"
 	"repro/internal/set"
 	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/trie"
+	"repro/internal/wal"
 )
 
 // PerfResult is one measured kernel or query.
@@ -232,6 +240,168 @@ func shardedPair(st *store.Store, cfg Config) ([]PerfResult, error) {
 	return out, nil
 }
 
+// coldStart measures the boot trajectory: wall time from an on-disk
+// artifact to a query-ready store. "Ready" includes forcing every
+// relation's (S,O) and (O,S) tries — production builds them lazily, but the
+// first queries pay for them, so a boot time without index builds would
+// flatter the parse path. Three formats, ordered by how much work the file
+// already carries: N-Triples (parse + dictionary-encode + build + index),
+// binary snapshot (parse skipped, indexes rebuilt), and the mmap-able
+// segment written by the durable storage engine (indexes ship in the file;
+// only set headers are rebuilt, one O(nodes) pass).
+func coldStart(st *store.Store, cfg Config) ([]PerfResult, error) {
+	dir, err := os.MkdirTemp("", "bench-coldstart")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ntPath := filepath.Join(dir, "data.nt")
+	snapPath := filepath.Join(dir, "data.snap")
+	segPath := filepath.Join(dir, "base.seg")
+
+	f, err := os.Create(ntPath)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	d := st.Dict()
+	for _, t := range st.Triples() {
+		bw.WriteString(rdf.Triple{S: d.Decode(t.S), P: d.Decode(t.P), O: d.Decode(t.O)}.String())
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if err := st.WriteSnapshotFile(snapPath); err != nil {
+		return nil, err
+	}
+	if err := segment.Write(segPath, st); err != nil {
+		return nil, err
+	}
+
+	force := func(s *store.Store) {
+		for _, p := range s.Predicates() {
+			r := s.Relation(p)
+			r.TrieSO(set.PolicyAuto)
+			r.TrieOS(set.PolicyAuto)
+		}
+	}
+	var bootErr error
+	ntNs := timeNs(cfg.Reps, func() {
+		f, err := os.Open(ntPath)
+		if err != nil {
+			bootErr = err
+			return
+		}
+		defer f.Close()
+		b := store.NewBuilder()
+		rd := rdf.NewReader(bufio.NewReaderSize(f, 1<<20))
+		for {
+			t, err := rd.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				bootErr = err
+				return
+			}
+			b.Add(t)
+		}
+		force(b.Build())
+	})
+	snapNs := timeNs(cfg.Reps, func() {
+		f, err := os.Open(snapPath)
+		if err != nil {
+			bootErr = err
+			return
+		}
+		defer f.Close()
+		s, err := store.ReadSnapshot(bufio.NewReaderSize(f, 1<<20))
+		if err != nil {
+			bootErr = err
+			return
+		}
+		force(s)
+	})
+	segNs := timeNs(cfg.Reps, func() {
+		l, err := segment.Open(segPath)
+		if err != nil {
+			bootErr = err
+			return
+		}
+		force(l.Store)
+		l.Close()
+	})
+	if bootErr != nil {
+		return nil, bootErr
+	}
+	return []PerfResult{
+		{Name: "coldstart/ntriples_parse_build", NsPerOp: ntNs},
+		{Name: "coldstart/snapshot_read_build", NsPerOp: snapNs},
+		{Name: "coldstart/segment_mmap", NsPerOp: segNs},
+	}, nil
+}
+
+// walAppend measures the write-ahead log's framed append at each fsync
+// policy, with an 8-op batch (the typical /update shape). ns/op is per
+// AppendPatch call; "always" is dominated by the per-call fsync, which is
+// exactly the durability price it buys.
+func walAppend(reps int) ([]PerfResult, error) {
+	dir, err := os.MkdirTemp("", "bench-wal")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ops := make([]wal.Op, 8)
+	for i := range ops {
+		ops[i] = wal.Op{Triple: rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://bench/s%d", i)),
+			P: rdf.NewIRI("http://bench/p"),
+			O: rdf.NewIRI(fmt.Sprintf("http://bench/o%d", i)),
+		}}
+	}
+	batch := wal.Batch{Ops: ops}
+	policies := []struct {
+		name string
+		pol  wal.Policy
+	}{
+		{"always", wal.Policy{Mode: wal.SyncAlways}},
+		{"interval_50ms", wal.Policy{Mode: wal.SyncInterval, Interval: 50 * time.Millisecond}},
+		{"off", wal.Policy{Mode: wal.SyncOff}},
+	}
+	var out []PerfResult
+	for i, pc := range policies {
+		log, _, err := wal.Open(filepath.Join(dir, fmt.Sprintf("wal%d.log", i)),
+			pc.pol, func(wal.Batch) error { return nil })
+		if err != nil {
+			return nil, err
+		}
+		const appendsPerRound = 16
+		var appendErr error
+		ns := timeNs(reps, func() {
+			for k := 0; k < appendsPerRound; k++ {
+				if err := log.AppendPatch(batch); err != nil {
+					appendErr = err
+					return
+				}
+			}
+		}) / appendsPerRound
+		cerr := log.Close()
+		if appendErr != nil {
+			return nil, appendErr
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		out = append(out, PerfResult{Name: "wal/append_8op/" + pc.name, NsPerOp: ns})
+	}
+	return out, nil
+}
+
 // RunPerfSuite measures the full hot-path suite on a fresh LUBM dataset.
 func RunPerfSuite(cfg Config) (*PerfReport, error) {
 	if cfg.Scale <= 0 {
@@ -254,6 +424,16 @@ func RunPerfSuite(cfg Config) (*PerfReport, error) {
 		return nil, err
 	}
 	report.Results = append(report.Results, sp...)
+	cs, err := coldStart(st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	report.Results = append(report.Results, cs...)
+	wa, err := walAppend(cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	report.Results = append(report.Results, wa...)
 
 	report.Derived = map[string]float64{}
 	byName := map[string]float64{}
@@ -262,6 +442,12 @@ func RunPerfSuite(cfg Config) (*PerfReport, error) {
 	}
 	if f, p := byName["trie/build_full_store/flat"], byName["trie/build_full_store/pointer"]; f > 0 {
 		report.Derived["trie_build_speedup_flat_vs_pointer"] = p / f
+	}
+	if nt, seg := byName["coldstart/ntriples_parse_build"], byName["coldstart/segment_mmap"]; seg > 0 {
+		report.Derived["cold_start_speedup_segment_vs_ntriples"] = nt / seg
+	}
+	if sn, seg := byName["coldstart/snapshot_read_build"], byName["coldstart/segment_mmap"]; seg > 0 {
+		report.Derived["cold_start_speedup_segment_vs_snapshot"] = sn / seg
 	}
 	return report, nil
 }

@@ -1,0 +1,248 @@
+// Package durable composes the storage engine's durability stack: a
+// live.Store whose writes flow through a write-ahead log (internal/wal) and
+// whose compacted bases persist as mmap-able segment files
+// (internal/segment), all inside one data directory.
+//
+// # Data directory
+//
+//	<dir>/base.seg   the last compacted base (segment file, mmap'd on boot)
+//	<dir>/wal.log    patches applied since that base
+//
+// # Invariants
+//
+// Write-ahead: a patch is appended to the log before its delta is
+// published, so the on-disk pair (segment, log) is always at or ahead of
+// what readers ever observed. Compact-then-truncate: the log is truncated
+// only after the new segment is durably renamed into place; a crash between
+// the two replays already-folded patches, which net to no-ops against the
+// new base. It follows that crash recovery (segment + log replay) always
+// reconstructs exactly the pre-crash overlay minus at most the final
+// un-fsynced append group.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/live"
+	"repro/internal/segment"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// SegmentName and WALName are the fixed file names inside a data directory.
+const (
+	SegmentName = "base.seg"
+	WALName     = "wal.log"
+)
+
+// Options parameterizes Open.
+type Options struct {
+	// Fsync is the log's sync policy (zero value = wal.SyncAlways).
+	Fsync wal.Policy
+	// Shards, when > 1, partitions the loaded base into subject-hash
+	// shards (a boot-time serving option; it does not affect the on-disk
+	// format).
+	Shards int
+}
+
+// Store is a live.Store bound to a data directory. Close seals the log;
+// use the embedded Live store for queries and writes.
+type Store struct {
+	ls  *live.Store
+	log *wal.Log
+	dir string
+
+	recover  wal.RecoverInfo
+	replays  atomic.Uint64 // compactions persisted this process
+	segBytes atomic.Int64
+	mapped   atomic.Bool
+
+	mu       sync.Mutex
+	mappings []*segment.Loaded // kept open until Close: pinned cursors may still read them
+	closed   bool
+}
+
+// Open opens (or initializes) the data directory at dir: load the segment
+// if present — otherwise build the initial base with bootstrap and persist
+// it — then replay the log's surviving patches into the overlay and attach
+// the write-ahead hooks. bootstrap runs only on first boot; it may return
+// an empty store (store.FromTriples(nil)).
+func Open(dir string, bootstrap func() (*store.Store, error), opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segPath := filepath.Join(dir, SegmentName)
+	d := &Store{dir: dir}
+
+	if _, err := os.Stat(segPath); err == nil {
+		l, err := segment.Open(segPath)
+		if err != nil {
+			return nil, fmt.Errorf("durable: %w", err)
+		}
+		d.mappings = append(d.mappings, l)
+		d.segBytes.Store(l.Bytes)
+		d.mapped.Store(l.Mapped)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	} else {
+		base, err := bootstrap()
+		if err != nil {
+			return nil, fmt.Errorf("durable: bootstrap: %w", err)
+		}
+		if err := segment.Write(segPath, base); err != nil {
+			return nil, fmt.Errorf("durable: writing initial segment: %w", err)
+		}
+		// Reopen through the mapping so the very first boot serves the
+		// same way every later one does.
+		l, err := segment.Open(segPath)
+		if err != nil {
+			return nil, fmt.Errorf("durable: %w", err)
+		}
+		d.mappings = append(d.mappings, l)
+		d.segBytes.Store(l.Bytes)
+		d.mapped.Store(l.Mapped)
+	}
+
+	ls, err := live.NewStore(d.mappings[0].Store, live.Options{Shards: opts.Shards})
+	if err != nil {
+		d.closeMappings()
+		return nil, err
+	}
+	d.ls = ls
+
+	// Replay before attaching the durability hooks: replayed patches are
+	// already in the log and must not be re-appended.
+	log, info, err := wal.Open(filepath.Join(dir, WALName), opts.Fsync, func(b wal.Batch) error {
+		_, err := ls.Apply(batchToPatch(b))
+		return err
+	})
+	if err != nil {
+		d.closeMappings()
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	d.log = log
+	d.recover = info
+	ls.SetDurability(d)
+	return d, nil
+}
+
+// Live returns the underlying live store.
+func (d *Store) Live() *live.Store { return d.ls }
+
+// Dir returns the data directory path.
+func (d *Store) Dir() string { return d.dir }
+
+// Recovered reports what boot-time replay found in the log.
+func (d *Store) Recovered() wal.RecoverInfo { return d.recover }
+
+// LogPatch implements live.Durability: append (and per policy fsync) the
+// patch before the overlay publishes it.
+func (d *Store) LogPatch(p live.Patch) error {
+	return d.log.AppendPatch(patchToBatch(p))
+}
+
+// Compacted implements live.Durability: persist the fresh base as the new
+// segment, and only after it is durably in place truncate the log. On
+// segment-write failure the log is left intact — the previous segment plus
+// the log still reconstructs the current overlay.
+func (d *Store) Compacted(base *store.Store, epoch uint64) error {
+	segPath := filepath.Join(d.dir, SegmentName)
+	if err := segment.Write(segPath, base); err != nil {
+		return err
+	}
+	if st, err := os.Stat(segPath); err == nil {
+		d.segBytes.Store(st.Size())
+	}
+	d.replays.Add(1)
+	return d.log.Reset()
+}
+
+// Close seals the log (clean-shutdown marker) and releases the segment
+// mappings. The store must not be used afterwards.
+func (d *Store) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.ls.SetDurability(nil)
+	err := d.log.Close()
+	if cerr := d.closeMappings(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (d *Store) closeMappings() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var err error
+	for _, m := range d.mappings {
+		if cerr := m.Close(); err == nil {
+			err = cerr
+		}
+	}
+	d.mappings = nil
+	return err
+}
+
+// Stats is the durability section of the server's /stats.
+type Stats struct {
+	WAL wal.Stats
+	// ReplayedRecords and ReplayedOps describe boot-time recovery.
+	ReplayedRecords int
+	ReplayedOps     int
+	// TornBytes is how much torn tail boot recovery truncated.
+	TornBytes int64
+	// CleanShutdown reports whether the log ended with a seal at boot.
+	CleanShutdown bool
+	// SegmentBytes is the current base segment's file size.
+	SegmentBytes int64
+	// SegmentsMapped counts open segment mappings (old epochs are kept
+	// mapped until Close because pinned cursors may still read them).
+	SegmentsMapped int
+	// Mapped reports mmap residency (false = heap-read fallback).
+	Mapped bool
+	// CompactionsPersisted counts segments written by this process.
+	CompactionsPersisted uint64
+}
+
+// Stats snapshots the durability counters.
+func (d *Store) Stats() Stats {
+	d.mu.Lock()
+	nmap := len(d.mappings)
+	d.mu.Unlock()
+	return Stats{
+		WAL:                  d.log.Stats(),
+		ReplayedRecords:      d.recover.Records,
+		ReplayedOps:          d.recover.Ops,
+		TornBytes:            d.recover.TornBytes,
+		CleanShutdown:        d.recover.Sealed,
+		SegmentBytes:         d.segBytes.Load(),
+		SegmentsMapped:       nmap,
+		Mapped:               d.mapped.Load(),
+		CompactionsPersisted: d.replays.Load(),
+	}
+}
+
+func patchToBatch(p live.Patch) wal.Batch {
+	b := wal.Batch{Ops: make([]wal.Op, len(p.Ops))}
+	for i, op := range p.Ops {
+		b.Ops[i] = wal.Op{Delete: op.Delete, Triple: op.Triple}
+	}
+	return b
+}
+
+func batchToPatch(b wal.Batch) live.Patch {
+	p := live.Patch{Ops: make([]live.Op, len(b.Ops))}
+	for i, op := range b.Ops {
+		p.Ops[i] = live.Op{Delete: op.Delete, Triple: op.Triple}
+	}
+	return p
+}

@@ -56,6 +56,25 @@ type Options struct {
 	Shards int
 }
 
+// Durability receives the write-path events a durable backend must
+// persist. internal/durable implements it over a write-ahead log and
+// segment files; the interface lives here (with live's own types) so the
+// log and segment layers need not import this package.
+//
+// Both methods are invoked under the store's writer lock and must not call
+// back into the Store.
+type Durability interface {
+	// LogPatch is called with each effective patch before its delta is
+	// published. If it returns an error the patch is NOT applied — the
+	// overlay never runs ahead of the log.
+	LogPatch(p Patch) error
+	// Compacted is called after a compaction swapped in a new base under
+	// epoch. The implementation persists the base and only then truncates
+	// the log; on error the log is kept, so old-base + log still
+	// reconstructs the current state.
+	Compacted(base *store.Store, epoch uint64) error
+}
+
 // Store is a read-write overlay over an immutable base store. Create with
 // NewStore; build engines over it with NewEngine (or the registry's
 // NewLive). All methods are safe for concurrent use; writers serialize
@@ -65,6 +84,7 @@ type Store struct {
 	dict *dict.Dictionary
 
 	mu  sync.Mutex // serializes writers: Apply, Compact, SetShards
+	dur Durability // guarded by mu; nil when the store is not durable
 	cur atomic.Pointer[state]
 
 	// snapMu serializes SnapshotTo writers, and lastSnapEpoch guards
@@ -223,8 +243,22 @@ func (ls *Store) NumTriples() int {
 	return s.base.st.NumTriples() - len(s.delta.del) + len(s.delta.ins)
 }
 
+// SetDurability attaches a durable backend: every subsequent effective
+// patch is logged through d before it becomes visible, and every compaction
+// is reported after its swap. Attach after boot-time replay (replayed
+// patches flow through Apply and must not be re-logged). Pass nil to
+// detach.
+func (ls *Store) SetDurability(d Durability) {
+	ls.mu.Lock()
+	ls.dur = d
+	ls.mu.Unlock()
+}
+
 // Apply nets one patch into the overlay and publishes the new delta
 // atomically. Concurrent queries see either the whole patch or none of it.
+// On a durable store the patch is logged (and, depending on the fsync
+// policy, made stable) before publication; a logging failure leaves the
+// overlay unchanged.
 func (ls *Store) Apply(p Patch) (ApplyResult, error) {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
@@ -235,6 +269,13 @@ func (ls *Store) Apply(p Patch) (ApplyResult, error) {
 		return ok
 	})
 	res.Epoch = s.epoch
+	if ls.dur != nil && res.Inserted+res.Deleted > 0 {
+		// Log before publish — write-ahead. All-noop patches skip the log:
+		// they change nothing, so replay does not need them.
+		if err := ls.dur.LogPatch(p); err != nil {
+			return ApplyResult{}, fmt.Errorf("live: logging patch: %w", err)
+		}
+	}
 	ls.cur.Store(&state{epoch: s.epoch, base: s.base, delta: nd})
 	return res, nil
 }
@@ -292,7 +333,17 @@ func (ls *Store) Compact() (CompactStats, error) {
 	ls.compactions.Add(1)
 	ls.lastCompactNanos.Store(int64(dur))
 	ls.lastCompactDrained.Store(int64(drained))
-	return CompactStats{Epoch: s.epoch + 1, Drained: drained, Duration: dur, Swapped: true}, nil
+	stats := CompactStats{Epoch: s.epoch + 1, Drained: drained, Duration: dur, Swapped: true}
+	if ls.dur != nil {
+		// Persist the new base (and truncate the log) after the swap. On
+		// failure the swap stands — the in-memory state is correct and the
+		// untruncated log still replays onto the old on-disk base — so the
+		// error is reported with Swapped=true rather than rolled back.
+		if err := ls.dur.Compacted(newBase, stats.Epoch); err != nil {
+			return stats, fmt.Errorf("live: persisting compacted base: %w", err)
+		}
+	}
+	return stats, nil
 }
 
 // SetShards re-partitions the current base into n subject-hash shards (n <=

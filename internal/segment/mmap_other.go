@@ -1,0 +1,19 @@
+//go:build !unix
+
+package segment
+
+import "os"
+
+// mapping without mmap support: the file is read onto the heap. Loading
+// still skips all parsing — the byte image is identical — but pages are
+// private to the process and the whole file is resident up front.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+func mapFile(f *os.File, size int64) (mapping, error) {
+	return readFile(f, size)
+}
+
+func (m mapping) close() error { return nil }

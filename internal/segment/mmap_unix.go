@@ -1,0 +1,36 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapping is the platform handle for a loaded segment's bytes: an mmap view
+// on unix, a heap copy elsewhere (see mmap_other.go).
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// mapFile maps f read-only and shared — shared so every process serving the
+// same segment file resolves to one set of page-cache pages. A failed map
+// (e.g. a filesystem without mmap support) degrades to the heap read
+// rather than failing the boot.
+func mapFile(f *os.File, size int64) (mapping, error) {
+	if size > 0 {
+		b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+		if err == nil {
+			return mapping{data: b, mapped: true}, nil
+		}
+	}
+	return readFile(f, size)
+}
+
+func (m mapping) close() error {
+	if !m.mapped || m.data == nil {
+		return nil
+	}
+	return syscall.Munmap(m.data)
+}

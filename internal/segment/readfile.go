@@ -1,0 +1,16 @@
+package segment
+
+import (
+	"io"
+	"os"
+)
+
+// readFile is the shared heap fallback: the whole file into one allocation
+// (8-byte aligned by the allocator, which the typed views require).
+func readFile(f *os.File, size int64) (mapping, error) {
+	b := make([]byte, size)
+	if _, err := f.ReadAt(b, 0); err != nil && err != io.EOF {
+		return mapping{}, err
+	}
+	return mapping{data: b, mapped: false}, nil
+}

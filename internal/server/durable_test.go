@@ -1,0 +1,161 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/store"
+)
+
+// newDurableServer opens a durable store over a fresh data directory seeded
+// with smallStore and serves it via Config.Live/Config.Durable — the
+// hand-over path rdfserved uses with -data-dir.
+func newDurableServer(t *testing.T) (*durable.Store, *Server, *httptest.Server) {
+	t.Helper()
+	d, err := durable.Open(t.TempDir(), func() (*store.Store, error) { return smallStore(), nil }, durable.Options{})
+	if err != nil {
+		t.Fatalf("durable.Open: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	s, err := New(Config{Live: d.Live(), Durable: d})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return d, s, ts
+}
+
+func TestDurableServerStats(t *testing.T) {
+	_, _, ts := newDurableServer(t)
+
+	// The durability section appears only after the store is durable, and
+	// starts out clean: nothing replayed, empty WAL, one mapped segment.
+	code, body := get(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats = %d, body %s", code, body)
+	}
+	var st struct {
+		Durability *DurabilityStats `json:"durability"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if st.Durability == nil {
+		t.Fatal("durable server reports no durability section")
+	}
+	d := st.Durability
+	if d.WALBytes != 0 || d.ReplayedRecords != 0 {
+		t.Fatalf("fresh store: wal_bytes=%d replayed=%d, want 0/0", d.WALBytes, d.ReplayedRecords)
+	}
+	if d.SegmentBytes == 0 || d.SegmentsMapped != 1 {
+		t.Fatalf("segment_bytes=%d segments_mapped=%d, want >0/1", d.SegmentBytes, d.SegmentsMapped)
+	}
+	if d.FsyncPolicy != "always" {
+		t.Fatalf("fsync_policy = %q, want always (the zero-value default)", d.FsyncPolicy)
+	}
+
+	// An update grows the WAL; compaction persists a segment and truncates
+	// it back to zero.
+	patch := "<http://ex/dave> <http://ex/knows> <http://ex/alice> .\n"
+	resp, err := http.Post(ts.URL+"/update", "text/plain", strings.NewReader(patch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/update = %d", resp.StatusCode)
+	}
+	code, body = get(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatal(body)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Durability.WALBytes == 0 || st.Durability.WALRecords != 1 {
+		t.Fatalf("after update: wal_bytes=%d wal_records=%d, want >0/1",
+			st.Durability.WALBytes, st.Durability.WALRecords)
+	}
+	resp, err = http.Post(ts.URL+"/compact", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/compact = %d", resp.StatusCode)
+	}
+	code, body = get(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatal(body)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Durability.WALBytes != 0 {
+		t.Fatalf("after compact: wal_bytes=%d, want 0 (truncated)", st.Durability.WALBytes)
+	}
+	if st.Durability.CompactionsPersisted != 1 {
+		t.Fatalf("compactions_persisted = %d, want 1", st.Durability.CompactionsPersisted)
+	}
+}
+
+func TestDurableServerHealthz(t *testing.T) {
+	_, _, ts := newDurableServer(t)
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	var h struct {
+		Status    string `json:"status"`
+		Durable   *bool  `json:"durable"`
+		WALReplay *bool  `json:"wal_replay"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Durable == nil || !*h.Durable {
+		t.Fatalf("healthz = %s, want durable ok", body)
+	}
+	if h.WALReplay == nil || *h.WALReplay {
+		t.Fatalf("healthz = %s, want wal_replay false on a running server", body)
+	}
+}
+
+// TestInMemoryServerOmitsDurability pins the omitempty contract: servers
+// without Config.Durable must not grow a durability section.
+func TestInMemoryServerOmitsDurability(t *testing.T) {
+	_, ts := newTestServer(t, smallStore(), Config{})
+	_, body := get(t, ts.URL+"/stats")
+	if strings.Contains(body, "durability") {
+		t.Fatalf("in-memory /stats carries a durability section: %s", body)
+	}
+	_, body = get(t, ts.URL+"/healthz")
+	if strings.Contains(body, "wal_replay") {
+		t.Fatalf("in-memory /healthz carries wal_replay: %s", body)
+	}
+}
+
+// TestConfigLiveServed verifies the hand-over path serves the provided live
+// store itself — updates applied through the server are visible through the
+// original store handle (they would not be if New wrapped a copy).
+func TestConfigLiveServed(t *testing.T) {
+	d, s, ts := newDurableServer(t)
+	before := d.Live().NumTriples()
+	patch := "<http://ex/erin> <http://ex/knows> <http://ex/alice> .\n"
+	resp, err := http.Post(ts.URL+"/update", "text/plain", strings.NewReader(patch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := d.Live().NumTriples(); got != before+1 {
+		t.Fatalf("durable store saw %d triples after /update, want %d", got, before+1)
+	}
+	if s.Live() != d.Live() {
+		t.Fatal("server wrapped a different live store than Config.Live")
+	}
+}

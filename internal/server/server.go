@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/engines"
 	"repro/internal/live"
@@ -68,8 +69,20 @@ import (
 // Config parameterizes a Server. The zero value of every field gets a
 // sensible default from New.
 type Config struct {
-	// Store is the loaded dataset; required.
+	// Store is the loaded dataset; required unless Live is set.
 	Store *store.Store
+	// Live, when set, is served directly instead of wrapping Store in a
+	// fresh live.Store — the handing-over path for stores that carry state
+	// the server must not discard (a durable store's WAL-replayed delta
+	// overlay, a pre-partitioned shard set). Shards is ignored in this
+	// mode: partitioning is the caller's boot-time decision.
+	Live *live.Store
+	// Durable, when set, is the durability stack behind Live (WAL +
+	// segment files); /stats then reports its counters under "durability"
+	// and /healthz marks the store durable. It must wrap the same store as
+	// Live. Serving does not require it: a durable store works through
+	// Live alone, just without the introspection.
+	Durable *durable.Store
 	// DefaultEngine answers requests without ?engine=. Default
 	// "emptyheaded".
 	DefaultEngine string
@@ -168,8 +181,8 @@ func knownEngine(name string) bool {
 
 // New validates cfg, applies defaults, and returns a ready Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Store == nil {
-		return nil, errors.New("server: Config.Store is required")
+	if cfg.Store == nil && cfg.Live == nil {
+		return nil, errors.New("server: Config.Store or Config.Live is required")
 	}
 	if cfg.DefaultEngine == "" {
 		cfg.DefaultEngine = "emptyheaded"
@@ -177,9 +190,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("server: Config.Shards must be >= 0, got %d", cfg.Shards)
 	}
-	ls, err := live.NewStore(cfg.Store, live.Options{Shards: cfg.Shards})
-	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
+	ls := cfg.Live
+	if ls == nil {
+		var err error
+		ls, err = live.NewStore(cfg.Store, live.Options{Shards: cfg.Shards})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
 	}
 	if cfg.PlanCacheSize <= 0 {
 		cfg.PlanCacheSize = 256
@@ -828,13 +845,21 @@ func (s *Server) compactNow() (live.CompactStats, error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.ls.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	resp := map[string]any{
 		"status":  "ok",
 		"triples": st.OverlayTriples,
 		"terms":   st.Terms,
 		"epoch":   st.Epoch,
-	})
+	}
+	if s.cfg.Durable != nil {
+		// A constructed server has finished boot replay by definition; the
+		// true counterpart is served by rdfserved's boot handler, which
+		// answers 503 {"wal_replay":true} until the durable store is open.
+		resp["durable"] = true
+		resp["wal_replay"] = false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // Stats snapshots the server's counters (also served at /stats).
@@ -857,6 +882,25 @@ func (s *Server) Stats() Stats {
 			sharding.MergeRowsDelivered[i] = sh.Delivered
 		}
 	}
+	var durability *DurabilityStats
+	if s.cfg.Durable != nil {
+		ds := s.cfg.Durable.Stats()
+		durability = &DurabilityStats{
+			FsyncPolicy:          ds.WAL.Policy.String(),
+			WALBytes:             ds.WAL.Bytes,
+			WALRecords:           ds.WAL.Records,
+			WALSyncs:             ds.WAL.Syncs,
+			LastFsyncMs:          ms(ds.WAL.LastSyncAge),
+			ReplayedRecords:      ds.ReplayedRecords,
+			ReplayedOps:          ds.ReplayedOps,
+			TornBytesTruncated:   ds.TornBytes,
+			CleanShutdown:        ds.CleanShutdown,
+			SegmentBytes:         ds.SegmentBytes,
+			SegmentsMapped:       ds.SegmentsMapped,
+			Mmap:                 ds.Mapped,
+			CompactionsPersisted: ds.CompactionsPersisted,
+		}
+	}
 	lst := s.ls.Stats()
 	return Stats{
 		UptimeSeconds:    time.Since(s.start).Seconds(),
@@ -875,6 +919,7 @@ func (s *Server) Stats() Stats {
 		PlanCache:        s.cache.stats(),
 		Latency:          lat,
 		Sharding:         sharding,
+		Durability:       durability,
 		Live: &LiveStats{
 			Epoch:              lst.Epoch,
 			BaseTriples:        lst.BaseTriples,

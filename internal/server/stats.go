@@ -61,6 +61,41 @@ type ShardingStats struct {
 	MergeRowsDelivered []int64 `json:"merge_rows_delivered"`
 }
 
+// DurabilityStats reports the storage engine behind a durable server: the
+// write-ahead log's size and fsync activity, what boot-time recovery found,
+// and the mmap'd base segment (internal/durable).
+type DurabilityStats struct {
+	// FsyncPolicy is the log's sync policy in -fsync flag syntax:
+	// "always", "off", or a group-commit interval like "50ms".
+	FsyncPolicy string `json:"fsync_policy"`
+	// WALBytes is the current log file size; it returns to zero when a
+	// compaction persists its segment and truncates the log.
+	WALBytes int64 `json:"wal_bytes"`
+	// WALRecords counts patch records appended by this process (boot-time
+	// replays are under ReplayedRecords instead).
+	WALRecords uint64 `json:"wal_records"`
+	// WALSyncs counts fsyncs issued; LastFsyncMs is the age of the newest.
+	WALSyncs    uint64  `json:"wal_syncs"`
+	LastFsyncMs float64 `json:"last_fsync_ms"`
+	// ReplayedRecords/ReplayedOps describe boot-time WAL recovery;
+	// TornBytesTruncated is how much torn tail it cut off the log.
+	ReplayedRecords    int   `json:"replayed_records"`
+	ReplayedOps        int   `json:"replayed_ops"`
+	TornBytesTruncated int64 `json:"torn_bytes_truncated"`
+	// CleanShutdown reports whether the log ended with a seal record at
+	// boot (false after a crash).
+	CleanShutdown bool `json:"clean_shutdown"`
+	// SegmentBytes is the base segment file's size; SegmentsMapped counts
+	// open mappings (superseded segments stay mapped until shutdown
+	// because pinned cursors may still read them); Mmap is false when the
+	// platform fell back to heap reads.
+	SegmentBytes   int64 `json:"segment_bytes"`
+	SegmentsMapped int   `json:"segments_mapped"`
+	Mmap           bool  `json:"mmap"`
+	// CompactionsPersisted counts segment files written by this process.
+	CompactionsPersisted uint64 `json:"compactions_persisted"`
+}
+
 // LiveStats reports the write path: delta overlay sizes, the epoch counter,
 // and compaction activity (internal/live).
 type LiveStats struct {
@@ -122,6 +157,8 @@ type Stats struct {
 	// Sharding is present only when the server partitioned its store
 	// (Config.Shards > 1).
 	Sharding *ShardingStats `json:"sharding,omitempty"`
+	// Durability is present only on durable servers (Config.Durable).
+	Durability *DurabilityStats `json:"durability,omitempty"`
 	// Live reports the write path: delta sizes, epoch, compactions.
 	Live *LiveStats `json:"live,omitempty"`
 }

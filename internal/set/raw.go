@@ -1,0 +1,35 @@
+package set
+
+// Raw arena access for serialization (internal/segment). These expose the
+// backing slices a set views so the segment writer can persist whole trie
+// arenas verbatim, and the matching ranked constructor lets the loader
+// rebuild headers over read-only (mmap'd) arenas without recomputing — or
+// writing — anything.
+
+// RawSortedValues returns the backing slice of a UintArray set (nil for
+// other layouts). The caller must not mutate it.
+func (s *Set) RawSortedValues() []uint32 {
+	if s.layout != UintArray {
+		return nil
+	}
+	return s.vals
+}
+
+// RawBitset returns the backing words, rank directory, and base of a Bitset
+// set (nil slices for other layouts). The caller must not mutate them.
+func (s *Set) RawBitset() (words []uint64, ranks []int32, base uint32) {
+	if s.layout != Bitset {
+		return nil, nil, 0
+	}
+	return s.words, s.ranks, s.base
+}
+
+// InitBitsetRanked initializes dst like InitBitset but trusts the provided
+// rank directory instead of recomputing it. InitBitset writes ranks, which
+// faults on a read-only mapping; segment loading therefore persists the
+// directory alongside the words and reconstructs headers with this
+// constructor. All invariants of InitBitset apply; ranks must be the
+// directory InitBitset would compute.
+func InitBitsetRanked(dst *Set, words []uint64, ranks []int32, base uint32, card int) {
+	*dst = Set{layout: Bitset, words: words, ranks: ranks, base: base, card: card}
+}

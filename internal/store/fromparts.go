@@ -1,0 +1,56 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/set"
+	"repro/internal/trie"
+)
+
+// RelationData is the pre-assembled image of one predicate relation used by
+// FromParts: columns, statistics, and optionally prebuilt PolicyAuto tries.
+// internal/segment produces these from mmap'd arenas.
+type RelationData struct {
+	Predicate dict.ID
+	// S and O are the parallel columns (may be read-only mmap views).
+	S, O []uint32
+	// DistinctS and DistinctO are the precomputed statistics; assemble's
+	// radix pass is skipped entirely.
+	DistinctS, DistinctO int
+	// SO and OS, when non-nil, pre-populate the PolicyAuto trie cache so
+	// first query never pays a build.
+	SO, OS *trie.Trie
+}
+
+// FromParts assembles a Store from pre-built components without the
+// statistics pass or any column copying — the segment loading path: every
+// slice may be a view into a read-only mapping, and the tries are the
+// deserialized flat arenas. Triples must be deduplicated and each relation's
+// columns must list exactly its triples' rows, as a parent Store's would.
+func FromParts(d *dict.Dictionary, triples []Triple, rels []RelationData) *Store {
+	st := &Store{
+		dict:      d,
+		relations: make(map[dict.ID]*Relation, len(rels)),
+		triples:   triples,
+	}
+	for _, rd := range rels {
+		rel := &Relation{
+			Predicate: rd.Predicate,
+			S:         rd.S,
+			O:         rd.O,
+			distinctS: rd.DistinctS,
+			distinctO: rd.DistinctO,
+		}
+		if rd.SO != nil {
+			rel.so[policyIdx(set.PolicyAuto)].v.Store(rd.SO)
+		}
+		if rd.OS != nil {
+			rel.os[policyIdx(set.PolicyAuto)].v.Store(rd.OS)
+		}
+		st.relations[rd.Predicate] = rel
+		st.predicates = append(st.predicates, rd.Predicate)
+	}
+	sort.Slice(st.predicates, func(i, j int) bool { return st.predicates[i] < st.predicates[j] })
+	return st
+}

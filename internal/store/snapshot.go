@@ -3,10 +3,12 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/dict"
 	"repro/internal/rdf"
@@ -132,11 +134,24 @@ func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	// Best-effort directory sync so the rename itself is durable; some
-	// filesystems do not support fsync on directories, which is fine.
-	if d, derr := os.Open(dir); derr == nil {
-		d.Sync()
-		d.Close()
+	// The rename itself is only durable once the directory entry is
+	// fsynced; without it a power loss can roll path back to the old file
+	// (or to nothing) even though the data blocks survived.
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so preceding renames and creates in it survive
+// power loss. Filesystems that do not support fsync on directories
+// (returning EINVAL/ENOTSUP) are treated as success — there is nothing more
+// the caller can do there — but real I/O errors are reported.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("store: fsync %s: %w", dir, err)
 	}
 	return nil
 }

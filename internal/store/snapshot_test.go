@@ -2,6 +2,10 @@ package store
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -86,6 +90,80 @@ func TestSnapshotRejectsGarbage(t *testing.T) {
 		if _, err := ReadSnapshot(strings.NewReader(c)); err == nil {
 			t.Errorf("garbage %q accepted", c)
 		}
+	}
+}
+
+// TestSnapshotFileRoundTrip covers the on-disk atomic write path end to
+// end: WriteSnapshotFile → ReadSnapshot through a real file, including the
+// rename-durability step (the parent-directory fsync inside
+// AtomicWriteFile — its error is propagated, not swallowed; without it a
+// power loss can undo the rename after the call reported success).
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	orig := FromTriples([]rdf.Triple{
+		tr("s1", "p1", "o1"),
+		tr("s2", "p1", "o2"),
+		{S: rdf.NewIRI("s1"), P: rdf.NewIRI("name"), O: rdf.NewLiteral("Alice")},
+	})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.snap")
+	if err := orig.WriteSnapshotFile(path); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	// Overwrite in place: the atomic rename must replace, never corrupt.
+	if err := orig.WriteSnapshotFile(path); err != nil {
+		t.Fatalf("second WriteSnapshotFile: %v", err)
+	}
+	// No temp-file litter may survive a successful write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "data.snap" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only data.snap", names)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadSnapshot(f)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if got.NumTriples() != orig.NumTriples() || got.Dict().Size() != orig.Dict().Size() {
+		t.Fatal("file round trip size mismatch")
+	}
+}
+
+func TestAtomicWriteFileCleansUpOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out")
+	boom := errors.New("boom")
+	if err := AtomicWriteFile(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("failed write left the destination file behind")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("failed write left %d temp files behind", len(ents))
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("SyncDir on a missing directory reported success")
 	}
 }
 

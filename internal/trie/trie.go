@@ -33,10 +33,43 @@ package trie
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/radix"
 	"repro/internal/set"
 )
+
+// buildScratch holds BuildFromColumns's transient buffers: the radix-sort
+// scratch, the row permutation, and the two alternating node-bounds arrays.
+// None of them survive the build, so they are pooled — a compaction rebuilds
+// every relation's tries back to back, and at LUBM scale each build would
+// otherwise re-allocate megabytes of scratch that the previous one just
+// dropped. The retained arenas (start/vals/words/ranks) are sized exactly
+// per trie and are not poolable.
+type buildScratch struct {
+	radix  radix.Scratch
+	perm   []uint32
+	bounds [2][]int32
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+// permBuf returns the permutation buffer resized to n (contents undefined).
+func (s *buildScratch) permBuf(n int) []uint32 {
+	if cap(s.perm) < n {
+		s.perm = make([]uint32, n)
+	}
+	return s.perm[:n]
+}
+
+// boundsBuf returns bounds buffer which resized to n (contents undefined —
+// every caller fully overwrites it).
+func (s *buildScratch) boundsBuf(which, n int) []int32 {
+	if cap(s.bounds[which]) < n {
+		s.bounds[which] = make([]int32, n)
+	}
+	return s.bounds[which][:n]
+}
 
 // level is one attribute's arena group. See the package comment for the
 // layout contract.
@@ -155,16 +188,19 @@ func BuildFromColumns(cols [][]uint32, policy set.Policy) *Trie {
 		return t
 	}
 
-	var scratch radix.Scratch
-	perm := make([]uint32, n)
+	sc := buildPool.Get().(*buildScratch)
+	defer buildPool.Put(sc)
+	perm := sc.permBuf(n)
 	for i := range perm {
 		perm[i] = uint32(i)
 	}
-	scratch.SortPermByColumns(cols, perm)
+	sc.radix.SortPermByColumns(cols, perm)
 
 	// bounds[g]..bounds[g+1] is the sorted-row range of the current level's
-	// g-th node. The root level sees every row.
-	bounds := []int32{0, int32(n)}
+	// g-th node. The root level sees every row. The two bounds buffers
+	// alternate per level (level l reads one while writing the other).
+	bounds := sc.boundsBuf(0, 2)
+	bounds[0], bounds[1] = 0, int32(n)
 	for l := 0; l < arity; l++ {
 		col := cols[l]
 		nodes := len(bounds) - 1
@@ -204,7 +240,7 @@ func BuildFromColumns(cols [][]uint32, policy set.Policy) *Trie {
 		}
 		var newBounds []int32
 		if !leaf {
-			newBounds = make([]int32, total+1)
+			newBounds = sc.boundsBuf((l+1)&1, total+1)
 		}
 
 		// Pass B: emit each node's set into the arenas and record where

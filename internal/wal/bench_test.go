@@ -1,0 +1,45 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkWALAppend measures one-patch append latency per fsync policy —
+// the per-update durability tax the server pays under -fsync=always versus
+// group commit versus none.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, pol := range []Policy{
+		{Mode: SyncAlways},
+		{Mode: SyncInterval, Interval: 10_000_000}, // 10ms group commit
+		{Mode: SyncOff},
+	} {
+		b.Run(pol.Mode.String(), func(b *testing.B) {
+			l, _, err := Open(filepath.Join(b.TempDir(), "wal"), pol, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			batch := testBatchB()
+			var bytes int64
+			for _, op := range batch.Ops {
+				bytes += int64(len(op.Triple.S.Value) + len(op.Triple.P.Value) + len(op.Triple.O.Value))
+			}
+			b.SetBytes(bytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.AppendPatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func testBatchB() Batch {
+	var b Batch
+	for i := 0; i < 8; i++ {
+		b.Ops = append(b.Ops, Op{Triple: testBatch(i).Ops[0].Triple})
+	}
+	return b
+}

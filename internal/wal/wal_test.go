@@ -1,0 +1,361 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI(s) }
+
+func testBatch(i int) Batch {
+	return Batch{Ops: []Op{
+		{Triple: rdf.Triple{
+			S: iri("http://example.org/s" + string(rune('a'+i%26))),
+			P: iri("http://example.org/p"),
+			O: rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"),
+		}},
+		{Delete: true, Triple: rdf.Triple{
+			S: rdf.NewBlank("b1"),
+			P: iri("http://example.org/q"),
+			O: rdf.NewLangLiteral("hallo", "de"),
+		}},
+	}}
+}
+
+func openCollect(t *testing.T, path string, pol Policy) (*Log, RecoverInfo, []Batch) {
+	t.Helper()
+	var got []Batch
+	l, info, err := Open(path, pol, func(b Batch) error {
+		got = append(got, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return l, info, got
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, info, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	if info.Records != 0 || info.TornBytes != 0 {
+		t.Fatalf("fresh log recovered %+v", info)
+	}
+	var want []Batch
+	for i := 0; i < 10; i++ {
+		b := testBatch(i)
+		want = append(want, b)
+		if err := l.AppendPatch(b); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, info, got := openCollect(t, path, Policy{Mode: SyncAlways})
+	defer l2.Close()
+	if info.Records != 10 || info.Ops != 20 {
+		t.Fatalf("recovered %+v, want 10 records / 20 ops", info)
+	}
+	if !info.Sealed {
+		t.Fatal("clean close not reported as sealed")
+	}
+	if info.TornBytes != 0 {
+		t.Fatalf("clean log reported %d torn bytes", info.TornBytes)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed batches differ:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestUnsealedAfterCrash(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	if err := l.AppendPatch(testBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: drop the Log without Close, reopen the file.
+	l.f.Close()
+
+	l2, info, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	defer l2.Close()
+	if info.Sealed {
+		t.Fatal("crashed log reported as sealed")
+	}
+	if info.Records != 1 {
+		t.Fatalf("recovered %d records, want 1", info.Records)
+	}
+}
+
+// TestTornTailTruncated covers the mid-record crash: the file ends inside a
+// frame. Recovery must keep every complete record and truncate the rest.
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	for i := 0; i < 5; i++ {
+		if err := l.AppendPatch(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.f.Close()
+
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file 3 bytes into the last frame's payload.
+	frames := frameOffsets(t, full)
+	cut := frames[len(frames)-1] + frameHeaderSize + 3
+	if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, info, got := openCollect(t, path, Policy{Mode: SyncAlways})
+	if info.Records != 4 {
+		t.Fatalf("recovered %d records, want 4", info.Records)
+	}
+	if info.TornBytes != cut-frames[len(frames)-1] {
+		t.Fatalf("TornBytes = %d, want %d", info.TornBytes, cut-frames[len(frames)-1])
+	}
+	if len(got) != 4 {
+		t.Fatalf("replayed %d batches, want 4", len(got))
+	}
+	// The torn tail must be gone from disk and appends must resume cleanly.
+	if st, _ := os.Stat(path); st.Size() != frames[len(frames)-1] {
+		t.Fatalf("file size %d after truncation, want %d", st.Size(), frames[len(frames)-1])
+	}
+	if err := l2.AppendPatch(testBatch(9)); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	l3, info, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	defer l3.Close()
+	if info.Records != 5 || info.TornBytes != 0 {
+		t.Fatalf("after resumed append: %+v, want 5 clean records", info)
+	}
+}
+
+// TestCorruptCRCTruncated covers bit rot / partial page write inside an
+// earlier frame boundary: a frame whose payload no longer matches its CRC
+// ends the valid prefix.
+func TestCorruptCRCTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	for i := 0; i < 5; i++ {
+		if err := l.AppendPatch(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.f.Close()
+
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := frameOffsets(t, full)
+	// Flip a payload byte of the 4th frame (index 3): frames 0-2 survive,
+	// 3 and everything after are dropped.
+	full[frames[3]+frameHeaderSize+1] ^= 0xFF
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, info, got := openCollect(t, path, Policy{Mode: SyncAlways})
+	defer l2.Close()
+	if info.Records != 3 || len(got) != 3 {
+		t.Fatalf("recovered %d records (%d replayed), want 3", info.Records, len(got))
+	}
+	if st, _ := os.Stat(path); st.Size() != frames[3] {
+		t.Fatalf("file size %d, want truncation to %d", st.Size(), frames[3])
+	}
+}
+
+// TestImplausibleLength covers a corrupted length field pointing past the
+// end of the file (or at an absurd size) — it must not allocate gigabytes
+// or error out, just end the valid prefix.
+func TestImplausibleLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	if err := l.AppendPatch(testBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	l.f.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1<<30)
+	f.Write(hdr[:])
+	f.Write([]byte("short"))
+	f.Close()
+
+	l2, info, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	defer l2.Close()
+	if info.Records != 1 {
+		t.Fatalf("recovered %d records, want 1", info.Records)
+	}
+	if info.TornBytes != frameHeaderSize+5 {
+		t.Fatalf("TornBytes = %d, want %d", info.TornBytes, frameHeaderSize+5)
+	}
+}
+
+func TestReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	for i := 0; i < 3; i++ {
+		if err := l.AppendPatch(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if st := l.Stats(); st.Bytes != 0 {
+		t.Fatalf("Bytes = %d after Reset, want 0", st.Bytes)
+	}
+	if err := l.AppendPatch(testBatch(7)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, info, got := openCollect(t, path, Policy{Mode: SyncAlways})
+	defer l2.Close()
+	if info.Records != 1 || len(got) != 1 {
+		t.Fatalf("recovered %d records after reset, want 1", info.Records)
+	}
+	if !reflect.DeepEqual(got[0], testBatch(7)) {
+		t.Fatal("post-reset record mismatch")
+	}
+}
+
+func TestReplayErrorAbortsOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	l.AppendPatch(testBatch(0))
+	l.Close()
+
+	_, _, err := Open(path, Policy{Mode: SyncAlways}, func(Batch) error {
+		return os.ErrInvalid
+	})
+	if err == nil {
+		t.Fatal("Open swallowed the replay error")
+	}
+}
+
+func TestIntervalPolicySyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncInterval, Interval: 5 * time.Millisecond})
+	if err := l.AppendPatch(testBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Syncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("group-commit flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+}
+
+func TestStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	defer l.Close()
+	l.AppendPatch(testBatch(0))
+	st := l.Stats()
+	if st.Records != 1 {
+		t.Fatalf("Records = %d, want 1", st.Records)
+	}
+	if st.Bytes <= frameHeaderSize {
+		t.Fatalf("Bytes = %d, want > header size", st.Bytes)
+	}
+	if st.Syncs == 0 || st.LastSyncAge <= 0 {
+		t.Fatalf("SyncAlways append left Syncs=%d LastSyncAge=%v", st.Syncs, st.LastSyncAge)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		err  bool
+	}{
+		{in: "always", want: Policy{Mode: SyncAlways}},
+		{in: "", want: Policy{Mode: SyncAlways}},
+		{in: "off", want: Policy{Mode: SyncOff}},
+		{in: "100ms", want: Policy{Mode: SyncInterval, Interval: 100 * time.Millisecond}},
+		{in: "bogus", err: true},
+		{in: "-5s", err: true},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if c.err != (err != nil) {
+			t.Errorf("ParsePolicy(%q) error = %v, want error=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParsePolicy(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeOpCount(t *testing.T) {
+	// A payload claiming 2^40 ops in 4 bytes must be rejected, not
+	// allocated.
+	p := binary.AppendUvarint(nil, 1<<40)
+	if _, err := decodeBatch(p); err == nil {
+		t.Fatal("huge op count accepted")
+	}
+}
+
+// frameOffsets walks the framing of a raw log image and returns each
+// frame's starting offset.
+func frameOffsets(t *testing.T, p []byte) []int64 {
+	t.Helper()
+	var offs []int64
+	var off int64
+	for off < int64(len(p)) {
+		if int64(len(p))-off < frameHeaderSize {
+			t.Fatalf("short header at %d", off)
+		}
+		length := binary.LittleEndian.Uint32(p[off : off+4])
+		sum := binary.LittleEndian.Uint32(p[off+4 : off+8])
+		end := off + frameHeaderSize + int64(length)
+		if end > int64(len(p)) {
+			t.Fatalf("frame at %d overruns file", off)
+		}
+		if crc32.Checksum(p[off+frameHeaderSize:end], crcTable) != sum {
+			t.Fatalf("bad CRC at %d", off)
+		}
+		offs = append(offs, off)
+		off = end
+	}
+	return offs
+}
+
+func TestEncodeDecodeEmptyBatch(t *testing.T) {
+	enc := encodeBatch(Batch{})
+	got, err := decodeBatch(enc[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != 0 {
+		t.Fatalf("decoded %d ops from empty batch", len(got.Ops))
+	}
+	if !bytes.Equal(enc, []byte{recPatch, 0}) {
+		t.Fatalf("empty batch encoding = %x", enc)
+	}
+}

@@ -5,6 +5,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/durable"
+	"repro/internal/lubm"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // snapshotMagic is the 8-byte header of the binary snapshot format (see
@@ -12,24 +18,49 @@ import (
 // format.
 const snapshotMagic = "RDFSNAP1"
 
+// loadStore reads a store from r, sniffing the format: binary snapshots by
+// their magic header, anything else as N-Triples.
+func loadStore(r io.Reader) (*store.Store, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, _ := br.Peek(len(snapshotMagic))
+	if string(head) == snapshotMagic {
+		return store.ReadSnapshot(br)
+	}
+	b := store.NewBuilder()
+	rd := rdf.NewReader(br)
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.Add(t)
+	}
+	return b.Build(), nil
+}
+
 // LoadDataset reads a dataset from r, sniffing the format: binary snapshots
 // (written by WriteSnapshot or cmd/lubmgen) are recognized by their magic
 // header, anything else is parsed as N-Triples. This is the shared loading
 // path of cmd/rdfq and cmd/rdfserved.
 func LoadDataset(r io.Reader) (*Dataset, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	head, _ := br.Peek(len(snapshotMagic))
-	if string(head) == snapshotMagic {
-		return LoadSnapshot(br)
+	st, err := loadStore(r)
+	if err != nil {
+		return nil, err
 	}
-	return LoadNTriples(br)
+	return newDataset(st), nil
 }
 
 // DatasetOption customizes OpenDataset.
 type DatasetOption func(*datasetOptions)
 
 type datasetOptions struct {
-	shards int
+	shards   int
+	dataDir  string
+	fsync    string
+	lubmUniv int
 }
 
 // WithShards partitions the loaded dataset into n subject-hash shards (see
@@ -38,12 +69,46 @@ func WithShards(n int) DatasetOption {
 	return func(o *datasetOptions) { o.shards = n }
 }
 
+// WithDataDir makes the dataset durable, bound to the data directory at
+// dir (see internal/durable): when the directory already holds a base
+// segment, it is mmap'd and the write-ahead log's surviving patches are
+// replayed over it — the input file is then ignored entirely (the segment
+// is the newer truth, and loading it skips parsing, dictionary encoding,
+// and index building). Only on first boot does the input seed the
+// directory; OpenDataset then accepts an empty path, meaning start empty.
+// All later Insert/Delete/ApplyPatch calls are logged before they publish,
+// and every Compact persists a fresh segment; call Dataset.Close on
+// shutdown to seal the log.
+func WithDataDir(dir string) DatasetOption {
+	return func(o *datasetOptions) { o.dataDir = dir }
+}
+
+// WithFsync sets the durable write-ahead log's sync policy: "always"
+// (default — every applied patch is on disk before the call returns),
+// "off" (the OS decides), or a Go duration like "50ms" (group commit at
+// that interval). Only meaningful together with WithDataDir.
+func WithFsync(policy string) DatasetOption {
+	return func(o *datasetOptions) { o.fsync = policy }
+}
+
+// WithLUBM seeds a first-boot durable data directory by generating the
+// LUBM benchmark dataset at the given scale instead of reading the input
+// file. Ignored once the directory is initialized. Only meaningful
+// together with WithDataDir (without one, use GenerateLUBM).
+func WithLUBM(universities int) DatasetOption {
+	return func(o *datasetOptions) { o.lubmUniv = universities }
+}
+
 // OpenDataset opens the file at path, loads it with LoadDataset, and
-// applies the options (e.g. WithShards).
+// applies the options. With WithDataDir the dataset is durable and path is
+// only the first boot's seed — see WithDataDir.
 func OpenDataset(path string, opts ...DatasetOption) (*Dataset, error) {
 	var o datasetOptions
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.dataDir != "" {
+		return openDurable(path, o)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -60,4 +125,39 @@ func OpenDataset(path string, opts ...DatasetOption) (*Dataset, error) {
 		}
 	}
 	return ds, nil
+}
+
+// openDurable opens (or initializes) the durable data directory. The
+// bootstrap closure runs only when the directory holds no segment yet.
+func openDurable(path string, o datasetOptions) (*Dataset, error) {
+	pol, err := wal.ParsePolicy(o.fsync)
+	if err != nil {
+		return nil, err
+	}
+	bootstrap := func() (*store.Store, error) {
+		switch {
+		case o.lubmUniv > 0:
+			b := store.NewBuilder()
+			lubm.GenerateTo(lubm.Config{Universities: o.lubmUniv}, b.Add)
+			return b.Build(), nil
+		case path != "":
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			st, err := loadStore(f)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			return st, nil
+		default:
+			return store.FromTriples(nil), nil
+		}
+	}
+	d, err := durable.Open(o.dataDir, bootstrap, durable.Options{Fsync: pol, Shards: o.shards})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ls: d.Live(), dur: d}, nil
 }

@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/engine/logicblox"
 	"repro/internal/engine/monetdb"
@@ -84,9 +85,13 @@ var NoOptimizations = core.NoOptimizations
 // (internal/live), so it accepts inserts and deletes while existing engines
 // keep serving. It is optionally partitioned into subject-hash shards
 // (Partition / OpenDataset's WithShards), in which case NewEngineByName
-// returns scatter-gather engines over the shard set.
+// returns scatter-gather engines over the shard set. Opened with
+// WithDataDir it is durable: updates flow through a write-ahead log and
+// compactions persist mmap-able segment files (internal/durable); call
+// Close on shutdown to seal the log.
 type Dataset struct {
-	ls *live.Store
+	ls  *live.Store
+	dur *durable.Store // nil unless opened with WithDataDir
 }
 
 func newDataset(st *store.Store) *Dataset {
@@ -181,6 +186,22 @@ func (d *Dataset) Store() *store.Store { return d.ls.Base() }
 // Live exposes the underlying live store (epoch, delta and compaction
 // introspection beyond the convenience methods below).
 func (d *Dataset) Live() *live.Store { return d.ls }
+
+// Durable exposes the durability stack behind a dataset opened with
+// WithDataDir — WAL and segment introspection (internal/durable.Stats) and
+// the data directory path. Nil for in-memory datasets.
+func (d *Dataset) Durable() *durable.Store { return d.dur }
+
+// Close releases the dataset's durable resources: it seals the write-ahead
+// log (the clean-shutdown marker boot recovery looks for) and unmaps the
+// segment files. A no-op for in-memory datasets; the dataset must not be
+// used afterwards if it was durable.
+func (d *Dataset) Close() error {
+	if d.dur == nil {
+		return nil
+	}
+	return d.dur.Close()
+}
 
 // Insert adds triples to the dataset while existing engines keep serving;
 // it returns how many were actually absent before. Engines created with
