@@ -75,6 +75,7 @@ func Open(dir string, bootstrap func() (*store.Store, error), opts Options) (*St
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	sweepTempFiles(dir)
 	segPath := filepath.Join(dir, SegmentName)
 	d := &Store{dir: dir}
 
@@ -130,6 +131,21 @@ func Open(dir string, bootstrap func() (*store.Store, error), opts Options) (*St
 	return d, nil
 }
 
+// sweepTempFiles removes segment temp files orphaned by a crash between
+// segment.Write's CreateTemp and its rename. Best effort: a leftover tmp is
+// dead weight (the rename never happened, so no state references it), and
+// without the sweep repeated crash/compaction cycles would accumulate
+// segment-sized corpses in the data directory.
+func sweepTempFiles(dir string) {
+	matches, err := filepath.Glob(filepath.Join(dir, SegmentName+".tmp*"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}
+
 // Live returns the underlying live store.
 func (d *Store) Live() *live.Store { return d.ls }
 
@@ -149,6 +165,15 @@ func (d *Store) LogPatch(p live.Patch) error {
 // segment, and only after it is durably in place truncate the log. On
 // segment-write failure the log is left intact — the previous segment plus
 // the log still reconstructs the current overlay.
+//
+// Write stall: this runs under live.Store's write mutex (Compact holds it
+// across the hook), so every Apply/Insert/Delete blocks for the segment
+// serialization + fsync. That is what keeps compact-then-truncate simple —
+// no patch can slip into the log between the swap and the Reset, so a full
+// truncation is always safe. Moving the write off the lock needs WAL
+// rotation (per-epoch log files replayed in order at boot); until write
+// stalls show up in practice, run compactions off-peak or at a cadence
+// where a segment fsync per compaction is acceptable.
 func (d *Store) Compacted(base *store.Store, epoch uint64) error {
 	segPath := filepath.Join(d.dir, SegmentName)
 	if err := segment.Write(segPath, base); err != nil {

@@ -443,3 +443,26 @@ func TestShardedDurable(t *testing.T) {
 	}
 	conformance(t, d2.Live())
 }
+
+// A crash between segment.Write's CreateTemp and its rename leaves a
+// base.seg.tmp* corpse; Open must sweep it so crash/compaction cycles do
+// not accumulate dead segment-sized files.
+func TestOpenSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	d := openDigraph(t, dir, 8, wal.Policy{Mode: wal.SyncAlways})
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, durable.SegmentName+".tmp1234567")
+	if err := os.WriteFile(stale, []byte("orphaned by a crash"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openDigraph(t, dir, 8, wal.Policy{Mode: wal.SyncAlways})
+	defer d2.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived Open: stat err = %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, durable.SegmentName)); err != nil {
+		t.Fatalf("real segment touched by sweep: %v", err)
+	}
+}

@@ -312,7 +312,10 @@ type CompactStats struct {
 // Queries running during the compaction keep their pinned state and are
 // never blocked or invalidated; new queries pick up the new epoch on their
 // next Open. An empty delta is a no-op. Writers are serialized with the
-// compaction (an Apply issued mid-compaction waits for the swap).
+// compaction (an Apply issued mid-compaction waits for the swap); on a
+// durable store that includes persisting the new base — segment write +
+// fsync + log truncation — so writes stall for the full persistence step
+// (see durable.Store.Compacted for why and for the escape hatch).
 func (ls *Store) Compact() (CompactStats, error) {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()

@@ -26,7 +26,13 @@
 // mismatch — and truncates the file back to the last valid frame boundary:
 // a crash mid-append (or a partially synced page) costs exactly the records
 // that were never durable, never the whole log. Appends resume at the
-// truncation point.
+// truncation point. Only running off the end of the data counts as torn; a
+// real read error (transient I/O fault) aborts Open instead of truncating,
+// so a recoverable failure at boot can never delete a valid log suffix.
+// The same invariant is defended on the write side: a failed append
+// truncates the partial frame back out before the log accepts more
+// records, and if that repair fails the log latches (ErrFailed) rather
+// than let acknowledged records sit behind garbage.
 //
 // # Sync policy
 //
@@ -143,6 +149,7 @@ type Log struct {
 	dirty  bool  // bytes written since the last fsync
 	sealed bool
 	closed bool
+	failed bool // a write error left an unrepaired partial frame; appends rejected
 
 	records  atomic.Uint64 // patch records appended this process (excludes replayed)
 	bytes    atomic.Int64  // current log size, mirrored for lock-free stats
@@ -166,7 +173,12 @@ func Open(path string, pol Policy, replay func(Batch) error) (*Log, RecoverInfo,
 	if err != nil {
 		return nil, RecoverInfo{}, err
 	}
-	info, valid, err := scan(f, replay)
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, RecoverInfo{}, err
+	}
+	info, valid, err := scan(f, st.Size(), replay)
 	if err != nil {
 		f.Close()
 		return nil, RecoverInfo{}, err
@@ -195,23 +207,24 @@ func Open(path string, pol Policy, replay func(Batch) error) (*Log, RecoverInfo,
 	return l, info, nil
 }
 
-// scan reads frames from the start of f, replaying patch records, and
-// returns the recovery info plus the offset of the first invalid byte (the
-// truncation point).
-func scan(f *os.File, replay func(Batch) error) (RecoverInfo, int64, error) {
-	st, err := f.Stat()
-	if err != nil {
-		return RecoverInfo{}, 0, err
-	}
-	total := st.Size()
-	r := io.NewSectionReader(f, 0, total)
+// scan reads frames from the start of src (total bytes long), replaying
+// patch records, and returns the recovery info plus the offset of the first
+// invalid byte (the truncation point). Only running off the end of the data
+// — io.EOF / io.ErrUnexpectedEOF — counts as a torn tail; any other read
+// error is a real I/O failure and aborts the scan, so a transient fault at
+// boot never truncates a valid log suffix.
+func scan(src io.ReaderAt, total int64, replay func(Batch) error) (RecoverInfo, int64, error) {
+	r := io.NewSectionReader(src, 0, total)
 	var info RecoverInfo
 	var valid int64
 	var hdr [frameHeaderSize]byte
 	var payload []byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			break // EOF or short header: tail ends here
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // end of data or short header: tail ends here
+			}
+			return info, valid, fmt.Errorf("wal: reading frame header at offset %d: %w", valid, err)
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
@@ -223,7 +236,10 @@ func scan(f *os.File, replay func(Batch) error) (RecoverInfo, int64, error) {
 		}
 		payload = payload[:length]
 		if _, err := io.ReadFull(r, payload); err != nil {
-			break
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // payload cut off: torn tail
+			}
+			return info, valid, fmt.Errorf("wal: reading payload at offset %d: %w", valid, err)
 		}
 		if crc32.Checksum(payload, crcTable) != sum {
 			break // corrupted payload: everything from here on is suspect
@@ -258,6 +274,12 @@ func scan(f *os.File, replay func(Batch) error) (RecoverInfo, int64, error) {
 	return info, valid, nil
 }
 
+// ErrFailed is returned by appends after a failed write could not be
+// repaired: the file may end in a partial frame, so accepting more appends
+// would place acknowledged records after garbage that the next recovery
+// scan silently truncates. Close and re-Open the log to recover.
+var ErrFailed = errors.New("wal: log latched failed after an unrepaired write error; re-open to recover")
+
 // AppendPatch appends one patch batch, durable according to the sync
 // policy: under SyncAlways the record is on stable storage when AppendPatch
 // returns; under SyncInterval it becomes durable within one flush interval.
@@ -273,20 +295,26 @@ func (l *Log) Seal() error {
 }
 
 func (l *Log) append(payload []byte, isPatch bool) error {
-	var hdr [frameHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
-
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return errors.New("wal: log is closed")
 	}
+	return l.appendLocked(payload, isPatch)
+}
+
+func (l *Log) appendLocked(payload []byte, isPatch bool) error {
+	if l.failed {
+		return ErrFailed
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
 	if _, err := l.f.Write(hdr[:]); err != nil {
-		return err
+		return l.repairTail(err)
 	}
 	if _, err := l.f.Write(payload); err != nil {
-		return err
+		return l.repairTail(err)
 	}
 	l.size += frameHeaderSize + int64(len(payload))
 	l.bytes.Store(l.size)
@@ -299,6 +327,25 @@ func (l *Log) append(payload []byte, isPatch bool) error {
 		return l.syncLocked()
 	}
 	return nil
+}
+
+// repairTail restores the frame-boundary invariant after a failed append
+// write (e.g. ENOSPC): the file may now end in a partial frame past
+// l.size, and a later append landing after that garbage would look durable
+// yet be discarded by the next recovery scan, which truncates at the first
+// torn frame. Truncate back to the last valid boundary and reposition the
+// write offset; if the repair itself fails, latch the log so every further
+// append is rejected with ErrFailed instead of risking silent loss.
+func (l *Log) repairTail(werr error) error {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.failed = true
+		return fmt.Errorf("wal: append failed (%v); truncate repair failed, log latched: %w", werr, err)
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		l.failed = true
+		return fmt.Errorf("wal: append failed (%v); seek repair failed, log latched: %w", werr, err)
+	}
+	return werr
 }
 
 // Sync forces an fsync of everything appended so far.
@@ -354,22 +401,25 @@ func (l *Log) Reset() error {
 }
 
 // Close seals the log (clean-shutdown marker + fsync) and closes the file.
-// Safe to call more than once.
+// Safe to call more than once, including concurrently: the closed flag is
+// latched under the lock before any shutdown work, so exactly one caller
+// stops the flusher and seals; the rest return nil immediately.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return nil
 	}
+	l.closed = true
+	stop := l.flushStop
 	l.mu.Unlock()
-	if l.flushStop != nil {
-		close(l.flushStop)
+	if stop != nil {
+		close(stop)
 		<-l.flushDone
 	}
-	err := l.Seal()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.closed = true
+	err := l.appendLocked([]byte{recSeal}, false)
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

@@ -3,10 +3,13 @@ package wal
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -357,5 +360,130 @@ func TestEncodeDecodeEmptyBatch(t *testing.T) {
 	}
 	if !bytes.Equal(enc, []byte{recPatch, 0}) {
 		t.Fatalf("empty batch encoding = %x", enc)
+	}
+}
+
+// faultReaderAt serves from data but returns a non-EOF error for any read
+// touching offsets >= failAt — a transient I/O fault, not a short file.
+type faultReaderAt struct {
+	data   []byte
+	failAt int64
+}
+
+var errDiskFault = errors.New("simulated disk fault")
+
+func (f *faultReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off+int64(len(p)) > f.failAt {
+		return 0, errDiskFault
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// A real read error during recovery must abort the scan, not be mistaken
+// for a torn tail (which Open would then truncate, deleting valid records).
+func TestScanIOErrorAbortsNotTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	for i := 0; i < 4; i++ {
+		if err := l.AppendPatch(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault in the middle of the file: a clean scan would have replayed all
+	// records; the faulty one must error out instead of reporting a tail.
+	_, _, err = scan(&faultReaderAt{data: data, failAt: int64(len(data)) / 2}, int64(len(data)), nil)
+	if !errors.Is(err, errDiskFault) {
+		t.Fatalf("scan over faulty reader: err = %v, want wrapped disk fault", err)
+	}
+	// The same bytes without the fault still scan cleanly end to end.
+	info, valid, err := scan(bytes.NewReader(data), int64(len(data)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 4 || info.TornBytes != 0 || valid != int64(len(data)) {
+		t.Fatalf("clean rescan: %+v valid=%d len=%d", info, valid, len(data))
+	}
+}
+
+// repairTail must truncate a partial frame back out so that records
+// appended after a failed write are still found by the next recovery scan.
+func TestRepairTailRestoresBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	if err := l.AppendPatch(testBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate ENOSPC mid-frame: garbage bytes past the last valid boundary.
+	if _, err := l.f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	werr := errors.New("boom")
+	if err := l.repairTail(werr); !errors.Is(err, werr) {
+		t.Fatalf("repairTail = %v, want the original write error", err)
+	}
+	if l.failed {
+		t.Fatal("successful repair must not latch the log")
+	}
+	// The record appended after the repaired failure must survive recovery.
+	if err := l.AppendPatch(testBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, info, got := openCollect(t, path, Policy{Mode: SyncAlways})
+	defer l2.Close()
+	if len(got) != 2 || info.TornBytes != 0 || !info.Sealed {
+		t.Fatalf("recovered %d records, info %+v; want 2 records, no torn tail", len(got), info)
+	}
+}
+
+// An unrepairable write failure must latch the log: accepting more appends
+// would bury acknowledged records behind garbage the next scan discards.
+func TestUnrepairedFailureLatchesLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	if err := l.AppendPatch(testBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	l.f.Close() // every write, truncate, and seek now fails
+	if err := l.AppendPatch(testBatch(1)); err == nil {
+		t.Fatal("append on a dead file succeeded")
+	}
+	if err := l.AppendPatch(testBatch(2)); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append after unrepaired failure = %v, want ErrFailed", err)
+	}
+}
+
+func TestConcurrentCloseNoPanic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, _ := openCollect(t, path, Policy{Mode: SyncInterval, Interval: time.Millisecond})
+	if err := l.AppendPatch(testBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Close() // must not double-close the flusher channel
+		}()
+	}
+	wg.Wait()
+	l2, info, _ := openCollect(t, path, Policy{Mode: SyncAlways})
+	defer l2.Close()
+	if !info.Sealed {
+		t.Fatalf("log not sealed after Close: %+v", info)
 	}
 }
