@@ -1,19 +1,27 @@
 // Command benchjson runs the hot-path perf suite (internal/bench.RunPerfSuite)
 // and writes the machine-readable report — set intersect/seek kernels, the
 // full-store trie rebuild (flat vs pointer reference), Table II WCOJ
-// queries, the sharded-vs-unsharded pair, the cold-start boot trajectory
-// (N-Triples vs snapshot vs mmap segment), and WAL append throughput per
-// fsync policy — as JSON. CI runs it on every
-// PR and uploads the file as an artifact; the copy committed at the repo
-// root (BENCH_6.json) is the trajectory baseline future PRs diff against.
+// queries (including the cost-model auto router), the sharded-vs-unsharded
+// pair, the cold-start boot trajectory (N-Triples vs snapshot vs mmap
+// segment), and WAL append throughput per fsync policy — as JSON. CI runs
+// it on every PR, uploads the file as an artifact, and gates the build with
+// -compare against the copy committed at the repo root (BENCH_7.json): any
+// shared result more than -threshold percent slower than the baseline —
+// beyond the repetition noise both reports recorded — exits nonzero.
 //
 // Usage:
 //
 //	benchjson [-scale N] [-reps N] [-out FILE] [-seed FILE]
+//	          [-compare BASELINE] [-threshold PCT] [-in FILE]
 //
 // -seed embeds a {"name": ns_per_op} JSON map as the report's
 // seed_baseline_ns_per_op section, carrying numbers measured at an earlier
 // commit forward into the new file.
+//
+// -in skips the suite and loads an existing report instead — CI uses this
+// to self-test the gate deterministically (compare a report against a
+// doctored baseline and assert the expected verdict) without paying for a
+// second measurement run.
 package main
 
 import (
@@ -28,36 +36,65 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "LUBM scale factor (universities)")
-	reps := flag.Int("reps", 3, "repetitions per measurement")
-	out := flag.String("out", "BENCH_6.json", "output path")
+	reps := flag.Int("reps", 5, "repetitions per measurement")
+	out := flag.String("out", "BENCH_7.json", "output path")
 	seed := flag.String("seed", "", "optional JSON map of baseline ns/op to embed")
+	compare := flag.String("compare", "", "baseline report to gate against; exit 1 on regression")
+	threshold := flag.Float64("threshold", 25, "regression threshold percent for -compare")
+	in := flag.String("in", "", "load report from file instead of running the suite")
 	flag.Parse()
 
-	report, err := bench.RunPerfSuite(bench.Config{Scale: *scale, Reps: *reps})
-	if err != nil {
-		log.Fatalf("benchjson: %v", err)
-	}
-	if *seed != "" {
-		data, err := os.ReadFile(*seed)
+	var report *bench.PerfReport
+	var err error
+	if *in != "" {
+		report, err = bench.ReadPerfReport(*in)
 		if err != nil {
-			log.Fatalf("benchjson: read seed baseline: %v", err)
+			log.Fatalf("benchjson: %v", err)
 		}
-		if err := json.Unmarshal(data, &report.SeedBaseline); err != nil {
-			log.Fatalf("benchjson: parse seed baseline: %v", err)
+	} else {
+		report, err = bench.RunPerfSuite(bench.Config{Scale: *scale, Reps: *reps})
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
 		}
-	}
-	if err := report.WriteJSON(*out); err != nil {
-		log.Fatalf("benchjson: %v", err)
-	}
-	for _, r := range report.Results {
-		fmt.Printf("%-45s %14.0f ns/op", r.Name, r.NsPerOp)
-		if r.Rows > 0 {
-			fmt.Printf(" %8d rows", r.Rows)
+		if *seed != "" {
+			data, err := os.ReadFile(*seed)
+			if err != nil {
+				log.Fatalf("benchjson: read seed baseline: %v", err)
+			}
+			if err := json.Unmarshal(data, &report.SeedBaseline); err != nil {
+				log.Fatalf("benchjson: parse seed baseline: %v", err)
+			}
 		}
-		fmt.Println()
+		if err := report.WriteJSON(*out); err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		for _, r := range report.Results {
+			fmt.Printf("%-45s %14.0f ns/op", r.Name, r.NsPerOp)
+			if r.VarPct > 0 {
+				fmt.Printf(" ±%5.1f%%", r.VarPct)
+			}
+			if r.Rows > 0 {
+				fmt.Printf(" %8d rows", r.Rows)
+			}
+			fmt.Println()
+		}
+		for k, v := range report.Derived {
+			fmt.Printf("%-45s %14.2fx\n", k, v)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
-	for k, v := range report.Derived {
-		fmt.Printf("%-45s %14.2fx\n", k, v)
+
+	if *compare != "" {
+		base, err := bench.ReadPerfReport(*compare)
+		if err != nil {
+			log.Fatalf("benchjson: read baseline: %v", err)
+		}
+		regs := bench.Compare(base, report, *threshold)
+		if len(regs) > 0 {
+			fmt.Print(bench.FormatRegressions(regs))
+			log.Fatalf("benchjson: %d result(s) regressed more than %.0f%% vs %s",
+				len(regs), *threshold, *compare)
+		}
+		fmt.Printf("perf gate: no regressions vs %s (threshold %.0f%%)\n", *compare, *threshold)
 	}
-	fmt.Printf("wrote %s\n", *out)
 }

@@ -1,0 +1,101 @@
+package bench
+
+// compare.go is the perf-regression gate: CI regenerates the perf report on
+// every PR and diffs it against the committed trajectory baseline
+// (BENCH_<pr>.json at the repo root). A hot-path result that got more than
+// thresholdPct slower — beyond what the measured repetition noise of both
+// runs can explain — fails the build, so a kernel regression can't ride in
+// on an unrelated diff and be discovered three PRs later.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// minGateNs is the timer-resolution floor: results where both sides ran
+// faster than this are too small for a wall-clock ratio to mean anything,
+// so the gate skips them rather than fail builds on clock granularity.
+const minGateNs = 1000
+
+// Regression is one gated result that got slower than the baseline allows.
+type Regression struct {
+	Name       string
+	BaseNs     float64
+	CurNs      float64
+	DeltaPct   float64 // (cur-base)/base·100
+	AllowedPct float64 // threshold widened by both runs' measured variance
+}
+
+// Compare diffs cur against base and returns every shared result that
+// regressed by more than thresholdPct. The per-result allowance is widened
+// by the repetition spread recorded in both reports (VarPct), so a query
+// whose own reps disagree by 20% needs to exceed threshold+noise before it
+// counts as a regression — the gate fires on signal, not scheduler jitter.
+// The widening is capped at thresholdPct: a measurement so noisy that its
+// own spread exceeds the threshold should be fixed (more reps, bigger
+// inner loop), not granted an unbounded pass.
+//
+// Results are skipped (never failed) when: the name exists in only one
+// report (workloads were added or retired), the row counts differ (the
+// dataset or query changed, so the ratio compares different work), or both
+// sides are under minGateNs (below timer resolution). Regressions are
+// returned sorted by delta, worst first.
+func Compare(base, cur *PerfReport, thresholdPct float64) []Regression {
+	baseByName := make(map[string]PerfResult, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	var regs []Regression
+	for _, c := range cur.Results {
+		b, ok := baseByName[c.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if b.Rows != c.Rows {
+			continue
+		}
+		if b.NsPerOp < minGateNs && c.NsPerOp < minGateNs {
+			continue
+		}
+		allowed := thresholdPct + math.Min(b.VarPct+c.VarPct, thresholdPct)
+		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		if delta > allowed {
+			regs = append(regs, Regression{
+				Name:       c.Name,
+				BaseNs:     b.NsPerOp,
+				CurNs:      c.NsPerOp,
+				DeltaPct:   delta,
+				AllowedPct: allowed,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].DeltaPct > regs[j].DeltaPct })
+	return regs
+}
+
+// FormatRegressions renders the gate's verdict for CI logs.
+func FormatRegressions(regs []Regression) string {
+	var sb strings.Builder
+	for _, r := range regs {
+		fmt.Fprintf(&sb, "REGRESSION %-45s %12.0f -> %12.0f ns/op  +%.1f%% (allowed %.1f%%)\n",
+			r.Name, r.BaseNs, r.CurNs, r.DeltaPct, r.AllowedPct)
+	}
+	return sb.String()
+}
+
+// ReadPerfReport loads a BENCH_<pr>.json report from path.
+func ReadPerfReport(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r PerfReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func report(results ...PerfResult) *PerfReport {
+	return &PerfReport{Schema: "repro-bench/v1", Scale: 1, Reps: 5, Results: results}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := report(PerfResult{Name: "set/intersect/uint_uint", NsPerOp: 100_000})
+	cur := report(PerfResult{Name: "set/intersect/uint_uint", NsPerOp: 130_000})
+	regs := Compare(base, cur, 25)
+	if len(regs) != 1 {
+		t.Fatalf("want 1 regression, got %v", regs)
+	}
+	r := regs[0]
+	if r.Name != "set/intersect/uint_uint" || r.DeltaPct < 29 || r.DeltaPct > 31 {
+		t.Fatalf("unexpected regression %+v", r)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := report(PerfResult{Name: "k", NsPerOp: 100_000})
+	cur := report(PerfResult{Name: "k", NsPerOp: 120_000})
+	if regs := Compare(base, cur, 25); len(regs) != 0 {
+		t.Fatalf("20%% slowdown under a 25%% threshold should pass, got %v", regs)
+	}
+}
+
+func TestCompareVarianceWidensAllowance(t *testing.T) {
+	// 30% slower, but the baseline itself wobbled by 10% across reps: the
+	// effective allowance is 25+10=35%, so this is noise, not a regression.
+	base := report(PerfResult{Name: "k", NsPerOp: 100_000, VarPct: 10})
+	cur := report(PerfResult{Name: "k", NsPerOp: 130_000})
+	if regs := Compare(base, cur, 25); len(regs) != 0 {
+		t.Fatalf("variance should widen the allowance, got %v", regs)
+	}
+	// Same delta with a quiet baseline fails.
+	base.Results[0].VarPct = 0
+	if regs := Compare(base, cur, 25); len(regs) != 1 {
+		t.Fatalf("quiet baseline should flag 30%% delta, got %v", regs)
+	}
+}
+
+func TestCompareVarianceWideningIsCapped(t *testing.T) {
+	// A 60% regression cannot hide behind a wildly noisy measurement: the
+	// widening caps at the threshold, so the allowance is at most 2×25%.
+	base := report(PerfResult{Name: "k", NsPerOp: 100_000, VarPct: 500})
+	cur := report(PerfResult{Name: "k", NsPerOp: 160_000, VarPct: 500})
+	regs := Compare(base, cur, 25)
+	if len(regs) != 1 {
+		t.Fatalf("capped allowance should flag 60%% delta, got %v", regs)
+	}
+	if regs[0].AllowedPct != 50 {
+		t.Fatalf("allowance = %f, want 50", regs[0].AllowedPct)
+	}
+}
+
+func TestCompareSkipsIncomparableEntries(t *testing.T) {
+	base := report(
+		PerfResult{Name: "retired/workload", NsPerOp: 100},
+		PerfResult{Name: "rows/changed", NsPerOp: 100_000, Rows: 10},
+		PerfResult{Name: "tiny", NsPerOp: 300},
+	)
+	cur := report(
+		PerfResult{Name: "new/workload", NsPerOp: 100},
+		PerfResult{Name: "rows/changed", NsPerOp: 900_000, Rows: 20},
+		PerfResult{Name: "tiny", NsPerOp: 900},
+	)
+	if regs := Compare(base, cur, 25); len(regs) != 0 {
+		t.Fatalf("renamed, rows-changed, and sub-resolution entries must be skipped, got %v", regs)
+	}
+}
+
+func TestCompareSortsWorstFirst(t *testing.T) {
+	base := report(
+		PerfResult{Name: "a", NsPerOp: 100_000},
+		PerfResult{Name: "b", NsPerOp: 100_000},
+	)
+	cur := report(
+		PerfResult{Name: "a", NsPerOp: 140_000},
+		PerfResult{Name: "b", NsPerOp: 200_000},
+	)
+	regs := Compare(base, cur, 25)
+	if len(regs) != 2 || regs[0].Name != "b" || regs[1].Name != "a" {
+		t.Fatalf("want worst-first [b a], got %v", regs)
+	}
+}
+
+func TestReadPerfReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := report(PerfResult{Name: "k", NsPerOp: 42, VarPct: 3.5, Rows: 7})
+	if err := want.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.Results[0] != want.Results[0] || got.Schema != want.Schema {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}

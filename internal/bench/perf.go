@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
@@ -38,6 +39,10 @@ import (
 type PerfResult struct {
 	Name    string  `json:"name"`
 	NsPerOp float64 `json:"ns_per_op"`
+	// VarPct is the observed spread across repetitions as a percentage of
+	// the best time ((worst-best)/best·100). The regression gate widens its
+	// threshold by this, so noisy measurements don't fail builds.
+	VarPct float64 `json:"var_pct,omitempty"`
 	// Rows is the result cardinality for query entries (a changed count
 	// between two reports means the comparison is void).
 	Rows int `json:"rows,omitempty"`
@@ -64,19 +69,48 @@ type PerfReport struct {
 // kernels want the least-noise estimate, matching testing.B's convention of
 // reporting the steady state rather than the mean with outliers.
 func timeNs(reps int, fn func()) float64 {
+	ns, _ := timeNsVar(reps, fn)
+	return ns
+}
+
+// timeNsVar additionally returns the repetition spread as a percentage of
+// the best time, the per-result noise bound the regression gate consumes.
+func timeNsVar(reps int, fn func()) (nsPerOp, varPct float64) {
+	return timeNsVarN(reps, 1, fn)
+}
+
+// timeNsVarN times reps repetitions of an inner loop of n calls, reporting
+// per-call nanoseconds. Micro-kernels (a few hundred µs per call) use n > 1
+// so one scheduler hiccup or GC assist doesn't double a rep — the loop
+// amortizes it. VarPct is the gap between the best and second-best rep:
+// since NsPerOp is a best-of statistic, its run-to-run reproducibility is
+// how closely an independent rep approaches the best — the worst rep only
+// measures how loaded the machine was, which would let a real regression
+// hide behind one noisy outlier.
+func timeNsVarN(reps, n int, fn func()) (nsPerOp, varPct float64) {
 	if reps < 1 {
 		reps = 1
 	}
 	fn() // warm caches and lazy state outside the timing
-	best := time.Duration(0)
+	var best, second time.Duration
 	for i := 0; i < reps; i++ {
+		runtime.GC() // pay earlier workloads' GC debt outside the timed region
 		start := time.Now()
-		fn()
-		if d := time.Since(start); best == 0 || d < best {
-			best = d
+		for k := 0; k < n; k++ {
+			fn()
+		}
+		d := time.Since(start) / time.Duration(n)
+		switch {
+		case best == 0 || d < best:
+			best, second = d, best
+		case second == 0 || d < second:
+			second = d
 		}
 	}
-	return float64(best)
+	if best > 0 && second > 0 {
+		varPct = 100 * float64(second-best) / float64(best)
+	}
+	return float64(best), varPct
 }
 
 // perfGenSorted produces n sorted distinct values at the given density.
@@ -99,44 +133,45 @@ func perfGenSorted(rng *rand.Rand, n int, density float64) []uint32 {
 func setKernels(reps int) []PerfResult {
 	rng := rand.New(rand.NewSource(11))
 	const n = 1 << 16
-	sparseA := set.FromSorted(perfGenSorted(rng, n, 0.001), set.PolicyUintOnly)
-	sparseB := set.FromSorted(perfGenSorted(rng, n, 0.001), set.PolicyUintOnly)
-	denseA := set.FromSorted(perfGenSorted(rng, n, 0.5), set.PolicyAuto)
-	denseB := set.FromSorted(perfGenSorted(rng, n, 0.5), set.PolicyAuto)
+	sparseVals := perfGenSorted(rng, n, 0.001)
+	sparseProbes := perfGenSorted(rng, n, 0.001)
+	denseVals := perfGenSorted(rng, n, 0.5)
+	denseProbes := perfGenSorted(rng, n, 0.5)
+	sparseA := set.FromSorted(sparseVals, set.PolicyUintOnly)
+	sparseB := set.FromSorted(sparseProbes, set.PolicyUintOnly)
+	denseA := set.FromSorted(denseVals, set.PolicyAuto)
+	denseB := set.FromSorted(denseProbes, set.PolicyAuto)
 
+	// Micro-kernels cost microseconds, so repetitions are nearly free:
+	// run 5× the suite's rep count with an 8-call inner loop per rep. The
+	// best-of estimate then reflects the kernel, not whichever slice of a
+	// noisy machine the suite happened to land on.
+	result := func(name string, fn func()) PerfResult {
+		ns, v := timeNsVarN(5*reps, 8, fn)
+		return PerfResult{Name: name, NsPerOp: ns, VarPct: v}
+	}
 	var out []PerfResult
-	out = append(out, PerfResult{
-		Name:    "set/intersect/uint_uint",
-		NsPerOp: timeNs(reps, func() { set.Intersect(sparseA, sparseB) }),
-	})
-	out = append(out, PerfResult{
-		Name:    "set/intersect/bitset_bitset",
-		NsPerOp: timeNs(reps, func() { set.Intersect(denseA, denseB) }),
-	})
-	out = append(out, PerfResult{
-		Name:    "set/intersect/mixed",
-		NsPerOp: timeNs(reps, func() { set.Intersect(sparseA, denseB) }),
-	})
-	seek := func(s *set.Set) func() {
-		maxV := s.Max()
+	out = append(out, result("set/intersect/uint_uint", func() { set.Intersect(sparseA, sparseB) }))
+	out = append(out, result("set/intersect/bitset_bitset", func() { set.Intersect(denseA, denseB) }))
+	out = append(out, result("set/intersect/mixed", func() { set.Intersect(sparseA, denseB) }))
+	// The seek workload is leapfrog's inner loop: one forward pass over the
+	// set, seeking to each member of an independent same-density set in
+	// order. (Earlier reports swept every third value of the domain, which
+	// mostly timed no-op SeekGE calls whose target was already behind the
+	// cursor — a call-overhead measurement, not a seek measurement.)
+	seek := func(s *set.Set, probes []uint32) func() {
 		return func() {
 			var it set.Iter
 			it.Reset(s)
-			for v := uint32(0); v < maxV; v += 3 {
+			for _, v := range probes {
 				if !it.SeekGE(v) {
 					break
 				}
 			}
 		}
 	}
-	out = append(out, PerfResult{
-		Name:    "set/seek/uint",
-		NsPerOp: timeNs(reps, seek(sparseA)),
-	})
-	out = append(out, PerfResult{
-		Name:    "set/seek/bitset",
-		NsPerOp: timeNs(reps, seek(denseA)),
-	})
+	out = append(out, result("set/seek/uint", seek(sparseA, sparseProbes)))
+	out = append(out, result("set/seek/bitset", seek(denseA, denseProbes)))
 	return out
 }
 
@@ -154,21 +189,21 @@ func trieBuilds(st *store.Store, reps int) []PerfResult {
 			os: [][]uint32{rel.O, rel.S},
 		})
 	}
-	flat := timeNs(reps, func() {
+	flat, flatVar := timeNsVar(reps, func() {
 		for _, rc := range rels {
-			trie.BuildFromColumns(rc.so, set.PolicyAuto)
-			trie.BuildFromColumns(rc.os, set.PolicyAuto)
+			trie.BuildFromColumns(rc.so, set.PolicyAdaptive)
+			trie.BuildFromColumns(rc.os, set.PolicyAdaptive)
 		}
 	})
-	pointer := timeNs(reps, func() {
+	pointer, pointerVar := timeNsVar(reps, func() {
 		for _, rc := range rels {
-			trie.BuildReference(rc.so, set.PolicyAuto)
-			trie.BuildReference(rc.os, set.PolicyAuto)
+			trie.BuildReference(rc.so, set.PolicyAdaptive)
+			trie.BuildReference(rc.os, set.PolicyAdaptive)
 		}
 	})
 	return []PerfResult{
-		{Name: "trie/build_full_store/flat", NsPerOp: flat},
-		{Name: "trie/build_full_store/pointer", NsPerOp: pointer},
+		{Name: "trie/build_full_store/flat", NsPerOp: flat, VarPct: flatVar},
+		{Name: "trie/build_full_store/pointer", NsPerOp: pointer, VarPct: pointerVar},
 	}
 }
 
@@ -177,7 +212,7 @@ var perfQueryNumbers = []int{1, 2, 7, 8, 14}
 
 func tableIIQueries(st *store.Store, cfg Config) ([]PerfResult, error) {
 	var out []PerfResult
-	for _, engName := range []string{"emptyheaded", "logicblox"} {
+	for _, engName := range []string{"emptyheaded", "logicblox", "auto"} {
 		e, err := engines.New(engName, st)
 		if err != nil {
 			return nil, err
@@ -187,13 +222,14 @@ func tableIIQueries(st *store.Store, cfg Config) ([]PerfResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			d, rows, err := Measure(cfg.Reps, e, q)
+			d, varPct, rows, err := MeasureVar(cfg.Reps, e, q)
 			if err != nil {
 				return nil, fmt.Errorf("%s q%d: %w", engName, qn, err)
 			}
 			out = append(out, PerfResult{
 				Name:    fmt.Sprintf("wcoj/%s/lubm_q%d", engName, qn),
 				NsPerOp: float64(d),
+				VarPct:  varPct,
 				Rows:    rows,
 			})
 		}
@@ -226,13 +262,14 @@ func shardedPair(st *store.Store, cfg Config) ([]PerfResult, error) {
 			name string
 			e    engine.Engine
 		}{{"unsharded", eng}, {"shards_4", sharded}} {
-			d, rows, err := Measure(cfg.Reps, v.e, q)
+			d, varPct, rows, err := MeasureVar(cfg.Reps, v.e, q)
 			if err != nil {
 				return nil, fmt.Errorf("sharded pair q%d/%s: %w", qn, v.name, err)
 			}
 			out = append(out, PerfResult{
 				Name:    fmt.Sprintf("sharded/emptyheaded/lubm_q%d/%s", qn, v.name),
 				NsPerOp: float64(d),
+				VarPct:  varPct,
 				Rows:    rows,
 			})
 		}
@@ -286,12 +323,12 @@ func coldStart(st *store.Store, cfg Config) ([]PerfResult, error) {
 	force := func(s *store.Store) {
 		for _, p := range s.Predicates() {
 			r := s.Relation(p)
-			r.TrieSO(set.PolicyAuto)
-			r.TrieOS(set.PolicyAuto)
+			r.TrieSO(set.PolicyAdaptive)
+			r.TrieOS(set.PolicyAdaptive)
 		}
 	}
 	var bootErr error
-	ntNs := timeNs(cfg.Reps, func() {
+	ntNs, ntVar := timeNsVar(cfg.Reps, func() {
 		f, err := os.Open(ntPath)
 		if err != nil {
 			bootErr = err
@@ -313,7 +350,7 @@ func coldStart(st *store.Store, cfg Config) ([]PerfResult, error) {
 		}
 		force(b.Build())
 	})
-	snapNs := timeNs(cfg.Reps, func() {
+	snapNs, snapVar := timeNsVar(cfg.Reps, func() {
 		f, err := os.Open(snapPath)
 		if err != nil {
 			bootErr = err
@@ -327,7 +364,7 @@ func coldStart(st *store.Store, cfg Config) ([]PerfResult, error) {
 		}
 		force(s)
 	})
-	segNs := timeNs(cfg.Reps, func() {
+	segNs, segVar := timeNsVar(cfg.Reps, func() {
 		l, err := segment.Open(segPath)
 		if err != nil {
 			bootErr = err
@@ -340,9 +377,9 @@ func coldStart(st *store.Store, cfg Config) ([]PerfResult, error) {
 		return nil, bootErr
 	}
 	return []PerfResult{
-		{Name: "coldstart/ntriples_parse_build", NsPerOp: ntNs},
-		{Name: "coldstart/snapshot_read_build", NsPerOp: snapNs},
-		{Name: "coldstart/segment_mmap", NsPerOp: segNs},
+		{Name: "coldstart/ntriples_parse_build", NsPerOp: ntNs, VarPct: ntVar},
+		{Name: "coldstart/snapshot_read_build", NsPerOp: snapNs, VarPct: snapVar},
+		{Name: "coldstart/segment_mmap", NsPerOp: segNs, VarPct: segVar},
 	}, nil
 }
 
@@ -382,14 +419,15 @@ func walAppend(reps int) ([]PerfResult, error) {
 		}
 		const appendsPerRound = 16
 		var appendErr error
-		ns := timeNs(reps, func() {
+		ns, varPct := timeNsVar(reps, func() {
 			for k := 0; k < appendsPerRound; k++ {
 				if err := log.AppendPatch(batch); err != nil {
 					appendErr = err
 					return
 				}
 			}
-		}) / appendsPerRound
+		})
+		ns /= appendsPerRound
 		cerr := log.Close()
 		if appendErr != nil {
 			return nil, appendErr
@@ -397,7 +435,7 @@ func walAppend(reps int) ([]PerfResult, error) {
 		if cerr != nil {
 			return nil, cerr
 		}
-		out = append(out, PerfResult{Name: "wal/append_8op/" + pc.name, NsPerOp: ns})
+		out = append(out, PerfResult{Name: "wal/append_8op/" + pc.name, NsPerOp: ns, VarPct: varPct})
 	}
 	return out, nil
 }

@@ -75,10 +75,14 @@ func (e *Engine) Name() string { return e.name }
 // Options returns the engine's optimization configuration.
 func (e *Engine) Options() Options { return e.opts }
 
-// Policy returns the set layout policy implied by the Layout toggle.
+// Policy returns the set layout policy implied by the Layout toggle. With
+// layout optimization on, the engine now uses the statistics-driven adaptive
+// rule (measured 1-in-128 crossover with a minimum-cardinality floor) rather
+// than the paper's static 1-in-256 rule; the -layout ablation still degrades
+// to uint-only.
 func (e *Engine) Policy() set.Policy {
 	if e.opts.Layout {
-		return set.PolicyAuto
+		return set.PolicyAdaptive
 	}
 	return set.PolicyUintOnly
 }

@@ -19,8 +19,8 @@ func lubmStore(t *testing.T) *store.Store {
 
 func TestPolicyFollowsLayoutToggle(t *testing.T) {
 	st := lubmStore(t)
-	if core.New(st, core.AllOptimizations).Policy() != set.PolicyAuto {
-		t.Errorf("Layout on should use PolicyAuto")
+	if core.New(st, core.AllOptimizations).Policy() != set.PolicyAdaptive {
+		t.Errorf("Layout on should use PolicyAdaptive")
 	}
 	if core.New(st, core.NoOptimizations).Policy() != set.PolicyUintOnly {
 		t.Errorf("Layout off should use PolicyUintOnly")

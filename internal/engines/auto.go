@@ -1,0 +1,81 @@
+package engines
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/logicblox"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// autoEngine routes every query to the engine class the cost model
+// (internal/plan) prices cheapest: the fully optimized hybrid GHD plan for
+// selective and cyclic queries, a flat worst-case optimal leapfrog for
+// intersection-heavy big-output queries (where GHD materialization costs
+// more than it saves), and uint-layout scan enumeration for join-free
+// output-dominated queries (where bitset decode is pure overhead). Routing
+// decisions are cached per parsed query; the cache's hit rate and every
+// pick are recorded in the stats.Default ledger for /stats.
+type autoEngine struct {
+	st      *store.Store
+	byClass [3]engine.Engine
+
+	mu     sync.Mutex
+	routes map[*query.BGP]plan.EngineClass
+}
+
+func newAuto(st *store.Store) *autoEngine {
+	return &autoEngine{
+		st: st,
+		byClass: [3]engine.Engine{
+			plan.ClassHybridGHD: core.New(st, core.AllOptimizations),
+			plan.ClassPureWCOJ:  logicblox.New(st),
+			// Every optimization except the layout chooser: enumeration
+			// streams sorted uint arrays instead of decoding bitsets.
+			plan.ClassScanEnumerate: core.New(st, core.Options{
+				AttributeReorder: true,
+				GHDPushdown:      true,
+				Pipelining:       true,
+			}),
+		},
+		routes: map[*query.BGP]plan.EngineClass{},
+	}
+}
+
+// Name implements engine.Engine.
+func (e *autoEngine) Name() string { return "auto" }
+
+// route resolves (and caches) the engine class for q.
+func (e *autoEngine) route(q *query.BGP) (engine.Engine, error) {
+	e.mu.Lock()
+	cls, ok := e.routes[q]
+	e.mu.Unlock()
+	stats.Default.RecordCostLookup(ok)
+	if !ok {
+		prof, err := plan.ProfileQuery(q, e.st)
+		if err != nil {
+			return nil, err
+		}
+		cls, _ = prof.ChooseClass()
+		e.mu.Lock()
+		e.routes[q] = cls
+		e.mu.Unlock()
+	}
+	stats.Default.RecordEnginePick(cls.String())
+	return e.byClass[cls], nil
+}
+
+// Open implements engine.Engine by delegating to the routed engine.
+func (e *autoEngine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error) {
+	sub, err := e.route(q)
+	if err != nil {
+		return nil, err
+	}
+	return sub.Open(q, opts)
+}
+
+var _ engine.Engine = (*autoEngine)(nil)

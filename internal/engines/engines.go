@@ -22,9 +22,9 @@ import (
 )
 
 // Names lists the selectable engine names: the paper's Table II engines in
-// column order, plus the naive reference engine.
+// column order, plus the cost-model router and the naive reference engine.
 func Names() []string {
-	return []string{"emptyheaded", "triplebit", "rdf3x", "monetdb", "logicblox", "naive"}
+	return []string{"emptyheaded", "triplebit", "rdf3x", "monetdb", "logicblox", "auto", "naive"}
 }
 
 // New builds the named engine over st. Engine construction may build
@@ -35,6 +35,8 @@ func New(name string, st *store.Store) (engine.Engine, error) {
 	switch name {
 	case "emptyheaded":
 		return core.New(st, core.AllOptimizations), nil
+	case "auto":
+		return newAuto(st), nil
 	case "logicblox":
 		return logicblox.New(st), nil
 	case "monetdb":

@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/rdf"
+	"repro/internal/set"
+	"repro/internal/stats"
 	"repro/internal/store"
 	"repro/internal/trie"
 )
@@ -57,6 +59,7 @@ func Open(path string) (*Loaded, error) {
 	if err != nil {
 		return nil, fmt.Errorf("segment: %s: %w", path, err)
 	}
+	advise(m)
 	l, err := open(path, m)
 	if err != nil {
 		m.close()
@@ -74,8 +77,10 @@ func open(path string, m mapping) (*Loaded, error) {
 	if crc32.Checksum(hdr[0:28], crcTable) != binary.LittleEndian.Uint32(hdr[28:32]) {
 		return nil, fmt.Errorf("segment: %s: header checksum mismatch", path)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != version {
-		return nil, fmt.Errorf("segment: %s: unsupported version %d (want %d)", path, v, version)
+	fileVersion := binary.LittleEndian.Uint32(hdr[8:12])
+	if fileVersion < minVersion || fileVersion > version {
+		return nil, fmt.Errorf("segment: %s: unsupported version %d (want %d..%d)",
+			path, fileVersion, minVersion, version)
 	}
 	if *(*uint32)(unsafe.Pointer(&hdr[12])) != byteOrderMark {
 		return nil, fmt.Errorf("segment: %s: foreign byte order", path)
@@ -113,11 +118,14 @@ func open(path string, m mapping) (*Loaded, error) {
 		r.pad()
 		rd.O = viewU32(r.take(rows * 4))
 		r.pad()
-		if rd.SO, err = readTrie(r); err != nil {
+		if rd.SO, err = readTrie(r, fileVersion); err != nil {
 			return nil, fmt.Errorf("segment: %s: relation %d SO: %w", path, i, err)
 		}
-		if rd.OS, err = readTrie(r); err != nil {
+		if rd.OS, err = readTrie(r, fileVersion); err != nil {
 			return nil, fmt.Errorf("segment: %s: relation %d OS: %w", path, i, err)
+		}
+		if fileVersion >= 2 {
+			rd.Policy = set.PolicyAdaptive
 		}
 		rels = append(rels, rd)
 	}
@@ -132,7 +140,7 @@ func open(path string, m mapping) (*Loaded, error) {
 	}, nil
 }
 
-func readTrie(r *payloadReader) (*trie.Trie, error) {
+func readTrie(r *payloadReader, fileVersion uint32) (*trie.Trie, error) {
 	arity := int(r.u32())
 	tuples := int(int32(r.u32()))
 	if r.err != nil {
@@ -150,6 +158,18 @@ func readTrie(r *payloadReader) (*trie.Trie, error) {
 		layoutLen := int(r.u64())
 		bitsetN := int(r.u64())
 		ld := &levels[l]
+		if fileVersion >= 2 {
+			ld.Stats = stats.Level{
+				Nodes:       r.u64(),
+				TotalCard:   r.u64(),
+				MinCard:     r.u64(),
+				MaxCard:     r.u64(),
+				SpanSum:     r.u64(),
+				BitsetNodes: r.u64(),
+				UintNodes:   r.u64(),
+				Flips:       r.u64(),
+			}
+		}
 		ld.Start = viewI32(r.take(startLen * 4))
 		r.pad()
 		ld.Vals = viewU32(r.take(valsLen * 4))

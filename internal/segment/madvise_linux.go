@@ -1,0 +1,29 @@
+//go:build linux
+
+package segment
+
+import "syscall"
+
+// advise warms a fresh mapping: MADV_WILLNEED starts asynchronous readahead
+// over the whole segment, and a sequential one-byte-per-page touch then
+// prefaults the page tables while the readahead is in flight. Without this,
+// the first queries after a boot pay one major fault per 4KiB of trie arena
+// they walk — first-touch faults were the remaining cold-start cost after
+// the mmap load path landed (ROADMAP item 4). Both steps are best-effort;
+// a failed madvise just means the touch pass does the faulting alone.
+func advise(m mapping) {
+	if !m.mapped || len(m.data) == 0 {
+		return
+	}
+	_ = syscall.Madvise(m.data, syscall.MADV_WILLNEED)
+	const page = 4096
+	var sink byte
+	for i := 0; i < len(m.data); i += page {
+		sink += m.data[i]
+	}
+	prefaultSink = sink
+}
+
+// prefaultSink keeps the touch loop's loads observable so the compiler
+// cannot delete them.
+var prefaultSink byte

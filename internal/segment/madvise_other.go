@@ -1,0 +1,8 @@
+//go:build !linux
+
+package segment
+
+// advise is a no-op off Linux: the portable fallback already reads the file
+// into the heap, and non-Linux mmap platforms fault on first touch without
+// an madvise hint we can rely on.
+func advise(mapping) {}

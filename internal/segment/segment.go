@@ -21,8 +21,14 @@
 //	trie blob:
 //	  arity u32 · tuples i32; per level:
 //	    six u64 lengths (start, vals, words, ranks, layout-bit words,
-//	    bitset-node count), then the start/vals/words/ranks arenas, the
-//	    layout bitmap, and the per-bitset-node (base u32, nwords u32) table
+//	    bitset-node count), then (version ≥ 2) the eight u64 fields of the
+//	    level's stats.Level histogram, then the start/vals/words/ranks
+//	    arenas, the layout bitmap, and the per-bitset-node (base u32,
+//	    nwords u32) table
+//
+// Version 2 tries are built under set.PolicyAdaptive (the statistics-driven
+// layout rule) and carry per-level histograms; version 1 files (PolicyAuto,
+// no histograms) still load, with statistics reported as unknown.
 //
 // The dictionary is the one heap-decoded section: it must stay mutable
 // (live updates register new terms). Everything else — columns, triple
@@ -54,7 +60,8 @@ const (
 	// Magic identifies a segment file; LoadDataset format sniffing keys on
 	// it too.
 	Magic         = "RDFSEG01"
-	version       = 1
+	version       = 2
+	minVersion    = 1
 	byteOrderMark = 0x01020304
 	headerSize    = 32
 	align         = 8
@@ -63,7 +70,7 @@ const (
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Write serializes st's base image (dictionary, triple table, relations
-// with their PolicyAuto SO/OS tries — built now if not yet cached) to path
+// with their PolicyAdaptive SO/OS tries — built now if not yet cached) to path
 // atomically: temp file, fsync, rename, parent-directory fsync. A crash
 // mid-write leaves any previous segment intact.
 func Write(path string, st *store.Store) error {
@@ -128,10 +135,10 @@ func writeTo(f *os.File, st *store.Store) error {
 		w.pad()
 		w.bytes(u32Bytes(rel.O))
 		w.pad()
-		if err := writeTrie(w, rel.TrieSO(set.PolicyAuto)); err != nil {
+		if err := writeTrie(w, rel.TrieSO(set.PolicyAdaptive)); err != nil {
 			return err
 		}
-		if err := writeTrie(w, rel.TrieOS(set.PolicyAuto)); err != nil {
+		if err := writeTrie(w, rel.TrieOS(set.PolicyAdaptive)); err != nil {
 			return err
 		}
 	}
@@ -166,6 +173,14 @@ func writeTrie(w *payloadWriter, t *trie.Trie) error {
 		w.u64(uint64(len(ld.Ranks)))
 		w.u64(uint64(len(ld.LayoutBits)))
 		w.u64(uint64(len(ld.BitsetBase)))
+		w.u64(ld.Stats.Nodes)
+		w.u64(ld.Stats.TotalCard)
+		w.u64(ld.Stats.MinCard)
+		w.u64(ld.Stats.MaxCard)
+		w.u64(ld.Stats.SpanSum)
+		w.u64(ld.Stats.BitsetNodes)
+		w.u64(ld.Stats.UintNodes)
+		w.u64(ld.Stats.Flips)
 		w.bytes(i32Bytes(ld.Start))
 		w.pad()
 		w.bytes(u32Bytes(ld.Vals))

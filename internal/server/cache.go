@@ -15,10 +15,22 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
-// planCache is a concurrency-safe LRU cache from normalized query keys to
-// prepared queries. Concurrent misses for the same key may both compile and
-// race to add; the second add wins and the first compilation is discarded —
-// harmless (plans are immutable) and simpler than per-key singleflight.
+// evictScan bounds how many least-recently-used entries the eviction pass
+// scores. Recency prefilters the candidates; cost×frequency picks the
+// victim among them, so one ancient-but-expensive plan survives bursts of
+// cheap one-off queries without the scan ever being O(cache).
+const evictScan = 16
+
+// planCache is a concurrency-safe cache from normalized query keys to
+// prepared queries. Lookup order is LRU, but eviction is not pure recency:
+// among the evictScan least-recently-used entries, the victim is the one
+// with the lowest estimated-cost × use-count score — dropping a plan that
+// was expensive to compile-and-run and is hit often costs the most to
+// re-establish, so recency alone (which a scan of cheap ad-hoc queries can
+// flush) is the wrong signal. Concurrent misses for the same key may both
+// compile and race to add; the second add wins and the first compilation is
+// discarded — harmless (plans are immutable) and simpler than per-key
+// singleflight.
 type planCache struct {
 	mu        sync.Mutex
 	capacity  int
@@ -30,8 +42,9 @@ type planCache struct {
 }
 
 type cacheEntry struct {
-	key string
-	pq  *preparedQuery
+	key  string
+	pq   *preparedQuery
+	uses uint64
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -56,12 +69,14 @@ func (c *planCache) get(key string) (*preparedQuery, bool) {
 		return nil, false
 	}
 	c.hits++
+	ent := el.Value.(*cacheEntry)
+	ent.uses++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).pq, true
+	return ent.pq, true
 }
 
-// add inserts (or refreshes) key, evicting the least recently used entry
-// when over capacity.
+// add inserts (or refreshes) key, evicting the lowest cost×frequency entry
+// among the least recently used when over capacity.
 func (c *planCache) add(key string, pq *preparedQuery) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -72,11 +87,25 @@ func (c *planCache) add(key string, pq *preparedQuery) {
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, pq: pq})
 	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		victim := c.ll.Back()
+		best := score(victim.Value.(*cacheEntry))
+		for el, i := victim.Prev(), 1; el != nil && i < evictScan; el, i = el.Prev(), i+1 {
+			if s := score(el.Value.(*cacheEntry)); s < best {
+				victim, best = el, s
+			}
+		}
+		c.ll.Remove(victim)
+		delete(c.items, victim.Value.(*cacheEntry).key)
 		c.evictions++
 	}
+}
+
+// score is the keep-priority of an entry: estimated execution cost times
+// observed hit frequency, with +1 floors so zero-cost entries (engines the
+// cost model cannot price) and never-hit entries still rank by the other
+// factor.
+func score(e *cacheEntry) float64 {
+	return (e.pq.cost + 1) * float64(e.uses+1)
 }
 
 // stats snapshots the counters.

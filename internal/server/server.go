@@ -63,6 +63,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/shard"
+	"repro/internal/stats"
 	"repro/internal/store"
 )
 
@@ -336,6 +337,7 @@ type preparedQuery struct {
 	bgp   *query.BGP
 	plan  *plan.Plan // nil for engines that plan internally per execution
 	epoch uint64     // epoch plan was compiled against (meaningful when plan != nil)
+	cost  float64    // cost-model estimate; drives cache eviction priority
 }
 
 // prepare resolves q to a cache entry for engineName, compiling on miss.
@@ -360,6 +362,12 @@ func (s *Server) prepare(engineName string, le *live.Engine, q *query.BGP) (*pre
 	}
 	if ok {
 		pq.plan, pq.epoch = p, epoch
+	}
+	// Price the query for the eviction policy: expensive plans are the ones
+	// worth keeping when the cache is under pressure. A profiling error just
+	// leaves cost 0 (lowest keep-priority).
+	if prof, perr := plan.ProfileQuery(norm, s.ls.Base()); perr == nil {
+		_, pq.cost = prof.ChooseClass()
 	}
 	s.cache.add(key, pq)
 	return pq, false, nil
@@ -917,6 +925,7 @@ func (s *Server) Stats() Stats {
 		ByEngine:         byEngine,
 		EngineLatency:    engLat,
 		PlanCache:        s.cache.stats(),
+		Chooser:          stats.Default.Snapshot(),
 		Latency:          lat,
 		Sharding:         sharding,
 		Durability:       durability,

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // latencySampleCap bounds the reservoir used for percentile estimates; with
@@ -157,6 +159,11 @@ type Stats struct {
 	// Sharding is present only when the server partitioned its store
 	// (Config.Shards > 1).
 	Sharding *ShardingStats `json:"sharding,omitempty"`
+	// Chooser reports the statistics-driven decision ledger: adaptive
+	// layout choices (and how often they flipped the paper's 1-in-256
+	// rule), the auto engine's per-class picks, and the routing decision
+	// cache's hit rate.
+	Chooser stats.ChooserSnapshot `json:"chooser"`
 	// Durability is present only on durable servers (Config.Durable).
 	Durability *DurabilityStats `json:"durability,omitempty"`
 	// Live reports the write path: delta sizes, epoch, compactions.

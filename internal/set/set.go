@@ -48,10 +48,30 @@ const (
 	// is the "-Layout" configuration in Table I and the layout used by the
 	// LogicBlox-like baseline.
 	PolicyUintOnly
+	// PolicyAdaptive replaces the paper's global 1-in-256 rule with the
+	// crossover measured on this codebase's word-parallel kernels: bitsets
+	// win above one member in every adaptiveDenominator values of span, but
+	// only once a set is big enough (adaptiveMinCard) that word-AND setup
+	// beats a short merge, and enumeration-heavy tiny sets stay uint arrays.
+	// This is the layout the statistics-driven chooser (internal/trie with
+	// internal/stats) uses for serving indexes.
+	PolicyAdaptive
 )
 
 // densityDenominator is the paper's 1-in-256 rule.
 const densityDenominator = 256
+
+// Adaptive-crossover constants. Measured with BenchmarkIntersectDensitySweep
+// on the branch-free kernels: word-AND intersection costs ~2ns/word where
+// the uint merge costs ~3-4ns/member, so a bitset pays once the set carries
+// at least one member per two words of span (1/128); below adaptiveMinCard
+// members the fixed word-scan and rank-directory setup outweighs any
+// density advantage and iteration (the other half of the workload) strongly
+// favors the flat array.
+const (
+	adaptiveDenominator = 128
+	adaptiveMinCard     = 16
+)
 
 // Set is an immutable sorted set of uint32 values in one of two layouts.
 // The zero value is the empty set in the UintArray layout.
@@ -62,6 +82,34 @@ type Set struct {
 	ranks  []int32  // Bitset: ranks[w] = number of members in words[:w]
 	base   uint32   // Bitset: value of bit 0 of words[0]; multiple of 64
 	card   int
+	// dir is the uint layout's seek directory: dir[k] = vals[k*64], built
+	// for sets of at least uintDirMinCard members. Iter.SeekGE binary
+	// searches this 64x smaller array to land in the right block before
+	// searching inside it, the uint-layout analogue of the bitset's rank
+	// directory.
+	dir []uint32
+}
+
+// uintDirMinCard is the uint-layout cardinality above which FromSorted and
+// InitSortedView attach a seek directory. Small sets gallop fast enough
+// that the extra allocation (the trie builder backs thousands of tiny
+// per-node sets) would cost more than it saves.
+const uintDirMinCard = 2048
+
+// buildDir samples every 64th member into the seek directory.
+func buildDir(vals []uint32) []uint32 {
+	n := (len(vals) + 63) / 64
+	dir := make([]uint32, n)
+	for k := 0; k < n; k++ {
+		dir[k] = vals[k*64]
+	}
+	return dir
+}
+
+func attachDir(s *Set) {
+	if s.layout == UintArray && s.card >= uintDirMinCard {
+		s.dir = buildDir(s.vals)
+	}
 }
 
 // Empty is the canonical empty set.
@@ -74,10 +122,12 @@ func FromSorted(vals []uint32, policy Policy) *Set {
 	if len(vals) == 0 {
 		return Empty
 	}
-	if policy == PolicyAuto && denseEnough(len(vals), vals[0], vals[len(vals)-1]) {
+	if WantBitset(len(vals), vals[0], vals[len(vals)-1], policy) {
 		return bitsetFromSorted(vals)
 	}
-	return &Set{layout: UintArray, vals: vals, card: len(vals)}
+	s := &Set{layout: UintArray, vals: vals, card: len(vals)}
+	attachDir(s)
+	return s
 }
 
 // WantBitset reports whether FromSorted would choose the bitset layout for
@@ -85,7 +135,24 @@ func FromSorted(vals []uint32, policy Policy) *Set {
 // trie builder (internal/trie) asks before constructing anything so it can
 // size its value and word arenas exactly.
 func WantBitset(card int, min, max uint32, policy Policy) bool {
-	return policy == PolicyAuto && card > 0 && denseEnough(card, min, max)
+	switch policy {
+	case PolicyAuto:
+		return card > 0 && denseEnough(card, min, max)
+	case PolicyAdaptive:
+		if card < adaptiveMinCard {
+			return false
+		}
+		span := uint64(max) - uint64(min) + 1
+		return uint64(card)*adaptiveDenominator > span
+	}
+	return false
+}
+
+// PaperRuleWantBitset is the unmodified 1-in-256 decision, exported so the
+// adaptive builder can count how often the measured crossover disagrees
+// with the paper's rule (the "layout flips" the chooser stats report).
+func PaperRuleWantBitset(card int, min, max uint32) bool {
+	return card > 0 && denseEnough(card, min, max)
 }
 
 // BitsetWords returns the number of 64-bit words a bitset spanning
@@ -105,6 +172,7 @@ func InitSortedView(dst *Set, vals []uint32) {
 		return
 	}
 	*dst = Set{layout: UintArray, vals: vals, card: len(vals)}
+	attachDir(dst)
 }
 
 // InitBitset initializes dst in place as a bitset over pre-filled words
@@ -363,7 +431,7 @@ func (s *Set) String() string {
 func (s *Set) MemoryBytes() int {
 	switch s.layout {
 	case UintArray:
-		return 4 * len(s.vals)
+		return 4 * (len(s.vals) + len(s.dir))
 	case Bitset:
 		return 8*len(s.words) + 4*len(s.ranks)
 	}

@@ -263,13 +263,15 @@ func TestGallopPath(t *testing.T) {
 		large[i] = uint32(i * 2)
 	}
 	small := []uint32{0, 998, 1998}
-	got := intersectGallop(nil, small, large)
+	dst := make([]uint32, len(small))
+	got := dst[:intersectGallop(dst, small, large)]
 	if !reflect.DeepEqual(got, []uint32{0, 998, 1998}) {
 		t.Errorf("gallop = %v", got)
 	}
 	// Small with misses, including past the end of large.
 	small2 := []uint32{1, 3, 1997, 1998, 5000}
-	got2 := intersectGallop(nil, small2, large)
+	dst2 := make([]uint32, len(small2))
+	got2 := dst2[:intersectGallop(dst2, small2, large)]
 	if !reflect.DeepEqual(got2, []uint32{1998}) {
 		t.Errorf("gallop with misses = %v", got2)
 	}

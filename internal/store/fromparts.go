@@ -18,9 +18,13 @@ type RelationData struct {
 	// DistinctS and DistinctO are the precomputed statistics; assemble's
 	// radix pass is skipped entirely.
 	DistinctS, DistinctO int
-	// SO and OS, when non-nil, pre-populate the PolicyAuto trie cache so
-	// first query never pays a build.
+	// SO and OS, when non-nil, pre-populate the trie cache slot for Policy
+	// so first query never pays a build.
 	SO, OS *trie.Trie
+	// Policy is the layout policy the prebuilt tries were built under.
+	// The zero value is set.PolicyAuto, which version-1 segments used;
+	// version-2 segments record set.PolicyAdaptive.
+	Policy set.Policy
 }
 
 // FromParts assembles a Store from pre-built components without the
@@ -43,10 +47,10 @@ func FromParts(d *dict.Dictionary, triples []Triple, rels []RelationData) *Store
 			distinctO: rd.DistinctO,
 		}
 		if rd.SO != nil {
-			rel.so[policyIdx(set.PolicyAuto)].v.Store(rd.SO)
+			rel.so[policyIdx(rd.Policy)].v.Store(rd.SO)
 		}
 		if rd.OS != nil {
-			rel.os[policyIdx(set.PolicyAuto)].v.Store(rd.OS)
+			rel.os[policyIdx(rd.Policy)].v.Store(rd.OS)
 		}
 		st.relations[rd.Predicate] = rel
 		st.predicates = append(st.predicates, rd.Predicate)

@@ -54,10 +54,16 @@ func (sl *trieSlot) get(build func() *trie.Trie) *trie.Trie {
 // memory accounting reads this so /stats never forces index construction.
 func (sl *trieSlot) peek() *trie.Trie { return sl.v.Load() }
 
+// numPolicies is the number of layout-policy cache slots per index.
+const numPolicies = 3
+
 // policyIdx maps a layout policy to its cache slot index.
 func policyIdx(p set.Policy) int {
-	if p == set.PolicyUintOnly {
+	switch p {
+	case set.PolicyUintOnly:
 		return 1
+	case set.PolicyAdaptive:
+		return 2
 	}
 	return 0
 }
@@ -72,7 +78,7 @@ type Relation struct {
 
 	// Lazily built trie indexes over (S,O) and (O,S), one latch per
 	// (order, policy) slot so independent indexes build concurrently.
-	so, os [2]trieSlot
+	so, os [numPolicies]trieSlot
 }
 
 // Len returns the number of rows.
@@ -106,7 +112,7 @@ func (r *Relation) TrieOS(policy set.Policy) *trie.Trie {
 // indexMemoryBytes sums the footprint of the relation's built tries.
 func (r *Relation) indexMemoryBytes() int {
 	total := 0
-	for i := 0; i < 2; i++ {
+	for i := 0; i < numPolicies; i++ {
 		if t := r.so[i].peek(); t != nil {
 			total += t.MemoryBytes()
 		}
@@ -134,7 +140,7 @@ type Store struct {
 	// (permutation, policy) so distinct permutations build concurrently.
 	// Indexed by permIdx: perm[0]*3+perm[1] ∈ [0,9) (6 of the 9 slots are
 	// valid permutations; the rest stay empty).
-	tripleTries [2][9]trieSlot
+	tripleTries [numPolicies][9]trieSlot
 }
 
 // permIdx encodes a column permutation as a slot index.

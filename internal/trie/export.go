@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/set"
+	"repro/internal/stats"
 )
 
 // LevelData is the serializable image of one trie level: the four arenas
@@ -29,6 +30,9 @@ type LevelData struct {
 	// order, the set's base value and word count.
 	BitsetBase   []uint32
 	BitsetNWords []int32
+	// Stats is the level histogram recorded at build time. Zero-valued when
+	// the trie predates statistics (version-1 segment files).
+	Stats stats.Level
 }
 
 // Export returns the level images of a full trie (not a Sub view). The
@@ -45,6 +49,9 @@ func (t *Trie) Export() []LevelData {
 			Vals:  lv.vals,
 			Words: lv.words,
 			Ranks: lv.ranks,
+		}
+		if t.lstats != nil {
+			ld.Stats = t.lstats[l]
 		}
 		if n := len(lv.sets); n > 0 {
 			ld.LayoutBits = make([]uint64, (n+63)/64)
@@ -74,8 +81,10 @@ func FromLevels(tuples int, levels []LevelData) (*Trie, error) {
 	if len(levels) == 0 {
 		return nil, fmt.Errorf("trie: FromLevels with zero levels")
 	}
-	t := &Trie{arity: len(levels), tuples: tuples, levels: make([]level, len(levels))}
+	t := &Trie{arity: len(levels), tuples: tuples, levels: make([]level, len(levels)),
+		lstats: make([]stats.Level, len(levels))}
 	for l, ld := range levels {
+		t.lstats[l] = ld.Stats
 		nodes := len(ld.Start) - 1
 		if nodes < 0 {
 			return nil, fmt.Errorf("trie: level %d has empty start arena", l)

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/radix"
 	"repro/internal/set"
+	"repro/internal/stats"
 )
 
 // buildScratch holds BuildFromColumns's transient buffers: the radix-sort
@@ -88,9 +89,16 @@ type Trie struct {
 	arity     int
 	tuples    int // -1 for views (unknown without counting)
 	levels    []level
+	lstats    []stats.Level // per-level histograms; may be nil on old segments
 	rootLevel int32
 	rootNode  int32
 }
+
+// Stats returns the per-level histograms recorded at build time (len ==
+// Arity for built tries). Tries loaded from pre-statistics segment files and
+// subtree views of them may return nil; callers must treat absent statistics
+// as "unknown", not "empty".
+func (t *Trie) Stats() []stats.Level { return t.lstats }
 
 // Node is a handle to one trie node: (trie, level, index). It is a value —
 // copying it is free and descent state can live in flat stacks
@@ -160,7 +168,8 @@ func Sub(n Node, arity int) *Trie {
 		panic(fmt.Sprintf("trie: Sub arity %d does not match remaining levels %d",
 			arity, len(n.t.levels)-int(n.level)))
 	}
-	return &Trie{arity: arity, tuples: -1, levels: n.t.levels, rootLevel: n.level, rootNode: n.node}
+	return &Trie{arity: arity, tuples: -1, levels: n.t.levels, lstats: n.t.lstats,
+		rootLevel: n.level, rootNode: n.node}
 }
 
 // BuildFromColumns builds a trie whose level c holds column cols[c]. All
@@ -177,7 +186,7 @@ func BuildFromColumns(cols [][]uint32, policy set.Policy) *Trie {
 			panic("trie: ragged columns")
 		}
 	}
-	t := &Trie{arity: arity, levels: make([]level, arity)}
+	t := &Trie{arity: arity, levels: make([]level, arity), lstats: make([]stats.Level, arity)}
 	if n == 0 {
 		// Canonical empty trie: one root node holding the empty set,
 		// nothing below.
@@ -212,7 +221,10 @@ func BuildFromColumns(cols [][]uint32, policy set.Policy) *Trie {
 		// Pass A: count each node's distinct values (rows are sorted, so
 		// distinct = transitions) and pre-size the arenas exactly. The
 		// layout decision needs only (card, min, max), all known here, so
-		// no per-node layout flags are stored — pass B re-derives it.
+		// no per-node layout flags are stored — pass B re-derives it. The
+		// same (card, min, max) triple feeds the level histogram, so the
+		// statistics the chooser layer needs cost no extra pass.
+		ls := &t.lstats[l]
 		uintTotal, wordTotal := 0, 0
 		for g := 0; g < nodes; g++ {
 			lo, hi := bounds[g], bounds[g+1]
@@ -226,7 +238,10 @@ func BuildFromColumns(cols [][]uint32, policy set.Policy) *Trie {
 			}
 			lv.start[g+1] = lv.start[g] + int32(card)
 			minV, maxV := col[perm[lo]], col[perm[hi-1]]
-			if set.WantBitset(card, minV, maxV, policy) {
+			want := set.WantBitset(card, minV, maxV, policy)
+			ls.Observe(uint64(card), uint64(maxV)-uint64(minV)+1, want,
+				want != set.PaperRuleWantBitset(card, minV, maxV))
+			if want {
 				wordTotal += set.BitsetWords(minV, maxV)
 			} else {
 				uintTotal += card
@@ -297,6 +312,15 @@ func BuildFromColumns(cols [][]uint32, policy set.Policy) *Trie {
 			newBounds[total] = int32(n)
 			bounds = newBounds
 		}
+	}
+	if policy == set.PolicyAdaptive {
+		var bs, us, fl uint64
+		for l := range t.lstats {
+			bs += t.lstats[l].BitsetNodes
+			us += t.lstats[l].UintNodes
+			fl += t.lstats[l].Flips
+		}
+		stats.Default.RecordLayout(bs, us, fl)
 	}
 	return t
 }
