@@ -2,10 +2,11 @@
 // and writes the machine-readable report — set intersect/seek kernels, the
 // full-store trie rebuild (flat vs pointer reference), Table II WCOJ
 // queries (including the cost-model auto router), the sharded-vs-unsharded
-// pair, the cold-start boot trajectory (N-Triples vs snapshot vs mmap
-// segment), and WAL append throughput per fsync policy — as JSON. CI runs
+// pairs at 4 and 8 shards (plus a LUBM scale-8 sharded section), the
+// cold-start boot trajectory (N-Triples vs snapshot vs mmap segment), and
+// WAL append throughput per fsync policy — as JSON. CI runs
 // it on every PR, uploads the file as an artifact, and gates the build with
-// -compare against the copy committed at the repo root (BENCH_7.json): any
+// -compare against the copy committed at the repo root (BENCH_8.json): any
 // shared result more than -threshold percent slower than the baseline —
 // beyond the repetition noise both reports recorded — exits nonzero.
 //
@@ -37,7 +38,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "LUBM scale factor (universities)")
 	reps := flag.Int("reps", 5, "repetitions per measurement")
-	out := flag.String("out", "BENCH_7.json", "output path")
+	out := flag.String("out", "BENCH_8.json", "output path")
 	seed := flag.String("seed", "", "optional JSON map of baseline ns/op to embed")
 	compare := flag.String("compare", "", "baseline report to gate against; exit 1 on regression")
 	threshold := flag.Float64("threshold", 25, "regression threshold percent for -compare")

@@ -2,9 +2,10 @@ package bench
 
 // perf.go is the machine-readable perf trajectory: RunPerfSuite measures
 // the WCOJ hot-path kernels (set intersection and seek, full-store trie
-// builds, Table II join queries, the sharded-vs-unsharded pair, the
-// cold-start boot trajectory across on-disk formats, and WAL append
-// throughput per fsync policy) and cmd/benchjson serializes the report as
+// builds, Table II join queries, the sharded-vs-unsharded pairs at 4 and 8
+// shards plus a scale-8 sharded section, the cold-start boot trajectory
+// across on-disk formats, and WAL append throughput per fsync policy) and
+// cmd/benchjson serializes the report as
 // BENCH_<pr>.json at the repo root, which CI regenerates and uploads as an
 // artifact on every PR. Future PRs diff their report against the committed
 // one, so "made the hot path faster" stays a number with provenance instead
@@ -238,13 +239,69 @@ func tableIIQueries(st *store.Store, cfg Config) ([]PerfResult, error) {
 }
 
 // shardedPair measures the scatter-gather engine against its unsharded
-// twin on the two canonical shapes (subject-star q2, path q8).
+// twin on the two canonical shapes (subject-star q2, path q8), at 4 and 8
+// shards. The repetition protocol matches the statistics-pruned planner's
+// serving-path behaviour: the warmup run compiles and caches the scatter
+// plan (and the join path's memoized build tables), so the timed reps
+// measure the repeated-query hot path, exactly what the server pays.
 func shardedPair(st *store.Store, cfg Config) ([]PerfResult, error) {
 	eng, err := engines.New("emptyheaded", st)
 	if err != nil {
 		return nil, err
 	}
-	p, err := shard.Partition(st, 4)
+	variants := []struct {
+		name string
+		e    engine.Engine
+	}{{"unsharded", eng}}
+	for _, n := range []int{4, 8} {
+		p, err := shard.Partition(st, n)
+		if err != nil {
+			return nil, err
+		}
+		sharded, err := engines.NewSharded("emptyheaded", p)
+		if err != nil {
+			return nil, err
+		}
+		variants = append(variants, struct {
+			name string
+			e    engine.Engine
+		}{fmt.Sprintf("shards_%d", n), sharded})
+	}
+	var out []PerfResult
+	for _, qn := range []int{2, 8} {
+		q, err := query.ParseSPARQL(lubm.Query(qn, cfg.Scale))
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range variants {
+			d, varPct, rows, err := MeasureVar(cfg.Reps, v.e, q)
+			if err != nil {
+				return nil, fmt.Errorf("sharded pair q%d/%s: %w", qn, v.name, err)
+			}
+			out = append(out, PerfResult{
+				Name:    fmt.Sprintf("sharded/emptyheaded/lubm_q%d/%s", qn, v.name),
+				NsPerOp: float64(d),
+				VarPct:  varPct,
+				Rows:    rows,
+			})
+		}
+	}
+	return out, nil
+}
+
+// shardedScale8 measures the 8-shard engine against the unsharded one on a
+// LUBM scale-8 dataset — the scale where sharding must pay for itself, not
+// just stay within bounds. The section generates its own dataset (the
+// suite's main dataset stays at cfg.Scale so the kernel and trie numbers
+// remain comparable across reports).
+func shardedScale8(cfg Config) ([]PerfResult, error) {
+	const scale = 8
+	st := NewDataset(Config{Scale: scale, Seed: cfg.Seed})
+	eng, err := engines.New("emptyheaded", st)
+	if err != nil {
+		return nil, err
+	}
+	p, err := shard.Partition(st, 8)
 	if err != nil {
 		return nil, err
 	}
@@ -253,21 +310,21 @@ func shardedPair(st *store.Store, cfg Config) ([]PerfResult, error) {
 		return nil, err
 	}
 	var out []PerfResult
-	for _, qn := range []int{2, 8} {
-		q, err := query.ParseSPARQL(lubm.Query(qn, cfg.Scale))
+	for _, qn := range []int{2, 8, 14} {
+		q, err := query.ParseSPARQL(lubm.Query(qn, scale))
 		if err != nil {
 			return nil, err
 		}
 		for _, v := range []struct {
 			name string
 			e    engine.Engine
-		}{{"unsharded", eng}, {"shards_4", sharded}} {
+		}{{"unsharded", eng}, {"shards_8", sharded}} {
 			d, varPct, rows, err := MeasureVar(cfg.Reps, v.e, q)
 			if err != nil {
-				return nil, fmt.Errorf("sharded pair q%d/%s: %w", qn, v.name, err)
+				return nil, fmt.Errorf("sharded scale8 q%d/%s: %w", qn, v.name, err)
 			}
 			out = append(out, PerfResult{
-				Name:    fmt.Sprintf("sharded/emptyheaded/lubm_q%d/%s", qn, v.name),
+				Name:    fmt.Sprintf("sharded/emptyheaded/scale8/lubm_q%d/%s", qn, v.name),
 				NsPerOp: float64(d),
 				VarPct:  varPct,
 				Rows:    rows,
@@ -462,6 +519,11 @@ func RunPerfSuite(cfg Config) (*PerfReport, error) {
 		return nil, err
 	}
 	report.Results = append(report.Results, sp...)
+	s8, err := shardedScale8(cfg)
+	if err != nil {
+		return nil, err
+	}
+	report.Results = append(report.Results, s8...)
 	cs, err := coldStart(st, cfg)
 	if err != nil {
 		return nil, err
@@ -486,6 +548,23 @@ func RunPerfSuite(cfg Config) (*PerfReport, error) {
 	}
 	if sn, seg := byName["coldstart/snapshot_read_build"], byName["coldstart/segment_mmap"]; seg > 0 {
 		report.Derived["cold_start_speedup_segment_vs_snapshot"] = sn / seg
+	}
+	// Sharded speedups: unsharded/sharded per query and shard count — > 1
+	// means the scatter-gather path wins outright, and the committed report
+	// makes "the 18× regression stayed fixed" a gated number.
+	for _, qn := range []int{2, 8} {
+		u := byName[fmt.Sprintf("sharded/emptyheaded/lubm_q%d/unsharded", qn)]
+		for _, n := range []int{4, 8} {
+			if s := byName[fmt.Sprintf("sharded/emptyheaded/lubm_q%d/shards_%d", qn, n)]; s > 0 {
+				report.Derived[fmt.Sprintf("sharded_speedup_lubm_q%d_shards_%d", qn, n)] = u / s
+			}
+		}
+	}
+	for _, qn := range []int{2, 8, 14} {
+		u := byName[fmt.Sprintf("sharded/emptyheaded/scale8/lubm_q%d/unsharded", qn)]
+		if s := byName[fmt.Sprintf("sharded/emptyheaded/scale8/lubm_q%d/shards_8", qn)]; s > 0 {
+			report.Derived[fmt.Sprintf("sharded_speedup_scale8_lubm_q%d_shards_8", qn)] = u / s
+		}
 	}
 	return report, nil
 }

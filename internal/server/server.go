@@ -344,11 +344,13 @@ type preparedQuery struct {
 // The key carries the store epoch, so entries from before a compaction
 // swap — whose plans were costed against statistics that no longer exist —
 // can never be served afterwards; they age out of the LRU. Under sharding
-// the cache holds only the interned normalized BGP — shard.Engine is not a
-// planOpener, so per-shard sub-query plans are recomputed per execution (a
-// cache "hit" saves parsing and normalization only; caching the
-// decomposition plus per-group compiled plans is the ROADMAP's
-// shard-aware-planning follow-up).
+// the cache holds the interned normalized BGP, and that interning is what
+// makes the shard engine's own caches work: shard.Engine memoizes its
+// scatter plan (decomposition, statistics-pruned targets, probe choice,
+// per-shard sub-queries) per *query.BGP pointer, and hands every shard the
+// same sub-query pointers so the per-shard engines' plan caches hit too —
+// a repeated sharded query skips all per-shard planning, not just
+// parse+normalize (/stats sharding.plan_reuse_hits counts these).
 func (s *Server) prepare(engineName string, le *live.Engine, q *query.BGP) (*preparedQuery, bool, error) {
 	norm, key := query.Normalize(q)
 	key = "e" + strconv.FormatUint(le.Epoch(), 10) + "|" + engineName + "|" + s.optionsKey(le) + "|" + key
@@ -889,6 +891,11 @@ func (s *Server) Stats() Stats {
 			sharding.ReplicatedTriples[i] = sh.Replicated
 			sharding.MergeRowsDelivered[i] = sh.Delivered
 		}
+		ps := part.PlanStats()
+		sharding.ShardsPruned = ps.ShardsPruned
+		sharding.GroupsPlanned = ps.GroupsPlanned
+		sharding.PlanReuseHits = ps.PlanReuseHits
+		sharding.PlansCompiled = ps.PlansCompiled
 	}
 	var durability *DurabilityStats
 	if s.cfg.Durable != nil {

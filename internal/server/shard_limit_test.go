@@ -97,10 +97,26 @@ func TestShardedServerMatchesUnsharded(t *testing.T) {
 	if deliveredSum == 0 {
 		t.Fatal("no merge rows delivered recorded after sharded traffic")
 	}
+	// Scatter-planning counters: the traffic above compiled root-covered
+	// groups, and the repeated queries (the triangle ran more than once per
+	// engine) were answered from cached scatter plans — the plan-cache
+	// interning chain (normalize → interned BGP pointer → shard plan cache)
+	// is load-bearing for the sharded hot path, so its observability is too.
+	if stats.Sharding.PlansCompiled == 0 || stats.Sharding.GroupsPlanned == 0 {
+		t.Fatalf("no scatter planning recorded: %+v", stats.Sharding)
+	}
+	reuseBefore := stats.Sharding.PlanReuseHits
+	collectTSV(t, sharded.URL, triangleQuery, "emptyheaded")
+	if after := srv.Stats().Sharding.PlanReuseHits; after <= reuseBefore {
+		t.Fatalf("plan_reuse_hits = %d after repeating a cached query, want > %d", after, reuseBefore)
+	}
 	// The JSON payload carries the section (and the unsharded server omits it).
 	code, body := get(t, sharded.URL+"/stats")
 	if code != http.StatusOK || !strings.Contains(body, `"sharding"`) {
 		t.Fatalf("/stats: code=%d, sharding section missing: %.300s", code, body)
+	}
+	if !strings.Contains(body, `"plan_reuse_hits"`) || !strings.Contains(body, `"shards_pruned"`) {
+		t.Fatalf("/stats sharding section missing scatter-planning counters: %.400s", body)
 	}
 	if _, body := get(t, plain.URL+"/stats"); strings.Contains(body, `"sharding"`) {
 		t.Fatal("unsharded /stats carries a sharding section")

@@ -61,6 +61,20 @@ type ShardingStats struct {
 	// contributed to scatter-gather merge cursors; a skewed distribution
 	// means the subject hash is not spreading the queried entities.
 	MergeRowsDelivered []int64 `json:"merge_rows_delivered"`
+	// ShardsPruned counts (group, shard) scatter targets skipped because
+	// per-shard statistics proved they could not contribute rows. Zero on
+	// a workload that should prune means the scatter is paying full fan-out
+	// on every query — the regression this counter exists to catch.
+	ShardsPruned int64 `json:"shards_pruned"`
+	// GroupsPlanned counts root-covered groups compiled into scatter plans.
+	GroupsPlanned int64 `json:"groups_planned"`
+	// PlanReuseHits counts queries answered from a cached scatter plan
+	// (decomposition, pruning, probe choice, and the per-shard sub-queries
+	// all reused). Near-zero under a repeated-query workload means the plan
+	// cache is not interning queries to stable pointers.
+	PlanReuseHits int64 `json:"plan_reuse_hits"`
+	// PlansCompiled counts scatter-plan cache misses.
+	PlansCompiled int64 `json:"plans_compiled"`
 }
 
 // DurabilityStats reports the storage engine behind a durable server: the

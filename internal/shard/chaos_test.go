@@ -103,7 +103,7 @@ func TestMergeCursorShardFailure(t *testing.T) {
 			return cursors[2], nil
 		},
 	}
-	cur := gather(context.Background(), []string{"x"}, opens, nil, false, 0, nil)
+	cur := gather(context.Background(), []string{"x"}, nil, opens, nil, false, 0, nil)
 	var err error
 	rows := 0
 	for {
@@ -150,7 +150,7 @@ func TestMergeCursorEarlyCloseUnderLoad(t *testing.T) {
 			return c, nil
 		}
 	}
-	cur := gather(context.Background(), []string{"x"}, opens, nil, false, 0, nil)
+	cur := gather(context.Background(), []string{"x"}, nil, opens, nil, false, 0, nil)
 	for i := 0; i < 50; i++ {
 		if _, err := cur.Next(); err != nil {
 			t.Fatalf("row %d: %v", i, err)
@@ -181,7 +181,7 @@ func TestMergeCursorOpenFailure(t *testing.T) {
 		},
 		func(ctx context.Context) (engineCursor, error) { return nil, errOpen },
 	}
-	cur := gather(context.Background(), []string{"x"}, opens, nil, false, 0, nil)
+	cur := gather(context.Background(), []string{"x"}, nil, opens, nil, false, 0, nil)
 	var err error
 	for {
 		if _, err = cur.Next(); err != nil {
@@ -208,7 +208,7 @@ func TestMergeCursorCallerCancel(t *testing.T) {
 			return &fakeCursor{ctx: c, total: 1 << 30, failAfter: -1}, nil
 		},
 	}
-	cur := gather(ctx, []string{"x"}, opens, nil, false, 0, nil)
+	cur := gather(ctx, []string{"x"}, nil, opens, nil, false, 0, nil)
 	for i := 0; i < 20; i++ {
 		if _, err := cur.Next(); err != nil {
 			t.Fatalf("row %d: %v", i, err)

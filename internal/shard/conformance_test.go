@@ -6,7 +6,7 @@ package shard_test
 //
 //	(a) Collect equality (after canonical sort) with the unsharded engine,
 //	    on the triangle/path/star query shapes and on the LUBM scale-1
-//	    golden queries, at N ∈ {1, 2, 7} shards, and
+//	    golden queries, at N ∈ {1, 2, 7, 8} shards, and
 //	(b) the streaming-cursor contract of internal/engine's conformance
 //	    suite holds for the merge cursor too: pre-cancelled contexts fail
 //	    promptly, mid-enumeration cancellation stops within a bounded
@@ -30,7 +30,7 @@ import (
 	"repro/internal/store"
 )
 
-var shardCounts = []int{1, 2, 7}
+var shardCounts = []int{1, 2, 7, 8}
 
 // conformanceStore is a complete digraph over n vertices under <http://c/p>
 // plus sparse <http://c/q> and <http://c/r> edges: the triangle query on p
@@ -124,7 +124,7 @@ func TestShardConformanceShapes(t *testing.T) {
 
 // TestShardConformanceLUBM: sharded Collect is byte-identical (after
 // canonical sort) to the unsharded engine on the LUBM scale-1 golden
-// queries, for all six engines at N ∈ {1, 2, 7}.
+// queries, for all six engines at N ∈ {1, 2, 7, 8}.
 func TestShardConformanceLUBM(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

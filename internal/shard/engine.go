@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -14,11 +15,13 @@ import (
 
 // Engine executes queries by scatter-gather over the shards of a
 // Partitioned dataset. It implements the repository-wide engine.Engine
-// contract — Open(q, ExecOpts) → Cursor — by planning per-shard
-// sub-queries, opening one cursor per shard concurrently, and streaming
-// their merged rows: cancellation, DISTINCT deduplication, Offset, and the
-// exact MaxRows cap are all enforced once at the merge cursor, with row
-// caps propagated down to the shard drains as per-shard hints.
+// contract — Open(q, ExecOpts) → Cursor — by compiling each query into a
+// cached scatter plan (root-group decomposition, statistics-pruned shard
+// targets, probe-side choice; see qplan.go), opening one cursor per
+// surviving shard concurrently, and streaming their merged rows:
+// cancellation, DISTINCT deduplication, Offset, and the exact MaxRows cap
+// are all enforced once at the merge cursor, with row caps propagated down
+// to the shard drains as per-shard hints.
 type Engine struct {
 	part *Partitioned
 	base string
@@ -26,15 +29,27 @@ type Engine struct {
 
 	// constSeen memoizes fully-constant-pattern existence checks: the
 	// partition is immutable, and the check otherwise scans one predicate's
-	// relation per Open. Capped at constSeenCap entries (reset when full)
-	// so an adversarial stream of distinct constant patterns cannot grow
-	// server memory without bound.
+	// relation per compile. Capped at constSeenCap entries (one arbitrary
+	// entry evicted when full) so an adversarial stream of distinct constant
+	// patterns cannot grow server memory without bound.
 	constMu   sync.Mutex
 	constSeen map[store.Triple]bool
+
+	// qplans caches compiled scatter plans per query pointer (see planFor);
+	// the server's plan cache interns normalized queries to stable pointers,
+	// so repeated requests hit here and skip all per-shard planning.
+	planMu sync.Mutex
+	qplans map[*query.BGP]*queryPlan
+
+	// noPrune disables statistics pruning — the property-test oracle proving
+	// pruned and unpruned scatter agree. Never set in production paths.
+	noPrune bool
 }
 
-// constSeenCap bounds the existence-check memo; a full map is simply
-// dropped (the checks are recomputable — this is a cache, not state).
+// constSeenCap bounds the existence-check memo. Eviction is one arbitrary
+// entry per insert (map iteration order), not a wholesale reset: dropping
+// the full map made every memoized constant pattern rescan its relation at
+// once — a periodic thundering herd under an adversarial constant stream.
 const constSeenCap = 1 << 14
 
 // NewEngine builds one instance of a base engine over every shard of p
@@ -42,7 +57,9 @@ const constSeenCap = 1 << 14
 // wrapper. Construction cost is the base engine's, once per shard — over
 // smaller inputs, so eager index builds (rdf3x's six permutation sorts)
 // also parallelize across shards in wall-clock terms when the caller
-// shards a large dataset.
+// shards a large dataset. Passing the "auto" engine gives every shard its
+// own cost-model router, so each shard picks its plan class from its own
+// statistics.
 func NewEngine(p *Partitioned, name string, build func(*store.Store) (engine.Engine, error)) (*Engine, error) {
 	engs := make([]engine.Engine, p.NumShards())
 	for i := range engs {
@@ -52,7 +69,13 @@ func NewEngine(p *Partitioned, name string, build func(*store.Store) (engine.Eng
 		}
 		engs[i] = e
 	}
-	return &Engine{part: p, base: name, engs: engs, constSeen: map[store.Triple]bool{}}, nil
+	return &Engine{
+		part:      p,
+		base:      name,
+		engs:      engs,
+		constSeen: map[store.Triple]bool{},
+		qplans:    map[*query.BGP]*queryPlan{},
+	}, nil
 }
 
 // Name identifies the engine and its shard count in benchmark output.
@@ -66,10 +89,10 @@ func (e *Engine) Name() string {
 // wrapper forwards to every shard.
 func (e *Engine) ShardEngine(i int) engine.Engine { return e.engs[i] }
 
-// Open starts the sharded execution of q. The query is decomposed into
-// root-covered groups (see the package comment); a single group scatters to
-// every shard and streams the merged union, multiple groups additionally
-// join their streams at the merge layer.
+// Open starts the sharded execution of q under its cached scatter plan. A
+// single root-covered group scatters to the plan's surviving shards and
+// streams the merged union; multiple groups additionally join their
+// streams at the merge layer.
 func (e *Engine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -82,15 +105,14 @@ func (e *Engine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error)
 		cur, err := e.engs[0].Open(q, opts)
 		return e.counting(0, cur, err)
 	}
-	rest, ok := e.splitConstant(q.Patterns)
-	if !ok {
+	qp := e.planFor(q)
+	if qp.empty {
 		return emptyCursor{vars: q.Select}, nil
 	}
-	groups := decompose(rest)
-	if len(groups) == 1 {
-		return e.openSingle(q, groups[0], opts)
+	if qp.single != nil {
+		return e.openSingle(qp.single, opts)
 	}
-	return e.openJoin(q, groups, opts)
+	return e.openJoin(q, qp.join, opts)
 }
 
 // splitConstant separates fully-constant patterns (no variables anywhere)
@@ -146,7 +168,14 @@ func (e *Engine) hasTriple(p query.Pattern) bool {
 	}
 	e.constMu.Lock()
 	if len(e.constSeen) >= constSeenCap {
-		e.constSeen = map[store.Triple]bool{}
+		// Evict one arbitrary entry. A full reset here would forget every
+		// memoized pattern at once and rescan them all on their next
+		// appearance; single-entry eviction caps the damage at one rescan
+		// per newly inserted pattern.
+		for k := range e.constSeen {
+			delete(e.constSeen, k)
+			break
+		}
 	}
 	e.constSeen[key] = found
 	e.constMu.Unlock()
@@ -252,44 +281,23 @@ func (c *countCursor) Next() ([]uint32, error) {
 	return row, err
 }
 
-// openSingle executes a query fully covered by one root group.
-func (e *Engine) openSingle(q *query.BGP, g group, opts engine.ExecOpts) (engine.Cursor, error) {
-	n := len(e.engs)
-	if !g.root.IsVar {
+// openSingle executes a query fully covered by one root group, per its
+// compiled plan.
+func (e *Engine) openSingle(sp *singlePlan, opts engine.ExecOpts) (engine.Cursor, error) {
+	if sp.constant {
 		// Constant root: every solution's triples contain it, so its owner
 		// shard alone answers the query — route instead of scattering, and
 		// pass caps straight through (no filtering happens above it).
-		id, ok := e.part.dict.Lookup(g.root.Term)
-		if !ok {
-			return emptyCursor{vars: q.Select}, nil
-		}
-		sh := ShardOf(id, n)
-		sub := &query.BGP{Select: q.Select, Distinct: q.Distinct, Patterns: g.pats}
-		cur, err := e.engs[sh].Open(sub, opts)
+		sh := sp.shards[0]
+		cur, err := e.engs[sh].Open(sp.sub, opts)
 		return e.counting(sh, cur, err)
 	}
 
-	// Variable root: scatter to every shard. The sub-query projects the
-	// root (appended when the caller did not select it) so the merge layer
-	// can apply the ownership filter; appending a variable to a
-	// non-DISTINCT projection never changes the multiset (projection does
-	// not deduplicate), and under DISTINCT the merge dedups the stripped
-	// rows anyway.
-	sel := q.Select
-	rootIdx := -1
-	for i, v := range sel {
-		if v == g.root.Var {
-			rootIdx = i
-			break
-		}
+	n := len(e.engs)
+	outVars := sp.sub.Select
+	if sp.strip {
+		outVars = sp.sub.Select[:len(sp.sub.Select)-1]
 	}
-	strip := false
-	if rootIdx < 0 {
-		sel = append(append(make([]string, 0, len(q.Select)+1), q.Select...), g.root.Var)
-		rootIdx = len(sel) - 1
-		strip = true
-	}
-	sub := &query.BGP{Select: sel, Distinct: q.Distinct, Patterns: g.pats}
 
 	// Per-shard row-cap hint: after the ownership filter each shard can
 	// contribute at most Offset+MaxRows rows to the final result, plus one
@@ -297,20 +305,24 @@ func (e *Engine) openSingle(q *query.BGP, g group, opts engine.ExecOpts) (engine
 	// row. Unsafe under DISTINCT (capped shard rows may collapse after the
 	// root column is stripped), so no hint is pushed there.
 	perShardCap := 0
-	if opts.MaxRows > 0 && !q.Distinct {
+	if opts.MaxRows > 0 && !sp.sub.Distinct {
 		perShardCap = opts.Offset + opts.MaxRows + 1
 	}
 
-	opens := make([]openFunc, n)
-	for i := range opens {
-		eng := e.engs[i]
-		opens[i] = func(sctx context.Context) (engine.Cursor, error) {
-			return eng.Open(sub, engine.ExecOpts{Ctx: sctx, Workers: opts.Workers})
+	keep := func(sh int, row []uint32) bool { return ShardOf(row[sp.rootIdx], n) == sh }
+	var cur engine.Cursor
+	if len(sp.shards) == 1 {
+		// One surviving shard: filter in place, no fan-in goroutines.
+		sh := sp.shards[0]
+		inner, err := e.engs[sh].Open(sp.sub, engine.ExecOpts{Ctx: opts.Ctx, Workers: opts.Workers})
+		if err != nil {
+			return nil, err
 		}
+		cur = newFilter(inner, outVars, sh, keep, sp.strip, perShardCap, e.part)
+	} else {
+		cur = e.gather(opts.Ctx, outVars, sp.sub, sp.shards, keep, sp.strip, perShardCap, opts.Workers)
 	}
-	keep := func(sh int, row []uint32) bool { return ShardOf(row[rootIdx], n) == sh }
-	cur := gather(opts.Ctx, q.Select, opens, keep, strip, perShardCap, e.part)
-	if q.Distinct {
+	if sp.sub.Distinct {
 		cur = newDedup(cur)
 	}
 	return engine.Limit(cur, opts.Offset, opts.MaxRows), nil
@@ -320,38 +332,33 @@ func (e *Engine) openSingle(q *query.BGP, g group, opts engine.ExecOpts) (engine
 // (all of the group's variables, no DISTINCT) — the building block of the
 // merge-layer join. Group solutions are sets at full projection, so joining
 // them reconstructs the whole query's solution set exactly.
-func (e *Engine) openGroup(ctx context.Context, g group, vars []string, workers int) (engine.Cursor, error) {
+func (e *Engine) openGroup(ctx context.Context, gp groupPlan, workers int) (engine.Cursor, error) {
 	n := len(e.engs)
-	sub := &query.BGP{Select: vars, Patterns: g.pats}
-	if !g.root.IsVar {
-		id, ok := e.part.dict.Lookup(g.root.Term)
-		if !ok {
-			return emptyCursor{vars: vars}, nil
-		}
-		sh := ShardOf(id, n)
-		cur, err := e.engs[sh].Open(sub, engine.ExecOpts{Ctx: ctx, Workers: workers})
+	if gp.rootIdx < 0 {
+		// Constant root: the owner shard alone answers the group.
+		sh := gp.shards[0]
+		cur, err := e.engs[sh].Open(gp.sub, engine.ExecOpts{Ctx: ctx, Workers: workers})
 		return e.counting(sh, cur, err)
 	}
-	rootIdx := -1
-	for i, v := range vars {
-		if v == g.root.Var {
-			rootIdx = i
-			break
+	keep := func(sh int, row []uint32) bool { return ShardOf(row[gp.rootIdx], n) == sh }
+	if len(gp.shards) == 1 {
+		sh := gp.shards[0]
+		inner, err := e.engs[sh].Open(gp.sub, engine.ExecOpts{Ctx: ctx, Workers: workers})
+		if err != nil {
+			return nil, err
 		}
+		return newFilter(inner, gp.vars, sh, keep, false, 0, e.part), nil
 	}
-	opens := make([]openFunc, n)
-	for i := range opens {
-		eng := e.engs[i]
-		opens[i] = func(sctx context.Context) (engine.Cursor, error) {
-			return eng.Open(sub, engine.ExecOpts{Ctx: sctx, Workers: workers})
-		}
-	}
-	keep := func(sh int, row []uint32) bool { return ShardOf(row[rootIdx], n) == sh }
-	return gather(ctx, vars, opens, keep, false, 0, e.part), nil
+	return e.gather(ctx, gp.vars, gp.sub, gp.shards, keep, false, 0, workers), nil
 }
 
-// openJoin executes a query needing several root groups: group 0 (the
-// largest by construction) streams as the probe side while the remaining
+// errJoinCap stops the join producer once the merge-level cap (plus its
+// exactness probe row) is satisfied — the per-shard row-cap hint of the
+// multi-group path. The signal is an early clean EOF, not an error.
+var errJoinCap = errors.New("shard: join output cap reached")
+
+// openJoin executes a query needing several root groups: the plan's probe
+// group (largest estimated solution set) streams while the remaining
 // groups are materialized into hash tables keyed on their join variables —
 // a left-deep streaming hash join at the merge layer.
 //
@@ -364,91 +371,98 @@ func (e *Engine) openGroup(ctx context.Context, g group, vars []string, workers 
 // the same trade the pairwise engines make for their join intermediates.
 // Streaming both sides would need a distributed semi-join phase; see the
 // ROADMAP's shard-aware planning follow-up.
-func (e *Engine) openJoin(q *query.BGP, groups []group, opts engine.ExecOpts) (engine.Cursor, error) {
-	// buildPlan wires group i+1 into the left-deep join: which accumulated
-	// columns form the join key, which of the group's columns match it, and
-	// which group columns extend the accumulated row.
-	type buildPlan struct {
-		g        group
-		vars     []string
-		accKey   []int // join-key positions in the accumulated row
-		rowKeyIx []int // join-key positions in the group's rows
-		appendIx []int // group columns appended to the accumulated row
-	}
-	probeVars := groups[0].vars()
-	acc := append([]string(nil), probeVars...)
-	accPos := map[string]int{}
-	for i, v := range acc {
-		accPos[v] = i
-	}
-	plans := make([]buildPlan, 0, len(groups)-1)
-	for _, g := range groups[1:] {
-		bp := buildPlan{g: g, vars: g.vars()}
-		for j, v := range bp.vars {
-			if i, ok := accPos[v]; ok {
-				bp.accKey = append(bp.accKey, i)
-				bp.rowKeyIx = append(bp.rowKeyIx, j)
-			} else {
-				bp.appendIx = append(bp.appendIx, j)
-				accPos[v] = len(acc)
-				acc = append(acc, v)
-			}
-		}
-		plans = append(plans, bp)
-	}
-	selIx := make([]int, len(q.Select))
-	for i, v := range q.Select {
-		selIx[i] = accPos[v]
+func (e *Engine) openJoin(q *query.BGP, jp *joinPlan, opts engine.ExecOpts) (engine.Cursor, error) {
+	// Output cap: the merge-level Limit stops at Offset+MaxRows plus one
+	// exactness-probe row, so the producer — and through its context every
+	// shard drain under it — can stop as soon as that many rows exist.
+	// Unsafe under DISTINCT (deduplication may collapse capped rows).
+	capRows := 0
+	if opts.MaxRows > 0 && !q.Distinct {
+		capRows = opts.Offset + opts.MaxRows + 1
 	}
 
 	raw := engine.NewGenerator(opts.Ctx, q.Select, func(gctx context.Context, emit func([]uint32) error) error {
-		// Build phase: materialize every non-probe group. Cursors are
-		// context-aware, so cancellation lands mid-build too.
-		tabs := make([]map[string][][]uint32, len(plans))
-		for i, bp := range plans {
-			cur, err := e.openGroup(gctx, bp.g, bp.vars, opts.Workers)
-			if err != nil {
-				return err
-			}
-			tab := map[string][][]uint32{}
-			for {
-				row, err := cur.Next()
-				if err == io.EOF {
-					break
-				}
-				if err != nil {
-					cur.Close()
-					return err
-				}
-				k := rowKey(row, bp.rowKeyIx)
-				tab[k] = append(tab[k], row)
-			}
-			cur.Close()
-			tabs[i] = tab
-		}
-
-		probe, err := e.openGroup(gctx, groups[0], probeVars, opts.Workers)
+		// Build phase: materialize every non-probe group, each on its own
+		// goroutine — the groups' scatter work is independent, so running
+		// them back to back would serialize exactly the per-shard execution
+		// the scatter exists to parallelize. The probe stream opens alongside
+		// them and buffers into its drain batches while the tables build.
+		// Cursors are context-aware, so cancellation lands mid-build too;
+		// a failing build cancels its siblings through bctx.
+		bctx, bcancel := context.WithCancel(gctx)
+		defer bcancel()
+		probe, err := e.openGroup(bctx, jp.groups[0], opts.Workers)
 		if err != nil {
 			return err
 		}
 		defer probe.Close()
 
+		tabs := jp.cachedTabs()
+		if tabs == nil {
+			tabs = make([]buildTable, len(jp.builds))
+			errs := make([]error, len(jp.builds))
+			var bwg sync.WaitGroup
+			for i := range jp.builds {
+				bwg.Add(1)
+				go func(i int) {
+					defer bwg.Done()
+					w := jp.builds[i]
+					cur, err := e.openGroup(bctx, jp.groups[i+1], opts.Workers)
+					if err != nil {
+						errs[i] = err
+						bcancel()
+						return
+					}
+					defer cur.Close()
+					tab := newBuildTable(len(w.rowKeyIx))
+					for {
+						row, err := cur.Next()
+						if err == io.EOF {
+							break
+						}
+						if err != nil {
+							errs[i] = err
+							bcancel()
+							return
+						}
+						tab.add(w.rowKeyIx, row)
+					}
+					tabs[i] = tab
+				}(i)
+			}
+			bwg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			jp.storeTabs(tabs)
+		}
+
+		emitted := 0
 		var expand func(depth int, accRow []uint32) error
 		expand = func(depth int, accRow []uint32) error {
-			if depth == len(plans) {
-				out := make([]uint32, len(selIx))
-				for i, j := range selIx {
+			if depth == len(jp.builds) {
+				out := make([]uint32, len(jp.selIx))
+				for i, j := range jp.selIx {
 					out[i] = accRow[j]
 				}
-				return emit(out)
+				if err := emit(out); err != nil {
+					return err
+				}
+				emitted++
+				if capRows > 0 && emitted >= capRows {
+					return errJoinCap
+				}
+				return nil
 			}
-			bp := plans[depth]
-			for _, m := range tabs[depth][rowKey(accRow, bp.accKey)] {
+			w := jp.builds[depth]
+			for _, m := range tabs[depth].lookup(accRow, w.accKey) {
 				next := accRow
-				if len(bp.appendIx) > 0 {
-					next = make([]uint32, len(accRow), len(accRow)+len(bp.appendIx))
+				if len(w.appendIx) > 0 {
+					next = make([]uint32, len(accRow), len(accRow)+len(w.appendIx))
 					copy(next, accRow)
-					for _, j := range bp.appendIx {
+					for _, j := range w.appendIx {
 						next = append(next, m[j])
 					}
 				}
@@ -471,6 +485,11 @@ func (e *Engine) openJoin(q *query.BGP, groups []group, opts engine.ExecOpts) (e
 				return err
 			}
 			if err := expand(0, row); err != nil {
+				if err == errJoinCap {
+					// Cap satisfied: stop cleanly; probe.Close (deferred)
+					// cancels the shard drains under the probe stream.
+					return nil
+				}
 				return err
 			}
 		}
@@ -490,147 +509,6 @@ func rowKey(row []uint32, idx []int) string {
 		b = engine.AppendRowKeyCol(b, row[i])
 	}
 	return string(b)
-}
-
-// openFunc opens one shard's sub-query cursor under the merge's context.
-type openFunc func(context.Context) (engine.Cursor, error)
-
-// gatherBatch is how many rows a shard drain accumulates before handing
-// them to the merge producer — per-row channel sends were measured as too
-// expensive at this seam once before (see genBatchRows in
-// internal/engine/cursor.go); the merge fan-in amortizes the same way.
-const gatherBatch = 64
-
-// gatherFlushMin is the smallest partial batch a drain flushes
-// opportunistically (non-blocking, at power-of-two sizes), keeping
-// first-row latency low for trickling shards without degenerating into
-// per-row sends.
-const gatherFlushMin = 8
-
-// gatherBuf is the fan-in channel depth in batches: enough to keep shards
-// busy while the producer re-batches, small enough that an abandoned merge
-// strands O(shards · gatherBatch) rows.
-const gatherBuf = 8
-
-// gather is the scatter-gather merge cursor: it opens one cursor per shard
-// concurrently (each under a shared child context), drains them into a
-// fan-in channel, and streams the union in arrival order. keep, when
-// non-nil, is the ownership filter (applied before strip and before the
-// per-shard cap); strip drops the appended root column; perShardCap bounds
-// the rows any one shard contributes (0 = unbounded). A failing shard
-// cancels its siblings and surfaces its error; closing the merge cursor
-// cancels every shard.
-func gather(ctx context.Context, vars []string, opens []openFunc, keep func(shard int, row []uint32) bool, strip bool, perShardCap int, part *Partitioned) engine.Cursor {
-	return engine.NewGenerator(ctx, vars, func(gctx context.Context, emit func([]uint32) error) error {
-		sctx, scancel := context.WithCancel(gctx)
-		defer scancel()
-		rows := make(chan [][]uint32, gatherBuf)
-		errs := make(chan error, len(opens))
-		var wg sync.WaitGroup
-		for i := range opens {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				if err := drainShard(sctx, i, opens[i], keep, strip, perShardCap, part, rows); err != nil {
-					errs <- err
-					scancel() // fail fast: stop sibling shards
-				}
-			}(i)
-		}
-		go func() {
-			wg.Wait()
-			close(rows)
-		}()
-		for batch := range rows {
-			for _, row := range batch {
-				if err := emit(row); err != nil {
-					scancel()
-					for range rows { // unblock drainers until the channel closes
-					}
-					return err
-				}
-			}
-		}
-		select {
-		case err := <-errs:
-			return err
-		default:
-			// A drainer parked on a send can exit on cancellation without
-			// seeing its cursor's context error; report the cause here.
-			return gctx.Err()
-		}
-	})
-}
-
-// drainShard opens and drains one shard's cursor into the fan-in channel
-// in batches, applying the ownership filter, root stripping, and the
-// per-shard cap. Rows accumulated before a cursor error are still flushed
-// (rows before an error stand, mirroring the generator's contract).
-func drainShard(ctx context.Context, shard int, open openFunc, keep func(int, []uint32) bool, strip bool, perShardCap int, part *Partitioned, out chan<- [][]uint32) error {
-	cur, err := open(ctx)
-	if err != nil {
-		return err
-	}
-	defer cur.Close()
-	delivered := 0
-	var batch [][]uint32
-	// flush hands the batch over; non-blocking when block is false (the
-	// batch is kept on a full channel). Returns false once ctx is done —
-	// cancelled by a sibling's failure, the merge closing, or the caller's
-	// context; the gather loop reports the cause.
-	flush := func(block bool) bool {
-		if len(batch) == 0 {
-			return true
-		}
-		if block {
-			select {
-			case out <- batch:
-			case <-ctx.Done():
-				return false
-			}
-		} else {
-			select {
-			case out <- batch:
-			default:
-				return true // channel busy: keep accumulating
-			}
-		}
-		if part != nil {
-			part.delivered[shard].Add(int64(len(batch)))
-		}
-		delivered += len(batch)
-		batch = nil
-		return true
-	}
-	for {
-		row, err := cur.Next()
-		if err == io.EOF {
-			flush(true)
-			return nil
-		}
-		if err != nil {
-			flush(true)
-			return err
-		}
-		if keep != nil && !keep(shard, row) {
-			continue
-		}
-		if strip {
-			row = row[:len(row)-1]
-		}
-		batch = append(batch, row)
-		if perShardCap > 0 && delivered+len(batch) >= perShardCap {
-			flush(true)
-			return nil
-		}
-		if n := len(batch); n >= gatherBatch {
-			if !flush(true) {
-				return nil
-			}
-		} else if n >= gatherFlushMin && n&(n-1) == 0 {
-			flush(false)
-		}
-	}
 }
 
 // dedupCursor streams only the first occurrence of each row — the merge
@@ -667,7 +545,7 @@ func (d *dedupCursor) Truncated() bool { return d.inner.Truncated() }
 func (d *dedupCursor) Close() error    { return d.inner.Close() }
 
 // emptyCursor is the empty result (unknown constants, failed existence
-// filters).
+// filters, all scatter targets pruned).
 type emptyCursor struct{ vars []string }
 
 func (c emptyCursor) Vars() []string          { return c.vars }

@@ -75,6 +75,15 @@ type Partitioned struct {
 	// drain-balance signal /stats reports (a heavily skewed distribution
 	// means the subject hash is not spreading the queried entities).
 	delivered []atomic.Int64
+
+	// Scatter-planning counters, bumped by the Engines executing over this
+	// partition and surfaced in /stats: without them the difference between
+	// "sharding pays" and "sharding is a pessimization" is only visible in
+	// benches, never in production.
+	shardsPruned  atomic.Int64 // (group, shard) scatter targets skipped by statistics
+	groupsPlanned atomic.Int64 // root-covered groups compiled
+	planReuseHits atomic.Int64 // Opens served from a cached scatter plan
+	plansCompiled atomic.Int64 // scatter plans compiled (cache misses)
 }
 
 // Partition splits st into n subject-hash shards, replicating each triple
@@ -128,6 +137,34 @@ type ShardStat struct {
 	// Delivered is the cumulative number of rows this shard has contributed
 	// to merge cursors — the scatter-gather drain balance.
 	Delivered int64
+}
+
+// PlanStats reports the scatter-planning counters accumulated by every
+// Engine executing over this partition.
+type PlanStats struct {
+	// ShardsPruned counts (group, shard) scatter targets that statistics
+	// proved could not contribute rows (predicate absent on the shard,
+	// zero-cardinality selection, constant missing from the shard's trie
+	// root) — sub-queries never opened.
+	ShardsPruned int64
+	// GroupsPlanned counts root-covered groups compiled into scatter plans.
+	GroupsPlanned int64
+	// PlanReuseHits counts Opens answered from a cached scatter plan (the
+	// decomposition, pruning, probe choice, and per-shard sub-queries are
+	// all reused, so downstream engine plan caches hit too).
+	PlanReuseHits int64
+	// PlansCompiled counts scatter-plan cache misses.
+	PlansCompiled int64
+}
+
+// PlanStats snapshots the scatter-planning counters.
+func (p *Partitioned) PlanStats() PlanStats {
+	return PlanStats{
+		ShardsPruned:  p.shardsPruned.Load(),
+		GroupsPlanned: p.groupsPlanned.Load(),
+		PlanReuseHits: p.planReuseHits.Load(),
+		PlansCompiled: p.plansCompiled.Load(),
+	}
 }
 
 // Stats snapshots the per-shard layout and drain-balance counters.
