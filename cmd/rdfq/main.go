@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,7 +36,14 @@ func main() {
 	shards := flag.Int("shards", 0, "partition the dataset into N subject-hash shards and run by scatter-gather (0/1 = unsharded)")
 	update := flag.String("update", "", "apply this N-Triples patch file before querying ('+'/no prefix inserts, '-' deletes)")
 	compact := flag.Bool("compact", false, "compact applied updates into a fresh base before querying")
+	explain := flag.Bool("explain", false, "print the query's execution trace (span tree, JSON) to stderr after the rows")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("rdfq %s\n", obs.Build())
+		return
+	}
 
 	var ds *repro.Dataset
 	var err error
@@ -119,6 +128,17 @@ func main() {
 			effLimit = q.Limit
 		}
 	}
+	// With -explain, an execute span rides the context: the engines attach
+	// their decisions (engine class, scatter plan, per-shard drains) as the
+	// query runs, and the tree prints once the cursor is drained.
+	var tr *obs.Trace
+	var execSp *obs.Span
+	if *explain {
+		tr = obs.NewTrace(obs.NextQueryID())
+		tr.Query, tr.Engine = text, *engineName
+		execSp = tr.Root().Child("execute")
+		ctx = obs.WithSpan(ctx, execSp)
+	}
 	// Consume the engine's cursor directly: rows print as the join
 	// enumerates them (no result materialization), and the row cap
 	// is the cursor's exact MaxRows — hitting it stops the remaining
@@ -139,6 +159,7 @@ func main() {
 			log.Fatalf("rdfq: %v (after %d rows)", err, total)
 		}
 		total++
+		execSp.AddRows(1)
 		for j, id := range row {
 			if j > 0 {
 				fmt.Print("\t")
@@ -149,7 +170,13 @@ func main() {
 	}
 	if cur.Truncated() {
 		fmt.Printf("%d rows (truncated by the row cap; more exist)\n", total)
-		return
+	} else {
+		fmt.Printf("%d rows\n", total)
 	}
-	fmt.Printf("%d rows\n", total)
+	if tr != nil {
+		execSp.End()
+		if b, err := json.MarshalIndent(tr.Snapshot(), "", "  "); err == nil {
+			fmt.Fprintf(os.Stderr, "%s\n", b)
+		}
+	}
 }

@@ -28,6 +28,12 @@
 //
 //	rdfserved -data graph.nt -data-dir /var/lib/rdf -fsync 50ms -compact-every 30s
 //
+// Observability: GET /metrics serves Prometheus text exposition, every
+// query is traced (?explain=1 returns the span tree, /debug/queries the
+// last 128), -slow-query logs queries over the threshold as structured
+// records (-log json for machine-readable output), and -debug-addr opens a
+// separate ops listener with net/http/pprof.
+//
 // With -loadgen it instead acts as a load generator against a running
 // server, reporting throughput and latency percentiles:
 //
@@ -40,8 +46,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr ops listener
 	"os"
 	"os/signal"
 	"slices"
@@ -53,6 +60,7 @@ import (
 
 	"repro"
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -74,6 +82,13 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + mmap-able base segment); -data/-lubm only seed its first boot")
 	fsync := flag.String("fsync", "always", "WAL sync policy: always | off | group-commit interval like 50ms (with -data-dir)")
 
+	// Observability flags.
+	logFormat := flag.String("log", "text", "log format: text | json")
+	slowQuery := flag.Duration("slow-query", 0, "log queries whose total duration exceeds this threshold (0 = off), e.g. 100ms")
+	traceSample := flag.Int("trace-sample", 1, "trace every Nth query (1 = all, -1 = none); ?explain=1 always traces")
+	debugAddr := flag.String("debug-addr", "", "separate ops listener serving net/http/pprof (empty = off)")
+	version := flag.Bool("version", false, "print build version and exit")
+
 	// Loadgen flags.
 	loadgen := flag.Bool("loadgen", false, "run as a load generator against -url instead of serving")
 	urlFlag := flag.String("url", "http://localhost:8080", "loadgen: server base URL")
@@ -85,15 +100,48 @@ func main() {
 	lgScale := flag.Int("scale", 1, "loadgen: LUBM scale the server's dataset was generated at")
 	flag.Parse()
 
+	if *version {
+		fmt.Printf("rdfserved %s\n", obs.Build())
+		return
+	}
+
+	var handlerOpt slog.Handler
+	switch *logFormat {
+	case "json":
+		handlerOpt = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handlerOpt = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "rdfserved: bad -log %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handlerOpt)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *loadgen {
 		if err := runLoadGen(*urlFlag, *clients, *requests, *lgEngine, *lgQuery, *lubmQueries, *lgScale, *timeout); err != nil {
-			log.Fatalf("rdfserved: %v", err)
+			fatal("loadgen failed", "error", err)
 		}
 		return
 	}
 
 	if *data == "" && *lubmScale == 0 && *dataDir == "" {
-		log.Fatal("rdfserved: provide -data FILE, -lubm SCALE, or an initialized -data-dir DIR")
+		fatal("provide -data FILE, -lubm SCALE, or an initialized -data-dir DIR")
+	}
+
+	if *debugAddr != "" {
+		// net/http/pprof registers on the default mux; serving it on its own
+		// listener keeps profiling endpoints off the query port.
+		go func() {
+			logger.Info("debug listener (pprof)", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
 	}
 
 	// Listen before loading: boot can be slow (a durable boot replays the
@@ -107,9 +155,9 @@ func main() {
 		(*handler.Load()).ServeHTTP(w, r)
 	})}
 	go func() {
-		log.Printf("listening on %s (booting)", *addr)
+		logger.Info("listening (booting)", "addr", *addr, "version", obs.Build().Version, "revision", obs.Build().Revision)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("rdfserved: %v", err)
+			fatal("listen failed", "error", err)
 		}
 	}()
 
@@ -124,20 +172,23 @@ func main() {
 		}
 		ds, err = repro.OpenDataset(*data, opts...)
 		if err != nil {
-			log.Fatalf("rdfserved: %v", err)
+			fatal("opening data dir", "dir", *dataDir, "error", err)
 		}
 		rec := ds.Durable().Recovered()
-		log.Printf("opened %s: %d triples in %v (fsync %s; replayed %d WAL records / %d ops; clean shutdown: %v)",
-			*dataDir, ds.NumTriples(), time.Since(start).Round(time.Millisecond), *fsync, rec.Records, rec.Ops, rec.Sealed)
+		logger.Info("opened durable store",
+			"dir", *dataDir, "triples", ds.NumTriples(), "took", time.Since(start).Round(time.Millisecond).String(),
+			"fsync", *fsync, "replayed_records", rec.Records, "replayed_ops", rec.Ops, "clean_shutdown", rec.Sealed)
 	case *lubmScale > 0:
 		ds = repro.GenerateLUBM(*lubmScale, 0)
-		log.Printf("generated LUBM scale %d: %d triples in %v", *lubmScale, ds.NumTriples(), time.Since(start).Round(time.Millisecond))
+		logger.Info("generated LUBM dataset",
+			"scale", *lubmScale, "triples", ds.NumTriples(), "took", time.Since(start).Round(time.Millisecond).String())
 	default:
 		ds, err = repro.OpenDataset(*data)
 		if err != nil {
-			log.Fatalf("rdfserved: %v", err)
+			fatal("loading dataset", "file", *data, "error", err)
 		}
-		log.Printf("loaded %s: %d triples in %v", *data, ds.NumTriples(), time.Since(start).Round(time.Millisecond))
+		logger.Info("loaded dataset",
+			"file", *data, "triples", ds.NumTriples(), "took", time.Since(start).Round(time.Millisecond).String())
 	}
 
 	cfg := server.Config{
@@ -150,6 +201,9 @@ func main() {
 		CompactEvery:    *compactEvery,
 		CompactMinDelta: *compactMinDelta,
 		SnapshotPath:    *snapshotPath,
+		Logger:          logger,
+		SlowQuery:       *slowQuery,
+		TraceSample:     *traceSample,
 	}
 	if ds.Durable() != nil {
 		// Hand the replayed live store over as-is — wrapping ds.Store()
@@ -163,18 +217,21 @@ func main() {
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
-		log.Fatalf("rdfserved: %v", err)
+		fatal("starting server", "error", err)
 	}
 	if *shards > 1 {
-		log.Printf("partitioned into %d subject-hash shards (scatter-gather execution)", *shards)
+		logger.Info("partitioned into subject-hash shards (scatter-gather execution)", "shards", *shards)
 	}
 	if *compactEvery > 0 {
-		log.Printf("background compactor: every %v (min delta %d, snapshot %q)", *compactEvery, *compactMinDelta, *snapshotPath)
+		logger.Info("background compactor enabled", "every", compactEvery.String(), "min_delta", *compactMinDelta, "snapshot", *snapshotPath)
+	}
+	if *slowQuery > 0 {
+		logger.Info("slow-query log enabled", "threshold", slowQuery.String())
 	}
 
 	ready := srv.Handler()
 	handler.Store(&ready)
-	log.Printf("serving on %s (default engine %s)", *addr, *defEngine)
+	logger.Info("serving", "addr", *addr, "default_engine", *defEngine)
 
 	// Graceful shutdown: finish in-flight queries (up to 15s) on SIGINT or
 	// SIGTERM, then seal the WAL so the next boot knows the shutdown was
@@ -182,19 +239,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
-	log.Print("shutting down...")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("rdfserved: shutdown: %v", err)
+		logger.Error("shutdown failed", "error", err)
 	}
 	srv.Close()
 	if err := ds.Close(); err != nil {
-		log.Printf("rdfserved: closing dataset: %v", err)
+		logger.Error("closing dataset", "error", err)
 	} else if ds.Durable() != nil {
-		log.Print("sealed WAL (clean shutdown)")
+		logger.Info("sealed WAL (clean shutdown)")
 	}
-	log.Print("bye")
+	logger.Info("bye")
 }
 
 // bootHandler answers every request 503 while the dataset loads (for a

@@ -2,11 +2,16 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/lubm"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -14,7 +19,10 @@ import (
 // TestLoadGenLUBM drives the acceptance criterion "a loadgen run against
 // LUBM scale 1 reports ≥ 8 concurrent clients' throughput/latency without
 // errors": it spins up the real handler over a generated scale-1 dataset
-// and fires 8 concurrent clients at it.
+// and fires 8 concurrent clients at it. Afterwards it scrapes the
+// observability surfaces the way the CI smoke does: /metrics must be valid
+// Prometheus exposition reflecting the run, and the /debug/queries trace
+// ring must have captured it.
 func TestLoadGenLUBM(t *testing.T) {
 	b := store.NewBuilder()
 	lubm.GenerateTo(lubm.Config{Universities: 1, Seed: 0}, b.Add)
@@ -48,6 +56,50 @@ func TestLoadGenLUBM(t *testing.T) {
 	if st := srv.Stats(); st.Queries != 64 || st.PlanCache.Hits == 0 {
 		t.Fatalf("server stats after loadgen: %+v", st)
 	}
+
+	// Post-run observability scrape: malformed exposition or an empty trace
+	// ring fails the build here, not a dashboard later.
+	metrics := getBody(t, ts.URL+"/metrics")
+	if err := obs.CheckExposition(strings.NewReader(metrics)); err != nil {
+		t.Fatalf("/metrics exposition invalid after loadgen: %v", err)
+	}
+	for _, want := range []string{"rdf_build_info{", "rdf_queries_total 64", "rdf_query_latency_seconds_count 64"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q after loadgen", want)
+		}
+	}
+	var ring struct {
+		Count  int                  `json:"count"`
+		Traces []*obs.TraceSnapshot `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/debug/queries")), &ring); err != nil {
+		t.Fatalf("/debug/queries JSON: %v", err)
+	}
+	if ring.Count == 0 {
+		t.Fatal("trace ring empty after 64 traced queries")
+	}
+	if ring.Traces[0].Root.Find("execute") == nil {
+		t.Fatal("newest ring trace has no execute span")
+	}
+}
+
+// getBody GETs a URL and returns the body, failing the test on transport or
+// non-200 status.
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
 }
 
 func TestLoadGenConfigValidation(t *testing.T) {

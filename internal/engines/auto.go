@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/engine/logicblox"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/stats"
@@ -50,7 +51,7 @@ func newAuto(st *store.Store) *autoEngine {
 func (e *autoEngine) Name() string { return "auto" }
 
 // route resolves (and caches) the engine class for q.
-func (e *autoEngine) route(q *query.BGP) (engine.Engine, error) {
+func (e *autoEngine) route(q *query.BGP) (engine.Engine, plan.EngineClass, error) {
 	e.mu.Lock()
 	cls, ok := e.routes[q]
 	e.mu.Unlock()
@@ -58,7 +59,7 @@ func (e *autoEngine) route(q *query.BGP) (engine.Engine, error) {
 	if !ok {
 		prof, err := plan.ProfileQuery(q, e.st)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		cls, _ = prof.ChooseClass()
 		e.mu.Lock()
@@ -66,15 +67,16 @@ func (e *autoEngine) route(q *query.BGP) (engine.Engine, error) {
 		e.mu.Unlock()
 	}
 	stats.Default.RecordEnginePick(cls.String())
-	return e.byClass[cls], nil
+	return e.byClass[cls], cls, nil
 }
 
 // Open implements engine.Engine by delegating to the routed engine.
 func (e *autoEngine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error) {
-	sub, err := e.route(q)
+	sub, cls, err := e.route(q)
 	if err != nil {
 		return nil, err
 	}
+	obs.SpanFrom(opts.Ctx).SetAttr("engine_class", cls.String())
 	return sub.Open(q, opts)
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/shard"
@@ -129,6 +130,10 @@ func (e *Engine) open(q *query.BGP, p *plan.Plan, planEpoch uint64, opts engine.
 	if err := q.Validate(); err != nil {
 		s.unpin()
 		return nil, err
+	}
+	if sp := obs.SpanFrom(opts.Ctx); sp != nil {
+		sp.SetAttr("overlay", true)
+		sp.SetAttr("delta_size", s.delta.size())
 	}
 	return &pinnedCursor{Cursor: openOverlay(s, inner, q, p, opts), s: s}, nil
 }

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the process's build identity: module version, VCS revision,
+// and toolchain. It is what /healthz, the build_info gauge on /metrics, and
+// the CLIs' -version flags all report, so the three can never drift.
+type BuildInfo struct {
+	Version   string `json:"version"`         // module version, or "(devel)"
+	Revision  string `json:"revision"`        // VCS commit hash, or "unknown"
+	Modified  bool   `json:"dirty,omitempty"` // working tree had local edits
+	GoVersion string `json:"go_version"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// Build returns the process build info, resolved once from
+// runtime/debug.ReadBuildInfo.
+func Build() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "(devel)", Revision: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders the build info the way a -version flag prints it.
+func (b BuildInfo) String() string {
+	s := b.Version + " (" + b.Revision
+	if b.Modified {
+		s += "-dirty"
+	}
+	return s + ", " + b.GoVersion + ")"
+}

@@ -1,0 +1,34 @@
+// Package obs is the observability toolkit behind the server's query
+// tracing, Prometheus /metrics exposition, and EXPLAIN surface: per-query
+// span trees (trace.go) propagated through contexts, lock-cheap fixed-bucket
+// histograms (hist.go) whose quantile estimates back both /stats and
+// /metrics so the two surfaces can never disagree, a dependency-free
+// Prometheus text-format writer (prom.go), a bounded ring of recent traces
+// (ring.go) served at /debug/queries, and the build-info stamp (buildinfo.go)
+// exposed by /healthz, /metrics, and the CLIs' -version flags.
+//
+// The package deliberately imports nothing from this repository, so every
+// layer — the WAL's fsync path, the shard merge transport, the serving
+// layer — can record into it without import cycles. Every recording entry
+// point is cheap enough for hot paths: histograms are one atomic add per
+// observation, and span methods are nil-safe no-ops when the query is not
+// being traced, so the untraced path costs a nil check and allocates
+// nothing.
+package obs
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+// queryIDCounter numbers queries process-wide; IDs appear in traces,
+// slow-query log records, and the X-Query-ID response header so one query
+// can be followed across all three surfaces.
+var queryIDCounter atomic.Uint64
+
+// NextQueryID returns a process-unique query identifier ("q1", "q2", ...).
+// IDs restart on process restart; correlate across restarts via the
+// timestamped log records that carry them.
+func NextQueryID() string {
+	return "q" + strconv.FormatUint(queryIDCounter.Add(1), 10)
+}

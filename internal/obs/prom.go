@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter emits the Prometheus text exposition format (version 0.0.4)
+// without depending on the client library: HELP/TYPE headers once per
+// family, escaped label values, histograms as cumulative _bucket/_sum/_count
+// series. It tracks declared family names so a duplicate family — the
+// classic copy-paste scrape breaker — surfaces as an error from Err instead
+// of silently corrupting the exposition.
+type PromWriter struct {
+	w    io.Writer
+	seen map[string]string // family name -> declared type
+	err  error
+}
+
+// PromContentType is the Content-Type a /metrics response must carry.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// NewPromWriter wraps w for exposition output.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: map[string]string{}}
+}
+
+// Err reports the first error encountered: an I/O failure or a duplicate
+// family declaration.
+func (p *PromWriter) Err() error { return p.err }
+
+// family declares a metric family once; re-declaring with a different type
+// is an error, re-declaring with the same type is ignored (families with
+// many label sets call through here per sample).
+func (p *PromWriter) family(name, typ, help string) bool {
+	if p.err != nil {
+		return false
+	}
+	if prev, ok := p.seen[name]; ok {
+		if prev != typ {
+			p.err = fmt.Errorf("obs: metric family %q declared as both %s and %s", name, prev, typ)
+			return false
+		}
+		return true
+	}
+	p.seen[name] = typ
+	_, err := fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+	if err != nil {
+		p.err = err
+		return false
+	}
+	return true
+}
+
+// Counter writes one counter sample. labels are key, value pairs.
+func (p *PromWriter) Counter(name, help string, v float64, labels ...string) {
+	if p.family(name, "counter", help) {
+		p.sample(name, "", labels, v)
+	}
+}
+
+// Gauge writes one gauge sample. labels are key, value pairs.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...string) {
+	if p.family(name, "gauge", help) {
+		p.sample(name, "", labels, v)
+	}
+}
+
+// Histogram writes one histogram: cumulative le-labelled buckets, _sum, and
+// _count. labels are key, value pairs shared by every series.
+func (p *PromWriter) Histogram(name, help string, s HistSnapshot, labels ...string) {
+	if !p.family(name, "histogram", help) {
+		return
+	}
+	var cum uint64
+	for i, b := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		p.sample(name+"_bucket", formatFloat(b), labels, float64(cum))
+	}
+	p.sample(name+"_bucket", "+Inf", labels, float64(s.Count))
+	p.sample(name+"_sum", "", labels, s.Sum)
+	p.sample(name+"_count", "", labels, float64(s.Count))
+}
+
+// sample writes one series line; le, when non-empty, is appended as the
+// bucket bound label.
+func (p *PromWriter) sample(series, le string, labels []string, v float64) {
+	if p.err != nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(series)
+	n := len(labels) / 2
+	if n > 0 || le != "" {
+		b.WriteByte('{')
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(labels[2*i])
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(labels[2*i+1]))
+			b.WriteByte('"')
+		}
+		if le != "" {
+			if n > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+	if _, err := io.WriteString(p.w, b.String()); err != nil {
+		p.err = err
+	}
+}
+
+// formatFloat renders values the way Prometheus parsers expect: integers
+// without a decimal point, everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// SortedKeys returns m's keys sorted — exposition output must be stable so
+// scrapes diff cleanly and tests can assert on it.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

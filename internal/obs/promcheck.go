@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates Prometheus text exposition read from r: metric
+// names are well-formed, every sample's family has exactly one TYPE
+// declaration appearing before its samples, and values parse as floats. It
+// is the shared validator behind the /metrics unit tests and the CI loadgen
+// smoke scrape, so a malformed exposition fails the build instead of a
+// dashboard.
+func CheckExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	typed := map[string]bool{}
+	samples := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE line: %q", lineNo, line)
+			}
+			name, typ := fields[2], fields[3]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if typed[name] {
+				return fmt.Errorf("line %d: duplicate TYPE declaration for family %q", lineNo, name)
+			}
+			typed[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+		name, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: sample value %q is not a float", lineNo, value)
+		}
+		if !typed[familyOf(name)] {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE declaration", lineNo, name)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+// parseSample splits one sample line into series name and value, skipping
+// the label block (which may contain spaces inside quoted values).
+func parseSample(line string) (name, value string, err error) {
+	rest := line
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name = line[:i]
+		rest = line[i:]
+	} else {
+		return "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for i := 1; i < len(rest); i++ {
+			switch rest[i] {
+			case '\\':
+				if inQuote {
+					i++ // skip escaped char
+				}
+			case '"':
+				inQuote = !inQuote
+			case '}':
+				if !inQuote {
+					end = i
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated label block in %q", line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value, optional timestamp
+		return "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	return name, fields[0], nil
+}
+
+// familyOf maps a series name to its declared family: histogram and summary
+// child series (_bucket/_sum/_count) belong to the base family.
+func familyOf(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			return strings.TrimSuffix(name, suffix)
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,73 @@
+package obs
+
+import "sync"
+
+// TraceRing holds the last N trace snapshots for /debug/queries. Writers
+// take a short mutex to store one pointer — snapshots are built outside the
+// lock — so contention stays negligible even when every query is traced.
+type TraceRing struct {
+	mu     sync.Mutex
+	buf    []*TraceSnapshot
+	next   int
+	filled bool
+}
+
+// NewTraceRing returns a ring keeping the most recent n traces (n must be
+// positive).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]*TraceSnapshot, n)}
+}
+
+// Add stores one snapshot, evicting the oldest when full. Nil snapshots are
+// ignored so callers can pass Trace.Snapshot() unconditionally.
+func (r *TraceRing) Add(s *TraceSnapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the stored traces newest-first.
+func (r *TraceRing) Snapshot() []*TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.filled {
+		n = len(r.buf)
+	}
+	out := make([]*TraceSnapshot, 0, n)
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Len reports how many traces are currently stored.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled {
+		return len(r.buf)
+	}
+	return r.next
+}

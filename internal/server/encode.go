@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // jsonString encodes s as a JSON string without HTML escaping (every IRI
@@ -53,8 +54,9 @@ func (tr *termRenderer) render(id uint32) string {
 
 // queryMeta is the non-row metadata included in JSON responses.
 type queryMeta struct {
-	Engine string // engine that executed the query
-	Cache  string // "hit" or "miss" on the plan cache
+	QueryID string // per-request id, also in the X-Query-ID header
+	Engine  string // engine that executed the query
+	Cache   string // "hit" or "miss" on the plan cache
 }
 
 // encodeResult is what an encoder reports back to the handler: how many
@@ -72,14 +74,17 @@ type encodeResult struct {
 
 // writeJSON streams the result as one JSON object:
 //
-//	{"vars":[...],"engine":"...","cache":"hit",
+//	{"vars":[...],"id":"q7","engine":"...","cache":"hit",
 //	 "rows":[["<iri>","\"literal\""],...],
-//	 "count":N,"truncated":true,"took_ms":1.2,"error":"..."}
+//	 "count":N,"truncated":true,"took_ms":1.2,"error":"...","trace":{...}}
 //
 // Rows hold the canonical N-Triples term renderings. count, truncated, and
 // took_ms trail the rows because they are only known once the stream ends;
-// error appears only when the stream ended abnormally.
-func writeJSON(w io.Writer, vars []string, cur engine.Cursor, d *dict.Dictionary, meta queryMeta, tookMs func() float64) encodeResult {
+// error appears only when the stream ended abnormally. trace, when the
+// trace callback is non-nil (?explain=1), is the query's span tree — the
+// callback runs after the last row, once every stage has finished, and
+// receives the encoded row count.
+func writeJSON(w io.Writer, vars []string, cur engine.Cursor, d *dict.Dictionary, meta queryMeta, tookMs func() float64, trace func(rows int) *obs.TraceSnapshot) encodeResult {
 	bw := bufio.NewWriterSize(w, 32<<10)
 	tr := newTermRenderer(d)
 	// Distinct JSON-escaped term strings are memoized separately from the
@@ -108,7 +113,13 @@ func writeJSON(w io.Writer, vars []string, cur engine.Cursor, d *dict.Dictionary
 		}
 		bw.Write(vb)
 	}
-	bw.WriteString(`],"engine":`)
+	bw.WriteString(`]`)
+	if meta.QueryID != "" {
+		bw.WriteString(`,"id":"`)
+		bw.WriteString(meta.QueryID) // NextQueryID emits [a-z0-9]+ only
+		bw.WriteString(`"`)
+	}
+	bw.WriteString(`,"engine":`)
 	eb, err := jsonString(meta.Engine)
 	if err != nil {
 		return encodeResult{err: err}
@@ -163,6 +174,14 @@ func writeJSON(w io.Writer, vars []string, cur engine.Cursor, d *dict.Dictionary
 			bw.Write(msg)
 		} else {
 			bw.WriteString(`"encoding error"`)
+		}
+	}
+	if trace != nil {
+		if snap := trace(res.rows); snap != nil {
+			if sb, serr := json.Marshal(snap); serr == nil {
+				bw.WriteString(`,"trace":`)
+				bw.Write(sb)
+			}
 		}
 	}
 	bw.WriteString("}\n")

@@ -46,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"mime"
 	"net/http"
@@ -53,6 +54,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -60,6 +62,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/engines"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/shard"
@@ -140,6 +143,19 @@ type Config struct {
 	SnapshotPath string
 	// MaxUpdateBytes caps one /update request body. Default 8 MiB.
 	MaxUpdateBytes int
+	// Logger receives the server's structured log records (slow queries,
+	// lifecycle events). Default slog.Default().
+	Logger *slog.Logger
+	// SlowQuery, when > 0, is the total-duration threshold above which a
+	// finished query emits a structured slow-query record (query ID, engine,
+	// duration, rows, the query text) at warn level. Zero disables the log;
+	// the trace ring at /debug/queries captures slow queries either way.
+	SlowQuery time.Duration
+	// TraceSample controls span-tree capture: 1 (the default) traces every
+	// query, N > 1 traces every Nth, negative disables tracing. ?explain=1
+	// requests are always traced. The untraced path costs one nil check per
+	// instrumentation site, so the default is to trace everything.
+	TraceSample int
 }
 
 // defaultMaxRows bounds per-query result size unless overridden.
@@ -157,6 +173,10 @@ type Server struct {
 	pool  *wsem
 	stats *metrics
 	start time.Time
+
+	log      *slog.Logger
+	traces   *obs.TraceRing
+	traceSeq atomic.Uint64 // TraceSample > 1 sampling counter
 
 	stopCompact context.CancelFunc // nil unless CompactEvery > 0
 	compactDone chan struct{}
@@ -225,6 +245,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxUpdateBytes <= 0 {
 		cfg.MaxUpdateBytes = defaultMaxUpdateBytes
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	s := &Server{
 		cfg:     cfg,
 		ls:      ls,
@@ -232,6 +255,8 @@ func New(cfg Config) (*Server, error) {
 		pool:    newWsem(cfg.MaxConcurrent),
 		stats:   newMetrics(),
 		start:   time.Now(),
+		log:     cfg.Logger,
+		traces:  obs.NewTraceRing(traceRingSize),
 		engines: map[string]*live.Engine{},
 	}
 	// Construct the default engine's inner instance now — it both validates
@@ -283,6 +308,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/compact", s.handleCompact)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	return mux
 }
 
@@ -338,6 +365,14 @@ type preparedQuery struct {
 	plan  *plan.Plan // nil for engines that plan internally per execution
 	epoch uint64     // epoch plan was compiled against (meaningful when plan != nil)
 	cost  float64    // cost-model estimate; drives cache eviction priority
+
+	// Cost-model decision, retained for the EXPLAIN surface and trace
+	// attributes: the chosen class and the per-class estimates it was chosen
+	// from. profiled is false when ProfileQuery failed (the query still
+	// runs; the explanation just has no cost section).
+	profiled bool
+	class    plan.EngineClass
+	costs    map[string]float64
 }
 
 // prepare resolves q to a cache entry for engineName, compiling on miss.
@@ -367,9 +402,15 @@ func (s *Server) prepare(engineName string, le *live.Engine, q *query.BGP) (*pre
 	}
 	// Price the query for the eviction policy: expensive plans are the ones
 	// worth keeping when the cache is under pressure. A profiling error just
-	// leaves cost 0 (lowest keep-priority).
+	// leaves cost 0 (lowest keep-priority). The per-class estimates are
+	// retained on the entry for EXPLAIN and trace attributes.
 	if prof, perr := plan.ProfileQuery(norm, s.ls.Base()); perr == nil {
-		_, pq.cost = prof.ChooseClass()
+		pq.class, pq.cost = prof.ChooseClass()
+		pq.profiled = true
+		pq.costs = make(map[string]float64, len(plan.Classes()))
+		for _, c := range plan.Classes() {
+			pq.costs[c.String()] = prof.Cost(c)
+		}
 	}
 	s.cache.add(key, pq)
 	return pq, false, nil
@@ -483,13 +524,46 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.begin()
 	requestStart := time.Now()
+	qid := obs.NextQueryID()
+	w.Header().Set("X-Query-ID", qid)
+
+	// ?explain=1 streams the result plus the captured trace; ?explain=plan
+	// reports the planner's decisions without executing anything.
+	explain := r.FormValue("explain")
+	isExplain := explain == "1" || explain == "true"
+
+	var tr *obs.Trace
+	if isExplain || s.sampled() {
+		tr = obs.NewTrace(qid)
+	}
+	root := tr.Root() // nil when untraced; every span call below no-ops
+
 	engineName := ""
 	var execDur time.Duration
+	var execSp *obs.Span
+	var snap *obs.TraceSnapshot
+	// takeSnap finalizes the trace exactly once: into the ring, and (for
+	// ?explain=1) into the response tail.
+	takeSnap := func() *obs.TraceSnapshot {
+		if snap == nil && tr != nil {
+			tr.Engine = engineName
+			snap = tr.Snapshot()
+			s.traces.Add(snap)
+		}
+		return snap
+	}
 	finished := false
 	finish := func(isErr, isTimeout bool) {
 		if !finished {
 			finished = true
-			s.stats.end(engineName, time.Since(requestStart), execDur, isErr, isTimeout)
+			total := time.Since(requestStart)
+			s.stats.end(engineName, total, execDur, isErr, isTimeout)
+			if tr != nil {
+				takeSnap()
+				if s.cfg.SlowQuery > 0 && total >= s.cfg.SlowQuery {
+					s.slowLog(snap, total, execSp.Rows(), isErr)
+				}
+			}
 		}
 	}
 	defer finish(true, false) // overwritten by the explicit calls below
@@ -505,6 +579,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		finish(true, false)
 		return
 	}
+	if tr != nil {
+		tr.Query = traceQuery(text)
+	}
 
 	requestedEngine := r.FormValue("engine")
 	if requestedEngine == "" {
@@ -518,10 +595,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	engineName = requestedEngine // only resolved engines reach the stats
 
+	psp := root.Child("parse")
 	q, err := query.ParseSPARQL(text)
+	psp.End()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		finish(true, false)
+		return
+	}
+
+	if explain == "plan" {
+		// Plan-only: resolve the plan-cache entry and report the planner's
+		// decisions. No pool slots, no cursor, nothing executes.
+		err := s.explainPlan(w, qid, engineName, eng, q)
+		finish(err != nil, false)
 		return
 	}
 
@@ -608,11 +695,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Acquire worker slots; queue wait counts against the deadline.
+	asp := root.Child("admission_wait")
+	asp.SetAttr("slots", slots)
 	if err := s.pool.acquire(ctx, slots); err != nil {
+		asp.End()
 		s.failCtx(w, ctx)
 		finish(true, errors.Is(ctx.Err(), context.DeadlineExceeded))
 		return
 	}
+	asp.End()
 	acquired := time.Now()
 	s.stats.beginHold(engineName, slots)
 	release := sync.OnceFunc(func() {
@@ -621,26 +712,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 	defer release()
 
+	plsp := root.Child("plan")
 	pq, hit, err := s.prepare(engineName, eng, q)
 	if err != nil {
+		plsp.End()
 		httpError(w, http.StatusInternalServerError, "planning: %v", err)
 		finish(true, false)
 		return
 	}
+	annotatePlanSpan(plsp, pq, hit)
+	plsp.End()
 
+	execSp = root.Child("execute")
 	execStart := time.Now()
 	cur, err := s.open(eng, pq, engine.ExecOpts{
-		Ctx:     ctx,
+		Ctx:     obs.WithSpan(ctx, execSp),
 		MaxRows: maxRows,
 		Offset:  offset,
 		Workers: workers,
 	})
 	if err != nil {
+		execSp.SetAttr("error", err.Error())
+		execSp.End()
 		s.failExec(w, ctx, err)
 		finish(true, errors.Is(err, context.DeadlineExceeded))
 		return
 	}
 	defer cur.Close()
+	if tr != nil {
+		cur = &countingCursor{Cursor: cur, span: execSp}
+	}
 
 	// Pull the first row before committing the response status, so
 	// failures during the pre-enumeration phases (GHD materialization,
@@ -662,7 +763,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Present the caller's variable names: normalization renamed them, but
 	// positions are preserved, so rows decode unchanged.
-	meta := queryMeta{Engine: eng.Name(), Cache: "miss"}
+	meta := queryMeta{QueryID: qid, Engine: eng.Name(), Cache: "miss"}
 	if hit {
 		meta.Cache = "hit"
 	}
@@ -674,16 +775,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// committed; announce them as HTTP trailers (the JSON body also carries
 	// them in trailing fields).
 	w.Header().Set("Trailer", "X-Truncated, X-Error")
+	encSp := root.Child("encode")
+	var traceFn func(rows int) *obs.TraceSnapshot
+	if isExplain {
+		// The trace rides in the JSON tail; by the time the encoder asks for
+		// it every row has been pulled, so the execute and encode spans can
+		// close and the tree snapshot.
+		traceFn = func(rows int) *obs.TraceSnapshot {
+			encSp.AddRows(int64(rows))
+			execSp.End()
+			encSp.End()
+			return takeSnap()
+		}
+	}
+	outFormat := format(r)
+	if isExplain {
+		outFormat = "json" // the trace is a JSON document; TSV cannot carry it
+	}
 	var enc encodeResult
-	switch format(r) {
+	switch outFormat {
 	case "tsv":
 		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		encSp.SetAttr("format", "tsv")
 		enc = writeTSV(w, q.Select, pc, s.ls.Dict())
 		tookMs()
 	default:
 		w.Header().Set("Content-Type", "application/json")
-		enc = writeJSON(w, q.Select, pc, s.ls.Dict(), meta, tookMs)
+		encSp.SetAttr("format", "json")
+		enc = writeJSON(w, q.Select, pc, s.ls.Dict(), meta, tookMs, traceFn)
 	}
+	if traceFn == nil {
+		encSp.AddRows(int64(enc.rows))
+	}
+	execSp.End()
+	encSp.End()
 	if enc.truncated {
 		w.Header().Set("X-Truncated", "true")
 	}
@@ -860,6 +985,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"triples": st.OverlayTriples,
 		"terms":   st.Terms,
 		"epoch":   st.Epoch,
+		"build":   obs.Build(),
 	}
 	if s.cfg.Durable != nil {
 		// A constructed server has finished boot replay by definition; the

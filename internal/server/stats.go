@@ -1,26 +1,17 @@
 package server
 
 import (
-	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
-// latencySampleCap bounds the reservoir used for percentile estimates; with
-// more than latencySampleCap recorded queries, percentiles reflect the most
-// recent window (a ring buffer), which is what an operator watching /stats
-// wants anyway.
-const latencySampleCap = 4096
-
-// engineSampleCap bounds each per-engine execution-latency ring. Smaller
-// than the global ring: there are up to six engines and the per-engine
-// percentiles exist to attribute tail latency, not to archive it.
-const engineSampleCap = 1024
-
 // LatencyStats summarizes observed query latencies (successful and failed
-// requests alike; queue wait included).
+// requests alike; queue wait included). Percentiles are interpolated from
+// the same fixed-bucket histograms /metrics exports, so the two surfaces
+// can never disagree about the same window.
 type LatencyStats struct {
 	Count  uint64  `json:"count"`
 	MeanMs float64 `json:"mean_ms"`
@@ -185,11 +176,12 @@ type Stats struct {
 }
 
 // engStat is one engine's counters: request count, an execution-latency
-// ring for percentiles, and the slot-hold EWMA admission control reads.
+// histogram for percentiles (the same one /metrics exports), and the
+// slot-hold EWMA admission control reads.
 type engStat struct {
 	count    uint64
-	ring     []time.Duration
-	next     int
+	hist     *obs.Hist
+	max      time.Duration
 	holdEWMA time.Duration
 }
 
@@ -204,11 +196,12 @@ type metrics struct {
 	active   int
 	byEngine map[string]*engStat
 
-	count uint64
-	sum   time.Duration
-	max   time.Duration
-	ring  []time.Duration
-	next  int
+	// lat distributes total request durations (queue wait included); it
+	// backs both the /stats percentiles and the /metrics
+	// rdf_query_latency_seconds histogram. max is tracked separately — a
+	// bucketed histogram can only bound the maximum, not report it.
+	lat *obs.Hist
+	max time.Duration
 
 	// holdSlots tracks worker-pool slots currently held, per engine
 	// (beginHold/endHold) — the occupancy view estimateWait reads.
@@ -226,14 +219,18 @@ type metrics struct {
 func (m *metrics) engStatLocked(engine string) *engStat {
 	es := m.byEngine[engine]
 	if es == nil {
-		es = &engStat{}
+		es = &engStat{hist: obs.NewHist(obs.LatencyBuckets())}
 		m.byEngine[engine] = es
 	}
 	return es
 }
 
 func newMetrics() *metrics {
-	return &metrics{byEngine: map[string]*engStat{}, holdSlots: map[string]int{}}
+	return &metrics{
+		byEngine:  map[string]*engStat{},
+		holdSlots: map[string]int{},
+		lat:       obs.NewHist(obs.LatencyBuckets()),
+	}
 }
 
 func (m *metrics) begin() {
@@ -254,11 +251,9 @@ func (m *metrics) end(engine string, total, execDur time.Duration, isErr, isTime
 		es := m.engStatLocked(engine)
 		es.count++
 		if execDur > 0 {
-			if len(es.ring) < engineSampleCap {
-				es.ring = append(es.ring, execDur)
-			} else {
-				es.ring[es.next] = execDur
-				es.next = (es.next + 1) % engineSampleCap
+			es.hist.ObserveDuration(execDur)
+			if execDur > es.max {
+				es.max = execDur
 			}
 		}
 	}
@@ -268,16 +263,9 @@ func (m *metrics) end(engine string, total, execDur time.Duration, isErr, isTime
 	if isTimeout {
 		m.timeouts++
 	}
-	m.count++
-	m.sum += total
+	m.lat.ObserveDuration(total)
 	if total > m.max {
 		m.max = total
-	}
-	if len(m.ring) < latencySampleCap {
-		m.ring = append(m.ring, total)
-	} else {
-		m.ring[m.next] = total
-		m.next = (m.next + 1) % latencySampleCap
 	}
 }
 
@@ -371,31 +359,47 @@ func (m *metrics) snapshot() (queries, errors, timeouts, rejected uint64, active
 	defer m.mu.Unlock()
 	byEngine = make(map[string]uint64, len(m.byEngine))
 	engLat = make(map[string]EngineLatency, len(m.byEngine))
+	// Percentiles interpolate within their bucket, so the tail quantiles of
+	// a small sample can overshoot the true maximum; clamping to the exactly
+	// tracked max keeps the reported ladder plausible (p99 ≤ max, always).
+	clamp := func(q, max time.Duration) float64 {
+		if q > max {
+			q = max
+		}
+		return ms(q)
+	}
 	for k, es := range m.byEngine {
 		byEngine[k] = es.count
 		el := EngineLatency{Count: es.count, HoldEWMAMs: ms(es.holdEWMA)}
-		if len(es.ring) > 0 {
-			sorted := make([]time.Duration, len(es.ring))
-			copy(sorted, es.ring)
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-			el.P50Ms = ms(Quantile(sorted, 0.50))
-			el.P99Ms = ms(Quantile(sorted, 0.99))
+		if hs := es.hist.Snapshot(); hs.Count > 0 {
+			el.P50Ms = clamp(hs.QuantileDuration(0.50), es.max)
+			el.P99Ms = clamp(hs.QuantileDuration(0.99), es.max)
 		}
 		engLat[k] = el
 	}
-	lat = LatencyStats{Count: m.count, MaxMs: ms(m.max)}
-	if m.count > 0 {
-		lat.MeanMs = ms(m.sum) / float64(m.count)
-	}
-	if len(m.ring) > 0 {
-		sorted := make([]time.Duration, len(m.ring))
-		copy(sorted, m.ring)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		lat.P50Ms = ms(Quantile(sorted, 0.50))
-		lat.P90Ms = ms(Quantile(sorted, 0.90))
-		lat.P99Ms = ms(Quantile(sorted, 0.99))
+	hs := m.lat.Snapshot()
+	lat = LatencyStats{Count: hs.Count, MaxMs: ms(m.max)}
+	if hs.Count > 0 {
+		lat.MeanMs = hs.Sum / float64(hs.Count) * 1e3
+		lat.P50Ms = clamp(hs.QuantileDuration(0.50), m.max)
+		lat.P90Ms = clamp(hs.QuantileDuration(0.90), m.max)
+		lat.P99Ms = clamp(hs.QuantileDuration(0.99), m.max)
 	}
 	return m.queries, m.errors, m.timeouts, m.rejected, m.active, byEngine, engLat, lat
+}
+
+// histSnapshots returns the latency histograms /metrics exports verbatim:
+// the global request-duration histogram and one execution-latency
+// histogram per engine. /stats percentiles above are interpolated from
+// these same snapshots.
+func (m *metrics) histSnapshots() (global obs.HistSnapshot, byEngine map[string]obs.HistSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byEngine = make(map[string]obs.HistSnapshot, len(m.byEngine))
+	for k, es := range m.byEngine {
+		byEngine[k] = es.hist.Snapshot()
+	}
+	return m.lat.Snapshot(), byEngine
 }
 
 // Quantile returns the p-quantile of sorted durations (nearest-rank

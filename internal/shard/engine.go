@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -106,6 +107,16 @@ func (e *Engine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error)
 		return e.counting(0, cur, err)
 	}
 	qp := e.planFor(q)
+	if sp := obs.SpanFrom(opts.Ctx); sp != nil && qp.explain != nil {
+		// Annotate the caller's execution span with the scatter shape: the
+		// trace's "which shards did this query touch, which did statistics
+		// skip" answer. Untraced queries skip this block on the nil check.
+		sp.SetAttr("scatter_plan", qp.explain.Kind)
+		sp.SetAttr("shards_total", qp.explain.Shards)
+		sp.SetAttr("target_shards", qp.explain.TargetShards())
+		sp.SetAttr("pruned_shards", qp.explain.PrunedShards())
+		sp.SetAttr("groups", len(qp.explain.Groups))
+	}
 	if qp.empty {
 		return emptyCursor{vars: q.Select}, nil
 	}
@@ -318,7 +329,7 @@ func (e *Engine) openSingle(sp *singlePlan, opts engine.ExecOpts) (engine.Cursor
 		if err != nil {
 			return nil, err
 		}
-		cur = newFilter(inner, outVars, sh, keep, sp.strip, perShardCap, e.part)
+		cur = newFilter(inner, outVars, sh, keep, sp.strip, perShardCap, e.part, drainSpan(opts.Ctx, sh, true))
 	} else {
 		cur = e.gather(opts.Ctx, outVars, sp.sub, sp.shards, keep, sp.strip, perShardCap, opts.Workers)
 	}
@@ -347,7 +358,7 @@ func (e *Engine) openGroup(ctx context.Context, gp groupPlan, workers int) (engi
 		if err != nil {
 			return nil, err
 		}
-		return newFilter(inner, gp.vars, sh, keep, false, 0, e.part), nil
+		return newFilter(inner, gp.vars, sh, keep, false, 0, e.part, drainSpan(ctx, sh, true)), nil
 	}
 	return e.gather(ctx, gp.vars, gp.sub, gp.shards, keep, false, 0, workers), nil
 }
@@ -391,7 +402,13 @@ func (e *Engine) openJoin(q *query.BGP, jp *joinPlan, opts engine.ExecOpts) (eng
 		// a failing build cancels its siblings through bctx.
 		bctx, bcancel := context.WithCancel(gctx)
 		defer bcancel()
-		probe, err := e.openGroup(bctx, jp.groups[0], opts.Workers)
+		// Probe and build phases get their own child spans; the per-shard
+		// drain spans under them attach through the context. All span calls
+		// no-op (nil) for untraced queries.
+		parent := obs.SpanFrom(gctx)
+		psp := parent.Child("probe_group")
+		defer psp.End()
+		probe, err := e.openGroup(obs.WithSpan(bctx, psp), jp.groups[0], opts.Workers)
 		if err != nil {
 			return err
 		}
@@ -399,6 +416,8 @@ func (e *Engine) openJoin(q *query.BGP, jp *joinPlan, opts engine.ExecOpts) (eng
 
 		tabs := jp.cachedTabs()
 		if tabs == nil {
+			bsp := parent.Child("build_groups")
+			bcctx := obs.WithSpan(bctx, bsp)
 			tabs = make([]buildTable, len(jp.builds))
 			errs := make([]error, len(jp.builds))
 			var bwg sync.WaitGroup
@@ -407,7 +426,7 @@ func (e *Engine) openJoin(q *query.BGP, jp *joinPlan, opts engine.ExecOpts) (eng
 				go func(i int) {
 					defer bwg.Done()
 					w := jp.builds[i]
-					cur, err := e.openGroup(bctx, jp.groups[i+1], opts.Workers)
+					cur, err := e.openGroup(bcctx, jp.groups[i+1], opts.Workers)
 					if err != nil {
 						errs[i] = err
 						bcancel()
@@ -431,12 +450,15 @@ func (e *Engine) openJoin(q *query.BGP, jp *joinPlan, opts engine.ExecOpts) (eng
 				}(i)
 			}
 			bwg.Wait()
+			bsp.End()
 			for _, err := range errs {
 				if err != nil {
 					return err
 				}
 			}
 			jp.storeTabs(tabs)
+		} else {
+			parent.SetAttr("build_cached", true)
 		}
 
 		emitted := 0

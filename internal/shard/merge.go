@@ -16,8 +16,22 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
+
+// drainSpan starts one per-shard drain span under the trace span carried by
+// ctx, nil (and free) when the query is untraced. inline marks the
+// single-survivor fast path, where the drain runs on the caller's goroutine
+// instead of a fan-in worker.
+func drainSpan(ctx context.Context, shard int, inline bool) *obs.Span {
+	sp := obs.SpanFrom(ctx).Child("shard_drain")
+	sp.SetAttr("shard", shard)
+	if inline {
+		sp.SetAttr("inline", true)
+	}
+	return sp
+}
 
 // gatherBatch is how many rows a shard drain accumulates before handing
 // them to the merge cursor — per-row channel sends were measured as too
@@ -84,10 +98,14 @@ func gather(ctx context.Context, vars []string, shards []int, opens []openFunc, 
 		wg.Add(1)
 		go func(sh int, open openFunc) {
 			defer wg.Done()
-			if err := drainShard(sctx, sh, open, keep, strip, perShardCap, part, m.rows); err != nil {
+			span := drainSpan(ctx, sh, false)
+			err := drainShard(sctx, sh, open, keep, strip, perShardCap, part, m.rows, span)
+			if err != nil {
+				span.SetAttr("error", err.Error())
 				m.errs <- err
 				scancel() // fail fast: stop sibling shards
 			}
+			span.End()
 		}(sh, opens[i])
 	}
 	go func() {
@@ -172,8 +190,10 @@ func (m *mergeCursor) Close() error {
 // drainShard opens and drains one shard's cursor into the fan-in channel
 // in batches, applying the ownership filter, root stripping, and the
 // per-shard cap. Rows accumulated before a cursor error are still flushed
-// (rows before an error stand, mirroring the generator's contract).
-func drainShard(ctx context.Context, shard int, open openFunc, keep func(int, []uint32) bool, strip bool, perShardCap int, part *Partitioned, out chan<- [][]uint32) error {
+// (rows before an error stand, mirroring the generator's contract). span,
+// when non-nil, collects the drain's row/batch counters; all observation is
+// batch-granular, so the per-row loop stays free of atomics and locks.
+func drainShard(ctx context.Context, shard int, open openFunc, keep func(int, []uint32) bool, strip bool, perShardCap int, part *Partitioned, out chan<- [][]uint32, span *obs.Span) error {
 	cur, err := open(ctx)
 	if err != nil {
 		return err
@@ -204,7 +224,9 @@ func drainShard(ctx context.Context, shard int, open openFunc, keep func(int, []
 		}
 		if part != nil {
 			part.delivered[shard].Add(int64(len(batch)))
+			part.batchRows.Observe(float64(len(batch)))
 		}
+		span.AddBatch(len(batch))
 		delivered += len(batch)
 		batch = nil
 		return true
@@ -252,13 +274,14 @@ type filterCursor struct {
 	strip bool
 	cap   int
 	part  *Partitioned
+	span  *obs.Span
 
 	delivered int
 	done      bool
 	err       error
 }
 
-func newFilter(inner engine.Cursor, vars []string, shard int, keep func(int, []uint32) bool, strip bool, perShardCap int, part *Partitioned) engine.Cursor {
+func newFilter(inner engine.Cursor, vars []string, shard int, keep func(int, []uint32) bool, strip bool, perShardCap int, part *Partitioned, span *obs.Span) engine.Cursor {
 	return &filterCursor{
 		inner: inner,
 		vars:  vars,
@@ -267,6 +290,7 @@ func newFilter(inner engine.Cursor, vars []string, shard int, keep func(int, []u
 		strip: strip,
 		cap:   perShardCap,
 		part:  part,
+		span:  span,
 	}
 }
 
@@ -294,6 +318,7 @@ func (f *filterCursor) Next() ([]uint32, error) {
 		if f.part != nil {
 			f.part.delivered[f.shard].Add(1)
 		}
+		f.span.AddRows(1)
 		return row, nil
 	}
 }
@@ -301,6 +326,7 @@ func (f *filterCursor) Next() ([]uint32, error) {
 func (f *filterCursor) finish(err error) ([]uint32, error) {
 	f.done = true
 	f.err = err
+	f.span.End()
 	return nil, err
 }
 

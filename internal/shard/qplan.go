@@ -34,6 +34,9 @@ type queryPlan struct {
 	empty  bool
 	single *singlePlan
 	join   *joinPlan
+	// explain is the plan's serializable summary, assembled at compile time
+	// (see explain.go); execution never reads it.
+	explain *ExplainPlan
 }
 
 // singlePlan executes a query fully covered by one root group.
@@ -61,8 +64,11 @@ type groupPlan struct {
 	vars []string
 	// rootIdx locates the root in vars; -1 marks a constant root.
 	rootIdx int
-	// shards lists the scatter targets that survived pruning.
+	// shards lists the scatter targets that survived pruning; pruned lists
+	// the targets statistics skipped (the EXPLAIN surface and the
+	// pruned-per-query histogram read it).
 	shards []int
+	pruned []int
 	// est is the group's estimated solution cardinality summed over its
 	// target shards (plan.ProfileQuery) — the probe-side choice signal.
 	est float64
@@ -196,29 +202,55 @@ func (e *Engine) planFor(q *query.BGP) *queryPlan {
 // root groups, prune and estimate each group's shard targets, and pick the
 // probe side for multi-group joins.
 func (e *Engine) compile(q *query.BGP) *queryPlan {
+	n := len(e.engs)
+	exp := &ExplainPlan{Shards: n}
 	rest, ok := e.splitConstant(q.Patterns)
 	if !ok {
-		return &queryPlan{empty: true}
+		exp.Kind = "empty"
+		e.part.prunedPerQuery.Observe(0)
+		return &queryPlan{empty: true, explain: exp}
 	}
 	groups := decompose(rest)
 	e.part.plansCompiled.Add(1)
 	e.part.groupsPlanned.Add(int64(len(groups)))
 
+	totalPruned := 0
+	record := func() {
+		e.part.shardsPruned.Add(int64(totalPruned))
+		e.part.prunedPerQuery.Observe(float64(totalPruned))
+	}
 	gps := make([]groupPlan, len(groups))
 	for i, g := range groups {
 		gp, ok := e.planGroup(g)
+		totalPruned += len(gp.pruned)
+		exp.Groups = append(exp.Groups, ExplainGroup{
+			Root:     nodeKey(g.root),
+			Patterns: len(g.pats),
+			Shards:   gp.shards,
+			Pruned:   gp.pruned,
+			EstRows:  gp.est,
+		})
 		if !ok {
-			return &queryPlan{empty: true}
+			record()
+			exp.Kind = "empty"
+			return &queryPlan{empty: true, explain: exp}
 		}
 		gps[i] = gp
 	}
+	record()
 	if len(groups) == 1 {
-		return &queryPlan{single: planSingle(q, groups[0], gps[0])}
+		exp.Kind = "single"
+		return &queryPlan{single: planSingle(q, groups[0], gps[0]), explain: exp}
 	}
-	return &queryPlan{join: planJoin(q, gps)}
+	jp, probe := planJoin(q, gps)
+	exp.Kind = "join"
+	exp.Probe = probe
+	return &queryPlan{join: jp, explain: exp}
 }
 
-// planGroup resolves one group's shard targets and cardinality estimate.
+// planGroup resolves one group's shard targets and cardinality estimate;
+// gp.pruned lists the scatter targets it skipped (the caller folds the
+// counts into the partition-wide counters, once per compiled plan).
 // ok == false means the group (and therefore the whole query) is provably
 // empty. Pruning leans on plan.ProfileQuery over each shard's store: it
 // consults the per-predicate statistics (a predicate with no triples on a
@@ -247,7 +279,7 @@ func (e *Engine) planGroup(g group) (groupPlan, bool) {
 			if prof.Empty && !e.noPrune {
 				// Every solution of a constant-rooted group lives on the
 				// owner shard; an empty owner means an empty group.
-				e.part.shardsPruned.Add(1)
+				gp.pruned = []int{own}
 				return gp, false
 			}
 			gp.est = prof.EstOut
@@ -262,7 +294,6 @@ func (e *Engine) planGroup(g group) (groupPlan, bool) {
 			break
 		}
 	}
-	pruned := 0
 	for sh := 0; sh < n; sh++ {
 		st := e.part.shards[sh]
 		cannotMatch := st.NumTriples() == 0
@@ -271,16 +302,12 @@ func (e *Engine) planGroup(g group) (groupPlan, bool) {
 			gp.est += prof.EstOut
 		}
 		if cannotMatch && !e.noPrune {
-			pruned++
+			gp.pruned = append(gp.pruned, sh)
 			continue
 		}
 		gp.shards = append(gp.shards, sh)
 	}
-	e.part.shardsPruned.Add(int64(pruned))
-	if len(gp.shards) == 0 {
-		return gp, false
-	}
-	return gp, true
+	return gp, len(gp.shards) > 0
 }
 
 // planSingle shapes the single-group execution: the caller's projection
@@ -331,7 +358,9 @@ func planSingle(q *query.BGP, g group, gp groupPlan) *singlePlan {
 //   - Otherwise the LARGEST-estimate group streams, the classic hash-join
 //     choice: the tables must be rebuilt per execution, so they should be
 //     the small ones.
-func planJoin(q *query.BGP, gps []groupPlan) *joinPlan {
+//
+// It also returns the chosen probe group's index into gps, for EXPLAIN.
+func planJoin(q *query.BGP, gps []groupPlan) (*joinPlan, int) {
 	probe, largest := 0, 0
 	var total float64
 	for i, gp := range gps {
@@ -378,5 +407,5 @@ func planJoin(q *query.BGP, gps []groupPlan) *joinPlan {
 	for i, v := range q.Select {
 		jp.selIx[i] = accPos[v]
 	}
-	return jp
+	return jp, probe
 }

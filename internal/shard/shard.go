@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dict"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -84,6 +85,13 @@ type Partitioned struct {
 	groupsPlanned atomic.Int64 // root-covered groups compiled
 	planReuseHits atomic.Int64 // Opens served from a cached scatter plan
 	plansCompiled atomic.Int64 // scatter plans compiled (cache misses)
+
+	// batchRows distributes the merge transport's flushed batch sizes
+	// (observed once per batch, not per row — the drain hot loop stays
+	// counter-free); prunedPerQuery distributes how many scatter targets
+	// statistics pruned per compiled plan. Both feed /metrics histograms.
+	batchRows      *obs.Hist
+	prunedPerQuery *obs.Hist
 }
 
 // Partition splits st into n subject-hash shards, replicating each triple
@@ -112,6 +120,11 @@ func Partition(st *store.Store, n int) (*Partitioned, error) {
 		owned:      owned,
 		replicated: replicated,
 		delivered:  make([]atomic.Int64, n),
+		// Bounds 1..128 cover gatherBatch (64) with headroom; pruned counts
+		// get an explicit 0 bucket so "query pruned nothing" is
+		// distinguishable from "query pruned one target".
+		batchRows:      obs.NewHist(obs.SizeBuckets(8)),
+		prunedPerQuery: obs.NewHist(append([]float64{0}, obs.SizeBuckets(7)...)),
 	}
 	for i := range parts {
 		p.shards[i] = store.FromEncoded(st.Dict(), parts[i])
@@ -166,6 +179,12 @@ func (p *Partitioned) PlanStats() PlanStats {
 		PlansCompiled: p.plansCompiled.Load(),
 	}
 }
+
+// BatchRowsHist snapshots the merge transport's batch-size histogram.
+func (p *Partitioned) BatchRowsHist() obs.HistSnapshot { return p.batchRows.Snapshot() }
+
+// PrunedPerQueryHist snapshots the shards-pruned-per-compiled-plan histogram.
+func (p *Partitioned) PrunedPerQueryHist() obs.HistSnapshot { return p.prunedPerQuery.Snapshot() }
 
 // Stats snapshots the per-shard layout and drain-balance counters.
 func (p *Partitioned) Stats() []ShardStat {

@@ -55,6 +55,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SyncMode selects when appended records are fsynced.
@@ -155,6 +157,11 @@ type Log struct {
 	bytes    atomic.Int64  // current log size, mirrored for lock-free stats
 	syncs    atomic.Uint64
 	lastSync atomic.Int64 // unix nanos of the last fsync (0 = never)
+	// fsyncHist distributes observed fsync wall times — the latency the
+	// SyncAlways write path puts in front of every acknowledged update, and
+	// the device signal behind choosing a group-commit interval. Exposed via
+	// Stats for the server's /metrics histogram.
+	fsyncHist *obs.Hist
 
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -197,7 +204,8 @@ func Open(path string, pol Policy, replay func(Batch) error) (*Log, RecoverInfo,
 		f.Close()
 		return nil, RecoverInfo{}, err
 	}
-	l := &Log{f: f, path: path, pol: pol, size: valid, sealed: info.Sealed}
+	l := &Log{f: f, path: path, pol: pol, size: valid, sealed: info.Sealed,
+		fsyncHist: obs.NewHist(obs.FsyncBuckets())}
 	l.bytes.Store(valid)
 	if pol.Mode == SyncInterval {
 		l.flushStop = make(chan struct{})
@@ -362,9 +370,11 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.fsyncHist.ObserveDuration(time.Since(start))
 	l.dirty = false
 	l.syncs.Add(1)
 	l.lastSync.Store(time.Now().UnixNano())
@@ -455,15 +465,18 @@ type Stats struct {
 	LastSyncAge time.Duration
 	// Policy is the active fsync policy.
 	Policy Policy
+	// FsyncLatency distributes observed fsync wall times (seconds).
+	FsyncLatency obs.HistSnapshot
 }
 
 // Stats snapshots the counters without taking the append lock.
 func (l *Log) Stats() Stats {
 	s := Stats{
-		Bytes:   l.bytes.Load(),
-		Records: l.records.Load(),
-		Syncs:   l.syncs.Load(),
-		Policy:  l.pol,
+		Bytes:        l.bytes.Load(),
+		Records:      l.records.Load(),
+		Syncs:        l.syncs.Load(),
+		Policy:       l.pol,
+		FsyncLatency: l.fsyncHist.Snapshot(),
 	}
 	if ns := l.lastSync.Load(); ns > 0 {
 		s.LastSyncAge = time.Since(time.Unix(0, ns))
