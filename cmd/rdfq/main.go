@@ -37,11 +37,24 @@ func main() {
 	update := flag.String("update", "", "apply this N-Triples patch file before querying ('+'/no prefix inserts, '-' deletes)")
 	compact := flag.Bool("compact", false, "compact applied updates into a fresh base before querying")
 	explain := flag.Bool("explain", false, "print the query's execution trace (span tree, JSON) to stderr after the rows")
+	printQuery := flag.Bool("print-query", false, "print the -lubm-query text (adapted to -lubm scale, default 1) and exit without loading data")
 	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Printf("rdfq %s\n", obs.Build())
+		return
+	}
+
+	if *printQuery {
+		if !slices.Contains(repro.LUBMQueryNumbers, *lubmQuery) {
+			log.Fatalf("rdfq: no LUBM query %d (valid numbers: %v)", *lubmQuery, repro.LUBMQueryNumbers)
+		}
+		scale := *lubmScale
+		if scale == 0 {
+			scale = 1
+		}
+		fmt.Println(repro.LUBMQuery(*lubmQuery, scale))
 		return
 	}
 

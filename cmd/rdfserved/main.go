@@ -34,6 +34,16 @@
 // records (-log json for machine-readable output), and -debug-addr opens a
 // separate ops listener with net/http/pprof.
 //
+// Distributed serving: workers and a coordinator each load the same
+// dataset with the same -shards N; workers serve per-shard drains at
+// POST /shard/query, and the coordinator answers /query by fanning shard
+// sub-queries out to its fleet with health checking, retries, hedging, and
+// graceful partial degradation (internal/cluster):
+//
+//	rdfserved -lubm 1 -shards 4 -shard-role worker -shard-id 0 -addr :9001
+//	rdfserved -lubm 1 -shards 4 -shard-role coordinator \
+//	    -cluster-workers http://localhost:9001,http://localhost:9002,http://localhost:9003
+//
 // With -loadgen it instead acts as a load generator against a running
 // server, reporting throughput and latency percentiles:
 //
@@ -60,6 +70,7 @@ import (
 
 	"repro"
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -74,6 +85,7 @@ func main() {
 	maxConc := flag.Int("max-concurrent", 0, "max worker-pool slots (0 = GOMAXPROCS); a ?workers=N query holds N")
 	maxQueryWorkers := flag.Int("max-query-workers", 0, "ceiling for per-request ?workers= intra-query parallelism (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+	queryTimeout := flag.Duration("query-timeout", 0, "hard per-request deadline ceiling capping both -timeout and ?timeout= (0 = none)")
 	maxRows := flag.Int("max-rows", 0, "cap rows per query result, marked truncated (0 = default 4M, -1 = uncapped)")
 	shards := flag.Int("shards", 0, "partition the store into N subject-hash shards and serve by scatter-gather (0/1 = unsharded)")
 	compactEvery := flag.Duration("compact-every", 0, "background-compact the update delta at this interval (0 = only explicit POST /compact)")
@@ -81,6 +93,19 @@ func main() {
 	snapshotPath := flag.String("snapshot", "", "atomically persist the compacted snapshot to this file after every compaction")
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + mmap-able base segment); -data/-lubm only seed its first boot")
 	fsync := flag.String("fsync", "always", "WAL sync policy: always | off | group-commit interval like 50ms (with -data-dir)")
+
+	// Cluster flags. Workers are symmetric: each loads the same dataset and
+	// partitions it with the same deterministic code, so any worker can
+	// serve any shard's drain and the coordinator's failover/hedging picks
+	// among them freely.
+	shardRole := flag.String("shard-role", "", "cluster role: worker (serve /shard/query drains) | coordinator (fan shard drains out to -cluster-workers); empty = standalone")
+	shardID := flag.Int("shard-id", -1, "worker: nominal shard index for logs and ops tooling (workers are symmetric and serve every shard)")
+	clusterWorkers := flag.String("cluster-workers", "", "coordinator: comma-separated worker base URLs (http://host:port), in shard assignment order")
+	shardReplicas := flag.Int("shard-replicas", 0, "coordinator: candidate workers per shard — primary plus failover/hedge targets (0 = default 2)")
+	shardAttempts := flag.Int("shard-attempts", 0, "coordinator: retry budget per shard drain (0 = default)")
+	shardAttemptTimeout := flag.Duration("shard-attempt-timeout", 0, "coordinator: per-attempt first-byte timeout (0 = default)")
+	shardHedgeAfter := flag.Duration("shard-hedge-after", 0, "coordinator: minimum hedge delay; the trigger is max(this, observed first-byte p99) (0 = default, negative disables hedging)")
+	shardProbeInterval := flag.Duration("shard-probe-interval", 0, "coordinator: worker /healthz probe interval (0 = default)")
 
 	// Observability flags.
 	logFormat := flag.String("log", "text", "log format: text | json")
@@ -215,6 +240,50 @@ func main() {
 		cfg.Store = ds.Store()
 		cfg.Shards = *shards
 	}
+	cfg.QueryTimeout = *queryTimeout
+	var coord *cluster.Coordinator
+	switch *shardRole {
+	case "":
+	case "worker":
+		if *shards <= 1 {
+			fatal("-shard-role worker requires -shards > 1 (the worker endpoint serves per-shard drains)")
+		}
+		logger.Info("cluster worker: serving /shard/query drains", "shard_id", *shardID, "shards", *shards)
+	case "coordinator":
+		if *shards <= 1 {
+			fatal("-shard-role coordinator requires -shards > 1")
+		}
+		var workers []string
+		for _, addr := range strings.Split(*clusterWorkers, ",") {
+			if a := strings.TrimSpace(addr); a != "" {
+				workers = append(workers, a)
+			}
+		}
+		if len(workers) == 0 {
+			fatal("-shard-role coordinator requires -cluster-workers URL,URL,...")
+		}
+		coord, err = cluster.New(cluster.Config{
+			Workers:  workers,
+			Shards:   *shards,
+			Replicas: *shardReplicas,
+			Policy: cluster.Policy{
+				MaxAttempts:    *shardAttempts,
+				AttemptTimeout: *shardAttemptTimeout,
+				HedgeAfter:     *shardHedgeAfter,
+				ProbeInterval:  *shardProbeInterval,
+			},
+			Logger: logger,
+		})
+		if err != nil {
+			fatal("configuring cluster", "error", err)
+		}
+		coord.Start()
+		cfg.Cluster = coord
+		logger.Info("cluster coordinator: fanning shard drains out to workers",
+			"workers", len(workers), "shards", *shards)
+	default:
+		fatal("bad -shard-role (want worker or coordinator)", "role", *shardRole)
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		fatal("starting server", "error", err)
@@ -246,6 +315,9 @@ func main() {
 		logger.Error("shutdown failed", "error", err)
 	}
 	srv.Close()
+	if coord != nil {
+		coord.Close()
+	}
 	if err := ds.Close(); err != nil {
 		logger.Error("closing dataset", "error", err)
 	} else if ds.Durable() != nil {

@@ -1,0 +1,692 @@
+package cluster
+
+// drain_test.go is the cluster-level chaos suite: real HTTP workers (httptest
+// servers speaking the wire protocol through ShardStreamWriter), a
+// deterministic FaultPlan on the coordinator's transport, and assertions on
+// the drain's headline guarantees — rows arrive exactly once and in order
+// under truncation/reset/corruption (resume via skip offsets), drops fail
+// over to replicas, hangs are bounded by the attempt watchdog, straggling
+// first bytes are hedged, an exhausted budget degrades to object-replica
+// recovery or a flagged partial instead of an error, and nothing leaks.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testWorker is a synthetic worker process: it answers /healthz and serves
+// deterministic rows per (shard, owner) over /shard/query, honoring skip
+// and cap exactly as the production endpoint does.
+type testWorker struct {
+	ts        *httptest.Server
+	healthy   atomic.Bool
+	reqs      atomic.Int64
+	bumpEpoch bool // epoch changes on every request (mid-drain resume trap)
+	status    atomic.Int64
+	rows      func(shard, owner int) [][]uint32
+}
+
+func newTestWorker(t *testing.T, rows func(shard, owner int) [][]uint32) *testWorker {
+	t.Helper()
+	w := &testWorker{rows: rows}
+	w.healthy.Store(true)
+	w.status.Store(http.StatusOK)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		if !w.healthy.Load() {
+			http.Error(rw, `{"status":"degraded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		rw.Write([]byte(`{"status":"ok"}`))
+	})
+	mux.HandleFunc("/shard/query", func(rw http.ResponseWriter, r *http.Request) {
+		n := w.reqs.Add(1)
+		if st := int(w.status.Load()); st != http.StatusOK {
+			http.Error(rw, "synthetic failure", st)
+			return
+		}
+		sh, _ := strconv.Atoi(r.FormValue("shard"))
+		owner := -1
+		if v := r.FormValue("owner"); v != "" {
+			owner, _ = strconv.Atoi(v)
+		}
+		skip, _ := strconv.Atoi(r.FormValue("skip"))
+		capN, _ := strconv.Atoi(r.FormValue("cap"))
+		epoch := uint64(1)
+		if w.bumpEpoch {
+			epoch = uint64(n)
+		}
+		var flush func()
+		if f, ok := rw.(http.Flusher); ok {
+			flush = f.Flush
+		}
+		sw := NewShardStreamWriter(rw, flush)
+		if err := sw.Header([]string{"a", "b"}, epoch, sh); err != nil {
+			return
+		}
+		sent := 0
+		for i, row := range w.rows(sh, owner) {
+			if i < skip {
+				continue
+			}
+			if err := sw.Row(row); err != nil {
+				return
+			}
+			sent++
+			if capN > 0 && sent >= capN {
+				break
+			}
+		}
+		sw.Finish("")
+	})
+	w.ts = httptest.NewServer(mux)
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+// host returns the worker's host:port — the FaultPlan match key.
+func (w *testWorker) host() string { return strings.TrimPrefix(w.ts.URL, "http://") }
+
+// testPolicy keeps chaos runs fast: millisecond backoffs, hedging off by
+// default, probes paced out of the picture.
+func testPolicy() Policy {
+	return Policy{
+		MaxAttempts:    4,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     2 * time.Millisecond,
+		Jitter:         0.5,
+		AttemptTimeout: 5 * time.Second,
+		HedgeAfter:     -1,
+		FailThreshold:  3,
+		Cooldown:       50 * time.Millisecond,
+		ProbeInterval:  time.Hour,
+	}
+}
+
+func newTestCoordinator(t *testing.T, workers []*testWorker, shards int, tweak func(*Config)) *Coordinator {
+	t.Helper()
+	cfg := Config{
+		Shards:        shards,
+		Replicas:      1,
+		Policy:        testPolicy(),
+		Logger:        slog.New(slog.DiscardHandler),
+		DisableProbes: true,
+	}
+	for _, w := range workers {
+		cfg.Workers = append(cfg.Workers, w.ts.URL)
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	c.Start()
+	t.Cleanup(c.Close)
+	return c
+}
+
+// seqRows builds n two-column rows whose values encode their position, so
+// duplicate or missing deliveries are detectable by value.
+func seqRows(base, n int) [][]uint32 {
+	rows := make([][]uint32, n)
+	for i := range rows {
+		rows[i] = []uint32{uint32(base + i), uint32(base + i + 1_000_000)}
+	}
+	return rows
+}
+
+// drainAll pulls the drain dry, copying every row.
+func drainAll(d *remoteDrain) ([][]uint32, error) {
+	defer d.Close()
+	var rows [][]uint32
+	for {
+		row, err := d.Next()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, append([]uint32(nil), row...))
+	}
+}
+
+// assertRowsExact fails unless got is want, element for element — the
+// exactly-once assertion (a retried drain that double-delivers or skips
+// shows up as a value mismatch, not just a length delta).
+func assertRowsExact(t *testing.T, got, want [][]uint32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d rows, want %d (lost or duplicated rows across retries)", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("row %d = %v, want %v (resume broke ordering or offsets)", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func simpleReq(shard int) drainReq {
+	return drainReq{
+		shard:     shard,
+		text:      "SELECT ?a ?b WHERE { ?a <http://ex/p> ?b }",
+		vars:      []string{"a", "b"},
+		engine:    "emptyheaded",
+		owner:     -1,
+		rootIdx:   -1,
+		numShards: 1,
+	}
+}
+
+func TestDrainDeliversStream(t *testing.T) {
+	want := seqRows(0, 700)
+	w := newTestWorker(t, func(sh, owner int) [][]uint32 { return want })
+	c := newTestCoordinator(t, []*testWorker{w}, 1, nil)
+
+	got, err := drainAll(newRemoteDrain(context.Background(), c, simpleReq(0)))
+	if err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	assertRowsExact(t, got, want)
+	if st := c.Stats(); st.Attempts != 1 || st.Retries != 0 {
+		t.Fatalf("attempts=%d retries=%d, want 1/0", st.Attempts, st.Retries)
+	}
+}
+
+// TestDrainResumeExactlyOnce is the headline chaos case: the stream is cut
+// after one data frame (clean EOF, no terminal — a worker crash after the
+// kernel flushed its last write), and the retried drain must resume at
+// skip=256 so every row still arrives exactly once and in order.
+func TestDrainResumeExactlyOnce(t *testing.T) {
+	for _, kind := range []string{FaultTruncate, FaultReset, FaultCorrupt} {
+		t.Run(kind, func(t *testing.T) {
+			want := seqRows(0, 700)
+			w := newTestWorker(t, func(sh, owner int) [][]uint32 { return want })
+			plan := (&FaultPlan{}).Add(Fault{Worker: w.host(), Kind: kind, AfterFrames: 1, Count: 1})
+			c := newTestCoordinator(t, []*testWorker{w}, 1, func(cfg *Config) {
+				cfg.Transport = plan.Transport(nil)
+			})
+
+			got, err := drainAll(newRemoteDrain(context.Background(), c, simpleReq(0)))
+			if err != nil {
+				t.Fatalf("drain failed instead of resuming: %v", err)
+			}
+			assertRowsExact(t, got, want)
+			if plan.Fired() != 1 {
+				t.Fatalf("fault fired %d times, want 1", plan.Fired())
+			}
+			st := c.Stats()
+			if st.Retries != 1 {
+				t.Fatalf("retries = %d, want exactly 1", st.Retries)
+			}
+			// The resumed request must have told the worker to skip the
+			// first frame's 256 delivered rows — asserted by value above,
+			// and by request count here.
+			if w.reqs.Load() != 2 {
+				t.Fatalf("worker saw %d requests, want 2 (original + resume)", w.reqs.Load())
+			}
+		})
+	}
+}
+
+func TestDrainRetriesServerError(t *testing.T) {
+	want := seqRows(0, 10)
+	w := newTestWorker(t, func(sh, owner int) [][]uint32 { return want })
+	w.status.Store(http.StatusInternalServerError)
+	c := newTestCoordinator(t, []*testWorker{w}, 1, nil)
+
+	// A 500 is retryable; with one worker answering nothing but 500s the
+	// budget is spent until the breaker opens (FailThreshold=3 beats
+	// MaxAttempts=4 here) and the drain reports the shard unavailable.
+	_, err := drainAll(newRemoteDrain(context.Background(), c, simpleReq(0)))
+	var unavail errShardUnavailable
+	if !errors.As(err, &unavail) {
+		t.Fatalf("budget exhaustion error = %v, want errShardUnavailable", err)
+	}
+	if st := c.Stats(); st.Attempts != 3 || st.Retries != 3 {
+		t.Fatalf("attempts=%d retries=%d, want 3/3 (the opened breaker ends the spend)", st.Attempts, st.Retries)
+	}
+	if st := c.Stats(); st.Workers[0].State != "down" {
+		t.Fatalf("worker state = %q, want down", st.Workers[0].State)
+	}
+
+	// A fresh drain after recovery succeeds: the open breaker's fallback
+	// path still tries the sole candidate, and the success closes it.
+	w.status.Store(http.StatusOK)
+	got, err := drainAll(newRemoteDrain(context.Background(), c, simpleReq(0)))
+	if err != nil {
+		t.Fatalf("post-recovery drain: %v", err)
+	}
+	assertRowsExact(t, got, want)
+}
+
+func TestDrainClientErrorIsPermanent(t *testing.T) {
+	w := newTestWorker(t, func(sh, owner int) [][]uint32 { return nil })
+	w.status.Store(http.StatusConflict) // e.g. a shard-count mismatch
+	c := newTestCoordinator(t, []*testWorker{w}, 1, nil)
+
+	_, err := drainAll(newRemoteDrain(context.Background(), c, simpleReq(0)))
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("err = %v, want the worker's HTTP 409 surfaced", err)
+	}
+	if st := c.Stats(); st.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (4xx must not burn the retry budget)", st.Attempts)
+	}
+}
+
+func TestDrainFailsOverToReplica(t *testing.T) {
+	want := seqRows(0, 300)
+	w0 := newTestWorker(t, func(sh, owner int) [][]uint32 { return want })
+	w1 := newTestWorker(t, func(sh, owner int) [][]uint32 { return want })
+	plan := (&FaultPlan{}).Add(Fault{Worker: w0.host(), Kind: FaultDrop}) // primary dead forever
+	c := newTestCoordinator(t, []*testWorker{w0, w1}, 1, func(cfg *Config) {
+		cfg.Replicas = 2
+		cfg.Transport = plan.Transport(nil)
+	})
+
+	got, err := drainAll(newRemoteDrain(context.Background(), c, simpleReq(0)))
+	if err != nil {
+		t.Fatalf("drain failed instead of failing over: %v", err)
+	}
+	assertRowsExact(t, got, want)
+	st := c.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("no failover recorded despite the primary being down")
+	}
+	if w1.reqs.Load() == 0 {
+		t.Fatal("replica worker never drained")
+	}
+	// The dead primary's breaker accumulated the failure.
+	if st.Workers[0].ConsecutiveFails == 0 {
+		t.Fatalf("primary breaker saw no failures: %+v", st.Workers[0])
+	}
+}
+
+func TestDrainHangBoundedByWatchdog(t *testing.T) {
+	want := seqRows(0, 50)
+	w := newTestWorker(t, func(sh, owner int) [][]uint32 { return want })
+	plan := (&FaultPlan{}).Add(Fault{Worker: w.host(), Kind: FaultHang, Count: 1})
+	c := newTestCoordinator(t, []*testWorker{w}, 1, func(cfg *Config) {
+		cfg.Transport = plan.Transport(nil)
+		cfg.Policy.AttemptTimeout = 50 * time.Millisecond
+	})
+
+	start := time.Now()
+	got, err := drainAll(newRemoteDrain(context.Background(), c, simpleReq(0)))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("drain failed instead of retrying past the hang: %v", err)
+	}
+	assertRowsExact(t, got, want)
+	if elapsed > 3*time.Second {
+		t.Fatalf("drain took %v — the first-byte watchdog did not bound the hang", elapsed)
+	}
+	if st := c.Stats(); st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Retries)
+	}
+}
+
+func TestDrainHedgesStragglingFirstByte(t *testing.T) {
+	want := seqRows(0, 300)
+	w0 := newTestWorker(t, func(sh, owner int) [][]uint32 { return want })
+	w1 := newTestWorker(t, func(sh, owner int) [][]uint32 { return want })
+	// The primary's response is delayed well past the hedge trigger; the
+	// backup answers instantly and must win the race.
+	plan := (&FaultPlan{}).Add(Fault{Worker: w0.host(), Kind: FaultDelay, Delay: 400 * time.Millisecond, Count: 1})
+	c := newTestCoordinator(t, []*testWorker{w0, w1}, 1, func(cfg *Config) {
+		cfg.Replicas = 2
+		cfg.Transport = plan.Transport(nil)
+		cfg.Policy.HedgeAfter = 10 * time.Millisecond
+	})
+
+	start := time.Now()
+	got, err := drainAll(newRemoteDrain(context.Background(), c, simpleReq(0)))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged drain failed: %v", err)
+	}
+	assertRowsExact(t, got, want)
+	st := c.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("hedges=%d hedge_wins=%d, want 1/1", st.Hedges, st.HedgeWins)
+	}
+	if st.Retries != 0 {
+		t.Fatalf("retries = %d — a hedge win must not count as a retry", st.Retries)
+	}
+	if elapsed >= 400*time.Millisecond {
+		t.Fatalf("drain took %v — the backup's rows did not win over the delayed primary", elapsed)
+	}
+}
+
+func TestDrainPartialWhenBudgetExhausted(t *testing.T) {
+	w := newTestWorker(t, func(sh, owner int) [][]uint32 { return seqRows(0, 5) })
+	plan := (&FaultPlan{}).Add(Fault{Worker: w.host(), Kind: FaultDrop})
+	c := newTestCoordinator(t, []*testWorker{w}, 2, func(cfg *Config) {
+		cfg.Transport = plan.Transport(nil)
+		cfg.Policy.MaxAttempts = 2
+	})
+
+	ctx, sink := WithPartial(context.Background())
+	req := simpleReq(0)
+	req.numShards = 2
+	got, err := drainAll(newRemoteDrain(ctx, c, req))
+	if err != nil {
+		t.Fatalf("degraded drain must end cleanly, got %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("unreachable shard produced %d rows", len(got))
+	}
+	miss := sink.Missing()
+	if len(miss) != 1 || miss[0].Shard != 0 || miss[0].Mode != DegradeLost {
+		t.Fatalf("partial sink = %+v, want shard 0 lost", miss)
+	}
+	if st := c.Stats(); st.PartialResults != 1 {
+		t.Fatalf("partial_results = %d, want 1", st.PartialResults)
+	}
+}
+
+func TestDrainFailsHardWithoutSink(t *testing.T) {
+	w := newTestWorker(t, func(sh, owner int) [][]uint32 { return nil })
+	plan := (&FaultPlan{}).Add(Fault{Worker: w.host(), Kind: FaultDrop})
+	c := newTestCoordinator(t, []*testWorker{w}, 1, func(cfg *Config) {
+		cfg.Transport = plan.Transport(nil)
+		cfg.Policy.MaxAttempts = 2
+	})
+
+	// No WithPartial: degradation is opt-in by the serving layer; a bare
+	// context must surface the failure instead of silently dropping rows.
+	_, err := drainAll(newRemoteDrain(context.Background(), c, simpleReq(0)))
+	var unavail errShardUnavailable
+	if !errors.As(err, &unavail) {
+		t.Fatalf("err = %v, want errShardUnavailable", err)
+	}
+	if unavail.shard != 0 {
+		t.Fatalf("unavailable shard = %d, want 0", unavail.shard)
+	}
+	if st := c.Stats(); st.PartialResults != 0 {
+		t.Fatal("partial recorded without a sink installed")
+	}
+}
+
+// TestDrainRecoversFromObjectReplicas: a single-pattern group's lost shard
+// is reassembled by re-draining the surviving shards with the lost shard's
+// ownership filter — the partitioner put every triple's object-side replica
+// somewhere that survives.
+func TestDrainRecoversFromObjectReplicas(t *testing.T) {
+	replicaRows := [][]uint32{{100, 101}, {102, 103}, {104, 105}}
+	w0 := newTestWorker(t, func(sh, owner int) [][]uint32 { return seqRows(0, 9) })
+	w1 := newTestWorker(t, func(sh, owner int) [][]uint32 {
+		if sh == 1 && owner == 0 {
+			return replicaRows // shard 1's replicas of shard 0's triples
+		}
+		return seqRows(1000, 4)
+	})
+	plan := (&FaultPlan{}).Add(Fault{Worker: w0.host(), Kind: FaultDrop})
+	c := newTestCoordinator(t, []*testWorker{w0, w1}, 2, func(cfg *Config) {
+		cfg.Transport = plan.Transport(nil)
+		cfg.Policy.MaxAttempts = 2
+	})
+
+	ctx, sink := WithPartial(context.Background())
+	req := simpleReq(0)
+	req.owner = 0
+	req.rootIdx = 0
+	req.singlePattern = true
+	req.numShards = 2
+	got, err := drainAll(newRemoteDrain(ctx, c, req))
+	if err != nil {
+		t.Fatalf("replica recovery failed: %v", err)
+	}
+	assertRowsExact(t, got, replicaRows)
+	miss := sink.Missing()
+	if len(miss) != 1 || miss[0].Shard != 0 || miss[0].Mode != DegradeReplicas {
+		t.Fatalf("partial sink = %+v, want shard 0 object-replicas", miss)
+	}
+	st := c.Stats()
+	if st.ReplicaRecoveries != 1 {
+		t.Fatalf("replica_recoveries = %d, want 1", st.ReplicaRecoveries)
+	}
+}
+
+// TestDrainReplicaRecoverySkipsDeadSurvivors: when one of the surviving
+// shards consulted for replicas is itself unreachable, recovery keeps going
+// with the rest — the result is already flagged partial.
+func TestDrainReplicaRecoverySkipsDeadSurvivors(t *testing.T) {
+	w0 := newTestWorker(t, func(sh, owner int) [][]uint32 { return nil })
+	w1 := newTestWorker(t, func(sh, owner int) [][]uint32 { return nil })
+	w2 := newTestWorker(t, func(sh, owner int) [][]uint32 {
+		if sh == 2 && owner == 0 {
+			return [][]uint32{{7, 8}}
+		}
+		return nil
+	})
+	plan := (&FaultPlan{}).
+		Add(Fault{Worker: w0.host(), Kind: FaultDrop}).
+		Add(Fault{Worker: w1.host(), Kind: FaultDrop})
+	c := newTestCoordinator(t, []*testWorker{w0, w1, w2}, 3, func(cfg *Config) {
+		cfg.Transport = plan.Transport(nil)
+		cfg.Policy.MaxAttempts = 2
+	})
+
+	ctx, sink := WithPartial(context.Background())
+	req := simpleReq(0)
+	req.owner = 0
+	req.rootIdx = 0
+	req.singlePattern = true
+	req.numShards = 3
+	got, err := drainAll(newRemoteDrain(ctx, c, req))
+	if err != nil {
+		t.Fatalf("recovery with a dead survivor failed: %v", err)
+	}
+	assertRowsExact(t, got, [][]uint32{{7, 8}})
+	if miss := sink.Missing(); len(miss) != 1 || miss[0].Mode != DegradeReplicas {
+		t.Fatalf("partial sink = %+v", miss)
+	}
+}
+
+func TestDrainDisableReplicaRecovery(t *testing.T) {
+	w0 := newTestWorker(t, func(sh, owner int) [][]uint32 { return nil })
+	w1 := newTestWorker(t, func(sh, owner int) [][]uint32 { return seqRows(0, 3) })
+	plan := (&FaultPlan{}).Add(Fault{Worker: w0.host(), Kind: FaultDrop})
+	c := newTestCoordinator(t, []*testWorker{w0, w1}, 2, func(cfg *Config) {
+		cfg.Transport = plan.Transport(nil)
+		cfg.Policy.MaxAttempts = 2
+		cfg.DisableReplicaRecovery = true
+	})
+
+	ctx, sink := WithPartial(context.Background())
+	req := simpleReq(0)
+	req.owner = 0
+	req.rootIdx = 0
+	req.singlePattern = true
+	req.numShards = 2
+	got, err := drainAll(newRemoteDrain(ctx, c, req))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("rows=%d err=%v, want a clean empty stream", len(got), err)
+	}
+	if miss := sink.Missing(); len(miss) != 1 || miss[0].Mode != DegradeLost {
+		t.Fatalf("partial sink = %+v, want shard 0 lost (recovery disabled)", miss)
+	}
+	if w1.reqs.Load() != 0 {
+		t.Fatal("surviving shard drained despite recovery being disabled")
+	}
+}
+
+// TestDrainRefusesEpochChangeMidDrain: resuming against a worker whose
+// store epoch moved would splice rows from two dataset versions — the drain
+// must fail hard rather than answer wrong.
+func TestDrainRefusesEpochChangeMidDrain(t *testing.T) {
+	want := seqRows(0, 700)
+	w := newTestWorker(t, func(sh, owner int) [][]uint32 { return want })
+	w.bumpEpoch = true
+	plan := (&FaultPlan{}).Add(Fault{Worker: w.host(), Kind: FaultTruncate, AfterFrames: 1, Count: 1})
+	c := newTestCoordinator(t, []*testWorker{w}, 1, func(cfg *Config) {
+		cfg.Transport = plan.Transport(nil)
+	})
+
+	got, err := drainAll(newRemoteDrain(context.Background(), c, simpleReq(0)))
+	if err == nil || !strings.Contains(err.Error(), "epoch changed") {
+		t.Fatalf("err = %v, want the mid-drain epoch refusal", err)
+	}
+	if len(got) != 256 {
+		t.Fatalf("delivered %d rows before the refusal, want the first frame's 256", len(got))
+	}
+}
+
+func TestDrainContextCancellation(t *testing.T) {
+	w := newTestWorker(t, func(sh, owner int) [][]uint32 { return seqRows(0, 5) })
+	c := newTestCoordinator(t, []*testWorker{w}, 1, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := drainAll(newRemoteDrain(ctx, c, simpleReq(0)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (cancellation is not a worker fault)", err)
+	}
+	if st := c.Stats(); st.PartialResults != 0 {
+		t.Fatal("a cancelled query must not be flagged partial")
+	}
+}
+
+func TestDrainCloseMidStream(t *testing.T) {
+	w := newTestWorker(t, func(sh, owner int) [][]uint32 { return seqRows(0, 700) })
+	c := newTestCoordinator(t, []*testWorker{w}, 1, nil)
+
+	d := newRemoteDrain(context.Background(), c, simpleReq(0))
+	if _, err := d.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("Next after Close = %v, want io.EOF", err)
+	}
+}
+
+func TestProbeLoopDrivesBreaker(t *testing.T) {
+	w := newTestWorker(t, func(sh, owner int) [][]uint32 { return nil })
+	c := newTestCoordinator(t, []*testWorker{w}, 1, func(cfg *Config) {
+		cfg.DisableProbes = false
+		cfg.Policy.ProbeInterval = 5 * time.Millisecond
+		cfg.Policy.FailThreshold = 2
+		cfg.Policy.Cooldown = 20 * time.Millisecond
+	})
+
+	waitState := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if c.Stats().Workers[0].State == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("worker never reached state %q (now %q)", want, c.Stats().Workers[0].State)
+	}
+
+	waitState("up")
+	// /healthz starts answering 503: the probe loop must open the breaker.
+	w.healthy.Store(false)
+	waitState("down")
+	st := c.Stats()
+	if st.ProbeFailures == 0 || st.Workers[0].ProbeFailures == 0 {
+		t.Fatalf("no probe failures recorded: %+v", st.Workers[0])
+	}
+	if st.Workers[0].LastError == "" || !strings.Contains(st.Workers[0].LastError, "503") {
+		t.Fatalf("last_error = %q, want the healthz 503", st.Workers[0].LastError)
+	}
+	// Recovery: the half-open probe after the cooldown re-admits it with no
+	// query traffic at all.
+	w.healthy.Store(true)
+	waitState("up")
+}
+
+func TestWorkerStateDerivation(t *testing.T) {
+	w := &worker{addr: "x", br: NewBreaker(Policy{FailThreshold: 3}, nil)}
+	if w.state() != "up" {
+		t.Fatalf("fresh worker state = %q, want up", w.state())
+	}
+	w.br.Report(false)
+	if w.state() != "degraded" {
+		t.Fatalf("state after 1 failure = %q, want degraded", w.state())
+	}
+	w.br.Report(false)
+	w.br.Report(false)
+	if w.state() != "down" {
+		t.Fatalf("state with an open breaker = %q, want down", w.state())
+	}
+	w.br.Report(true)
+	if w.state() != "up" {
+		t.Fatalf("state after recovery = %q, want up", w.state())
+	}
+}
+
+// TestDrainNoGoroutineLeaks runs the leak-prone scenarios — resumed
+// streams, hedged races with a reaped loser, a watchdog-cancelled hang —
+// then closes everything and requires the goroutine count to settle back.
+func TestDrainNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	func() {
+		want := seqRows(0, 700)
+		w0 := newTestWorker(t, func(sh, owner int) [][]uint32 { return want })
+		w1 := newTestWorker(t, func(sh, owner int) [][]uint32 { return want })
+		plan := (&FaultPlan{}).
+			Add(Fault{Worker: w0.host(), Kind: FaultTruncate, AfterFrames: 1, Count: 1}).
+			Add(Fault{Worker: w0.host(), Kind: FaultDelay, Delay: 100 * time.Millisecond, Count: 1}).
+			Add(Fault{Worker: w0.host(), Kind: FaultHang, Count: 1})
+		c := newTestCoordinator(t, []*testWorker{w0, w1}, 1, func(cfg *Config) {
+			cfg.Replicas = 2
+			cfg.Transport = plan.Transport(nil)
+			cfg.Policy.AttemptTimeout = 200 * time.Millisecond
+			cfg.Policy.HedgeAfter = 5 * time.Millisecond
+		})
+		for i := 0; i < 3; i++ {
+			got, err := drainAll(newRemoteDrain(context.Background(), c, simpleReq(0)))
+			if err != nil {
+				t.Fatalf("drain %d: %v", i, err)
+			}
+			assertRowsExact(t, got, want)
+		}
+		// Abandon one mid-stream too: Close must reap its connection.
+		d := newRemoteDrain(context.Background(), c, simpleReq(0))
+		if _, err := d.Next(); err != nil {
+			t.Fatalf("mid-stream drain: %v", err)
+		}
+		d.Close()
+		c.Close()
+		c.client.CloseIdleConnections()
+		w0.ts.Close()
+		w1.ts.Close()
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not settle: before=%d now=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

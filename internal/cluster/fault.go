@@ -1,0 +1,264 @@
+package cluster
+
+// fault.go is the deterministic fault injector the chaos suite scripts
+// against. A FaultPlan wraps the coordinator's HTTP transport and mangles
+// matching exchanges at the protocol level: drop the connection, delay or
+// hang the response, reset or truncate the stream after N data frames, or
+// corrupt frame N's bytes. Faults are keyed by worker address and consumed
+// deterministically (each fault fires Count times, in registration order),
+// so a chaos scenario replays identically run to run — no clocks, no
+// randomness.
+//
+// Injection sits client-side on purpose: the wrapped transport sees the
+// exact bytes the coordinator would have seen, so a "corrupt frame 2"
+// fault proves the real CRC path catches it, and a "truncate after 1
+// batch" fault proves the real resume path re-drains from row offset —
+// against completely healthy workers.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault kinds.
+const (
+	// FaultDrop fails the exchange immediately (connection refused).
+	FaultDrop = "drop"
+	// FaultDelay forwards the exchange after Delay.
+	FaultDelay = "delay"
+	// FaultHang blocks until the request's context is cancelled — the
+	// attempt-timeout watchdog's test case.
+	FaultHang = "hang"
+	// FaultReset forwards the exchange but cuts the body with a connection
+	// error after AfterFrames data frames.
+	FaultReset = "reset"
+	// FaultCorrupt forwards the exchange but flips bits in data frame
+	// AfterFrames (0-based).
+	FaultCorrupt = "corrupt"
+	// FaultTruncate forwards the exchange but ends the body cleanly (EOF,
+	// no terminal frame) after AfterFrames data frames — the
+	// fail-after-N-batches case the sequence numbers exist for.
+	FaultTruncate = "truncate"
+)
+
+// Fault scripts one failure against one worker.
+type Fault struct {
+	// Worker matches the target's host:port (or any suffix/prefix-free
+	// substring of the worker base URL).
+	Worker string
+	// Kind is one of the Fault* constants.
+	Kind string
+	// Delay is FaultDelay's duration.
+	Delay time.Duration
+	// AfterFrames positions stream faults: reset/truncate act after this
+	// many data frames have passed, corrupt targets this frame index.
+	AfterFrames int
+	// Count is how many matching exchanges the fault consumes (0 = every
+	// one, forever).
+	Count int
+	// AllPaths extends matching beyond /shard/query (e.g. to /healthz
+	// probes) — FaultDrop with AllPaths simulates a dead process.
+	AllPaths bool
+}
+
+// FaultPlan is an ordered set of faults plus the bookkeeping of how often
+// each has fired. Safe for concurrent use.
+type FaultPlan struct {
+	mu     sync.Mutex
+	faults []*plannedFault
+}
+
+type plannedFault struct {
+	Fault
+	fired int
+}
+
+// Add appends a fault to the plan.
+func (fp *FaultPlan) Add(f Fault) *FaultPlan {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.faults = append(fp.faults, &plannedFault{Fault: f})
+	return fp
+}
+
+// match consumes and returns the first applicable fault for the exchange.
+func (fp *FaultPlan) match(req *http.Request) *Fault {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	for _, pf := range fp.faults {
+		if !strings.Contains(req.URL.Host, pf.Worker) && !strings.Contains(pf.Worker, req.URL.Host) {
+			continue
+		}
+		if !pf.AllPaths && req.URL.Path != "/shard/query" {
+			continue
+		}
+		if pf.Count > 0 && pf.fired >= pf.Count {
+			continue
+		}
+		pf.fired++
+		f := pf.Fault
+		return &f
+	}
+	return nil
+}
+
+// Fired reports how many times any fault has fired (chaos assertions).
+func (fp *FaultPlan) Fired() int {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	n := 0
+	for _, pf := range fp.faults {
+		n += pf.fired
+	}
+	return n
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with the plan.
+func (fp *FaultPlan) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{plan: fp, base: base}
+}
+
+type faultTransport struct {
+	plan *FaultPlan
+	base http.RoundTripper
+}
+
+func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := ft.plan.match(req)
+	if f == nil {
+		return ft.base.RoundTrip(req)
+	}
+	switch f.Kind {
+	case FaultDrop:
+		return nil, fmt.Errorf("fault: connection refused (%s)", req.URL.Host)
+	case FaultHang:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case FaultDelay:
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return ft.base.RoundTrip(req)
+	case FaultReset, FaultCorrupt, FaultTruncate:
+		resp, err := ft.base.RoundTrip(req)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return resp, err
+		}
+		mangled, err := mangleStream(resp.Body, f)
+		if err != nil {
+			resp.Body.Close()
+			return nil, err
+		}
+		resp.Body = mangled
+		resp.ContentLength = -1
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("fault: unknown kind %q", f.Kind)
+	}
+}
+
+// mangleStream buffers the upstream frame stream and re-emits it with the
+// fault applied. Buffering keeps the mangling deterministic (the fault
+// position is a frame index, not a byte race); chaos streams are small.
+func mangleStream(body io.ReadCloser, f *Fault) (io.ReadCloser, error) {
+	defer body.Close()
+	all, err := io.ReadAll(body)
+	if err != nil {
+		return nil, err
+	}
+	nl := bytes.IndexByte(all, '\n')
+	if nl < 0 {
+		return io.NopCloser(bytes.NewReader(all)), nil
+	}
+	head := all[:nl+1]
+	frames, rest := splitFrames(all[nl+1:])
+
+	var out bytes.Buffer
+	out.Write(head)
+	switch f.Kind {
+	case FaultCorrupt:
+		for i, fr := range frames {
+			if i == f.AfterFrames && len(fr) > 12 {
+				bad := append([]byte(nil), fr...)
+				bad[12] ^= 0xFF // flip payload bits; the CRC must catch it
+				out.Write(bad)
+				continue
+			}
+			out.Write(fr)
+		}
+		out.Write(rest)
+		return io.NopCloser(bytes.NewReader(out.Bytes())), nil
+	case FaultTruncate:
+		for i, fr := range frames {
+			if i >= f.AfterFrames {
+				break
+			}
+			out.Write(fr)
+		}
+		// Clean EOF, no terminal frame: exactly what a worker crash
+		// mid-stream looks like after the kernel flushes its last write.
+		return io.NopCloser(bytes.NewReader(out.Bytes())), nil
+	case FaultReset:
+		for i, fr := range frames {
+			if i >= f.AfterFrames {
+				break
+			}
+			out.Write(fr)
+		}
+		return &erroringBody{r: bytes.NewReader(out.Bytes())}, nil
+	}
+	return io.NopCloser(bytes.NewReader(all)), nil
+}
+
+// splitFrames walks the frame layout and returns each full frame's bytes;
+// rest is whatever trails the terminal frame (normally empty).
+func splitFrames(b []byte) (frames [][]byte, rest []byte) {
+	off := 0
+	for off+8 <= len(b) {
+		nrows := uint32(b[off+4]) | uint32(b[off+5])<<8 | uint32(b[off+6])<<16 | uint32(b[off+7])<<24
+		var end int
+		if nrows == terminalMark {
+			if off+16 > len(b) {
+				break
+			}
+			errLen := int(uint32(b[off+12]) | uint32(b[off+13])<<8 | uint32(b[off+14])<<16 | uint32(b[off+15])<<24)
+			end = off + 16 + errLen + 4
+		} else {
+			if off+12 > len(b) {
+				break
+			}
+			ncols := int(uint32(b[off+8]) | uint32(b[off+9])<<8 | uint32(b[off+10])<<16 | uint32(b[off+11])<<24)
+			end = off + 12 + int(nrows)*ncols*4 + 4
+		}
+		if end > len(b) {
+			break
+		}
+		frames = append(frames, b[off:end])
+		off = end
+	}
+	return frames, b[off:]
+}
+
+// erroringBody yields its bytes then a connection-reset error.
+type erroringBody struct{ r *bytes.Reader }
+
+func (e *erroringBody) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		return n, fmt.Errorf("fault: connection reset by peer")
+	}
+	return n, err
+}
+func (e *erroringBody) Close() error { return nil }

@@ -1,0 +1,229 @@
+package cluster
+
+// frame.go is the wire codec of the shard stream: after a one-line JSON
+// header, row batches travel as length-prefixed binary frames, each carrying
+// a sequence number and a CRC. The framing exists for failure handling, not
+// speed: sequence numbers let a resumed drain prove it is not skipping or
+// double-delivering batches, the CRC turns silent corruption into a typed
+// retryable error, and the explicit terminal frame (with a total-row echo)
+// distinguishes a clean end-of-stream from a connection cut mid-results —
+// without it, a TCP FIN after batch N looks exactly like EOF.
+//
+// Layout (all integers little-endian uint32):
+//
+//	header    JSON line: {"vars":[...],"epoch":E,"shard":K}\n
+//	data      seq | nrows | ncols | nrows·ncols row values | crc
+//	terminal  seq | 0xFFFFFFFF | rowsTotal | errLen | errLen bytes | crc
+//
+// The CRC (IEEE) covers every frame byte before it. A terminal frame with a
+// non-empty error string reports a worker-side execution failure after
+// rowsTotal successfully shipped rows.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// terminalMark is the nrows value that marks the terminal frame.
+const terminalMark = 0xFFFFFFFF
+
+// frameRows is how many rows a worker packs per frame before flushing.
+const frameRows = 256
+
+// maxFrameCells bounds a decoded frame's nrows·ncols so a corrupt length
+// prefix cannot ask the reader to allocate gigabytes.
+const maxFrameCells = 1 << 22
+
+// streamHeader is the JSON line that precedes the frames.
+type streamHeader struct {
+	Vars  []string `json:"vars"`
+	Epoch uint64   `json:"epoch"`
+	Shard int      `json:"shard"`
+}
+
+// errCorrupt marks a frame that failed its CRC, arrived out of sequence, or
+// was cut short — all retryable through the transport-error path.
+var errCorrupt = errors.New("cluster: corrupt or truncated frame")
+
+// frameWriter encodes the stream on the worker side.
+type frameWriter struct {
+	w    *bufio.Writer
+	seq  uint32
+	rows uint32
+	buf  []byte
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{w: bufio.NewWriterSize(w, 32<<10)}
+}
+
+// writeHeader emits the JSON header line.
+func (fw *frameWriter) writeHeader(vars []string, epoch uint64, shard int) error {
+	if vars == nil {
+		vars = []string{}
+	}
+	b, err := json.Marshal(streamHeader{Vars: vars, Epoch: epoch, Shard: shard})
+	if err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(b); err != nil {
+		return err
+	}
+	return fw.w.WriteByte('\n')
+}
+
+// writeBatch emits one data frame and flushes it, so a slow consumer sees
+// rows as they exist rather than when the stream ends.
+func (fw *frameWriter) writeBatch(rows [][]uint32, ncols int) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	fw.buf = fw.buf[:0]
+	fw.buf = binary.LittleEndian.AppendUint32(fw.buf, fw.seq)
+	fw.buf = binary.LittleEndian.AppendUint32(fw.buf, uint32(len(rows)))
+	fw.buf = binary.LittleEndian.AppendUint32(fw.buf, uint32(ncols))
+	for _, row := range rows {
+		for _, v := range row {
+			fw.buf = binary.LittleEndian.AppendUint32(fw.buf, v)
+		}
+	}
+	fw.buf = binary.LittleEndian.AppendUint32(fw.buf, crc32.ChecksumIEEE(fw.buf))
+	fw.seq++
+	fw.rows += uint32(len(rows))
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// writeTerminal emits the terminal frame — errMsg empty for a clean end of
+// stream — and flushes.
+func (fw *frameWriter) writeTerminal(errMsg string) error {
+	fw.buf = fw.buf[:0]
+	fw.buf = binary.LittleEndian.AppendUint32(fw.buf, fw.seq)
+	fw.buf = binary.LittleEndian.AppendUint32(fw.buf, terminalMark)
+	fw.buf = binary.LittleEndian.AppendUint32(fw.buf, fw.rows)
+	fw.buf = binary.LittleEndian.AppendUint32(fw.buf, uint32(len(errMsg)))
+	fw.buf = append(fw.buf, errMsg...)
+	fw.buf = binary.LittleEndian.AppendUint32(fw.buf, crc32.ChecksumIEEE(fw.buf))
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// frameReader decodes the stream on the coordinator side, verifying CRCs
+// and sequence continuity as it goes.
+type frameReader struct {
+	br   *bufio.Reader
+	seq  uint32
+	rows uint32
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{br: bufio.NewReaderSize(r, 32<<10)}
+}
+
+// readHeader consumes and parses the JSON header line.
+func (fr *frameReader) readHeader() (streamHeader, error) {
+	var h streamHeader
+	line, err := fr.br.ReadBytes('\n')
+	if err != nil {
+		return h, fmt.Errorf("%w: reading stream header: %v", errCorrupt, err)
+	}
+	if err := json.Unmarshal(line, &h); err != nil {
+		return h, fmt.Errorf("%w: bad stream header: %v", errCorrupt, err)
+	}
+	return h, nil
+}
+
+// readBatch returns the next data frame's rows. A clean terminal frame
+// (with a matching total-row echo) returns io.EOF; a terminal frame
+// carrying a worker error returns it as a workerError; any integrity
+// violation returns errCorrupt, which callers treat as retryable.
+func (fr *frameReader) readBatch() ([][]uint32, error) {
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(fr.br, head); err != nil {
+		return nil, fmt.Errorf("%w: stream cut before terminal frame: %v", errCorrupt, err)
+	}
+	seq := binary.LittleEndian.Uint32(head[0:4])
+	nrows := binary.LittleEndian.Uint32(head[4:8])
+	if seq != fr.seq {
+		return nil, fmt.Errorf("%w: frame sequence gap (want %d, got %d)", errCorrupt, fr.seq, seq)
+	}
+
+	if nrows == terminalMark {
+		tail := make([]byte, 8)
+		if _, err := io.ReadFull(fr.br, tail); err != nil {
+			return nil, fmt.Errorf("%w: truncated terminal frame: %v", errCorrupt, err)
+		}
+		total := binary.LittleEndian.Uint32(tail[0:4])
+		errLen := binary.LittleEndian.Uint32(tail[4:8])
+		if errLen > 1<<16 {
+			return nil, fmt.Errorf("%w: oversized terminal error", errCorrupt)
+		}
+		rest := make([]byte, errLen+4)
+		if _, err := io.ReadFull(fr.br, rest); err != nil {
+			return nil, fmt.Errorf("%w: truncated terminal frame: %v", errCorrupt, err)
+		}
+		sum := crc32.ChecksumIEEE(head)
+		sum = crc32.Update(sum, crc32.IEEETable, tail)
+		sum = crc32.Update(sum, crc32.IEEETable, rest[:errLen])
+		if sum != binary.LittleEndian.Uint32(rest[errLen:]) {
+			return nil, fmt.Errorf("%w: terminal frame CRC mismatch", errCorrupt)
+		}
+		if msg := string(rest[:errLen]); msg != "" {
+			return nil, workerError{msg: msg}
+		}
+		if total != fr.rows {
+			return nil, fmt.Errorf("%w: terminal row count %d != %d received", errCorrupt, total, fr.rows)
+		}
+		return nil, io.EOF
+	}
+
+	head2 := make([]byte, 4)
+	if _, err := io.ReadFull(fr.br, head2); err != nil {
+		return nil, fmt.Errorf("%w: truncated frame: %v", errCorrupt, err)
+	}
+	ncols := binary.LittleEndian.Uint32(head2)
+	if nrows == 0 || uint64(nrows)*uint64(ncols) > maxFrameCells {
+		return nil, fmt.Errorf("%w: implausible frame shape %d x %d", errCorrupt, nrows, ncols)
+	}
+	payload := make([]byte, nrows*ncols*4+4)
+	if _, err := io.ReadFull(fr.br, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated frame payload: %v", errCorrupt, err)
+	}
+	body, crc := payload[:len(payload)-4], payload[len(payload)-4:]
+	sum := crc32.ChecksumIEEE(head)
+	sum = crc32.Update(sum, crc32.IEEETable, head2)
+	sum = crc32.Update(sum, crc32.IEEETable, body)
+	if sum != binary.LittleEndian.Uint32(crc) {
+		return nil, fmt.Errorf("%w: frame %d CRC mismatch", errCorrupt, seq)
+	}
+
+	fr.seq++
+	fr.rows += nrows
+	cells := make([]uint32, nrows*ncols)
+	for i := range cells {
+		cells[i] = binary.LittleEndian.Uint32(body[i*4:])
+	}
+	rows := make([][]uint32, nrows)
+	for i := range rows {
+		rows[i] = cells[uint32(i)*ncols : uint32(i+1)*ncols : uint32(i+1)*ncols]
+	}
+	return rows, nil
+}
+
+// workerError is a failure the worker itself reported through a terminal
+// frame: the transport is fine, the sub-query failed. Not retryable (the
+// worker already did its own execution; a deterministic error would repeat)
+// unless it looks like a shard-local cancellation, which the drain maps
+// through the usual retry path.
+type workerError struct{ msg string }
+
+func (e workerError) Error() string { return "cluster: worker reported: " + e.msg }

@@ -1,0 +1,301 @@
+package cluster
+
+// frame_test.go proves the wire codec's failure-detection claims byte by
+// byte: round-trips through ShardStreamWriter and frameReader, then every
+// integrity violation the framing exists to catch — CRC corruption,
+// sequence gaps, truncation mid-frame and mid-stream, a lying terminal row
+// count — surfaces as the retryable errCorrupt, while a worker-reported
+// execution failure surfaces as the permanent workerError.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// genRows builds n deterministic ncols-wide rows.
+func genRows(n, ncols int) [][]uint32 {
+	rows := make([][]uint32, n)
+	for i := range rows {
+		row := make([]uint32, ncols)
+		for j := range row {
+			row[j] = uint32(i*ncols + j)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// encodeStream writes a full stream (header, rows, terminal) and returns
+// its bytes.
+func encodeStream(t *testing.T, vars []string, epoch uint64, sh int, rows [][]uint32, errMsg string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw := NewShardStreamWriter(&buf, nil)
+	if err := sw.Header(vars, epoch, sh); err != nil {
+		t.Fatalf("Header: %v", err)
+	}
+	for _, r := range rows {
+		if err := sw.Row(r); err != nil {
+			t.Fatalf("Row: %v", err)
+		}
+	}
+	if err := sw.Finish(errMsg); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// decodeStream reads a stream to completion, returning the header, the rows,
+// and the error that ended the batch loop (io.EOF for a clean stream).
+func decodeStream(b []byte) (streamHeader, [][]uint32, error) {
+	fr := newFrameReader(bytes.NewReader(b))
+	hdr, err := fr.readHeader()
+	if err != nil {
+		return hdr, nil, err
+	}
+	var rows [][]uint32
+	for {
+		batch, err := fr.readBatch()
+		if err != nil {
+			return hdr, rows, err
+		}
+		rows = append(rows, batch...)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	// 600 rows of 3 columns spans multiple frames (frameRows=256).
+	want := genRows(600, 3)
+	b := encodeStream(t, []string{"x", "y", "z"}, 7, 2, want, "")
+
+	hdr, got, err := decodeStream(b)
+	if err != io.EOF {
+		t.Fatalf("stream ended with %v, want io.EOF", err)
+	}
+	if hdr.Epoch != 7 || hdr.Shard != 2 || len(hdr.Vars) != 3 || hdr.Vars[0] != "x" {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("row %d col %d = %d, want %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestFrameEmptyStream(t *testing.T) {
+	b := encodeStream(t, nil, 1, 0, nil, "")
+	hdr, rows, err := decodeStream(b)
+	if err != io.EOF || len(rows) != 0 {
+		t.Fatalf("empty stream: rows=%d err=%v, want 0/io.EOF", len(rows), err)
+	}
+	if hdr.Vars == nil {
+		t.Fatal("nil vars must encode as an empty JSON array, not null")
+	}
+}
+
+func TestFrameWriterRowCount(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewShardStreamWriter(&buf, nil)
+	if err := sw.Header([]string{"a"}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range genRows(300, 1) {
+		sw.Row(r)
+		if got := sw.Rows(); got != i+1 {
+			t.Fatalf("Rows() after %d rows = %d (flushed and buffered rows must both count)", i+1, got)
+		}
+	}
+}
+
+func TestFrameWorkerError(t *testing.T) {
+	// Rows shipped before the failure still arrive, then the terminal frame
+	// carries the worker's error.
+	want := genRows(10, 2)
+	b := encodeStream(t, []string{"a", "b"}, 1, 0, want, "join exploded")
+	_, rows, err := decodeStream(b)
+	if len(rows) != 10 {
+		t.Fatalf("decoded %d rows before the worker error, want 10", len(rows))
+	}
+	var we workerError
+	if !errors.As(err, &we) || we.msg != "join exploded" {
+		t.Fatalf("err = %v, want workerError(join exploded)", err)
+	}
+	if isRetryable(err) {
+		t.Fatal("a worker-reported execution failure must not be retryable")
+	}
+}
+
+// frameOffsets returns the byte offset where frames begin (after the header
+// line) and the individual frame byte slices.
+func frameOffsets(t *testing.T, b []byte) (int, [][]byte) {
+	t.Helper()
+	nl := bytes.IndexByte(b, '\n')
+	if nl < 0 {
+		t.Fatal("no header line")
+	}
+	frames, rest := splitFrames(b[nl+1:])
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after the terminal frame", len(rest))
+	}
+	return nl + 1, frames
+}
+
+func TestFrameCorruptCRC(t *testing.T) {
+	b := encodeStream(t, []string{"a"}, 1, 0, genRows(300, 1), "")
+	_, frames := frameOffsets(t, b)
+	if len(frames) != 3 { // 256 + 44 data frames + terminal
+		t.Fatalf("layout drifted: %d frames, want 3", len(frames))
+	}
+	// Flip one payload byte in the second data frame: the first batch must
+	// still decode, the corrupt one must fail retryably.
+	bad := append([]byte(nil), b...)
+	off := bytes.IndexByte(b, '\n') + 1 + len(frames[0])
+	bad[off+12] ^= 0xFF
+	_, rows, err := decodeStream(bad)
+	if len(rows) != 256 {
+		t.Fatalf("decoded %d rows before the corrupt frame, want 256", len(rows))
+	}
+	if !errors.Is(err, errCorrupt) {
+		t.Fatalf("corrupt frame error = %v, want errCorrupt", err)
+	}
+	// Retryability is applied where the stream is consumed: the frame cursor
+	// wraps errCorrupt in the transportError class the drain retries on.
+	if !isRetryable(&transportError{worker: "w", err: err}) {
+		t.Fatal("cursor-wrapped corrupt error is not retryable")
+	}
+}
+
+func TestFrameSequenceGap(t *testing.T) {
+	b := encodeStream(t, []string{"a"}, 1, 0, genRows(600, 1), "")
+	head, frames := frameOffsets(t, b)
+	// Splice out the first data frame: the reader sees seq 1 where it
+	// expects 0.
+	var spliced bytes.Buffer
+	spliced.Write(b[:head])
+	for _, fr := range frames[1:] {
+		spliced.Write(fr)
+	}
+	_, rows, err := decodeStream(spliced.Bytes())
+	if len(rows) != 0 {
+		t.Fatalf("decoded %d rows from a gapped stream, want 0", len(rows))
+	}
+	if !errors.Is(err, errCorrupt) {
+		t.Fatalf("sequence gap error = %v, want errCorrupt", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	full := encodeStream(t, []string{"a", "b"}, 1, 0, genRows(300, 2), "")
+	head, frames := frameOffsets(t, full)
+	cases := []struct {
+		name string
+		cut  int // bytes kept
+		rows int // rows that must still decode first
+	}{
+		{"mid first frame", head + len(frames[0])/2, 0},
+		{"between frames (no terminal)", head + len(frames[0]), 256},
+		{"mid terminal frame", len(full) - 2, 300},
+	}
+	for _, c := range cases {
+		_, rows, err := decodeStream(full[:c.cut])
+		if len(rows) != c.rows {
+			t.Errorf("%s: decoded %d rows, want %d", c.name, len(rows), c.rows)
+		}
+		if !errors.Is(err, errCorrupt) {
+			t.Errorf("%s: err = %v, want errCorrupt (a cut stream must never look like clean EOF)", c.name, err)
+		}
+	}
+}
+
+func TestFrameTerminalRowCountMismatch(t *testing.T) {
+	// A terminal frame echoing the wrong total is indistinguishable from a
+	// dropped batch: the reader must refuse it.
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	if err := fw.writeHeader([]string{"a"}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.writeBatch(genRows(10, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	fw.rows = 9 // lie about the total
+	if err := fw.writeTerminal(""); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := decodeStream(buf.Bytes())
+	if !errors.Is(err, errCorrupt) {
+		t.Fatalf("row-count mismatch error = %v, want errCorrupt", err)
+	}
+}
+
+func TestFrameImplausibleShape(t *testing.T) {
+	// A corrupt length prefix must be refused before the reader allocates.
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	if err := fw.writeHeader([]string{"a"}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 12)
+	binary.LittleEndian.PutUint32(raw[0:4], 0)      // seq
+	binary.LittleEndian.PutUint32(raw[4:8], 1<<24)  // nrows
+	binary.LittleEndian.PutUint32(raw[8:12], 1<<10) // ncols: 2^34 cells
+	fw.w.Write(raw)
+	fw.w.Flush()
+	_, _, err := decodeStream(buf.Bytes())
+	if !errors.Is(err, errCorrupt) {
+		t.Fatalf("implausible shape error = %v, want errCorrupt", err)
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("implausible")) {
+		t.Fatalf("err = %v, want the shape guard (not a CRC miss)", err)
+	}
+}
+
+func TestSplitFramesRoundTrip(t *testing.T) {
+	// The fault injector's frame splitter must agree with the writer's
+	// layout for every stream shape it will mangle.
+	for _, n := range []int{0, 1, 255, 256, 257, 600} {
+		b := encodeStream(t, []string{"a", "b"}, 1, 0, genRows(n, 2), "")
+		nl := bytes.IndexByte(b, '\n')
+		frames, rest := splitFrames(b[nl+1:])
+		if len(rest) != 0 {
+			t.Fatalf("n=%d: %d unparsed trailing bytes", n, len(rest))
+		}
+		wantFrames := (n+frameRows-1)/frameRows + 1 // data frames + terminal
+		if n == 0 {
+			wantFrames = 1
+		}
+		if len(frames) != wantFrames {
+			t.Fatalf("n=%d: split into %d frames, want %d", n, len(frames), wantFrames)
+		}
+		total := 0
+		for _, fr := range frames {
+			total += len(fr)
+		}
+		if total != len(b)-(nl+1) {
+			t.Fatalf("n=%d: frames cover %d bytes of %d", n, total, len(b)-(nl+1))
+		}
+	}
+}
+
+func TestFrameErrorMessages(t *testing.T) {
+	// The typed errors carry their context: useful when a chaos log shows
+	// one retry and someone asks why.
+	b := encodeStream(t, []string{"a"}, 1, 0, genRows(1, 1), "")
+	_, _, err := decodeStream(b[:len(b)-1])
+	if err == nil {
+		t.Fatal("truncated stream decoded cleanly")
+	}
+	msg := fmt.Sprint(err)
+	if !bytes.Contains([]byte(msg), []byte("corrupt")) && !bytes.Contains([]byte(msg), []byte("truncated")) {
+		t.Fatalf("error message %q names neither corruption nor truncation", msg)
+	}
+}

@@ -1,0 +1,90 @@
+package cluster
+
+// health.go is the active side of worker health: a probe loop GETs every
+// worker's /healthz each ProbeInterval and feeds the verdicts to the same
+// per-worker circuit breakers the request path reports to. Active probing
+// is what re-admits a recovered worker with no query traffic (the breaker
+// half-open transition needs *some* request to be the probe), and what
+// ejects a worker that is up but degraded — /healthz answering 503, e.g.
+// with a latched-failed WAL — before a query ever has to find out.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// probeLoop runs until Close; one round probes every worker concurrently.
+func (c *Coordinator) probeLoop() {
+	defer close(c.probesDone)
+	t := time.NewTicker(c.policy.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopProbes:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll probes every worker whose breaker admits a request (for an open
+// breaker that means the half-open re-admission probe; inside the cooldown
+// the worker is skipped).
+func (c *Coordinator) probeAll() {
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		if !w.br.Allow() {
+			continue
+		}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			c.probeWorker(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probeWorker GETs one worker's /healthz under the attempt timeout and
+// reports the verdict to its breaker. Any non-2xx (a booting worker's 503,
+// a failed-WAL 503) counts as a failure.
+func (c *Coordinator) probeWorker(w *worker) {
+	before := w.state()
+	c.met.probes.Add(1)
+	w.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), c.policy.AttemptTimeout)
+	defer cancel()
+	err := func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.addr+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("healthz: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		return nil
+	}()
+	ok := err == nil
+	if !ok {
+		c.met.probeFails.Add(1)
+		w.probeFails.Add(1)
+		w.noteErr(err)
+	}
+	w.br.Report(ok)
+	if after := w.state(); after != before {
+		c.log.Info("cluster: worker health transition",
+			"worker", w.addr, "from", before, "to", after)
+	}
+}

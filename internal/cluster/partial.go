@@ -1,0 +1,90 @@
+package cluster
+
+// partial.go carries graceful degradation's verdict from the shard drains
+// to the HTTP response. The server installs a Partial sink into the query
+// context before opening the cursor; when a drain exhausts its retry budget
+// and every candidate worker, it records the shard here and ends its stream
+// cleanly instead of failing the query. After encoding, the server reads
+// the sink and flags the response (X-Partial trailer, "partial" JSON
+// field). Without a sink in the context the drain fails hard instead —
+// degradation is opt-in by the serving layer, never silent.
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Degradation modes recorded per shard.
+const (
+	// DegradeLost: the shard's rows are missing from the result.
+	DegradeLost = "lost"
+	// DegradeReplicas: the shard's rows were reassembled from object-side
+	// replicas on the surviving shards — complete for most data, but
+	// triples whose subject and object both hash to the lost shard have no
+	// second home, so the result is still flagged.
+	DegradeReplicas = "object-replicas"
+)
+
+// PartialShard reports one degraded shard in /query's "partial" field.
+type PartialShard struct {
+	Shard int    `json:"shard"`
+	Mode  string `json:"mode"`
+}
+
+// Partial collects the shards a query could not serve authoritatively.
+type Partial struct {
+	mu     sync.Mutex
+	shards map[int]string
+}
+
+// record notes shard sh as degraded; "lost" dominates a previous
+// replica-recovery mark (the recovery itself later failed).
+func (p *Partial) record(sh int, mode string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.shards == nil {
+		p.shards = map[int]string{}
+	}
+	if prev, ok := p.shards[sh]; ok && prev == DegradeLost {
+		return
+	}
+	p.shards[sh] = mode
+}
+
+// Missing returns the degraded shards in shard order (nil when the result
+// is complete).
+func (p *Partial) Missing() []PartialShard {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.shards) == 0 {
+		return nil
+	}
+	out := make([]PartialShard, 0, len(p.shards))
+	for sh, mode := range p.shards {
+		out = append(out, PartialShard{Shard: sh, Mode: mode})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
+}
+
+type partialKey struct{}
+
+// WithPartial installs a fresh Partial sink into ctx, enabling graceful
+// degradation for every drain under it.
+func WithPartial(ctx context.Context) (context.Context, *Partial) {
+	p := &Partial{}
+	return context.WithValue(ctx, partialKey{}, p), p
+}
+
+// PartialFrom returns the sink installed by WithPartial, or nil.
+func PartialFrom(ctx context.Context) *Partial {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(partialKey{}).(*Partial)
+	return p
+}

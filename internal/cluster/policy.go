@@ -1,0 +1,238 @@
+package cluster
+
+// policy.go is the pure robustness arithmetic of the coordinator: retry
+// budgets, capped exponential backoff with jitter, the p99-derived hedge
+// trigger, and the per-worker circuit breaker. Everything here is
+// deterministic given an injected clock and random source, so the policy
+// suite tests attempt schedules and breaker transitions with a fake clock —
+// no sleeps, no network.
+
+import (
+	"sync"
+	"time"
+)
+
+// Policy bundles the tunables of one coordinator's failure handling.
+// The zero value is unusable; call withDefaults (done by cluster.New) or
+// start from DefaultPolicy.
+type Policy struct {
+	// MaxAttempts is the total attempt budget per shard drain, first try
+	// included. Exhausting it moves the drain to graceful degradation.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter is the fraction of each backoff randomized away (0..1): the
+	// slept delay is uniform in [d·(1−Jitter), d]. Full-range jitter at the
+	// default 0.5 de-correlates retry storms without ever sleeping longer
+	// than the deterministic schedule.
+	Jitter float64
+	// AttemptTimeout bounds one attempt's connect-plus-first-byte: a worker
+	// that accepts the request but never starts streaming is indistinguishable
+	// from a hung one, so the watchdog cancels and the drain retries.
+	AttemptTimeout time.Duration
+	// HedgeAfter is the floor of the hedge trigger delay. The effective
+	// delay is the p99 of observed time-to-first-row, clamped to
+	// [HedgeAfter, AttemptTimeout] — early on, with no samples, the floor
+	// alone drives it. Negative disables hedging.
+	HedgeAfter time.Duration
+	// FailThreshold is how many consecutive failures open a worker's
+	// circuit breaker.
+	FailThreshold int
+	// Cooldown is how long an open breaker blocks a worker before one
+	// half-open probe is re-admitted.
+	Cooldown time.Duration
+	// ProbeInterval paces the active /healthz probe loop.
+	ProbeInterval time.Duration
+}
+
+// DefaultPolicy returns the production defaults.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:    4,
+		BaseBackoff:    25 * time.Millisecond,
+		MaxBackoff:     time.Second,
+		Jitter:         0.5,
+		AttemptTimeout: 2 * time.Second,
+		HedgeAfter:     50 * time.Millisecond,
+		FailThreshold:  3,
+		Cooldown:       2 * time.Second,
+		ProbeInterval:  500 * time.Millisecond,
+	}
+}
+
+// withDefaults fills unset fields from DefaultPolicy. A negative HedgeAfter
+// (hedging disabled) is preserved.
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	if p.Jitter <= 0 || p.Jitter > 1 {
+		p.Jitter = d.Jitter
+	}
+	if p.AttemptTimeout <= 0 {
+		p.AttemptTimeout = d.AttemptTimeout
+	}
+	if p.HedgeAfter == 0 {
+		p.HedgeAfter = d.HedgeAfter
+	}
+	if p.FailThreshold <= 0 {
+		p.FailThreshold = d.FailThreshold
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = d.Cooldown
+	}
+	if p.ProbeInterval <= 0 {
+		p.ProbeInterval = d.ProbeInterval
+	}
+	return p
+}
+
+// Backoff returns the jittered delay slept before retry number `retry`
+// (1-based: the delay after the retry-th failure). rnd supplies uniform
+// [0,1) randomness; nil means no jitter (the deterministic upper bound).
+func (p Policy) Backoff(retry int, rnd func() float64) time.Duration {
+	if retry < 1 {
+		return 0
+	}
+	d := p.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if rnd != nil && p.Jitter > 0 {
+		d = d - time.Duration(float64(d)*p.Jitter*rnd())
+	}
+	return d
+}
+
+// HedgeDelay derives the hedge trigger from the observed p99
+// time-to-first-row, clamped to [HedgeAfter, AttemptTimeout]. Zero means
+// hedging is disabled (HedgeAfter < 0).
+func (p Policy) HedgeDelay(p99 time.Duration) time.Duration {
+	if p.HedgeAfter < 0 {
+		return 0
+	}
+	d := p99
+	if d < p.HedgeAfter {
+		d = p.HedgeAfter
+	}
+	if p.AttemptTimeout > 0 && d > p.AttemptTimeout {
+		d = p.AttemptTimeout
+	}
+	return d
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed admits every request (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects everything until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen has re-admitted one probe and awaits its verdict.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is one worker's circuit breaker: FailThreshold consecutive
+// failures open it, Cooldown later one probe is re-admitted (half-open),
+// and that probe's verdict either closes it again or re-opens it for
+// another cooldown. The clock is injected so transitions are testable
+// without sleeping.
+type Breaker struct {
+	mu       sync.Mutex
+	p        Policy
+	now      func() time.Time
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+}
+
+// NewBreaker builds a closed breaker under p's thresholds. now may be nil
+// (time.Now).
+func NewBreaker(p Policy, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{p: p.withDefaults(), now: now}
+}
+
+// Allow reports whether a request may proceed. On an open breaker whose
+// cooldown has elapsed it transitions to half-open and admits exactly one
+// probe; further calls are rejected until that probe Reports.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.p.Cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe is in flight
+		return false
+	}
+}
+
+// Report records a request's outcome. Success closes the breaker and
+// clears the failure streak; failure extends the streak, re-opens a
+// half-open breaker immediately, and opens a closed one at the threshold.
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.fails >= b.p.FailThreshold) {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the breaker's position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Fails returns the current consecutive-failure streak.
+func (b *Breaker) Fails() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails
+}

@@ -1,0 +1,204 @@
+package cluster
+
+// policy_test.go drives the pure robustness arithmetic with injected clocks
+// and random sources: the backoff schedule and its jitter bounds, the
+// p99-derived hedge trigger clamp, and every circuit-breaker transition —
+// no sleeps, no network.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	p := Policy{BaseBackoff: 25 * time.Millisecond, MaxBackoff: time.Second}
+	cases := []struct {
+		retry int
+		want  time.Duration
+	}{
+		{0, 0},
+		{-3, 0},
+		{1, 25 * time.Millisecond},
+		{2, 50 * time.Millisecond},
+		{3, 100 * time.Millisecond},
+		{4, 200 * time.Millisecond},
+		{5, 400 * time.Millisecond},
+		{6, 800 * time.Millisecond},
+		{7, time.Second}, // capped
+		{8, time.Second},
+		{100, time.Second}, // the doubling loop must not overflow
+	}
+	for _, c := range cases {
+		if got := p.Backoff(c.retry, nil); got != c.want {
+			t.Errorf("Backoff(%d) = %v, want %v", c.retry, got, c.want)
+		}
+	}
+}
+
+func TestBackoffCapBelowBase(t *testing.T) {
+	// A cap below the base clamps even the first retry.
+	p := Policy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}
+	if got := p.Backoff(1, nil); got != 40*time.Millisecond {
+		t.Fatalf("Backoff(1) = %v, want the 40ms cap", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := Policy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Jitter: 0.5}
+	cases := []struct {
+		rnd  float64
+		want time.Duration
+	}{
+		{0, 100 * time.Millisecond},       // no jitter consumed: the full delay
+		{0.5, 75 * time.Millisecond},      // halfway into the jitter window
+		{0.999, 50050 * time.Microsecond}, // near the floor d·(1−Jitter)
+	}
+	for _, c := range cases {
+		got := p.Backoff(1, func() float64 { return c.rnd })
+		if got != c.want {
+			t.Errorf("Backoff(1) with rnd=%v = %v, want %v", c.rnd, got, c.want)
+		}
+		lo := time.Duration(float64(p.BaseBackoff) * (1 - p.Jitter))
+		if got < lo || got > p.BaseBackoff {
+			t.Errorf("jittered backoff %v outside [%v, %v]", got, lo, p.BaseBackoff)
+		}
+	}
+}
+
+func TestHedgeDelayClamp(t *testing.T) {
+	p := Policy{HedgeAfter: 50 * time.Millisecond, AttemptTimeout: 2 * time.Second}
+	cases := []struct {
+		p99  time.Duration
+		want time.Duration
+	}{
+		{0, 50 * time.Millisecond},                       // no samples: the floor drives it
+		{10 * time.Millisecond, 50 * time.Millisecond},   // fast fleet: still the floor
+		{300 * time.Millisecond, 300 * time.Millisecond}, // the p99 itself
+		{time.Minute, 2 * time.Second},                   // never beyond the attempt timeout
+	}
+	for _, c := range cases {
+		if got := p.HedgeDelay(c.p99); got != c.want {
+			t.Errorf("HedgeDelay(%v) = %v, want %v", c.p99, got, c.want)
+		}
+	}
+}
+
+func TestHedgeDelayDisabled(t *testing.T) {
+	p := Policy{HedgeAfter: -1, AttemptTimeout: 2 * time.Second}
+	for _, p99 := range []time.Duration{0, time.Millisecond, time.Hour} {
+		if got := p.HedgeDelay(p99); got != 0 {
+			t.Errorf("HedgeDelay(%v) with hedging disabled = %v, want 0", p99, got)
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	d := DefaultPolicy()
+	got := Policy{}.withDefaults()
+	if got != d {
+		t.Fatalf("zero policy withDefaults = %+v, want DefaultPolicy %+v", got, d)
+	}
+	// Explicit values survive.
+	p := Policy{MaxAttempts: 7, AttemptTimeout: time.Minute}.withDefaults()
+	if p.MaxAttempts != 7 || p.AttemptTimeout != time.Minute {
+		t.Fatalf("explicit fields overwritten: %+v", p)
+	}
+	if p.BaseBackoff != d.BaseBackoff || p.Cooldown != d.Cooldown {
+		t.Fatalf("unset fields not defaulted: %+v", p)
+	}
+	// Negative HedgeAfter means disabled and must be preserved.
+	if p := (Policy{HedgeAfter: -1}).withDefaults(); p.HedgeAfter != -1 {
+		t.Fatalf("HedgeAfter=-1 not preserved: %v", p.HedgeAfter)
+	}
+}
+
+// fakeClock is an adjustable time source for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(Policy{FailThreshold: 3, Cooldown: 2 * time.Second}, clk.now)
+
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker must be closed and admitting")
+	}
+	b.Report(false)
+	b.Report(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed (threshold is 3)", b.State())
+	}
+	if b.Fails() != 2 {
+		t.Fatalf("Fails = %d, want 2", b.Fails())
+	}
+	// A success clears the streak entirely.
+	b.Report(true)
+	if b.Fails() != 0 {
+		t.Fatalf("Fails after success = %d, want 0", b.Fails())
+	}
+	// Three consecutive failures open it.
+	b.Report(false)
+	b.Report(false)
+	b.Report(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker inside the cooldown admitted a request")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	pol := Policy{FailThreshold: 1, Cooldown: 2 * time.Second}
+	b := NewBreaker(pol, clk.now)
+
+	b.Report(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	clk.advance(time.Second)
+	if b.Allow() {
+		t.Fatal("admitted a request 1s into a 2s cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but the half-open probe was not admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Exactly one probe: the next request is rejected while it is in flight.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second request before the probe's verdict")
+	}
+
+	// A failed probe re-opens immediately for another full cooldown.
+	b.Report(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	clk.advance(pol.Cooldown)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed but no probe admitted")
+	}
+	// A successful probe closes it and clears the streak.
+	b.Report(true)
+	if b.State() != BreakerClosed || b.Fails() != 0 {
+		t.Fatalf("state after successful probe = %v fails=%d, want closed/0", b.State(), b.Fails())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a request")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" || BreakerHalfOpen.String() != "half-open" {
+		t.Fatal("breaker state strings drifted from the /stats vocabulary")
+	}
+	if BreakerState(42).String() != "unknown" {
+		t.Fatal("out-of-range breaker state must stringify as unknown")
+	}
+}

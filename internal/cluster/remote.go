@@ -1,0 +1,277 @@
+package cluster
+
+// remote.go is the per-attempt transport: one attempt = one POST
+// /shard/query to one worker, a first-byte watchdog, the frame-decoded
+// stream behind an engine.Cursor, and the hedged race that runs a backup
+// attempt against a replica candidate when the primary's first byte is
+// slow. Errors are typed: transportError is the retryable class (connect
+// failures, 5xx, watchdog timeouts, corrupt/truncated frames); everything
+// else is permanent for the drain that sees it.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// transportError marks a failure worth retrying on another attempt or
+// another worker: the sub-query itself was never refuted, only this
+// particular stream.
+type transportError struct {
+	worker string
+	err    error
+}
+
+func (e *transportError) Error() string {
+	return fmt.Sprintf("cluster: worker %s: %v", e.worker, e.err)
+}
+func (e *transportError) Unwrap() error { return e.err }
+
+// isRetryable classifies an attempt or stream error.
+func isRetryable(err error) bool {
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+// errAttemptTimeout marks the first-byte watchdog firing.
+var errAttemptTimeout = errors.New("attempt timed out before first byte")
+
+// frameCursor adapts one worker stream to the cursor shape the drain
+// consumes. Close is idempotent: it cancels the attempt context (aborting
+// the in-flight request server-side) and closes the body.
+type frameCursor struct {
+	vars   []string
+	epoch  uint64
+	body   io.ReadCloser
+	fr     *frameReader
+	cancel context.CancelFunc
+	worker *worker
+
+	batch  [][]uint32
+	idx    int
+	closed bool
+}
+
+// next returns the stream's next row; io.EOF on a clean terminal frame,
+// a transportError on anything retryable.
+func (fc *frameCursor) next() ([]uint32, error) {
+	for {
+		if fc.idx < len(fc.batch) {
+			row := fc.batch[fc.idx]
+			fc.idx++
+			return row, nil
+		}
+		batch, err := fc.fr.readBatch()
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if err != nil {
+			if errors.Is(err, errCorrupt) {
+				return nil, &transportError{worker: fc.worker.addr, err: err}
+			}
+			return nil, err
+		}
+		fc.batch, fc.idx = batch, 0
+	}
+}
+
+func (fc *frameCursor) close() {
+	if fc.closed {
+		return
+	}
+	fc.closed = true
+	fc.cancel()
+	fc.body.Close()
+}
+
+// rows returns how many rows the stream has surfaced (buffered rows
+// excluded — the resume skip must count only consumer-visible rows).
+// Tracked by the drain, not here.
+
+// openStream performs one attempt: POST the sub-query, await the header
+// under the first-byte watchdog, and return the live cursor. skip is the
+// resume offset (kept rows the worker must not re-send).
+func (c *Coordinator) openStream(ctx context.Context, w *worker, req drainReq, target int, skip int) (*frameCursor, error) {
+	actx, cancel := context.WithCancel(ctx)
+	var timedOut atomic.Bool
+	var watchdog *time.Timer
+	if c.policy.AttemptTimeout > 0 {
+		watchdog = time.AfterFunc(c.policy.AttemptTimeout, func() {
+			timedOut.Store(true)
+			cancel()
+		})
+	}
+	fail := func(err error) (*frameCursor, error) {
+		if watchdog != nil {
+			watchdog.Stop()
+		}
+		cancel()
+		if timedOut.Load() {
+			return nil, &transportError{worker: w.addr, err: errAttemptTimeout}
+		}
+		if ctx.Err() != nil {
+			// The query (or the hedging race) was cancelled: not a worker
+			// fault, not retryable.
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+
+	q := url.Values{}
+	q.Set("shard", strconv.Itoa(target))
+	q.Set("shards", strconv.Itoa(req.numShards))
+	q.Set("engine", req.engine)
+	q.Set("owner", strconv.Itoa(req.owner))
+	q.Set("root", strconv.Itoa(req.rootIdx))
+	q.Set("skip", strconv.Itoa(skip))
+	q.Set("cap", strconv.Itoa(req.cap))
+	httpReq, err := http.NewRequestWithContext(actx, http.MethodPost,
+		w.addr+"/shard/query?"+q.Encode(), strings.NewReader(req.text))
+	if err != nil {
+		return fail(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/sparql-query")
+
+	resp, err := c.client.Do(httpReq)
+	if err != nil {
+		return fail(&transportError{worker: w.addr, err: err})
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		msg := fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return fail(&transportError{worker: w.addr, err: msg})
+		}
+		return fail(fmt.Errorf("cluster: worker %s: %w", w.addr, msg))
+	}
+
+	fr := newFrameReader(resp.Body)
+	hdr, err := fr.readHeader()
+	if err != nil {
+		resp.Body.Close()
+		return fail(&transportError{worker: w.addr, err: err})
+	}
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	return &frameCursor{
+		vars:   hdr.Vars,
+		epoch:  hdr.Epoch,
+		body:   resp.Body,
+		fr:     fr,
+		cancel: cancel,
+		worker: w,
+	}, nil
+}
+
+// attemptResult is one racer's outcome in the hedged attempt.
+type attemptResult struct {
+	cur    *frameCursor
+	err    error
+	w      *worker
+	hedged bool
+}
+
+// attempt opens the stream on primary, hedging against backup (when
+// non-nil) if the first byte is slower than the p99-derived delay. The
+// winning cursor is returned with the loser cancelled; breaker outcomes
+// are reported for every racer that genuinely failed (cancellation of the
+// loser is not a failure).
+func (c *Coordinator) attempt(ctx context.Context, primary, backup *worker, req drainReq, target, skip int) (*frameCursor, error) {
+	results := make(chan attemptResult, 2)
+	launch := func(w *worker, hedged bool) {
+		c.met.attempts.Add(1)
+		w.drains.Add(1)
+		go func() {
+			sp := obs.SpanFrom(ctx).Child("remote_attempt")
+			sp.SetAttr("worker", w.addr)
+			sp.SetAttr("shard", target)
+			if skip > 0 {
+				sp.SetAttr("resume_skip", skip)
+			}
+			if hedged {
+				sp.SetAttr("hedged", true)
+			}
+			start := time.Now()
+			cur, err := c.openStream(ctx, w, req, target, skip)
+			if err == nil {
+				c.firstRow.ObserveDuration(time.Since(start))
+				w.br.Report(true)
+				w.noteErr(nil)
+			} else if ctx.Err() == nil || isRetryable(err) {
+				// A real worker failure (not the query being cancelled).
+				w.br.Report(false)
+				w.noteErr(err)
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+			results <- attemptResult{cur: cur, err: err, w: w, hedged: hedged}
+		}()
+	}
+
+	launch(primary, false)
+	outstanding := 1
+	var hedgeCh <-chan time.Time
+	if backup != nil {
+		if delay := c.hedgeDelay(); delay > 0 {
+			t := time.NewTimer(delay)
+			defer t.Stop()
+			hedgeCh = t.C
+		}
+	}
+
+	// reap closes over any still-outstanding racer: once a winner is chosen
+	// (or the query dies) the laggard must be collected so its stream and
+	// goroutine never leak.
+	reap := func(n int) {
+		if n <= 0 {
+			return
+		}
+		go func() {
+			for i := 0; i < n; i++ {
+				if r := <-results; r.cur != nil {
+					r.cur.close()
+				}
+			}
+		}()
+	}
+
+	var firstErr error
+	for {
+		select {
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				if r.hedged {
+					c.met.hedgeWins.Add(1)
+				}
+				reap(outstanding)
+				return r.cur, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			c.met.hedges.Add(1)
+			launch(backup, true)
+			outstanding++
+		case <-ctx.Done():
+			reap(outstanding)
+			return nil, ctx.Err()
+		}
+	}
+}

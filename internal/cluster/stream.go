@@ -1,0 +1,96 @@
+package cluster
+
+// stream.go is the exported worker-side half of the wire protocol: the
+// server's /shard/query handler answers a coordinator drain by pushing its
+// rows through a ShardStreamWriter, which packs them into the CRC'd,
+// sequence-numbered frames frameReader verifies on the other end. The
+// writer flushes every frame (and calls the caller's flush hook, normally
+// http.Flusher.Flush), so the coordinator's first-byte watchdog and
+// resume offsets see rows as they are produced, not when the stream ends.
+
+import "io"
+
+// ShardStreamWriter encodes one /shard/query response stream.
+type ShardStreamWriter struct {
+	fw    *frameWriter
+	flush func()
+	ncols int
+	nrows int
+	cells []uint32
+	views [][]uint32
+}
+
+// NewShardStreamWriter wraps w; flush (optional) runs after every flushed
+// frame so chunked HTTP responses push rows to the client promptly.
+func NewShardStreamWriter(w io.Writer, flush func()) *ShardStreamWriter {
+	return &ShardStreamWriter{fw: newFrameWriter(w), flush: flush}
+}
+
+// Header emits the JSON header line (vars, the worker's store epoch, the
+// shard being drained) and flushes it, clearing the coordinator's
+// first-byte watchdog before the first row is computed.
+func (s *ShardStreamWriter) Header(vars []string, epoch uint64, shard int) error {
+	if err := s.fw.writeHeader(vars, epoch, shard); err != nil {
+		return err
+	}
+	if err := s.fw.w.Flush(); err != nil {
+		return err
+	}
+	s.doFlush()
+	return nil
+}
+
+// Row buffers one result row (copied), emitting a frame every frameRows.
+func (s *ShardStreamWriter) Row(row []uint32) error {
+	if s.nrows == 0 {
+		s.ncols = len(row)
+	}
+	s.cells = append(s.cells, row...)
+	s.nrows++
+	if s.nrows >= frameRows {
+		return s.emit()
+	}
+	return nil
+}
+
+// Rows reports how many rows have been written so far.
+func (s *ShardStreamWriter) Rows() int { return int(s.fw.rows) + s.nrows }
+
+func (s *ShardStreamWriter) emit() error {
+	if s.nrows == 0 {
+		return nil
+	}
+	s.views = s.views[:0]
+	for i := 0; i < s.nrows; i++ {
+		s.views = append(s.views, s.cells[i*s.ncols:(i+1)*s.ncols])
+	}
+	err := s.fw.writeBatch(s.views, s.ncols)
+	s.nrows = 0
+	s.cells = s.cells[:0]
+	if err != nil {
+		return err
+	}
+	s.doFlush()
+	return nil
+}
+
+// Finish flushes any buffered rows and emits the terminal frame: errMsg ==
+// "" is a clean end of stream, anything else reports a worker-side
+// execution failure (after the rows already shipped, which remain valid
+// for the coordinator's resume accounting).
+func (s *ShardStreamWriter) Finish(errMsg string) error {
+	if err := s.emit(); err != nil {
+		return err
+	}
+	if err := s.fw.writeTerminal(errMsg); err != nil {
+		return err
+	}
+	s.doFlush()
+	return nil
+}
+
+func (s *ShardStreamWriter) doFlush() {
+	if s.flush != nil {
+		s.flush()
+	}
+}

@@ -155,6 +155,17 @@ func (d *Store) Dir() string { return d.dir }
 // Recovered reports what boot-time replay found in the log.
 func (d *Store) Recovered() wal.RecoverInfo { return d.recover }
 
+// WALFailed reports whether the write-ahead log has latched wal.ErrFailed
+// (an unrepaired write error, e.g. disk full): the process can still serve
+// reads but can no longer persist updates. /healthz degrades to 503 on this
+// so a cluster health checker ejects the worker.
+func (d *Store) WALFailed() bool { return d.log.Failed() }
+
+// Log exposes the underlying write-ahead log. Used by fault-injection
+// tests to drive the failure surfaces; production code should go through
+// LogPatch/Stats/WALFailed.
+func (d *Store) Log() *wal.Log { return d.log }
+
 // LogPatch implements live.Durability: append (and per policy fsync) the
 // patch before the overlay publishes it.
 func (d *Store) LogPatch(p live.Patch) error {

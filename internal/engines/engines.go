@@ -77,3 +77,26 @@ func NewLive(name string, ls *live.Store) (*live.Engine, error) {
 		return New(name, st)
 	}), nil
 }
+
+// NewClusterLive is NewLive for a cluster coordinator: each epoch's
+// scatter-gather engine is built as in NewLive (the store must be
+// partitioned), then pointed at remote, so every per-shard sub-query is
+// served by the worker fleet instead of the local shard engines. The local
+// partition still provides the scatter planner's statistics (pruning,
+// probe choice) — only the drains go remote.
+func NewClusterLive(name string, ls *live.Store, remote shard.RemoteOpener) (*live.Engine, error) {
+	if !slices.Contains(Names(), name) {
+		return nil, fmt.Errorf("unknown engine %q (available: %s)", name, strings.Join(Names(), ", "))
+	}
+	return live.NewEngine(ls, name, func(st *store.Store, p *shard.Partitioned) (engine.Engine, error) {
+		if p == nil {
+			return nil, fmt.Errorf("cluster serving requires a partitioned store (Shards > 1)")
+		}
+		eng, err := NewSharded(name, p)
+		if err != nil {
+			return nil, err
+		}
+		eng.(*shard.Engine).SetRemote(remote)
+		return eng, nil
+	}), nil
+}

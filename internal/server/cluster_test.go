@@ -1,0 +1,648 @@
+package server
+
+// cluster_test.go: end-to-end tests of distributed serving — a coordinator
+// Server fanning /query execution out to worker Servers over HTTP — plus
+// the worker /shard/query endpoint contract, the panic-recovery middleware,
+// the Config.QueryTimeout hard ceiling, and the WAL-failure /healthz
+// degradation. Workers and coordinator are real Servers on httptest
+// listeners; faults come from cluster.FaultPlan or from killing a worker's
+// listener outright.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/store"
+)
+
+// newClusterFixture boots nWorkers sharded worker Servers over st and a
+// coordinator Server wired to them through a cluster.Coordinator.
+func newClusterFixture(t *testing.T, st *store.Store, nWorkers, shards int, tweak func(*cluster.Config)) (*Server, *httptest.Server, []*httptest.Server, *cluster.Coordinator) {
+	t.Helper()
+	var urls []string
+	var workers []*httptest.Server
+	for i := 0; i < nWorkers; i++ {
+		_, wts := newTestServer(t, st, Config{Shards: shards, MaxRows: -1})
+		urls = append(urls, wts.URL)
+		workers = append(workers, wts)
+	}
+	ccfg := cluster.Config{
+		Workers:       urls,
+		Shards:        shards,
+		Replicas:      2,
+		DisableProbes: true,
+		Policy: cluster.Policy{
+			MaxAttempts:    3,
+			BaseBackoff:    time.Millisecond,
+			MaxBackoff:     2 * time.Millisecond,
+			AttemptTimeout: 10 * time.Second,
+			HedgeAfter:     -1,
+		},
+	}
+	if tweak != nil {
+		tweak(&ccfg)
+	}
+	coord, err := cluster.New(ccfg)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	coord.Start()
+	t.Cleanup(coord.Close)
+	srv, ts := newTestServer(t, st, Config{Shards: shards, MaxRows: -1, Cluster: coord})
+	return srv, ts, workers, coord
+}
+
+// clusterResult decodes the /query JSON body fields the cluster tests care
+// about.
+type clusterResult struct {
+	Vars    []string   `json:"vars"`
+	Rows    [][]string `json:"rows"`
+	Count   int        `json:"count"`
+	Error   string     `json:"error"`
+	Partial []struct {
+		Shard int    `json:"shard"`
+		Mode  string `json:"mode"`
+	} `json:"partial"`
+}
+
+// getCluster fetches a /query and returns the status, decoded body, and the
+// HTTP trailers (readable only after the body is consumed).
+func getCluster(t *testing.T, rawURL string) (int, clusterResult, http.Header) {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatalf("GET %s: %v", rawURL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	var out clusterResult
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("bad JSON %.300q: %v", body, err)
+		}
+	} else {
+		out.Error = string(body)
+	}
+	return resp.StatusCode, out, resp.Trailer
+}
+
+// rowSet renders rows as sorted strings for set comparisons.
+func rowSet(rows [][]string) map[string]bool {
+	set := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		set[strings.Join(r, "\t")] = true
+	}
+	return set
+}
+
+const singlePatternQuery = `SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`
+
+// TestClusterMatchesUnsharded: with healthy workers, every query answered
+// by the cluster coordinator returns exactly the rows the unsharded server
+// returns — and the rows demonstrably travelled through remote drains.
+func TestClusterMatchesUnsharded(t *testing.T) {
+	st := denseStore(8)
+	_, plain := newTestServer(t, st, Config{MaxRows: -1})
+	srv, ts, _, coord := newClusterFixture(t, st, 3, 3, nil)
+
+	queries := []string{
+		singlePatternQuery,
+		`SELECT ?a ?b WHERE { ?x <http://ex/p> ?a . ?x <http://ex/p> ?b }`,
+		`SELECT ?x ?z WHERE { ?x <http://ex/p> ?y . ?y <http://ex/p> ?z }`,
+		triangleQuery,
+	}
+	for _, q := range queries {
+		for _, eng := range []string{"emptyheaded", "naive"} {
+			want := collectTSV(t, plain.URL, q, eng)
+			got := collectTSV(t, ts.URL, q, eng)
+			if len(got) != len(want) {
+				t.Fatalf("%s %q: %d rows via cluster, %d unsharded", eng, q, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s %q: row %d differs: %q vs %q", eng, q, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// No faults: nothing may be flagged partial.
+	code, res, trailer := getCluster(t, queryURL(ts.URL, triangleQuery, nil))
+	if code != http.StatusOK || len(res.Partial) != 0 {
+		t.Fatalf("healthy cluster flagged partial: code=%d partial=%+v", code, res.Partial)
+	}
+	if trailer.Get("X-Partial") != "" {
+		t.Fatalf("healthy cluster sent X-Partial trailer %q", trailer.Get("X-Partial"))
+	}
+	st2 := coord.Stats()
+	if st2.Attempts == 0 {
+		t.Fatal("coordinator recorded no attempts — queries never went remote")
+	}
+	if st2.Retries != 0 || st2.PartialResults != 0 {
+		t.Fatalf("healthy fleet recorded retries=%d partials=%d", st2.Retries, st2.PartialResults)
+	}
+	// /stats carries the cluster section with per-worker health.
+	scode, sbody := get(t, ts.URL+"/stats")
+	if scode != http.StatusOK || !strings.Contains(sbody, `"cluster"`) || !strings.Contains(sbody, `"workers"`) {
+		t.Fatalf("/stats cluster section missing: %.400s", sbody)
+	}
+	if srv.Stats().Cluster == nil {
+		t.Fatal("Stats().Cluster is nil on a cluster coordinator")
+	}
+}
+
+// TestClusterFailoverOnWorkerDeath: with Replicas=2, killing one worker
+// process leaves every shard reachable through its failover candidate —
+// results stay complete and unflagged, and the retry/failover counters show
+// the recovery happened.
+func TestClusterFailoverOnWorkerDeath(t *testing.T) {
+	st := denseStore(8)
+	_, plain := newTestServer(t, st, Config{MaxRows: -1})
+	_, ts, workers, coord := newClusterFixture(t, st, 3, 3, nil)
+
+	want := collectTSV(t, plain.URL, triangleQuery, "emptyheaded")
+	workers[1].Close() // SIGKILL equivalent: connections refuse from here on
+
+	got := collectTSV(t, ts.URL, triangleQuery, "emptyheaded")
+	if len(got) != len(want) {
+		t.Fatalf("%d rows after worker death, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs after worker death: %q vs %q", i, got[i], want[i])
+		}
+	}
+	code, res, _ := getCluster(t, queryURL(ts.URL, triangleQuery, nil))
+	if code != http.StatusOK || len(res.Partial) != 0 {
+		t.Fatalf("failover result flagged partial: code=%d partial=%+v", code, res.Partial)
+	}
+	cs := coord.Stats()
+	if cs.Retries == 0 && cs.Failovers == 0 {
+		t.Fatalf("no retries or failovers recorded after a worker died: %+v", cs)
+	}
+}
+
+// TestClusterReplicaRecovery: with Replicas=1 a killed worker makes its
+// shards genuinely unreachable. A single-pattern query is reassembled from
+// the object-side replicas on the surviving shards; the response is
+// honestly flagged partial with the recovery mode.
+func TestClusterReplicaRecovery(t *testing.T) {
+	st := denseStore(16)
+	_, plain := newTestServer(t, st, Config{MaxRows: -1})
+	_, ts, workers, coord := newClusterFixture(t, st, 3, 3, func(cfg *cluster.Config) {
+		cfg.Replicas = 1
+		cfg.Policy.MaxAttempts = 2
+	})
+
+	_, full, _ := getCluster(t, queryURL(plain.URL, singlePatternQuery, nil))
+	workers[1].Close()
+
+	code, res, trailer := getCluster(t, queryURL(ts.URL, singlePatternQuery, nil))
+	if code != http.StatusOK {
+		t.Fatalf("degraded query answered %d (%s), want 200", code, res.Error)
+	}
+	if len(res.Partial) == 0 {
+		t.Fatal("lost shard not flagged in the partial field")
+	}
+	for _, p := range res.Partial {
+		if p.Mode != "object-replicas" {
+			t.Fatalf("partial mode = %q, want object-replicas", p.Mode)
+		}
+	}
+	if tp := trailer.Get("X-Partial"); !strings.Contains(tp, "object-replicas") {
+		t.Fatalf("X-Partial trailer = %q, want the recovery mode", tp)
+	}
+	// Recovered rows are a subset of the true result — never invented.
+	fullSet := rowSet(full.Rows)
+	for _, r := range res.Rows {
+		if !fullSet[strings.Join(r, "\t")] {
+			t.Fatalf("recovered row %v not in the true result", r)
+		}
+	}
+	if res.Count == 0 {
+		t.Fatal("replica recovery returned no rows at all")
+	}
+	if cs := coord.Stats(); cs.ReplicaRecoveries == 0 || cs.PartialResults == 0 {
+		t.Fatalf("recovery counters not bumped: %+v", cs)
+	}
+}
+
+// TestClusterPartialFlagged: with replica recovery disabled, a lost shard's
+// rows are simply missing — the query still answers 200, flagged partial
+// with mode "lost", never a 500.
+func TestClusterPartialFlagged(t *testing.T) {
+	st := denseStore(16)
+	_, plain := newTestServer(t, st, Config{MaxRows: -1})
+	_, ts, workers, _ := newClusterFixture(t, st, 3, 3, func(cfg *cluster.Config) {
+		cfg.Replicas = 1
+		cfg.Policy.MaxAttempts = 2
+		cfg.DisableReplicaRecovery = true
+	})
+
+	_, full, _ := getCluster(t, queryURL(plain.URL, singlePatternQuery, nil))
+	workers[2].Close()
+
+	code, res, trailer := getCluster(t, queryURL(ts.URL, singlePatternQuery, nil))
+	if code != http.StatusOK {
+		t.Fatalf("degraded query answered %d (%s), want 200 + partial flag", code, res.Error)
+	}
+	if len(res.Partial) == 0 {
+		t.Fatal("response not flagged partial")
+	}
+	for _, p := range res.Partial {
+		if p.Mode != "lost" {
+			t.Fatalf("partial mode = %q, want lost", p.Mode)
+		}
+	}
+	if tp := trailer.Get("X-Partial"); !strings.Contains(tp, "lost") {
+		t.Fatalf("X-Partial trailer = %q", tp)
+	}
+	if res.Count >= full.Count {
+		t.Fatalf("lost-shard result has %d rows, full result %d — nothing went missing?", res.Count, full.Count)
+	}
+}
+
+// TestClusterRetriesSurfaceInMetrics: a transient mid-stream fault is
+// retried transparently (identical rows) and the retry shows up in
+// Prometheus exposition — the observable the chaos CI asserts on.
+func TestClusterRetriesSurfaceInMetrics(t *testing.T) {
+	st := denseStore(8)
+	_, plain := newTestServer(t, st, Config{MaxRows: -1})
+
+	var plan cluster.FaultPlan
+	var workerHosts []string
+	_, ts, workers, _ := newClusterFixture(t, st, 3, 3, func(cfg *cluster.Config) {
+		cfg.Transport = plan.Transport(nil)
+	})
+	for _, w := range workers {
+		workerHosts = append(workerHosts, strings.TrimPrefix(w.URL, "http://"))
+	}
+	// Cut the first stream each worker serves after its first data frame.
+	for _, h := range workerHosts {
+		plan.Add(cluster.Fault{Worker: h, Kind: cluster.FaultTruncate, AfterFrames: 1, Count: 1})
+	}
+
+	want := collectTSV(t, plain.URL, triangleQuery, "emptyheaded")
+	got := collectTSV(t, ts.URL, triangleQuery, "emptyheaded")
+	if len(got) != len(want) {
+		t.Fatalf("%d rows under stream faults, want %d (exactly-once resume broke)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs under stream faults: %q vs %q", i, got[i], want[i])
+		}
+	}
+	if plan.Fired() == 0 {
+		t.Fatal("no fault fired — the test exercised nothing")
+	}
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	retries := promValue(t, body, "rdf_shard_retries_total")
+	if retries <= 0 {
+		t.Fatalf("rdf_shard_retries_total = %v, want > 0 after injected stream faults", retries)
+	}
+	if v := promValue(t, body, "rdf_cluster_workers"); v != 3 {
+		t.Fatalf("rdf_cluster_workers = %v, want 3", v)
+	}
+	if !strings.Contains(body, "rdf_worker_up{") || !strings.Contains(body, "rdf_shard_first_row_seconds_bucket") {
+		t.Fatalf("cluster metric families missing from exposition: %.400s", body)
+	}
+}
+
+// promValue extracts the value of an unlabelled metric sample.
+func promValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not in exposition", name)
+	return 0
+}
+
+// shardStream is a decoded /shard/query response.
+type shardStream struct {
+	Vars  []string `json:"vars"`
+	Epoch uint64   `json:"epoch"`
+	Shard int      `json:"shard"`
+	Rows  [][]uint32
+	Err   string
+}
+
+// decodeShardStream parses the wire protocol (JSON header line, then
+// little-endian length-prefixed frames) independently of internal/cluster's
+// reader, so the endpoint's output format is pinned by a second
+// implementation.
+func decodeShardStream(t *testing.T, b []byte) shardStream {
+	t.Helper()
+	nl := bytes.IndexByte(b, '\n')
+	if nl < 0 {
+		t.Fatalf("no header line in %d-byte stream", len(b))
+	}
+	var out shardStream
+	if err := json.Unmarshal(b[:nl], &out); err != nil {
+		t.Fatalf("bad stream header %q: %v", b[:nl], err)
+	}
+	le := binary.LittleEndian
+	off := nl + 1
+	for {
+		if off+8 > len(b) {
+			t.Fatalf("stream ended without a terminal frame (offset %d of %d)", off, len(b))
+		}
+		nrows := le.Uint32(b[off+4 : off+8])
+		if nrows == 0xFFFFFFFF { // terminal
+			total := le.Uint32(b[off+8 : off+12])
+			errLen := int(le.Uint32(b[off+12 : off+16]))
+			out.Err = string(b[off+16 : off+16+errLen])
+			if int(total) != len(out.Rows) {
+				t.Fatalf("terminal row count %d != %d decoded", total, len(out.Rows))
+			}
+			return out
+		}
+		ncols := int(le.Uint32(b[off+8 : off+12]))
+		off += 12
+		for i := 0; i < int(nrows); i++ {
+			row := make([]uint32, ncols)
+			for j := 0; j < ncols; j++ {
+				row[j] = le.Uint32(b[off : off+4])
+				off += 4
+			}
+			out.Rows = append(out.Rows, row)
+		}
+		off += 4 // CRC (verified by internal/cluster's reader tests)
+	}
+}
+
+// postShard POSTs a sub-query to /shard/query.
+func postShard(t *testing.T, base, q string, params map[string]string) (int, []byte) {
+	t.Helper()
+	vals := url.Values{}
+	for k, v := range params {
+		vals.Set(k, v)
+	}
+	resp, err := http.Post(base+"/shard/query?"+vals.Encode(), "application/sparql-query", strings.NewReader(q))
+	if err != nil {
+		t.Fatalf("POST /shard/query: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestShardQueryEndpoint pins the worker endpoint contract: ownership
+// filtering partitions the result exactly, skip resumes past kept rows, cap
+// bounds the stream, and the guard rails (405/400/409/404) hold.
+func TestShardQueryEndpoint(t *testing.T) {
+	st := denseStore(6)
+	_, worker := newTestServer(t, st, Config{Shards: 3, MaxRows: -1})
+
+	// The union of the three ownership-filtered drains is an exact partition
+	// of the full result: every row exactly once.
+	seen := map[string]int{}
+	total := 0
+	var epochs []uint64
+	for sh := 0; sh < 3; sh++ {
+		code, body := postShard(t, worker.URL, singlePatternQuery, map[string]string{
+			"shard": strconv.Itoa(sh), "shards": "3", "owner": strconv.Itoa(sh), "root": "0",
+		})
+		if code != http.StatusOK {
+			t.Fatalf("shard %d: status %d: %.200s", sh, code, body)
+		}
+		stream := decodeShardStream(t, body)
+		if stream.Err != "" {
+			t.Fatalf("shard %d reported %q", sh, stream.Err)
+		}
+		if stream.Shard != sh || len(stream.Vars) != 2 {
+			t.Fatalf("shard %d header = %+v", sh, stream)
+		}
+		epochs = append(epochs, stream.Epoch)
+		for _, r := range stream.Rows {
+			seen[strconv.Itoa(int(r[0]))+","+strconv.Itoa(int(r[1]))]++
+			total++
+		}
+	}
+	if total != st.NumTriples() {
+		t.Fatalf("union of ownership-filtered drains = %d rows, want %d", total, st.NumTriples())
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("row %s delivered %d times across shards — ownership filter overlaps", k, n)
+		}
+	}
+	if epochs[0] != epochs[1] || epochs[1] != epochs[2] {
+		t.Fatalf("epochs differ across drains of one store: %v", epochs)
+	}
+
+	// skip resumes exactly past the first N kept rows; cap bounds the rest.
+	_, fullBody := postShard(t, worker.URL, singlePatternQuery, map[string]string{
+		"shard": "0", "shards": "3", "owner": "0", "root": "0",
+	})
+	kept := decodeShardStream(t, fullBody).Rows
+	if len(kept) < 4 {
+		t.Fatalf("shard 0 owns only %d rows; the store is too small for the resume test", len(kept))
+	}
+	_, resumedBody := postShard(t, worker.URL, singlePatternQuery, map[string]string{
+		"shard": "0", "shards": "3", "owner": "0", "root": "0", "skip": "2",
+	})
+	resumed := decodeShardStream(t, resumedBody).Rows
+	if len(resumed) != len(kept)-2 {
+		t.Fatalf("skip=2 returned %d rows, want %d", len(resumed), len(kept)-2)
+	}
+	for i := range resumed {
+		if resumed[i][0] != kept[i+2][0] || resumed[i][1] != kept[i+2][1] {
+			t.Fatalf("resumed row %d = %v, want %v (deterministic order is the resume contract)", i, resumed[i], kept[i+2])
+		}
+	}
+	_, cappedBody := postShard(t, worker.URL, singlePatternQuery, map[string]string{
+		"shard": "0", "shards": "3", "owner": "0", "root": "0", "cap": "3",
+	})
+	if capped := decodeShardStream(t, cappedBody).Rows; len(capped) != 3 {
+		t.Fatalf("cap=3 returned %d rows", len(capped))
+	}
+
+	// Guard rails.
+	if code, _ := postShard(t, worker.URL, singlePatternQuery, map[string]string{"shard": "0", "shards": "5"}); code != http.StatusConflict {
+		t.Fatalf("shard-count mismatch answered %d, want 409", code)
+	}
+	if code, _ := postShard(t, worker.URL, singlePatternQuery, map[string]string{"shard": "7", "shards": "3"}); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range shard answered %d, want 400", code)
+	}
+	if code, _ := postShard(t, worker.URL, singlePatternQuery, map[string]string{"shard": "0", "shards": "3", "owner": "0", "root": "9"}); code != http.StatusBadRequest {
+		t.Fatalf("bad root index answered %d, want 400", code)
+	}
+	if code, _ := postShard(t, worker.URL, "NOT SPARQL", map[string]string{"shard": "0", "shards": "3"}); code != http.StatusBadRequest {
+		t.Fatalf("unparsable sub-query answered %d, want 400", code)
+	}
+	resp, err := http.Get(worker.URL + "/shard/query?shard=0&shards=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET answered %d, want 405", resp.StatusCode)
+	}
+
+	// Unsharded servers and cluster coordinators do not expose the endpoint.
+	_, plainTS := newTestServer(t, smallStore(), Config{})
+	if code, _ := postShard(t, plainTS.URL, singlePatternQuery, map[string]string{"shard": "0", "shards": "1"}); code != http.StatusNotFound {
+		t.Fatalf("unsharded server answered %d on /shard/query, want 404", code)
+	}
+	_, coordTS, _, _ := newClusterFixture(t, smallStore(), 1, 2, nil)
+	if code, _ := postShard(t, coordTS.URL, singlePatternQuery, map[string]string{"shard": "0", "shards": "2"}); code != http.StatusNotFound {
+		t.Fatalf("coordinator answered %d on /shard/query, want 404 (self-loop guard)", code)
+	}
+}
+
+// TestPanicRecoveryMiddleware: a panicking handler costs one request — 500
+// when uncommitted, counted either way, with http.ErrAbortHandler passed
+// through untouched.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	srv, ts := newTestServer(t, smallStore(), Config{})
+
+	// Uncommitted panic: the middleware answers 500.
+	h := srv.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("recovered panic answered %d, want 500", rec.Code)
+	}
+	if srv.Stats().Panics != 1 {
+		t.Fatalf("Panics = %d, want 1", srv.Stats().Panics)
+	}
+
+	// Committed panic: the 200 is already on the wire; no second status.
+	h = srv.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial"))
+		panic("mid-stream kaboom")
+	}))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "partial" {
+		t.Fatalf("committed response mangled: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	if srv.Stats().Panics != 2 {
+		t.Fatalf("Panics = %d, want 2", srv.Stats().Panics)
+	}
+
+	// http.ErrAbortHandler is net/http's sanctioned abort: re-panicked, not
+	// counted.
+	h = srv.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	func() {
+		defer func() {
+			if recover() != http.ErrAbortHandler {
+				t.Fatal("ErrAbortHandler was swallowed instead of re-panicked")
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/query", nil))
+	}()
+	if srv.Stats().Panics != 2 {
+		t.Fatalf("Panics = %d after ErrAbortHandler, want still 2", srv.Stats().Panics)
+	}
+
+	// The whole Handler() chain is wrapped: /stats and /metrics surface the
+	// counter.
+	if _, body := get(t, ts.URL+"/stats"); !strings.Contains(body, `"panics"`) {
+		t.Fatalf("/stats has no panics counter: %.300s", body)
+	}
+	if _, body := get(t, ts.URL+"/metrics"); !strings.Contains(body, "rdf_panics_total") {
+		t.Fatal("/metrics has no rdf_panics_total family")
+	}
+}
+
+// TestQueryTimeoutCeiling: Config.QueryTimeout caps even an explicitly
+// larger client ?timeout=, the request 504s, and with ?explain=1 the 504
+// body carries the span tree showing where the deadline landed.
+func TestQueryTimeoutCeiling(t *testing.T) {
+	srv, ts := newTestServer(t, denseStore(30), Config{QueryTimeout: time.Nanosecond})
+
+	start := time.Now()
+	code, body := get(t, queryURL(ts.URL, triangleQuery, map[string]string{"timeout": "2m"}))
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (the ceiling must cap ?timeout=2m); body %.200s", code, body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("504 took %v — the ceiling did not actually bound the query", elapsed)
+	}
+	if strings.Contains(body, `"trace"`) {
+		t.Fatalf("un-explained 504 carries a trace: %.300s", body)
+	}
+	if srv.Stats().Timeouts != 1 {
+		t.Fatalf("Timeouts = %d, want 1", srv.Stats().Timeouts)
+	}
+
+	code, body = get(t, queryURL(ts.URL, triangleQuery, map[string]string{"timeout": "2m", "explain": "1"}))
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("explained timeout status = %d, want 504; body %.200s", code, body)
+	}
+	var out struct {
+		Error string          `json:"error"`
+		Trace json.RawMessage `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("504 body is not JSON: %v (%.200s)", err, body)
+	}
+	if out.Error == "" || len(out.Trace) == 0 || !strings.Contains(string(out.Trace), `"name"`) {
+		t.Fatalf("explained 504 misses error/trace: %.400s", body)
+	}
+}
+
+// TestHealthzReportsWALFailure: a latched WAL failure turns /healthz into
+// an honest 503 (load balancers stop routing updates here) and surfaces in
+// /stats and /metrics.
+func TestHealthzReportsWALFailure(t *testing.T) {
+	d, _, ts := newDurableServer(t)
+
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthy /healthz = %d %.200s", code, body)
+	}
+
+	d.Log().InjectFailure()
+
+	code, body = get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with a failed WAL = %d, want 503; body %.200s", code, body)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("healthz body not JSON: %v", err)
+	}
+	if resp["status"] != "degraded" || resp["wal"] != "failed" {
+		t.Fatalf("healthz body = %v, want status=degraded wal=failed", resp)
+	}
+	if _, sbody := get(t, ts.URL+"/stats"); !strings.Contains(sbody, `"wal_failed":true`) {
+		t.Fatalf("/stats does not report wal_failed: %.400s", sbody)
+	}
+	if _, mbody := get(t, ts.URL+"/metrics"); !strings.Contains(mbody, "rdf_wal_failed 1") {
+		t.Fatal("/metrics does not report rdf_wal_failed 1")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"repro/internal/cluster"
 	"repro/internal/dict"
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -76,15 +77,18 @@ type encodeResult struct {
 //
 //	{"vars":[...],"id":"q7","engine":"...","cache":"hit",
 //	 "rows":[["<iri>","\"literal\""],...],
-//	 "count":N,"truncated":true,"took_ms":1.2,"error":"...","trace":{...}}
+//	 "count":N,"truncated":true,"took_ms":1.2,"error":"...",
+//	 "partial":[{"shard":1,"mode":"lost"}],"trace":{...}}
 //
 // Rows hold the canonical N-Triples term renderings. count, truncated, and
 // took_ms trail the rows because they are only known once the stream ends;
-// error appears only when the stream ended abnormally. trace, when the
-// trace callback is non-nil (?explain=1), is the query's span tree — the
-// callback runs after the last row, once every stage has finished, and
-// receives the encoded row count.
-func writeJSON(w io.Writer, vars []string, cur engine.Cursor, d *dict.Dictionary, meta queryMeta, tookMs func() float64, trace func(rows int) *obs.TraceSnapshot) encodeResult {
+// error appears only when the stream ended abnormally. partial, when the
+// partial callback is non-nil and reports missing shards (cluster serving
+// under degradation), lists the shards whose rows may be incomplete.
+// trace, when the trace callback is non-nil (?explain=1), is the query's
+// span tree — the callback runs after the last row, once every stage has
+// finished, and receives the encoded row count.
+func writeJSON(w io.Writer, vars []string, cur engine.Cursor, d *dict.Dictionary, meta queryMeta, tookMs func() float64, partial func() []cluster.PartialShard, trace func(rows int) *obs.TraceSnapshot) encodeResult {
 	bw := bufio.NewWriterSize(w, 32<<10)
 	tr := newTermRenderer(d)
 	// Distinct JSON-escaped term strings are memoized separately from the
@@ -174,6 +178,14 @@ func writeJSON(w io.Writer, vars []string, cur engine.Cursor, d *dict.Dictionary
 			bw.Write(msg)
 		} else {
 			bw.WriteString(`"encoding error"`)
+		}
+	}
+	if partial != nil {
+		if miss := partial(); len(miss) > 0 {
+			if pb, perr := json.Marshal(miss); perr == nil {
+				bw.WriteString(`,"partial":`)
+				bw.Write(pb)
+			}
 		}
 	}
 	if trace != nil {

@@ -1,0 +1,71 @@
+package server
+
+// middleware.go: per-request panic recovery. A panic in any handler — a
+// bug in an engine's enumeration, a malformed plan, a nil somewhere in the
+// encode path — must cost one request, not the process: the middleware
+// recovers it, logs the stack with the query ID, bumps the panics counter
+// (/stats "panics", /metrics rdf_panics_total), and answers 500 when the
+// response is still uncommitted. http.ErrAbortHandler is re-raised: it is
+// net/http's own sanctioned way to abort a response, not a bug.
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+)
+
+// recoverPanics wraps next with per-request panic recovery.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &committedWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.stats.panicked()
+			qid := w.Header().Get("X-Query-ID")
+			s.log.Error("panic serving request (recovered)",
+				"path", r.URL.Path, "query_id", qid,
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+			if !cw.committed {
+				if qid != "" {
+					httpError(cw, http.StatusInternalServerError, "internal error (query %s)", qid)
+				} else {
+					httpError(cw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			// Committed responses just end truncated; for /query the
+			// missing JSON tail / absent trailers already tell the client
+			// the stream broke.
+		}()
+		next.ServeHTTP(cw, r)
+	})
+}
+
+// committedWriter tracks whether the response status has been committed,
+// so the recovery path knows whether a 500 can still be written. It
+// forwards Flush (the /shard/query streamer needs it through the wrapper).
+type committedWriter struct {
+	http.ResponseWriter
+	committed bool
+}
+
+func (c *committedWriter) WriteHeader(code int) {
+	c.committed = true
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *committedWriter) Write(b []byte) (int, error) {
+	c.committed = true
+	return c.ResponseWriter.Write(b)
+}
+
+func (c *committedWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -38,6 +38,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Counter("rdf_query_errors_total", "Queries that ended in an error (timeouts included).", float64(st.Errors))
 	pw.Counter("rdf_query_timeouts_total", "Queries that hit their deadline.", float64(st.Timeouts))
 	pw.Counter("rdf_queries_rejected_total", "Requests bounced by admission control (HTTP 429).", float64(st.Rejected))
+	pw.Counter("rdf_panics_total", "Handler panics recovered by the middleware (answered 500).", float64(st.Panics))
 	pw.Gauge("rdf_active_requests", "Requests currently in flight end to end.", float64(st.Active))
 	pw.Gauge("rdf_inflight_slots", "Worker-pool slots currently held by executing queries.", float64(st.InFlightSlots))
 	pw.Gauge("rdf_queue_depth", "Requests waiting for worker-pool slots.", float64(st.QueueDepth))
@@ -87,11 +88,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if cl := st.Cluster; cl != nil {
+		pw.Gauge("rdf_cluster_workers", "Configured cluster workers.", float64(len(cl.Workers)))
+		pw.Gauge("rdf_cluster_replicas", "Candidate workers per shard.", float64(cl.Replicas))
+		for _, wk := range cl.Workers {
+			up := 0.0
+			if wk.State == "up" || wk.State == "degraded" {
+				up = 1
+			}
+			pw.Gauge("rdf_worker_up", "1 when the worker's breaker admits requests (up or degraded), 0 when down.", up, "worker", wk.Addr, "state", wk.State)
+			pw.Counter("rdf_worker_probes_total", "Health probes sent to the worker.", float64(wk.Probes), "worker", wk.Addr)
+			pw.Counter("rdf_worker_probe_failures_total", "Health probes the worker failed.", float64(wk.ProbeFailures), "worker", wk.Addr)
+			pw.Counter("rdf_worker_drains_total", "Shard drain attempts launched against the worker.", float64(wk.Drains), "worker", wk.Addr)
+		}
+		pw.Counter("rdf_shard_attempts_total", "Shard drain attempts (first tries, retries, and hedges).", float64(cl.Attempts))
+		pw.Counter("rdf_shard_retries_total", "Shard drain retries after a failed or broken attempt.", float64(cl.Retries))
+		pw.Counter("rdf_shard_hedges_total", "Backup attempts launched against a straggling first byte.", float64(cl.Hedges))
+		pw.Counter("rdf_shard_hedge_wins_total", "Hedged backup attempts that beat the primary.", float64(cl.HedgeWins))
+		pw.Counter("rdf_shard_failovers_total", "Drains served by a non-primary candidate worker.", float64(cl.Failovers))
+		pw.Counter("rdf_shard_replica_recoveries_total", "Lost shards reassembled from object-side replicas.", float64(cl.ReplicaRecoveries))
+		pw.Counter("rdf_partial_results_total", "Responses flagged partial after a shard stayed unreachable.", float64(cl.PartialResults))
+		pw.Histogram("rdf_shard_first_row_seconds", "Attempt time to first byte; its p99 derives the hedge delay.", s.cfg.Cluster.FirstRowHist())
+		pw.Gauge("rdf_shard_hedge_delay_seconds", "Current p99-derived hedge trigger delay.", cl.HedgeDelayMs/1e3)
+	}
+
 	if d := st.Durability; d != nil {
 		pw.Gauge("rdf_wal_bytes", "Current write-ahead log size.", float64(d.WALBytes))
 		pw.Counter("rdf_wal_records_total", "Patch records appended by this process.", float64(d.WALRecords))
 		pw.Counter("rdf_wal_syncs_total", "WAL fsyncs issued.", float64(d.WALSyncs))
 		pw.Histogram("rdf_wal_fsync_latency_seconds", "WAL fsync latency.", s.cfg.Durable.Stats().WAL.FsyncLatency)
+		walFailed := 0.0
+		if d.WALFailed {
+			walFailed = 1
+		}
+		pw.Gauge("rdf_wal_failed", "1 when the WAL has latched failed (updates refused, /healthz 503).", walFailed)
 		pw.Gauge("rdf_segment_bytes", "Base segment file size.", float64(d.SegmentBytes))
 		pw.Gauge("rdf_segments_mapped", "Segment mappings currently open.", float64(d.SegmentsMapped))
 		pw.Counter("rdf_compactions_persisted_total", "Segment files written by this process.", float64(d.CompactionsPersisted))

@@ -57,6 +57,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/engine"
@@ -104,6 +105,14 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested ?timeout= values. Default 2m.
 	MaxTimeout time.Duration
+	// QueryTimeout, when > 0, is a hard per-request deadline ceiling that
+	// caps both DefaultTimeout and client ?timeout= values: every /query
+	// context is cancelled at most QueryTimeout after admission, so a
+	// wedged cursor (a hung remote drain, a pathological join) can never
+	// hold a worker-pool slot forever. A request that hits it gets a 504;
+	// with ?explain=1 the 504 body carries the span tree captured so far,
+	// showing where the deadline landed.
+	QueryTimeout time.Duration
 	// MaxRows caps the rows one query may return; results hitting the cap
 	// come back marked "truncated" (exactly: only when more rows existed).
 	// The cap is enforced at the cursor layer for every engine, bounding
@@ -156,6 +165,16 @@ type Config struct {
 	// requests are always traced. The untraced path costs one nil check per
 	// instrumentation site, so the default is to trace everything.
 	TraceSample int
+	// Cluster, when set, turns this server into a scatter-gather
+	// coordinator: the store must be partitioned (Shards > 1 or a
+	// pre-partitioned Live store), and every per-shard sub-query is served
+	// by the coordinator's worker fleet (internal/cluster) instead of the
+	// local shard engines — with health-gated worker selection, retries,
+	// hedging, and graceful partial degradation (responses carry a
+	// "partial" field and X-Partial trailer when a shard's rows could not
+	// be recovered). The server does not own the coordinator: the caller
+	// Starts and Closes it.
+	Cluster *cluster.Coordinator
 }
 
 // defaultMaxRows bounds per-query result size unless overridden.
@@ -187,6 +206,11 @@ type Server struct {
 	// created on demand under mu.
 	mu      sync.Mutex
 	engines map[string]*live.Engine
+
+	// shardQ interns /shard/query sub-query texts to stable parsed
+	// pointers (see internShardQuery).
+	shardQMu sync.Mutex
+	shardQ   map[string]*query.BGP
 }
 
 // knownEngine reports whether name is in the registry, without building
@@ -218,6 +242,9 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
 		}
+	}
+	if cfg.Cluster != nil && ls.Part() == nil {
+		return nil, errors.New("server: Config.Cluster requires a partitioned store (Shards > 1)")
 	}
 	if cfg.PlanCacheSize <= 0 {
 		cfg.PlanCacheSize = 256
@@ -258,6 +285,7 @@ func New(cfg Config) (*Server, error) {
 		log:     cfg.Logger,
 		traces:  obs.NewTraceRing(traceRingSize),
 		engines: map[string]*live.Engine{},
+		shardQ:  map[string]*query.BGP{},
 	}
 	// Construct the default engine's inner instance now — it both validates
 	// the name and front-loads any eager index construction (rdf3x sorts six
@@ -300,7 +328,10 @@ func (s *Server) Close() {
 func (s *Server) Live() *live.Store { return s.ls }
 
 // Handler returns the HTTP handler with the /query, /update, /compact,
-// /healthz, and /stats routes mounted.
+// /healthz, and /stats routes mounted, wrapped in per-request panic
+// recovery. A sharded server additionally serves the cluster worker
+// endpoint /shard/query — unless it is itself a coordinator, whose shard
+// drains go to its worker fleet, never back to itself.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -310,7 +341,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
-	return mux
+	if s.ls.Part() != nil && s.cfg.Cluster == nil {
+		mux.HandleFunc("/shard/query", s.handleShardQuery)
+	}
+	return s.recoverPanics(mux)
 }
 
 // engine returns the live engine wrapper for name, constructing it on first
@@ -330,7 +364,13 @@ func (s *Server) engine(name string) (*live.Engine, error) {
 	if le, ok := s.engines[name]; ok {
 		return le, nil
 	}
-	le, err := engines.NewLive(name, s.ls)
+	var le *live.Engine
+	var err error
+	if s.cfg.Cluster != nil {
+		le, err = engines.NewClusterLive(name, s.ls, s.cfg.Cluster.Opener(name))
+	} else {
+		le, err = engines.NewLive(name, s.ls)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -625,6 +665,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = d
 	}
+	// QueryTimeout is the operator's hard ceiling: unlike MaxTimeout it
+	// also caps the server's own default, so no request — however
+	// configured — outlives it.
+	if s.cfg.QueryTimeout > 0 && timeout > s.cfg.QueryTimeout {
+		timeout = s.cfg.QueryTimeout
+	}
 	workers, err := intParam(r, "workers")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -669,6 +715,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Under cluster serving, install the degradation sink: remote drains
+	// that exhaust their retry budget record the affected shard here (and
+	// end cleanly) instead of failing the query, and the response carries
+	// the partial flag. Without the sink installed, an unavailable shard
+	// is a hard execution error.
+	var partial *cluster.Partial
+	if s.cfg.Cluster != nil {
+		ctx, partial = cluster.WithPartial(ctx)
+	}
+
+	// tailSnap finalizes the trace for an error body when the client asked
+	// for ?explain=1 — a 504's span tree shows where the deadline landed.
+	tailSnap := func() *obs.TraceSnapshot {
+		if !isExplain {
+			return nil
+		}
+		return takeSnap()
+	}
+
 	// A ?workers=N query occupies N worker-pool slots: intra-query
 	// parallelism is real CPU and is accounted like N single-threaded
 	// queries.
@@ -699,7 +764,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	asp.SetAttr("slots", slots)
 	if err := s.pool.acquire(ctx, slots); err != nil {
 		asp.End()
-		s.failCtx(w, ctx)
+		s.failCtx(w, ctx, tailSnap())
 		finish(true, errors.Is(ctx.Err(), context.DeadlineExceeded))
 		return
 	}
@@ -734,7 +799,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		execSp.SetAttr("error", err.Error())
 		execSp.End()
-		s.failExec(w, ctx, err)
+		s.failExec(w, ctx, err, tailSnap())
 		finish(true, errors.Is(err, context.DeadlineExceeded))
 		return
 	}
@@ -751,7 +816,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	first, firstErr := cur.Next()
 	if firstErr != nil && firstErr != io.EOF {
 		execDur = time.Since(execStart)
-		s.failExec(w, ctx, firstErr)
+		execSp.End()
+		s.failExec(w, ctx, firstErr, tailSnap())
 		finish(true, errors.Is(firstErr, context.DeadlineExceeded))
 		return
 	}
@@ -771,10 +837,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		execDur = time.Since(execStart)
 		return ms(execDur)
 	}
-	// Truncation and mid-stream failures are only known after the body is
-	// committed; announce them as HTTP trailers (the JSON body also carries
-	// them in trailing fields).
-	w.Header().Set("Trailer", "X-Truncated, X-Error")
+	// Truncation, mid-stream failures, and partial degradation are only
+	// known after the body is committed; announce them as HTTP trailers
+	// (the JSON body also carries them in trailing fields).
+	w.Header().Set("Trailer", "X-Truncated, X-Error, X-Partial")
 	encSp := root.Child("encode")
 	var traceFn func(rows int) *obs.TraceSnapshot
 	if isExplain {
@@ -792,6 +858,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if isExplain {
 		outFormat = "json" // the trace is a JSON document; TSV cannot carry it
 	}
+	// partialFn reports the shards the cluster drains gave up on; it runs
+	// after the last row (the sink is only fully populated once every
+	// drain has finished), so the JSON tail and the trailer agree.
+	var partialFn func() []cluster.PartialShard
+	if partial != nil {
+		partialFn = partial.Missing
+	}
 	var enc encodeResult
 	switch outFormat {
 	case "tsv":
@@ -802,7 +875,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "application/json")
 		encSp.SetAttr("format", "json")
-		enc = writeJSON(w, q.Select, pc, s.ls.Dict(), meta, tookMs, traceFn)
+		enc = writeJSON(w, q.Select, pc, s.ls.Dict(), meta, tookMs, partialFn, traceFn)
 	}
 	if traceFn == nil {
 		encSp.AddRows(int64(enc.rows))
@@ -815,7 +888,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if enc.err != nil {
 		w.Header().Set("X-Error", enc.err.Error())
 	}
+	if partial != nil {
+		if miss := partial.Missing(); len(miss) > 0 {
+			w.Header().Set("X-Partial", partialTrailer(miss))
+		}
+	}
 	finish(enc.err != nil, errors.Is(enc.err, context.DeadlineExceeded))
+}
+
+// partialTrailer renders the X-Partial trailer value, e.g.
+// "shards=1:object-replicas,3:lost".
+func partialTrailer(miss []cluster.PartialShard) string {
+	var b strings.Builder
+	b.WriteString("shards=")
+	for i, m := range miss {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%s", m.Shard, m.Mode)
+	}
+	return b.String()
 }
 
 // peekedCursor replays the row the handler pulled for status-code purposes,
@@ -859,21 +951,37 @@ func (l *limitZeroCursor) Truncated() bool         { return l.hadRow }
 func (l *limitZeroCursor) Close() error            { return l.inner.Close() }
 
 // failCtx maps a done context to 504 (deadline) or 503 (client cancelled).
-func (s *Server) failCtx(w http.ResponseWriter, ctx context.Context) {
+// snap, when non-nil (?explain=1), rides in the error body so a timed-out
+// request still explains where its deadline landed.
+func (s *Server) failCtx(w http.ResponseWriter, ctx context.Context, snap *obs.TraceSnapshot) {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-		httpError(w, http.StatusGatewayTimeout, "query timed out")
+		errorJSON(w, http.StatusGatewayTimeout, snap, "query timed out")
 		return
 	}
-	httpError(w, http.StatusServiceUnavailable, "request cancelled")
+	errorJSON(w, http.StatusServiceUnavailable, snap, "request cancelled")
 }
 
 // failExec maps a pre-stream execution error to an HTTP status.
-func (s *Server) failExec(w http.ResponseWriter, ctx context.Context, err error) {
+func (s *Server) failExec(w http.ResponseWriter, ctx context.Context, err error, snap *obs.TraceSnapshot) {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		s.failCtx(w, ctx)
+		s.failCtx(w, ctx, snap)
 		return
 	}
-	httpError(w, http.StatusInternalServerError, "executing: %v", err)
+	errorJSON(w, http.StatusInternalServerError, snap, "executing: %v", err)
+}
+
+// errorJSON is httpError plus an optional trace snapshot in the body.
+func errorJSON(w http.ResponseWriter, status int, snap *obs.TraceSnapshot, format string, args ...any) {
+	if snap == nil {
+		httpError(w, status, format, args...)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": fmt.Sprintf(format, args...),
+		"trace": snap,
+	})
 }
 
 // format picks the response encoding: ?format=json|tsv, else the Accept
@@ -987,14 +1095,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"epoch":   st.Epoch,
 		"build":   obs.Build(),
 	}
+	status := http.StatusOK
 	if s.cfg.Durable != nil {
 		// A constructed server has finished boot replay by definition; the
 		// true counterpart is served by rdfserved's boot handler, which
 		// answers 503 {"wal_replay":true} until the durable store is open.
 		resp["durable"] = true
 		resp["wal_replay"] = false
+		if s.cfg.Durable.WALFailed() {
+			// The WAL latched failed: updates are being refused and this
+			// process's durability guarantee is gone. Degrade honestly —
+			// a cluster coordinator's health probes eject this worker, a
+			// load balancer stops routing writes to it.
+			resp["status"] = "degraded"
+			resp["wal"] = "failed"
+			status = http.StatusServiceUnavailable
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(resp)
 }
 
@@ -1032,6 +1151,7 @@ func (s *Server) Stats() Stats {
 			WALRecords:           ds.WAL.Records,
 			WALSyncs:             ds.WAL.Syncs,
 			LastFsyncMs:          ms(ds.WAL.LastSyncAge),
+			WALFailed:            ds.WAL.Failed,
 			ReplayedRecords:      ds.ReplayedRecords,
 			ReplayedOps:          ds.ReplayedOps,
 			TornBytesTruncated:   ds.TornBytes,
@@ -1041,6 +1161,11 @@ func (s *Server) Stats() Stats {
 			Mmap:                 ds.Mapped,
 			CompactionsPersisted: ds.CompactionsPersisted,
 		}
+	}
+	var cstats *cluster.Stats
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster.Stats()
+		cstats = &cs
 	}
 	lst := s.ls.Stats()
 	return Stats{
@@ -1052,6 +1177,7 @@ func (s *Server) Stats() Stats {
 		Errors:           errs,
 		Timeouts:         timeouts,
 		Rejected:         rejected,
+		Panics:           s.stats.panicsCount(),
 		Active:           active,
 		InFlightSlots:    inUse,
 		QueueDepth:       queued,
@@ -1061,6 +1187,7 @@ func (s *Server) Stats() Stats {
 		Chooser:          stats.Default.Snapshot(),
 		Latency:          lat,
 		Sharding:         sharding,
+		Cluster:          cstats,
 		Durability:       durability,
 		Live: &LiveStats{
 			Epoch:              lst.Epoch,

@@ -2,8 +2,10 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -84,6 +86,10 @@ type DurabilityStats struct {
 	// WALSyncs counts fsyncs issued; LastFsyncMs is the age of the newest.
 	WALSyncs    uint64  `json:"wal_syncs"`
 	LastFsyncMs float64 `json:"last_fsync_ms"`
+	// WALFailed reports the log's latched-failed state: a write or fsync
+	// error poisoned the log, updates are being refused, and /healthz is
+	// answering 503 {"wal":"failed"}.
+	WALFailed bool `json:"wal_failed"`
 	// ReplayedRecords/ReplayedOps describe boot-time WAL recovery;
 	// TornBytesTruncated is how much torn tail it cut off the log.
 	ReplayedRecords    int   `json:"replayed_records"`
@@ -149,6 +155,10 @@ type Stats struct {
 	// Rejected counts requests turned away by admission control (429):
 	// their estimated queue wait exceeded their remaining deadline.
 	Rejected uint64 `json:"rejected"`
+	// Panics counts handler panics recovered by the middleware (each one
+	// answered 500 instead of killing the process). Nonzero means a bug —
+	// the counter exists so it pages instead of hiding in logs.
+	Panics uint64 `json:"panics"`
 	// Active is requests currently being handled end-to-end (queueing,
 	// executing, or encoding).
 	Active int `json:"active"`
@@ -164,6 +174,10 @@ type Stats struct {
 	// Sharding is present only when the server partitioned its store
 	// (Config.Shards > 1).
 	Sharding *ShardingStats `json:"sharding,omitempty"`
+	// Cluster is present only on a coordinator (Config.Cluster): worker
+	// fleet health and the scatter-gather robustness counters (retries,
+	// hedges, failovers, partial results).
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 	// Chooser reports the statistics-driven decision ledger: adaptive
 	// layout choices (and how often they flipped the paper's 1-in-256
 	// rule), the auto engine's per-class picks, and the routing decision
@@ -212,7 +226,18 @@ type metrics struct {
 	updates         uint64
 	triplesInserted uint64
 	triplesDeleted  uint64
+
+	// panics counts recovered handler panics; atomic because the recovery
+	// middleware runs outside the request accounting and must never itself
+	// contend (or fail) while the process is already in a bad state.
+	panics atomic.Uint64
 }
+
+// panicked counts one recovered handler panic.
+func (m *metrics) panicked() { m.panics.Add(1) }
+
+// panicsCount reports recovered handler panics.
+func (m *metrics) panicsCount() uint64 { return m.panics.Load() }
 
 // engStatLocked returns (creating on demand) the named engine's counters.
 // Caller holds m.mu.

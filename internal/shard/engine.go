@@ -45,6 +45,11 @@ type Engine struct {
 	// noPrune disables statistics pruning — the property-test oracle proving
 	// pruned and unpruned scatter agree. Never set in production paths.
 	noPrune bool
+
+	// remote, when set, routes every per-shard sub-query open across the
+	// process boundary (see remote.go). Planning still runs locally against
+	// the partition's statistics; only execution fans out.
+	remote RemoteOpener
 }
 
 // constSeenCap bounds the existence-check memo. Eviction is one arbitrary
@@ -103,6 +108,17 @@ func (e *Engine) Open(q *query.BGP, opts engine.ExecOpts) (engine.Cursor, error)
 	}
 	if len(e.engs) == 1 {
 		// One shard is the whole dataset: pass straight through.
+		if e.remote != nil {
+			cur, err := e.openShard(opts.Ctx, 0, q, RemoteHints{Owner: -1, SinglePattern: len(q.Patterns) == 1})
+			if err != nil {
+				return nil, err
+			}
+			cur, err = e.counting(0, cur, err)
+			if err != nil {
+				return nil, err
+			}
+			return engine.Limit(cur, opts.Offset, opts.MaxRows), nil
+		}
 		cur, err := e.engs[0].Open(q, opts)
 		return e.counting(0, cur, err)
 	}
@@ -300,6 +316,25 @@ func (e *Engine) openSingle(sp *singlePlan, opts engine.ExecOpts) (engine.Cursor
 		// shard alone answers the query — route instead of scattering, and
 		// pass caps straight through (no filtering happens above it).
 		sh := sp.shards[0]
+		if e.remote != nil {
+			// Remote route: push the cap hint down (unsafe under DISTINCT)
+			// and apply Offset/MaxRows exactly at the coordinator.
+			capHint := 0
+			if opts.MaxRows > 0 && !sp.sub.Distinct {
+				capHint = opts.Offset + opts.MaxRows + 1
+			}
+			cur, err := e.openShard(opts.Ctx, sh, sp.sub, RemoteHints{
+				Owner: -1, Cap: capHint, SinglePattern: len(sp.sub.Patterns) == 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cur, err = e.counting(sh, cur, err)
+			if err != nil {
+				return nil, err
+			}
+			return engine.Limit(cur, opts.Offset, opts.MaxRows), nil
+		}
 		cur, err := e.engs[sh].Open(sp.sub, opts)
 		return e.counting(sh, cur, err)
 	}
@@ -325,13 +360,13 @@ func (e *Engine) openSingle(sp *singlePlan, opts engine.ExecOpts) (engine.Cursor
 	if len(sp.shards) == 1 {
 		// One surviving shard: filter in place, no fan-in goroutines.
 		sh := sp.shards[0]
-		inner, err := e.engs[sh].Open(sp.sub, engine.ExecOpts{Ctx: opts.Ctx, Workers: opts.Workers})
+		inner, err := e.openShard(opts.Ctx, sh, sp.sub, e.drainHints(sh, sp.sub, sp.rootIdx, perShardCap, opts.Workers))
 		if err != nil {
 			return nil, err
 		}
 		cur = newFilter(inner, outVars, sh, keep, sp.strip, perShardCap, e.part, drainSpan(opts.Ctx, sh, true))
 	} else {
-		cur = e.gather(opts.Ctx, outVars, sp.sub, sp.shards, keep, sp.strip, perShardCap, opts.Workers)
+		cur = e.gather(opts.Ctx, outVars, sp.sub, sp.shards, keep, sp.strip, perShardCap, sp.rootIdx, opts.Workers)
 	}
 	if sp.sub.Distinct {
 		cur = newDedup(cur)
@@ -348,19 +383,19 @@ func (e *Engine) openGroup(ctx context.Context, gp groupPlan, workers int) (engi
 	if gp.rootIdx < 0 {
 		// Constant root: the owner shard alone answers the group.
 		sh := gp.shards[0]
-		cur, err := e.engs[sh].Open(gp.sub, engine.ExecOpts{Ctx: ctx, Workers: workers})
+		cur, err := e.openShard(ctx, sh, gp.sub, RemoteHints{Owner: -1, Workers: workers, SinglePattern: len(gp.sub.Patterns) == 1})
 		return e.counting(sh, cur, err)
 	}
 	keep := func(sh int, row []uint32) bool { return ShardOf(row[gp.rootIdx], n) == sh }
 	if len(gp.shards) == 1 {
 		sh := gp.shards[0]
-		inner, err := e.engs[sh].Open(gp.sub, engine.ExecOpts{Ctx: ctx, Workers: workers})
+		inner, err := e.openShard(ctx, sh, gp.sub, e.drainHints(sh, gp.sub, gp.rootIdx, 0, workers))
 		if err != nil {
 			return nil, err
 		}
 		return newFilter(inner, gp.vars, sh, keep, false, 0, e.part, drainSpan(ctx, sh, true)), nil
 	}
-	return e.gather(ctx, gp.vars, gp.sub, gp.shards, keep, false, 0, workers), nil
+	return e.gather(ctx, gp.vars, gp.sub, gp.shards, keep, false, 0, gp.rootIdx, workers), nil
 }
 
 // errJoinCap stops the join producer once the merge-level cap (plus its

@@ -12,6 +12,7 @@ package shard
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"sync"
 
@@ -56,12 +57,12 @@ type openFunc func(context.Context) (engine.Cursor, error)
 
 // gather is the Engine's scatter entry point: it opens sub on every
 // surviving shard and returns the merged union cursor.
-func (e *Engine) gather(ctx context.Context, vars []string, sub *query.BGP, shards []int, keep func(shard int, row []uint32) bool, strip bool, perShardCap int, workers int) engine.Cursor {
+func (e *Engine) gather(ctx context.Context, vars []string, sub *query.BGP, shards []int, keep func(shard int, row []uint32) bool, strip bool, perShardCap int, rootIdx int, workers int) engine.Cursor {
 	opens := make([]openFunc, len(shards))
 	for i, sh := range shards {
-		eng := e.engs[sh]
+		sh := sh
 		opens[i] = func(sctx context.Context) (engine.Cursor, error) {
-			return eng.Open(sub, engine.ExecOpts{Ctx: sctx, Workers: workers})
+			return e.openShard(sctx, sh, sub, e.drainHints(sh, sub, rootIdx, perShardCap, workers))
 		}
 	}
 	return gather(ctx, vars, shards, opens, keep, strip, perShardCap, e.part)
@@ -99,7 +100,17 @@ func gather(ctx context.Context, vars []string, shards []int, opens []openFunc, 
 		go func(sh int, open openFunc) {
 			defer wg.Done()
 			span := drainSpan(ctx, sh, false)
-			err := drainShard(sctx, sh, open, keep, strip, perShardCap, part, m.rows, span)
+			// A panic in a shard cursor must not kill the process: it runs on
+			// a drain goroutine where no handler-level recovery can reach it.
+			// Convert it to a shard error so the merge fails the one query.
+			err := func() (err error) {
+				defer func() {
+					if rec := recover(); rec != nil {
+						err = fmt.Errorf("shard %d: drain panicked: %v", sh, rec)
+					}
+				}()
+				return drainShard(obs.WithSpan(sctx, span), sh, open, keep, strip, perShardCap, part, m.rows, span)
+			}()
 			if err != nil {
 				span.SetAttr("error", err.Error())
 				m.errs <- err

@@ -288,6 +288,26 @@ func scan(src io.ReaderAt, total int64, replay func(Batch) error) (RecoverInfo, 
 // scan silently truncates. Close and re-Open the log to recover.
 var ErrFailed = errors.New("wal: log latched failed after an unrepaired write error; re-open to recover")
 
+// Failed reports whether the log has latched the failed state: some append
+// hit a write error that tail repair could not undo, and every append since
+// has been rejected with ErrFailed. A failed log can still be read and
+// closed; health surfaces should treat the process as unable to persist.
+func (l *Log) Failed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// InjectFailure forces the log into the latched-failed state, exactly as if
+// an append's write error could not be repaired. Fault-injection hook for
+// exercising health surfaces (e.g. /healthz reporting "wal": "failed");
+// production code never calls it.
+func (l *Log) InjectFailure() {
+	l.mu.Lock()
+	l.failed = true
+	l.mu.Unlock()
+}
+
 // AppendPatch appends one patch batch, durable according to the sync
 // policy: under SyncAlways the record is on stable storage when AppendPatch
 // returns; under SyncInterval it becomes durable within one flush interval.
@@ -467,6 +487,8 @@ type Stats struct {
 	Policy Policy
 	// FsyncLatency distributes observed fsync wall times (seconds).
 	FsyncLatency obs.HistSnapshot
+	// Failed reports the latched-failed state (see Log.Failed).
+	Failed bool
 }
 
 // Stats snapshots the counters without taking the append lock.
@@ -477,6 +499,7 @@ func (l *Log) Stats() Stats {
 		Syncs:        l.syncs.Load(),
 		Policy:       l.pol,
 		FsyncLatency: l.fsyncHist.Snapshot(),
+		Failed:       l.Failed(),
 	}
 	if ns := l.lastSync.Load(); ns > 0 {
 		s.LastSyncAge = time.Since(time.Unix(0, ns))
